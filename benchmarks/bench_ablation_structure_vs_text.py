@@ -1,0 +1,62 @@
+"""Ablation — structure-only (TransE) vs text-feature (RF) curation.
+
+Beyond the paper: its introduction situates curation within the
+link-prediction literature, so a natural question is how much of the
+curation signal lives in graph *structure* versus entity *nomenclature*.
+TransE learns from training edges alone (no names); the Random Forest sees
+only names (no graph).  On a sparse ontology with many rarely-connected
+entities, the text models should dominate — which is the implicit premise
+of the paper's NLP-centric design.
+"""
+
+import os
+
+import numpy as np
+
+from conftest import run_once
+
+from repro.core.comparison import evaluate_paradigm
+from repro.core.paradigms import RandomForestParadigm
+from repro.core.reporting import Table
+from repro.kg.transe import TransE, TransEConfig
+from repro.ml.forest import RandomForestConfig
+
+
+def compute(lab):
+    rows = {}
+    for task in (1, 2, 3):
+        split = lab.ml_split(task)
+        train = list(split.train)
+        test = list(split.test)
+        gold = np.array([t.label for t in test])
+
+        transe = TransE(
+            TransEConfig(dim=32, epochs=100, norm=2, seed=lab.config.seed)
+        ).fit(train)
+        transe_acc = float((transe.predict(test) == gold).mean())
+
+        report, _ = lab.evaluate_random_forest(task, "W2V-Chem", "naive")
+        rows[task] = (transe_acc, report.accuracy)
+    return rows
+
+
+def test_ablation_structure_vs_text(lab, results_dir, benchmark):
+    rows = run_once(benchmark, compute, lab)
+    table = Table(
+        "Ablation — accuracy of structure-only TransE vs text-feature RF",
+        ["task", "TransE (structure)", "RF W2V-Chem (text)"],
+        precision=3,
+    )
+    for task, (transe_acc, rf_acc) in rows.items():
+        table.add_row(task, transe_acc, rf_acc)
+    table.show()
+    table.save(os.path.join(results_dir, "ablation_structure_vs_text.txt"))
+
+    # Names carry the curation signal on this sparse ontology: the text
+    # models win on average (per-task gaps can be thin on task 3, where
+    # sibling corruptions are nearly structure-neutral for both).
+    mean_transe = np.mean([transe for transe, _ in rows.values()])
+    mean_rf = np.mean([rf for _, rf in rows.values()])
+    assert mean_rf > mean_transe, (
+        f"text ({mean_rf:.3f}) should beat structure ({mean_transe:.3f})"
+    )

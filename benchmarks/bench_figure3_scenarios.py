@@ -1,0 +1,118 @@
+"""Figure 3 / A2 — F1 under the five data-availability scenarios, tasks 1-3.
+
+The paper trains ML and FT models on successively smaller, more imbalanced
+training sets (S1: 9:1 split, balanced ... S5: 0.5:1 split, 1:8 imbalance)
+against a constant balanced test set, with GPT-4's flat ICL performance as
+the reference line.  Reported shape:
+
+* every trained model degrades from S1 to S5;
+* random-embedding forests degrade *fastest*;
+* GPT-4's flat line overtakes ML/FT in the scarce scenarios for tasks 1
+  and 3, but never for task 2 in the paper's full-scale setting (at this
+  reduced scale the trained models start lower, so the crossover happens
+  earlier — see EXPERIMENTS.md);
+* fine-tuning collapses hardest on task 3.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.core.comparison import evaluate_paradigm
+from repro.core.paradigms import FineTuneParadigm, ICLParadigm, RandomForestParadigm
+from repro.core.reporting import Table
+from repro.bert.finetune import FineTuneConfig
+from repro.core.scenarios import SCENARIOS, build_scenario_split
+from repro.llm.simulated import GPT4_PROFILE, SimulatedChatModel, truth_table
+from repro.ml.forest import RandomForestConfig
+
+SUBSET_FRACTION = 0.35
+#: The paper fine-tunes for 3 epochs; scenario fits follow suit (the
+#: table-4 bench uses the Lab's longer schedule for its headline numbers).
+FT_EPOCHS = 3
+
+ML_MODELS = (
+    ("Random", "naive"),
+    ("GloVe-Chem", "naive"),
+    ("PubmedBERT", "none"),
+)
+
+
+def compute(lab):
+    results = {}
+    rf_config = RandomForestConfig(
+        n_estimators=20, max_depth=lab.config.rf_max_depth, seed=lab.config.seed
+    )
+    for task in (1, 2, 3):
+        dataset = lab.dataset(task)
+        truth = truth_table(dataset)
+        for scenario in SCENARIOS:
+            split = build_scenario_split(
+                dataset, scenario, subset_fraction=SUBSET_FRACTION,
+                seed=lab.config.seed,
+            )
+            train = list(split.train)
+            test = list(split.test)
+            for embedding_name, adaptation in ML_MODELS:
+                paradigm = RandomForestParadigm(
+                    lab.embedding(embedding_name),
+                    token_filter=lab.adaptation_filter(adaptation, embedding_name),
+                    config=rf_config,
+                    name=f"RF({embedding_name})",
+                ).fit(train)
+                results[(task, scenario.name, paradigm.name)] = evaluate_paradigm(
+                    paradigm, test
+                )
+            ft_config = FineTuneConfig(
+                epochs=FT_EPOCHS,
+                learning_rate=lab.config.ft_learning_rate,
+                seed=lab.config.seed,
+            )
+            ft = FineTuneParadigm(lab.bert, ft_config).fit(train)
+            results[(task, scenario.name, "FT")] = evaluate_paradigm(ft, test)
+        # GPT-4 does not use the training data: one flat reference per task.
+        gpt_split = build_scenario_split(
+            dataset, SCENARIOS[0], subset_fraction=SUBSET_FRACTION,
+            seed=lab.config.seed,
+        )
+        client = SimulatedChatModel(GPT4_PROFILE, truth, task, seed=lab.config.seed)
+        gpt = ICLParadigm(client, seed=lab.config.seed, name="GPT-4").fit(
+            list(gpt_split.train)
+        )
+        results[(task, "flat", "GPT-4")] = evaluate_paradigm(
+            gpt, list(gpt_split.test)
+        )
+    return results
+
+
+def test_figure3_data_availability_scenarios(lab, results_dir, benchmark):
+    results = run_once(benchmark, compute, lab)
+    model_names = ["RF(Random)", "RF(GloVe-Chem)", "RF(PubmedBERT)", "FT"]
+    for task in (1, 2, 3):
+        table = Table(
+            f"Figure 3 (task {task}) — F1 by scenario; GPT-4 reference is flat",
+            ["scenario"] + model_names + ["GPT-4"],
+            precision=3,
+        )
+        gpt_f1 = results[(task, "flat", "GPT-4")].f1
+        for scenario in SCENARIOS:
+            table.add_row(
+                scenario.describe(),
+                *(results[(task, scenario.name, m)].f1 for m in model_names),
+                gpt_f1,
+            )
+        table.show()
+        table.save(os.path.join(results_dir, f"figure3_task{task}_scenarios.txt"))
+
+    for task in (1, 2, 3):
+        for model in model_names:
+            s1 = results[(task, "S1", model)].f1
+            s5 = results[(task, "S5", model)].f1
+            # Scarce, imbalanced training data must hurt every trained model.
+            assert s5 < s1 + 0.02, f"task {task} {model}: S5 {s5} !< S1 {s1}"
+        # GPT-4's flat line beats the trained models in the most extreme
+        # scenario for tasks 1 and 3 (the paper's crossover finding).
+        if task in (1, 3):
+            gpt_f1 = results[(task, "flat", "GPT-4")].f1
+            trained_s5 = max(results[(task, "S5", m)].f1 for m in model_names)
+            assert gpt_f1 > trained_s5 - 0.05

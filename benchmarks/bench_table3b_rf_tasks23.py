@@ -1,0 +1,69 @@
+"""Table 3b — Random Forest + naive adaptation on tasks 2 and 3.
+
+Paper F1 scores:
+
+    embedding    task 2   task 3
+    Random       .9581    .9042
+    GloVe        .9573    .9073
+    W2V-Chem     .9596    .9122
+    GloVe-Chem   .9586    .9125
+    BioWordVec   .9605    .9061
+    PubmedBERT   .9822    .9060
+
+Shape targets: task 2 is the easiest of the three tasks for the ML
+paradigm and task 3 the hardest (paper Section 3.3).
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.core.reporting import Table
+from repro.embeddings.registry import MODEL_NAMES
+
+PAPER_F1 = {
+    ("Random", 2): 0.9581, ("Random", 3): 0.9042,
+    ("GloVe", 2): 0.9573, ("GloVe", 3): 0.9073,
+    ("W2V-Chem", 2): 0.9596, ("W2V-Chem", 3): 0.9122,
+    ("GloVe-Chem", 2): 0.9586, ("GloVe-Chem", 3): 0.9125,
+    ("BioWordVec", 2): 0.9605, ("BioWordVec", 3): 0.9061,
+    ("PubmedBERT", 2): 0.9822, ("PubmedBERT", 3): 0.9060,
+}
+
+
+def adaptation_for(embedding_name):
+    # The paper applies no token adaptation to contextual embeddings.
+    return "none" if embedding_name == "PubmedBERT" else "naive"
+
+
+def compute(lab):
+    results = {}
+    for task in (2, 3):
+        for embedding_name in MODEL_NAMES:
+            report, _ = lab.evaluate_random_forest(
+                task, embedding_name, adaptation_for(embedding_name)
+            )
+            results[(embedding_name, task)] = report
+    return results
+
+
+def test_table3b_random_forest_tasks23(lab, results_dir, benchmark):
+    results = run_once(benchmark, compute, lab)
+    table = Table(
+        "Table 3b — RF + naive adaptation on tasks 2 & 3 (paper F1 alongside)",
+        ["embedding", "task", "precision", "recall", "F1", "paper F1"],
+    )
+    for (embedding_name, task), report in results.items():
+        table.add_row(
+            embedding_name, task, report.precision, report.recall,
+            report.f1, PAPER_F1[(embedding_name, task)],
+        )
+    table.show()
+    table.save(os.path.join(results_dir, "table3b_rf_tasks23.txt"))
+
+    mean_f1 = {
+        task: sum(r.f1 for (e, t), r in results.items() if t == task) / 6
+        for task in (2, 3)
+    }
+    # Task-difficulty ordering: task 2 easier than task 3 for ML models.
+    assert mean_f1[2] > mean_f1[3]

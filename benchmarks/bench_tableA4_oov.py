@@ -1,0 +1,66 @@
+"""Table A4 — embedding vocabulary sizes and out-of-vocabulary rates.
+
+Paper (47,701 unique ChEBI triple tokens):
+
+    model        vocab      dims  OOV %
+    GloVe        2,196,017  300   87.81
+    W2V-Chem     151,563    300   71.18
+    GloVe-Chem   2,276,964  300   64.22
+    BioWordVec   2,347,646  200   47.79
+    PubmedBERT   28,895     768   (WordPiece; no OOV)
+
+Shape target: the generic model (GloVe) has the highest OOV rate on ChEBI
+tokens, the domain/joined models progressively lower ones.
+"""
+
+import os
+
+from conftest import run_once
+
+from repro.core.reporting import Table
+from repro.core.tasks import positive_triples
+from repro.text.tokenizer import ChemTokenizer
+
+PAPER = {
+    "GloVe": (2_196_017, 300, 87.81),
+    "W2V-Chem": (151_563, 300, 71.18),
+    "GloVe-Chem": (2_276_964, 300, 64.22),
+    "BioWordVec": (2_347_646, 200, 47.79),
+}
+
+
+def compute(lab):
+    tokenizer = ChemTokenizer()
+    tokens = set()
+    for triple in positive_triples(lab.ontology):
+        tokens.update(tokenizer(triple.subject_name))
+        tokens.update(tokenizer(triple.object_name))
+        tokens.update(tokenizer(triple.relation.label))
+    rows = {}
+    for name in PAPER:
+        model = lab.embedding(name)
+        n_oov, n_unique, fraction = model.vocabulary.oov_statistics(tokens)
+        rows[name] = (len(model.vocabulary), model.dim, 100.0 * fraction)
+    rows["_n_tokens"] = (len(tokens), 0, 0.0)
+    return rows
+
+
+def test_tableA4_oov_statistics(lab, results_dir, benchmark):
+    rows = run_once(benchmark, compute, lab)
+    n_tokens = rows.pop("_n_tokens")[0]
+    table = Table(
+        f"Table A4 — vocab/dims/OOV over {n_tokens} unique triple tokens "
+        "(paper: 47,701 tokens)",
+        ["model", "vocab", "dims", "OOV %", "paper vocab", "paper OOV %"],
+        precision=1,
+    )
+    for name, (vocab_size, dims, oov) in rows.items():
+        paper_vocab, _, paper_oov = PAPER[name]
+        table.add_row(name, vocab_size, dims, oov, paper_vocab, paper_oov)
+    table.show()
+    table.save(os.path.join(results_dir, "tableA4_oov.txt"))
+
+    # OOV ordering: generic worst, chem/joined models better (paper shape).
+    assert rows["GloVe"][2] > rows["W2V-Chem"][2]
+    assert rows["GloVe"][2] > rows["GloVe-Chem"][2]
+    assert rows["GloVe-Chem"][2] <= rows["W2V-Chem"][2] + 5.0

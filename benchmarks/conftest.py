@@ -1,0 +1,64 @@
+"""Shared benchmark fixtures.
+
+One bench-scale Lab is built per session and shared by every table/figure
+benchmark; expensive artefacts (embeddings, BERT, trained forests) are
+cached inside it.  Rendered tables are written to ``benchmarks/results/``.
+
+Scale: the paper's datasets hold ~620k triples and its forests train for
+hours; this harness runs the identical pipelines on a ~2,000-entity
+synthetic ontology with capped splits, so absolute scores are lower.  Every
+benchmark prints the paper's reported value next to the measured one — the
+reproduction target is the *shape* (orderings, gaps, crossovers).
+"""
+
+import os
+
+import pytest
+
+from repro.core import Lab, LabConfig
+
+RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
+
+BENCH_LAB_CONFIG = LabConfig(
+    n_chemical_entities=2_000,
+    ontology_seed=7,
+    corpus_documents=250,
+    corpus_sentences=25,
+    statement_coverage=0.55,
+    embedding_dim=64,
+    embedding_epochs=3,
+    glove_epochs=10,
+    wordpiece_vocab=900,
+    bert_d_model=64,
+    bert_layers=4,
+    bert_heads=4,
+    bert_d_ff=128,
+    pretrain_epochs=3,
+    pretrain_sentences=2_500,
+    dataset_seed=42,
+    max_train=3_000,
+    max_test=800,
+    rf_estimators=30,
+    rf_max_depth=16,
+    lstm_hidden=32,
+    lstm_epochs=5,
+    ft_epochs=6,
+    ft_learning_rate=1e-3,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="session")
+def lab():
+    return Lab(BENCH_LAB_CONFIG)
+
+
+@pytest.fixture(scope="session")
+def results_dir():
+    os.makedirs(RESULTS_DIR, exist_ok=True)
+    return RESULTS_DIR
+
+
+def run_once(benchmark, fn, *args, **kwargs):
+    """Run ``fn`` exactly once under pytest-benchmark timing."""
+    return benchmark.pedantic(fn, args=args, kwargs=kwargs, iterations=1, rounds=1)

@@ -1,0 +1,84 @@
+#!/usr/bin/env python
+"""Prompt engineering — how formulation changes LLM curation behaviour.
+
+Reproduces the paper's Table 5 analysis on one task: the same simulated
+models answer the same 100 queries under the three prompt formulations
+(base, 'I don't know' permitted, shuffled example order), and the example
+shows how each formulation trades accuracy, precision, abstention rate and
+consistency (Fleiss' kappa).
+
+    python examples/prompt_engineering.py
+"""
+
+from repro.core import Lab, LabConfig
+from repro.core.datasets import train_test_split_9_1
+from repro.core.reporting import Table
+from repro.llm.icl import ICLConfig, build_icl_queries, run_icl_experiment
+from repro.llm.prompts import PromptVariant, render_prompt
+from repro.llm.simulated import (
+    BIOGPT_PROFILE,
+    GPT35_PROFILE,
+    GPT4_PROFILE,
+    SimulatedChatModel,
+    truth_table,
+)
+
+TASK = 1
+
+VARIANT_NOTES = {
+    PromptVariant.BASE: "Table 1 template, positives first",
+    PromptVariant.ABSTAIN: "+ \"state 'I don't know'\"",
+    PromptVariant.SHUFFLED: "examples in random order",
+}
+
+
+def main():
+    lab = Lab(LabConfig(n_chemical_entities=800, corpus_documents=80,
+                        pretrain_sentences=100, pretrain_epochs=1,
+                        wordpiece_vocab=300))
+    dataset = lab.dataset(TASK)
+    split = train_test_split_9_1(dataset, seed=0)
+    config = ICLConfig(seed=0)
+    queries = build_icl_queries(dataset, config)
+    truth = truth_table(dataset)
+
+    # Show one concrete prompt so the template is visible.
+    example_prompt = render_prompt(
+        [t for t in split.train if t.label == 1][:3],
+        [t for t in split.train if t.label == 0][:3],
+        queries[0],
+        PromptVariant.ABSTAIN,
+    )
+    print("example prompt (variant #2):\n")
+    print(example_prompt)
+    print("\n" + "=" * 72 + "\n")
+
+    table = Table(
+        f"Prompt formulations on task {TASK} (100 queries x 5 deliveries)",
+        ["model", "variant", "accuracy", "abstained", "precision", "F1",
+         "kappa"],
+        precision=3,
+    )
+    for profile in (GPT4_PROFILE, GPT35_PROFILE, BIOGPT_PROFILE):
+        for variant in PromptVariant:
+            client = SimulatedChatModel(profile, truth, TASK, seed=0)
+            result = run_icl_experiment(
+                client, list(split.train), queries, variant, config
+            )
+            table.add_row(
+                profile.name, f"#{variant.value} ({VARIANT_NOTES[variant]})",
+                result.accuracy_mean, result.n_unclassified,
+                result.precision_mean, result.f1_mean, result.kappa,
+            )
+    table.show()
+
+    print(
+        "Takeaways (mirroring the paper): permitting 'I don't know' raises\n"
+        "precision on the classified subset but lowers overall accuracy;\n"
+        "shuffling the example order largely cures BioGPT's copy-the-last-\n"
+        "block bias; the GPT models are highly consistent, BioGPT is not."
+    )
+
+
+if __name__ == "__main__":
+    main()

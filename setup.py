@@ -1,0 +1,10 @@
+"""Legacy setuptools shim.
+
+All metadata lives in pyproject.toml; this file exists so
+``python setup.py develop`` / legacy editable installs work on
+environments without the ``wheel`` package.
+"""
+
+from setuptools import setup
+
+setup()

@@ -1,0 +1,33 @@
+"""repro — reproduction of the ChEBI knowledge-curation benchmark.
+
+Benchmarks and analyses of three NLP paradigms for biomedical knowledge
+curation (in-context learning, fine-tuning, supervised learning) on
+ChEBI-style triple-classification tasks, rebuilt from scratch:
+
+* :mod:`repro.ontology` — ChEBI substrate (model, synthesis, OBO I/O);
+* :mod:`repro.text` — tokenisation, vocabularies, synthetic corpora;
+* :mod:`repro.embeddings` — word2vec, GloVe, fastText, random, contextual;
+* :mod:`repro.nn` / :mod:`repro.bert` — numpy transformer + mini-BERT;
+* :mod:`repro.ml` — Random Forest, LSTM, feature pipeline, grid search;
+* :mod:`repro.llm` — prompting, simulated GPT models, ICL protocol;
+* :mod:`repro.adaptation` — the paper's token-selection adaptations;
+* :mod:`repro.metrics` — classification, ROC-AUC, Fleiss' kappa;
+* :mod:`repro.core` — tasks, datasets, scenarios, paradigms, the Lab;
+* :mod:`repro.kg` — TransE, the structure-only comparator;
+* :mod:`repro.analysis` — calibration, error breakdowns, model agreement;
+* :mod:`repro.curation` — the accept/reject/review triage assistant;
+* :mod:`repro.cli` — the ``python -m repro`` command line.
+
+Quickstart::
+
+    from repro.core import Lab, LabConfig
+    lab = Lab(LabConfig(n_chemical_entities=800, max_train=1500))
+    report, forest = lab.evaluate_random_forest(1, "W2V-Chem", "naive")
+    print(report.as_row())
+"""
+
+__version__ = "1.0.0"
+
+from repro.core import Lab, LabConfig
+
+__all__ = ["Lab", "LabConfig", "__version__"]

@@ -1,0 +1,36 @@
+"""Hypothesis-driven embedding adaptations (paper Section 2.7).
+
+The paper observed that random embeddings beat semantic embeddings for
+Random Forests on task 1, traced the effect to high-frequency short locant
+tokens in head entities, and proposed two token-selection mitigations:
+
+* **naive adaptation** — drop tokens shorter than three characters;
+* **task-oriented adaptation** — Algorithm 2: cluster the top-25% most
+  frequent tokens by their embeddings (DBSCAN), then keep a cluster's tokens
+  as *stop words* when removing them significantly changes entity-centroid
+  pairwise-distance variance (two-sample t-test over repeated entity samples).
+"""
+
+from repro.adaptation.analysis import (
+    component_attention,
+    token_frequency_census,
+)
+from repro.adaptation.dbscan import dbscan
+from repro.adaptation.naive import naive_token_filter
+from repro.adaptation.task_oriented import (
+    TaskOrientedConfig,
+    select_stop_tokens,
+    stopword_filter,
+    task_oriented_filter,
+)
+
+__all__ = [
+    "naive_token_filter",
+    "dbscan",
+    "TaskOrientedConfig",
+    "select_stop_tokens",
+    "stopword_filter",
+    "task_oriented_filter",
+    "token_frequency_census",
+    "component_attention",
+]

@@ -1,0 +1,87 @@
+"""Token and feature-importance analyses behind the adaptation hypothesis.
+
+Reproduces the paper's Table A5 (top-50 head/tail tokens) and the Figure A1
+observation that, without adaptation, forests on semantic embeddings put
+little importance on head (subject) entities while random-embedding forests
+attend to them.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.triples import LabeledTriple
+from repro.ml.forest import RandomForest
+from repro.text.tokenizer import ChemTokenizer
+
+COMPONENT_NAMES = ("subject", "relation", "object")
+
+
+def token_frequency_census(
+    positives: Sequence[LabeledTriple],
+    top_k: int = 50,
+    tokenizer: Optional[ChemTokenizer] = None,
+) -> Dict[str, List[Tuple[str, int]]]:
+    """Top-``top_k`` tokens in head and tail entities of positive triples.
+
+    Returns ``{"head": [(token, count), ...], "tail": [...]}`` — the paper's
+    Table A5.
+    """
+    if top_k < 1:
+        raise ValueError("top_k must be positive")
+    tokenizer = tokenizer or ChemTokenizer()
+    head: Counter = Counter()
+    tail: Counter = Counter()
+    for triple in positives:
+        if triple.label != 1:
+            continue
+        head.update(tokenizer(triple.subject_name))
+        tail.update(tokenizer(triple.object_name))
+    if not head and not tail:
+        raise ValueError("no positive triples provided")
+    return {
+        "head": head.most_common(top_k),
+        "tail": tail.most_common(top_k),
+    }
+
+
+def component_attention(forest: RandomForest, dim: int) -> Dict[str, float]:
+    """Share of Random-Forest importance per triple component.
+
+    ``dim`` is the embedding dimensionality (features are the concatenation
+    of three ``dim``-wide component blocks).  Returns a dict over
+    ``subject`` / ``relation`` / ``object`` summing to 1 (when the forest
+    found any splits).
+    """
+    blocks = forest.component_importances(dim)
+    total = blocks.sum()
+    if total > 0:
+        blocks = blocks / total
+    return dict(zip(COMPONENT_NAMES, (float(b) for b in blocks)))
+
+
+def short_token_share(
+    census: Dict[str, List[Tuple[str, int]]], max_length: int = 2
+) -> Dict[str, float]:
+    """Fraction of the top-token *mass* with length <= ``max_length``.
+
+    Quantifies the Table A5 pathology: head entities are dominated by short
+    locant tokens, tail entities much less so.
+    """
+    shares = {}
+    for side, tokens in census.items():
+        total = sum(count for _, count in tokens)
+        short = sum(count for token, count in tokens if len(token) <= max_length)
+        shares[side] = short / total if total else 0.0
+    return shares
+
+
+__all__ = [
+    "token_frequency_census",
+    "component_attention",
+    "short_token_share",
+    "COMPONENT_NAMES",
+]

@@ -1,0 +1,91 @@
+"""DBSCAN density clustering from scratch (Ester et al.; Schubert et al. 2017).
+
+Used by the task-oriented adaptation (Algorithm 2) to group the embeddings of
+high-frequency tokens into clusters of near-identical semantics.
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Optional, Tuple
+
+import numpy as np
+
+NOISE = -1
+
+
+def pairwise_distances(points: np.ndarray) -> np.ndarray:
+    """Dense Euclidean distance matrix, shape ``(n, n)``."""
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2:
+        raise ValueError("points must be a 2-D array")
+    sq = np.sum(points**2, axis=1)
+    d2 = sq[:, None] + sq[None, :] - 2.0 * (points @ points.T)
+    np.maximum(d2, 0.0, out=d2)
+    np.fill_diagonal(d2, 0.0)  # remove floating-point residue: d(x, x) = 0
+    return np.sqrt(d2)
+
+
+def estimate_eps(points: np.ndarray, k: int = 4, quantile: float = 0.5) -> float:
+    """Heuristic eps: a quantile of k-th nearest-neighbour distances.
+
+    The classic elbow heuristic, automated: take the distance to the ``k``-th
+    neighbour for every point and return the requested quantile.
+    """
+    if not 0.0 < quantile <= 1.0:
+        raise ValueError("quantile must be in (0, 1]")
+    distances = pairwise_distances(points)
+    n = distances.shape[0]
+    if n <= k:
+        raise ValueError(f"need more than k={k} points, got {n}")
+    kth = np.sort(distances, axis=1)[:, k]
+    eps = float(np.quantile(kth, quantile))
+    if eps <= 0.0:
+        # Degenerate case: many identical points; any positive eps groups them.
+        eps = float(np.max(distances)) * 1e-6 + 1e-12
+    return eps
+
+
+def dbscan(
+    points: np.ndarray,
+    eps: Optional[float] = None,
+    min_samples: int = 4,
+) -> np.ndarray:
+    """Cluster ``points``; returns integer labels with ``-1`` for noise.
+
+    ``eps=None`` uses :func:`estimate_eps`.  Labels are assigned in
+    discovery order, so output is deterministic for a given input order.
+    """
+    points = np.asarray(points, dtype=np.float64)
+    if points.ndim != 2 or points.shape[0] == 0:
+        raise ValueError("points must be a non-empty 2-D array")
+    if min_samples < 1:
+        raise ValueError("min_samples must be positive")
+    n = points.shape[0]
+    if eps is None:
+        eps = estimate_eps(points, k=min(min_samples, n - 1))
+    if eps <= 0:
+        raise ValueError("eps must be positive")
+
+    distances = pairwise_distances(points)
+    neighbours = [np.flatnonzero(distances[i] <= eps) for i in range(n)]
+    core = np.array([len(nbrs) >= min_samples for nbrs in neighbours])
+
+    labels = np.full(n, NOISE, dtype=np.int64)
+    cluster = 0
+    for start in range(n):
+        if labels[start] != NOISE or not core[start]:
+            continue
+        labels[start] = cluster
+        frontier = deque(neighbours[start])
+        while frontier:
+            point = int(frontier.popleft())
+            if labels[point] == NOISE:
+                labels[point] = cluster
+                if core[point]:
+                    frontier.extend(neighbours[point])
+        cluster += 1
+    return labels
+
+
+__all__ = ["dbscan", "estimate_eps", "pairwise_distances", "NOISE"]

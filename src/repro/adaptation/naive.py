@@ -1,0 +1,36 @@
+"""Naive adaptation: length-based token filtering (paper Section 2.7).
+
+"Which removes tokens on the basis of their length.  We only included tokens
+of 3 or more characters in generation of entity representations.  Where all
+tokens in the entity name were shorter than 3 letters, we included all
+tokens."
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List
+
+
+def naive_token_filter(min_length: int = 3) -> Callable[[List[str]], List[str]]:
+    """Return a token filter keeping tokens with ``len >= min_length``.
+
+    When no token qualifies, the original list is returned unchanged (the
+    paper's all-short-tokens escape hatch).
+
+    >>> flt = naive_token_filter()
+    >>> flt(["3", "hydroxybutanoic", "acid"])
+    ['hydroxybutanoic', 'acid']
+    >>> flt(["2", "d"])
+    ['2', 'd']
+    """
+    if min_length < 1:
+        raise ValueError("min_length must be positive")
+
+    def token_filter(tokens: List[str]) -> List[str]:
+        kept = [token for token in tokens if len(token) >= min_length]
+        return kept if kept else list(tokens)
+
+    return token_filter
+
+
+__all__ = ["naive_token_filter"]

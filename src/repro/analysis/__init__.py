@@ -1,0 +1,18 @@
+"""Post-hoc analysis tools: calibration, per-relation error breakdowns,
+and cross-model agreement."""
+
+from repro.analysis.calibration import (
+    CalibrationReport,
+    expected_calibration_error,
+    reliability_curve,
+)
+from repro.analysis.errors import error_breakdown_by_relation
+from repro.analysis.agreement_matrix import pairwise_agreement
+
+__all__ = [
+    "reliability_curve",
+    "expected_calibration_error",
+    "CalibrationReport",
+    "error_breakdown_by_relation",
+    "pairwise_agreement",
+]

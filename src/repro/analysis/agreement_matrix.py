@@ -1,0 +1,65 @@
+"""Cross-model agreement analysis.
+
+The paper reports within-model consistency (Fleiss' kappa over repeated
+deliveries).  A natural companion question for a curation pipeline running
+several models is *between*-model agreement: if GPT-4 and the Random Forest
+disagree on a candidate, it probably deserves human review.  This module
+computes pairwise Cohen's kappa over the models' decisions.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Mapping, Optional, Sequence, Tuple
+
+import numpy as np
+
+
+def cohens_kappa(a: Sequence[object], b: Sequence[object]) -> float:
+    """Cohen's kappa between two raters' categorical decisions.
+
+    ``None`` decisions (unclassified) are treated as their own category.
+    Returns 1.0 when both raters always agree (even on a single category).
+    """
+    if len(a) != len(b):
+        raise ValueError("decision sequences must have equal length")
+    if not a:
+        raise ValueError("empty decision sequences")
+    categories = sorted({*a, *b}, key=repr)
+    index = {c: i for i, c in enumerate(categories)}
+    matrix = np.zeros((len(categories), len(categories)))
+    for left, right in zip(a, b):
+        matrix[index[left], index[right]] += 1
+    total = matrix.sum()
+    observed = np.trace(matrix) / total
+    expected = float(
+        np.sum(matrix.sum(axis=1) * matrix.sum(axis=0)) / total**2
+    )
+    if np.isclose(expected, 1.0):
+        return 1.0
+    return float((observed - expected) / (1.0 - expected))
+
+
+def pairwise_agreement(
+    decisions: Mapping[str, Sequence[Optional[int]]],
+) -> Dict[Tuple[str, str], float]:
+    """Cohen's kappa for every unordered model pair.
+
+    ``decisions`` maps model name to its per-triple decisions (aligned
+    across models; ``None`` allowed for unclassified).
+    """
+    names = sorted(decisions)
+    if len(names) < 2:
+        raise ValueError("need at least two models to compare")
+    lengths = {len(decisions[name]) for name in names}
+    if len(lengths) != 1:
+        raise ValueError("all decision sequences must have equal length")
+    result: Dict[Tuple[str, str], float] = {}
+    for i, left in enumerate(names):
+        for right in names[i + 1 :]:
+            result[(left, right)] = cohens_kappa(
+                decisions[left], decisions[right]
+            )
+    return result
+
+
+__all__ = ["cohens_kappa", "pairwise_agreement"]

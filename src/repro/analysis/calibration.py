@@ -1,0 +1,105 @@
+"""Probability calibration analysis.
+
+The curation triage loop (:mod:`repro.curation`) trusts model confidence to
+decide which candidates skip human review, so calibration — whether a
+"p = 0.8" bucket really contains ~80% true triples — matters as much as
+accuracy.  Standard tools: the reliability curve (mean predicted
+probability vs empirical positive rate per bin) and the expected
+calibration error (ECE), the bin-weighted mean absolute gap.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+
+def _validate(probabilities, labels) -> Tuple[np.ndarray, np.ndarray]:
+    probs = np.asarray(probabilities, dtype=np.float64)
+    gold = np.asarray(labels, dtype=np.int64)
+    if probs.shape != gold.shape or probs.ndim != 1:
+        raise ValueError("probabilities and labels must be equal-length 1-D")
+    if probs.size == 0:
+        raise ValueError("empty input")
+    if np.any((probs < 0) | (probs > 1)):
+        raise ValueError("probabilities must lie in [0, 1]")
+    bad = set(np.unique(gold)) - {0, 1}
+    if bad:
+        raise ValueError(f"labels must be binary, found {sorted(bad)}")
+    return probs, gold
+
+
+def reliability_curve(
+    probabilities: Sequence[float],
+    labels: Sequence[int],
+    n_bins: int = 10,
+) -> List[Tuple[float, float, int]]:
+    """Per-bin ``(mean_predicted, fraction_positive, count)``.
+
+    Bins partition [0, 1] uniformly; empty bins are omitted.
+    """
+    if n_bins < 2:
+        raise ValueError("n_bins must be at least 2")
+    probs, gold = _validate(probabilities, labels)
+    edges = np.linspace(0.0, 1.0, n_bins + 1)
+    bins = np.clip(np.digitize(probs, edges[1:-1]), 0, n_bins - 1)
+    curve = []
+    for index in range(n_bins):
+        mask = bins == index
+        if not mask.any():
+            continue
+        curve.append(
+            (
+                float(probs[mask].mean()),
+                float(gold[mask].mean()),
+                int(mask.sum()),
+            )
+        )
+    return curve
+
+
+def expected_calibration_error(
+    probabilities: Sequence[float],
+    labels: Sequence[int],
+    n_bins: int = 10,
+) -> float:
+    """Bin-count-weighted mean |confidence - accuracy| (ECE)."""
+    probs, _ = _validate(probabilities, labels)
+    curve = reliability_curve(probabilities, labels, n_bins)
+    total = probs.size
+    return float(
+        sum(count * abs(mean_p - frac_pos) for mean_p, frac_pos, count in curve)
+        / total
+    )
+
+
+@dataclass(frozen=True)
+class CalibrationReport:
+    """Reliability curve + ECE for one model on one test set."""
+
+    curve: List[Tuple[float, float, int]]
+    ece: float
+    n_samples: int
+
+    @classmethod
+    def from_predictions(
+        cls,
+        probabilities: Sequence[float],
+        labels: Sequence[int],
+        n_bins: int = 10,
+    ) -> "CalibrationReport":
+        probs, _ = _validate(probabilities, labels)
+        return cls(
+            curve=reliability_curve(probabilities, labels, n_bins),
+            ece=expected_calibration_error(probabilities, labels, n_bins),
+            n_samples=int(probs.size),
+        )
+
+
+__all__ = [
+    "reliability_curve",
+    "expected_calibration_error",
+    "CalibrationReport",
+]

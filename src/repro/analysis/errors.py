@@ -1,0 +1,62 @@
+"""Per-relationship error breakdowns (the tabular view behind Figure 2)."""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence
+
+from repro.core.triples import LabeledTriple
+from repro.metrics.classification import evaluate_binary
+
+
+def error_breakdown_by_relation(
+    triples: Sequence[LabeledTriple],
+    predictions: Sequence[Optional[int]],
+    min_support: int = 1,
+) -> Dict[str, dict]:
+    """Metrics per relationship type.
+
+    ``predictions`` aligns with ``triples``; ``None`` entries (unclassified
+    ICL responses) count as errors for accuracy and are excluded from the
+    P/R/F1 of their relation.  Relations with fewer than ``min_support``
+    triples are omitted.
+
+    Returns ``{relation: {"support", "accuracy", "precision", "recall",
+    "f1", "unclassified"}}``.
+    """
+    if len(triples) != len(predictions):
+        raise ValueError("triples and predictions must have equal length")
+    if not triples:
+        raise ValueError("no triples to analyse")
+
+    groups: Dict[str, List[int]] = {}
+    for index, triple in enumerate(triples):
+        groups.setdefault(triple.relation.name, []).append(index)
+
+    breakdown: Dict[str, dict] = {}
+    for relation, indices in sorted(groups.items()):
+        if len(indices) < min_support:
+            continue
+        gold = [triples[i].label for i in indices]
+        predicted = [predictions[i] for i in indices]
+        n_correct = sum(1 for g, p in zip(gold, predicted) if g == p)
+        classified_gold = [g for g, p in zip(gold, predicted) if p is not None]
+        classified_pred = [p for p in predicted if p is not None]
+        entry = {
+            "support": len(indices),
+            "accuracy": n_correct / len(indices),
+            "unclassified": len(indices) - len(classified_pred),
+        }
+        if classified_pred and len(set(classified_gold)) >= 1:
+            report = evaluate_binary(classified_gold, classified_pred)
+            entry.update(
+                precision=report.precision,
+                recall=report.recall,
+                f1=report.f1,
+            )
+        else:
+            entry.update(precision=0.0, recall=0.0, f1=0.0)
+        breakdown[relation] = entry
+    return breakdown
+
+
+__all__ = ["error_breakdown_by_relation"]

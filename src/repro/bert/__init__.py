@@ -1,0 +1,24 @@
+"""Mini-BERT: the PubmedBERT stand-in for the fine-tuning paradigm.
+
+A from-scratch bidirectional transformer encoder with a WordPiece tokenizer,
+masked-language-model pretraining on the synthetic chemistry corpus, and a
+sequence-classification fine-tuning head — the full PubmedBERT workflow of
+paper Sections 2.3 and 2.5 at laptop scale.
+"""
+
+from repro.bert.wordpiece import WordPieceTokenizer, train_wordpiece
+from repro.bert.model import BertConfig, MiniBert
+from repro.bert.pretrain import PretrainConfig, pretrain_mlm
+from repro.bert.finetune import FineTuneConfig, FineTunedClassifier, fine_tune
+
+__all__ = [
+    "WordPieceTokenizer",
+    "train_wordpiece",
+    "BertConfig",
+    "MiniBert",
+    "PretrainConfig",
+    "pretrain_mlm",
+    "FineTuneConfig",
+    "FineTunedClassifier",
+    "fine_tune",
+]

@@ -1,0 +1,144 @@
+"""The mini-BERT model: encoder + MLM head + classification head.
+
+Mirrors the structure of BERT-style encoders: a bidirectional transformer
+over WordPiece ids with an MLM head for pretraining and a tanh pooler +
+softmax classifier for fine-tuning (paper Section 2.5: "a feed-forward
+neural network [...] passed through a softmax layer").
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.bert.wordpiece import WordPieceTokenizer
+from repro.nn.layers import Linear, Module
+from repro.nn.transformer import TransformerConfig, TransformerEncoder
+from repro.utils.rng import stable_hash
+
+
+@dataclass(frozen=True)
+class BertConfig:
+    """Mini-BERT shape.  ``n_layers=4`` lets the contextual-embedding model
+    sum the last four hidden layers as PubmedBERT embeddings do."""
+
+    d_model: int = 64
+    n_heads: int = 4
+    n_layers: int = 4
+    d_ff: int = 128
+    max_len: int = 64
+    dropout: float = 0.1
+    n_classes: int = 2
+    seed: int = 0
+
+    def transformer_config(self, vocab_size: int) -> TransformerConfig:
+        return TransformerConfig(
+            vocab_size=vocab_size,
+            d_model=self.d_model,
+            n_heads=self.n_heads,
+            n_layers=self.n_layers,
+            d_ff=self.d_ff,
+            max_len=self.max_len,
+            dropout=self.dropout,
+            seed=self.seed,
+        )
+
+
+class MiniBert(Module):
+    """Encoder with MLM and classification heads sharing one body."""
+
+    def __init__(self, tokenizer: WordPieceTokenizer, config: Optional[BertConfig] = None):
+        super().__init__()
+        self.config = config or BertConfig()
+        self.tokenizer = tokenizer
+        self.encoder = TransformerEncoder(
+            self.config.transformer_config(len(tokenizer))
+        )
+        seed = stable_hash(self.config.seed, "heads")
+        self.mlm_head = Linear(
+            self.config.d_model, len(tokenizer), seed=seed, name="mlm_head"
+        )
+        self.pooler = Linear(
+            self.config.d_model, self.config.d_model, seed=seed, name="pooler"
+        )
+        self.classifier = Linear(
+            self.config.d_model, self.config.n_classes, seed=seed, name="classifier"
+        )
+        self._cls_cache = None
+        self._hidden_shape: Optional[Tuple[int, ...]] = None
+
+    # -- batching ----------------------------------------------------------
+
+    def pad_batch(
+        self, sequences: Sequence[Sequence[int]]
+    ) -> Tuple[np.ndarray, np.ndarray]:
+        """Pad id sequences to a rectangle; returns ``(ids, mask)``."""
+        if not sequences:
+            raise ValueError("cannot pad an empty batch")
+        max_len = min(self.config.max_len, max(len(s) for s in sequences))
+        ids = np.full((len(sequences), max_len), self.tokenizer.pad_id, dtype=np.int64)
+        mask = np.zeros((len(sequences), max_len), dtype=np.float64)
+        for row, sequence in enumerate(sequences):
+            clipped = list(sequence)[:max_len]
+            ids[row, : len(clipped)] = clipped
+            mask[row, : len(clipped)] = 1.0
+        return ids, mask
+
+    # -- MLM path ------------------------------------------------------------
+
+    def forward_mlm(self, ids: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Vocabulary logits for every position: ``(batch, seq, vocab)``."""
+        final, _ = self.encoder.forward(ids, mask)
+        self._hidden_shape = final.shape
+        return self.mlm_head.forward(final)
+
+    def backward_mlm(self, grad_logits: np.ndarray) -> None:
+        grad_hidden = self.mlm_head.backward(grad_logits)
+        self.encoder.backward(grad_hidden)
+
+    # -- classification path ---------------------------------------------------
+
+    def forward_classify(self, ids: np.ndarray, mask: np.ndarray) -> np.ndarray:
+        """Class logits from the pooled ``[CLS]`` representation."""
+        final, _ = self.encoder.forward(ids, mask)
+        self._hidden_shape = final.shape
+        pooled_pre = self.pooler.forward(final[:, 0, :])
+        pooled = np.tanh(pooled_pre)
+        self._cls_cache = pooled
+        return self.classifier.forward(pooled)
+
+    def backward_classify(self, grad_logits: np.ndarray) -> None:
+        if self._cls_cache is None or self._hidden_shape is None:
+            raise RuntimeError("backward_classify called before forward_classify")
+        grad_pooled = self.classifier.backward(grad_logits)
+        grad_pre = grad_pooled * (1.0 - self._cls_cache**2)  # tanh'
+        grad_cls = self.pooler.backward(grad_pre)
+        grad_hidden = np.zeros(self._hidden_shape)
+        grad_hidden[:, 0, :] = grad_cls
+        self.encoder.backward(grad_hidden)
+
+    # -- feature extraction ------------------------------------------------------
+
+    def hidden_layers(self, ids: np.ndarray, mask: np.ndarray) -> List[np.ndarray]:
+        """All per-block hidden states (used for last-4-layer embeddings)."""
+        _, layers = self.encoder.forward(ids, mask)
+        return layers
+
+    def cls_embedding(self, words: Sequence[str], n_last_layers: int = 4) -> np.ndarray:
+        """Sum of the ``[CLS]`` vectors over the last ``n_last_layers`` blocks.
+
+        This is the paper's PubmedBERT entity representation (Section 2.3).
+        """
+        ids = self.tokenizer.encode(words, max_len=self.config.max_len)
+        batch_ids, batch_mask = self.pad_batch([ids])
+        was_training = self.training
+        self.set_training(False)
+        layers = self.hidden_layers(batch_ids, batch_mask)
+        self.set_training(was_training)
+        take = min(n_last_layers, len(layers))
+        return sum(layer[0, 0, :] for layer in layers[-take:])
+
+
+__all__ = ["BertConfig", "MiniBert"]

@@ -1,0 +1,126 @@
+"""Masked-language-model pretraining (BERT's self-supervision).
+
+PubmedBERT was pretrained from scratch on the PubMed corpus; here the
+mini-BERT is pretrained on the synthetic chemistry corpus with standard MLM
+dynamics: 15% of positions are selected, of which 80% become ``[MASK]``, 10%
+a random piece and 10% stay unchanged; the model predicts the original piece
+at the selected positions only.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence
+
+import numpy as np
+
+from repro.bert.model import BertConfig, MiniBert
+from repro.bert.wordpiece import WordPieceTokenizer
+from repro.nn.losses import softmax_cross_entropy
+from repro.nn.optim import Adam, clip_gradients
+from repro.utils.rng import SeedLike, derive_rng
+
+_IGNORE = -100  # label value for positions that carry no MLM loss
+
+
+@dataclass(frozen=True)
+class PretrainConfig:
+    """MLM pretraining hyperparameters."""
+
+    epochs: int = 3
+    batch_size: int = 32
+    learning_rate: float = 1e-3
+    mask_probability: float = 0.15
+    max_grad_norm: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ValueError("epochs and batch_size must be positive")
+        if not 0.0 < self.mask_probability < 1.0:
+            raise ValueError("mask_probability must be in (0, 1)")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+
+
+def _apply_masking(
+    ids: np.ndarray,
+    mask: np.ndarray,
+    tokenizer: WordPieceTokenizer,
+    mask_probability: float,
+    rng: np.random.Generator,
+):
+    """BERT's 80/10/10 masking.  Returns ``(masked_ids, labels)``."""
+    labels = np.full(ids.shape, _IGNORE, dtype=np.int64)
+    masked = ids.copy()
+    special = set(tokenizer.special_ids())
+    maskable = (mask > 0) & ~np.isin(ids, list(special))
+    selected = maskable & (rng.random(ids.shape) < mask_probability)
+    labels[selected] = ids[selected]
+
+    action = rng.random(ids.shape)
+    to_mask = selected & (action < 0.8)
+    to_random = selected & (action >= 0.8) & (action < 0.9)
+    masked[to_mask] = tokenizer.mask_id
+    n_random = int(to_random.sum())
+    if n_random:
+        masked[to_random] = rng.integers(
+            len(tokenizer.special_ids()), len(tokenizer), size=n_random
+        )
+    return masked, labels
+
+
+def pretrain_mlm(
+    sentences: Sequence[Sequence[str]],
+    tokenizer: WordPieceTokenizer,
+    bert_config: Optional[BertConfig] = None,
+    config: Optional[PretrainConfig] = None,
+) -> MiniBert:
+    """Pretrain a :class:`MiniBert` on tokenised sentences with MLM.
+
+    Returns the pretrained model (in eval mode).  The per-epoch mean loss is
+    recorded on the returned model as ``model.pretrain_losses`` so callers
+    and tests can verify the loss decreased.
+    """
+    config = config or PretrainConfig()
+    model = MiniBert(tokenizer, bert_config)
+    rng = derive_rng(config.seed, "mlm-pretrain")
+    optimizer = Adam(model.parameters(), lr=config.learning_rate)
+
+    encoded = [
+        tokenizer.encode(sentence, max_len=model.config.max_len)
+        for sentence in sentences
+        if sentence
+    ]
+    encoded = [ids for ids in encoded if len(ids) > 2]
+    if not encoded:
+        raise ValueError("no usable sentences for pretraining")
+
+    losses: List[float] = []
+    model.set_training(True)
+    for _ in range(config.epochs):
+        order = rng.permutation(len(encoded))
+        epoch_losses: List[float] = []
+        for start in range(0, len(encoded), config.batch_size):
+            batch = [encoded[int(i)] for i in order[start : start + config.batch_size]]
+            ids, mask = model.pad_batch(batch)
+            masked_ids, labels = _apply_masking(
+                ids, mask, tokenizer, config.mask_probability, rng
+            )
+            logits = model.forward_mlm(masked_ids, mask)
+            loss, grad = softmax_cross_entropy(logits, labels, ignore_index=_IGNORE)
+            if loss == 0.0:
+                continue  # no position was selected in this batch
+            model.zero_grad()
+            model.backward_mlm(grad)
+            clip_gradients(model.parameters(), config.max_grad_norm)
+            optimizer.step()
+            epoch_losses.append(loss)
+        losses.append(float(np.mean(epoch_losses)) if epoch_losses else float("nan"))
+
+    model.set_training(False)
+    model.pretrain_losses = losses
+    return model
+
+
+__all__ = ["PretrainConfig", "pretrain_mlm"]

@@ -1,0 +1,214 @@
+"""WordPiece tokenisation: BPE-style vocabulary training + greedy encoding.
+
+PubmedBERT ships a 28,895-piece WordPiece vocabulary trained on PubMed
+(Table A4).  This module trains an equivalent (smaller) vocabulary on the
+synthetic corpus: pieces start as characters, the most frequent adjacent pair
+is merged repeatedly, and continuation pieces carry the ``##`` prefix.
+Encoding is greedy longest-match-first with ``[UNK]`` fallback, exactly as in
+the reference implementation.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+PAD_TOKEN = "[PAD]"
+UNK_TOKEN = "[UNK]"
+CLS_TOKEN = "[CLS]"
+SEP_TOKEN = "[SEP]"
+MASK_TOKEN = "[MASK]"
+
+SPECIAL_TOKENS: Tuple[str, ...] = (
+    PAD_TOKEN,
+    UNK_TOKEN,
+    CLS_TOKEN,
+    SEP_TOKEN,
+    MASK_TOKEN,
+)
+
+
+class WordPieceTokenizer:
+    """A trained WordPiece vocabulary with greedy sub-word encoding."""
+
+    def __init__(self, pieces: Sequence[str]):
+        for special in SPECIAL_TOKENS:
+            if special not in pieces:
+                raise ValueError(f"vocabulary missing special token {special}")
+        self._pieces: List[str] = list(pieces)
+        self._ids: Dict[str, int] = {p: i for i, p in enumerate(self._pieces)}
+        if len(self._ids) != len(self._pieces):
+            raise ValueError("vocabulary contains duplicate pieces")
+
+    # -- vocabulary access ---------------------------------------------------
+
+    def __len__(self) -> int:
+        return len(self._pieces)
+
+    def __contains__(self, piece: str) -> bool:
+        return piece in self._ids
+
+    def id_of(self, piece: str) -> int:
+        try:
+            return self._ids[piece]
+        except KeyError:
+            raise KeyError(f"piece {piece!r} not in WordPiece vocabulary") from None
+
+    def piece_of(self, piece_id: int) -> str:
+        return self._pieces[piece_id]
+
+    @property
+    def pad_id(self) -> int:
+        return self._ids[PAD_TOKEN]
+
+    @property
+    def unk_id(self) -> int:
+        return self._ids[UNK_TOKEN]
+
+    @property
+    def cls_id(self) -> int:
+        return self._ids[CLS_TOKEN]
+
+    @property
+    def sep_id(self) -> int:
+        return self._ids[SEP_TOKEN]
+
+    @property
+    def mask_id(self) -> int:
+        return self._ids[MASK_TOKEN]
+
+    def special_ids(self) -> List[int]:
+        return [self._ids[t] for t in SPECIAL_TOKENS]
+
+    # -- encoding --------------------------------------------------------------
+
+    def encode_word(self, word: str) -> List[int]:
+        """Greedy longest-match WordPiece encoding of one word."""
+        if not word:
+            return []
+        pieces: List[int] = []
+        start = 0
+        while start < len(word):
+            end = len(word)
+            found = None
+            while end > start:
+                candidate = word[start:end]
+                if start > 0:
+                    candidate = "##" + candidate
+                if candidate in self._ids:
+                    found = self._ids[candidate]
+                    break
+                end -= 1
+            if found is None:
+                return [self.unk_id]
+            pieces.append(found)
+            start = end
+        return pieces
+
+    def encode(self, words: Sequence[str], add_special: bool = True,
+               max_len: Optional[int] = None) -> List[int]:
+        """Encode a word sequence into piece ids, optionally adding
+        ``[CLS]`` / ``[SEP]`` and truncating to ``max_len``."""
+        ids: List[int] = []
+        for word in words:
+            ids.extend(self.encode_word(word))
+        if add_special:
+            ids = [self.cls_id] + ids + [self.sep_id]
+        if max_len is not None and len(ids) > max_len:
+            ids = ids[: max_len - 1] + [self.sep_id] if add_special else ids[:max_len]
+        return ids
+
+    def decode(self, ids: Sequence[int]) -> str:
+        """Inverse of :meth:`encode` (specials dropped, ``##`` joined)."""
+        words: List[str] = []
+        for piece_id in ids:
+            piece = self._pieces[piece_id]
+            if piece in SPECIAL_TOKENS:
+                continue
+            if piece.startswith("##") and words:
+                words[-1] += piece[2:]
+            else:
+                words.append(piece)
+        return " ".join(words)
+
+
+def _word_to_symbols(word: str) -> Tuple[str, ...]:
+    return tuple([word[0]] + ["##" + c for c in word[1:]])
+
+
+def train_wordpiece(
+    sentences: Iterable[Sequence[str]],
+    vocab_size: int = 1_000,
+    min_pair_frequency: int = 2,
+) -> WordPieceTokenizer:
+    """Train a WordPiece vocabulary by iterative pair merging.
+
+    ``vocab_size`` bounds the total vocabulary including the five special
+    tokens and the initial character pieces.
+    """
+    if vocab_size < len(SPECIAL_TOKENS) + 10:
+        raise ValueError("vocab_size too small to be useful")
+
+    word_freq: Counter = Counter()
+    for sentence in sentences:
+        word_freq.update(sentence)
+    if not word_freq:
+        raise ValueError("corpus is empty")
+
+    segmentations: Dict[str, Tuple[str, ...]] = {
+        word: _word_to_symbols(word) for word in word_freq
+    }
+    vocab = set(SPECIAL_TOKENS)
+    for symbols in segmentations.values():
+        vocab.update(symbols)
+
+    def merged_piece(a: str, b: str) -> str:
+        return a + (b[2:] if b.startswith("##") else b)
+
+    while len(vocab) < vocab_size:
+        pair_freq: Counter = Counter()
+        for word, symbols in segmentations.items():
+            freq = word_freq[word]
+            for a, b in zip(symbols, symbols[1:]):
+                pair_freq[(a, b)] += freq
+        if not pair_freq:
+            break
+        (best_a, best_b), best_count = max(
+            pair_freq.items(), key=lambda kv: (kv[1], kv[0])
+        )
+        if best_count < min_pair_frequency:
+            break
+        new_piece = merged_piece(best_a, best_b)
+        vocab.add(new_piece)
+        for word, symbols in segmentations.items():
+            if best_a not in symbols:
+                continue
+            merged: List[str] = []
+            index = 0
+            while index < len(symbols):
+                if (
+                    index + 1 < len(symbols)
+                    and symbols[index] == best_a
+                    and symbols[index + 1] == best_b
+                ):
+                    merged.append(new_piece)
+                    index += 2
+                else:
+                    merged.append(symbols[index])
+                    index += 1
+            segmentations[word] = tuple(merged)
+
+    ordered = list(SPECIAL_TOKENS) + sorted(vocab - set(SPECIAL_TOKENS))
+    return WordPieceTokenizer(ordered)
+
+
+__all__ = [
+    "WordPieceTokenizer",
+    "train_wordpiece",
+    "SPECIAL_TOKENS",
+    "PAD_TOKEN",
+    "UNK_TOKEN",
+    "CLS_TOKEN",
+    "SEP_TOKEN",
+    "MASK_TOKEN",
+]

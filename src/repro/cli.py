@@ -1,0 +1,227 @@
+"""Command-line interface: ``python -m repro <command>``.
+
+Commands:
+
+* ``synthesize`` — generate a ChEBI-like ontology and write it as OBO;
+* ``census`` — print the entity/relationship census of an OBO file;
+* ``dataset`` — build one curation-task dataset and print its statistics;
+* ``evaluate`` — train and score one paradigm on one task;
+* ``icl`` — run the Table 5 prompting protocol with a simulated model.
+
+Every command is deterministic given ``--seed``.
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from repro.core import Lab, LabConfig, build_task_dataset
+from repro.core.comparison import evaluate_paradigm
+from repro.core.datasets import train_test_split_9_1
+from repro.core.paradigms import (
+    FineTuneParadigm,
+    ICLParadigm,
+    LSTMParadigm,
+    RandomForestParadigm,
+)
+from repro.core.reporting import Table
+from repro.llm.icl import ICLConfig, build_icl_queries, run_icl_experiment
+from repro.llm.prompts import PromptVariant
+from repro.llm.simulated import (
+    BIOGPT_PROFILE,
+    GPT35_PROFILE,
+    GPT4_PROFILE,
+    LLAMA2_PROFILE,
+    SimulatedChatModel,
+    truth_table,
+)
+from repro.ontology import SynthesisConfig, census, synthesize_chebi_like
+from repro.ontology.obo import dump_obo, load_obo
+
+SIMULATED_MODELS = {
+    "gpt-4": GPT4_PROFILE,
+    "gpt-3.5-turbo": GPT35_PROFILE,
+    "biogpt": BIOGPT_PROFILE,
+    "llama-2": LLAMA2_PROFILE,
+}
+
+
+def _small_lab(args: argparse.Namespace) -> Lab:
+    return Lab(
+        LabConfig(
+            n_chemical_entities=args.entities,
+            ontology_seed=args.seed,
+            seed=args.seed,
+            max_train=args.max_train,
+            max_test=args.max_test,
+        )
+    )
+
+
+def cmd_synthesize(args: argparse.Namespace) -> int:
+    ontology = synthesize_chebi_like(
+        SynthesisConfig(n_chemical_entities=args.entities, seed=args.seed)
+    )
+    dump_obo(ontology, args.output)
+    print(
+        f"wrote {args.output}: {ontology.num_entities} entities, "
+        f"{ontology.num_statements} statements"
+    )
+    return 0
+
+
+def cmd_census(args: argparse.Namespace) -> int:
+    ontology = load_obo(args.obo)
+    result = census(ontology)
+    table = Table(f"Census of {args.obo}", ["relation", "triples", "share"],
+                  precision=3)
+    for name, share in result.relation_shares().items():
+        table.add_row(name, result.statements_by_relation[name], share)
+    table.show()
+    print(f"entities by sub-ontology: {result.entities_by_sub_ontology}")
+    return 0
+
+
+def cmd_dataset(args: argparse.Namespace) -> int:
+    if args.obo:
+        ontology = load_obo(args.obo)
+    else:
+        ontology = synthesize_chebi_like(
+            SynthesisConfig(n_chemical_entities=args.entities, seed=args.seed)
+        )
+    dataset = build_task_dataset(ontology, args.task, seed=args.seed)
+    n_pos, n_neg = dataset.counts()
+    split = train_test_split_9_1(dataset, seed=args.seed)
+    print(f"task {args.task}: {n_pos} positive / {n_neg} negative triples")
+    print(f"9:1 split: {len(split.train)} train / {len(split.test)} test")
+    for triple in list(dataset)[: args.show]:
+        print(f"  [{triple.label}] {triple.as_text()}")
+    return 0
+
+
+def _build_paradigm(args: argparse.Namespace, lab: Lab):
+    if args.paradigm == "rf":
+        return RandomForestParadigm(
+            lab.embedding(args.embedding),
+            token_filter=lab.adaptation_filter(args.adaptation, args.embedding),
+            config=lab.rf_config(),
+        )
+    if args.paradigm == "lstm":
+        return LSTMParadigm(
+            lab.embedding(args.embedding),
+            token_filter=lab.adaptation_filter(args.adaptation, args.embedding),
+            config=lab.lstm_config(),
+        )
+    if args.paradigm == "ft":
+        return FineTuneParadigm(lab.bert, lab.ft_config())
+    # icl
+    client = SimulatedChatModel(
+        SIMULATED_MODELS[args.model],
+        truth_table(lab.dataset(args.task)),
+        args.task,
+        seed=args.seed,
+    )
+    return ICLParadigm(client, seed=args.seed)
+
+
+def cmd_evaluate(args: argparse.Namespace) -> int:
+    lab = _small_lab(args)
+    split = lab.ml_split(args.task)
+    paradigm = _build_paradigm(args, lab)
+    print(f"fitting {paradigm.name} on {len(split.train)} triples ...")
+    paradigm.fit(list(split.train))
+    row = evaluate_paradigm(paradigm, list(split.test))
+    table = Table(
+        f"{paradigm.name} on task {args.task}",
+        ["accuracy", "precision", "recall", "F1", "unclassified"],
+    )
+    table.add_row(row.accuracy, row.precision, row.recall, row.f1,
+                  row.n_unclassified)
+    table.show()
+    return 0
+
+
+def cmd_icl(args: argparse.Namespace) -> int:
+    lab = _small_lab(args)
+    dataset = lab.dataset(args.task)
+    split = train_test_split_9_1(dataset, seed=args.seed)
+    config = ICLConfig(seed=args.seed)
+    queries = build_icl_queries(dataset, config)
+    client = SimulatedChatModel(
+        SIMULATED_MODELS[args.model], truth_table(dataset), args.task,
+        seed=args.seed,
+    )
+    variant = PromptVariant(args.variant)
+    result = run_icl_experiment(client, list(split.train), queries, variant, config)
+    table = Table(
+        f"ICL protocol: {args.model}, variant #{args.variant}, task {args.task}",
+        ["accuracy", "unclassified", "precision", "recall", "F1", "kappa"],
+    )
+    table.add_row(
+        result.accuracy_mean, result.n_unclassified, result.precision_mean,
+        result.recall_mean, result.f1_mean, result.kappa,
+    )
+    table.show()
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="ChEBI knowledge-curation benchmark reproduction",
+    )
+    parser.add_argument("--seed", type=int, default=0)
+    subparsers = parser.add_subparsers(dest="command", required=True)
+
+    synth = subparsers.add_parser("synthesize", help="generate a synthetic ontology")
+    synth.add_argument("output", help="OBO file to write")
+    synth.add_argument("--entities", type=int, default=1_000)
+    synth.set_defaults(func=cmd_synthesize)
+
+    cen = subparsers.add_parser("census", help="census of an OBO file")
+    cen.add_argument("obo", help="OBO file to read")
+    cen.set_defaults(func=cmd_census)
+
+    data = subparsers.add_parser("dataset", help="build a task dataset")
+    data.add_argument("--task", type=int, choices=(1, 2, 3), default=1)
+    data.add_argument("--obo", help="OBO file (default: synthesize)")
+    data.add_argument("--entities", type=int, default=1_000)
+    data.add_argument("--show", type=int, default=5,
+                      help="sample triples to print")
+    data.set_defaults(func=cmd_dataset)
+
+    ev = subparsers.add_parser("evaluate", help="train and score one paradigm")
+    ev.add_argument("--task", type=int, choices=(1, 2, 3), default=1)
+    ev.add_argument("--paradigm", choices=("rf", "lstm", "ft", "icl"),
+                    default="rf")
+    ev.add_argument("--embedding", default="W2V-Chem")
+    ev.add_argument("--adaptation", choices=("none", "naive", "task-oriented"),
+                    default="naive")
+    ev.add_argument("--model", choices=sorted(SIMULATED_MODELS), default="gpt-4")
+    ev.add_argument("--entities", type=int, default=800)
+    ev.add_argument("--max-train", type=int, default=1_500, dest="max_train")
+    ev.add_argument("--max-test", type=int, default=400, dest="max_test")
+    ev.set_defaults(func=cmd_evaluate)
+
+    icl = subparsers.add_parser("icl", help="run the Table 5 ICL protocol")
+    icl.add_argument("--task", type=int, choices=(1, 2, 3), default=1)
+    icl.add_argument("--model", choices=sorted(SIMULATED_MODELS), default="gpt-4")
+    icl.add_argument("--variant", type=int, choices=(1, 2, 3), default=1)
+    icl.add_argument("--entities", type=int, default=800)
+    icl.add_argument("--max-train", type=int, default=1_500, dest="max_train")
+    icl.add_argument("--max-test", type=int, default=400, dest="max_test")
+    icl.set_defaults(func=cmd_icl)
+
+    return parser
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":  # pragma: no cover
+    sys.exit(main())

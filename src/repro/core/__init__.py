@@ -1,0 +1,62 @@
+"""Core benchmark: the paper's three curation tasks, datasets, scenarios,
+paradigm interfaces, comparison runners and the Lab orchestration object."""
+
+from repro.core.comparison import ComparisonRow, evaluate_paradigm, head_to_head
+from repro.core.datasets import (
+    Dataset,
+    DatasetSplit,
+    build_task_dataset,
+    train_test_split_9_1,
+    train_val_test_split_8_1_1,
+)
+from repro.core.experiment import ADAPTATIONS, Lab, LabConfig, subsample
+from repro.core.paradigms import (
+    FineTuneParadigm,
+    ICLParadigm,
+    LSTMParadigm,
+    Paradigm,
+    RandomForestParadigm,
+)
+from repro.core.scenarios import SCENARIOS, Scenario, build_scenario_split
+from repro.core.tasks import (
+    TASKS,
+    Task,
+    generate_task1_negatives,
+    generate_task2_negatives,
+    generate_task3_negatives,
+    positive_triples,
+    task_by_number,
+)
+from repro.core.triples import LabeledTriple, triple_text
+
+__all__ = [
+    "LabeledTriple",
+    "triple_text",
+    "Task",
+    "TASKS",
+    "task_by_number",
+    "positive_triples",
+    "generate_task1_negatives",
+    "generate_task2_negatives",
+    "generate_task3_negatives",
+    "Dataset",
+    "DatasetSplit",
+    "build_task_dataset",
+    "train_test_split_9_1",
+    "train_val_test_split_8_1_1",
+    "Scenario",
+    "SCENARIOS",
+    "build_scenario_split",
+    "Paradigm",
+    "RandomForestParadigm",
+    "LSTMParadigm",
+    "FineTuneParadigm",
+    "ICLParadigm",
+    "ComparisonRow",
+    "evaluate_paradigm",
+    "head_to_head",
+    "Lab",
+    "LabConfig",
+    "subsample",
+    "ADAPTATIONS",
+]

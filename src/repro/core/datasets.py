@@ -1,0 +1,192 @@
+"""Task datasets and stratified splitting (paper Section 3.2, Table 2).
+
+The paper derives one full dataset per task (positives + generated negatives)
+and splits it per paradigm: 9:1 train/test for supervised learning, 8:1:1
+train/validation/test for fine-tuning, and small random draws for the ICL and
+head-to-head experiments.  :class:`Dataset` implements those operations with
+stratification (splits preserve the positive:negative ratio).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Iterable, Iterator, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.tasks import (
+    Task,
+    generate_task1_negatives,
+    generate_task2_negatives,
+    generate_task3_negatives,
+    positive_triples,
+    task_by_number,
+)
+from repro.core.triples import LabeledTriple
+from repro.ontology.model import Ontology
+from repro.utils.rng import SeedLike, derive_rng
+
+
+class Dataset:
+    """An ordered collection of labelled triples with stratified operations."""
+
+    def __init__(self, triples: Sequence[LabeledTriple], name: str = "dataset"):
+        self._triples: Tuple[LabeledTriple, ...] = tuple(triples)
+        if not self._triples:
+            raise ValueError(f"dataset {name!r} must be non-empty")
+        self.name = name
+
+    def __len__(self) -> int:
+        return len(self._triples)
+
+    def __iter__(self) -> Iterator[LabeledTriple]:
+        return iter(self._triples)
+
+    def __getitem__(self, index: int) -> LabeledTriple:
+        return self._triples[index]
+
+    @property
+    def triples(self) -> Tuple[LabeledTriple, ...]:
+        return self._triples
+
+    def labels(self) -> np.ndarray:
+        """Gold labels as an int array aligned with iteration order."""
+        return np.array([t.label for t in self._triples], dtype=np.int64)
+
+    def positives(self) -> List[LabeledTriple]:
+        return [t for t in self._triples if t.label == 1]
+
+    def negatives(self) -> List[LabeledTriple]:
+        return [t for t in self._triples if t.label == 0]
+
+    def counts(self) -> Tuple[int, int]:
+        """``(n_positive, n_negative)``."""
+        n_pos = sum(t.label for t in self._triples)
+        return n_pos, len(self._triples) - n_pos
+
+    def restrict_to_relation(self, relation_name: str) -> "Dataset":
+        """Subset containing only triples of one relationship type.
+
+        Used for the Figure 2 per-relationship breakdown.
+        """
+        subset = [t for t in self._triples if t.relation.name == relation_name]
+        if not subset:
+            raise ValueError(
+                f"dataset {self.name!r} has no triples of relation {relation_name!r}"
+            )
+        return Dataset(subset, name=f"{self.name}/{relation_name}")
+
+    def shuffled(self, seed: SeedLike = 0) -> "Dataset":
+        """A deterministically shuffled copy."""
+        rng = derive_rng(seed, "dataset-shuffle", self.name)
+        order = rng.permutation(len(self._triples))
+        return Dataset([self._triples[i] for i in order], name=self.name)
+
+    def sample(
+        self, n_positive: int, n_negative: int, seed: SeedLike = 0
+    ) -> "Dataset":
+        """Random draw of exactly ``n_positive`` + ``n_negative`` triples.
+
+        Used for the ICL prompt pools (50+50 per task) and the head-to-head
+        test draw (Section 3.2).  Raises when the dataset cannot supply the
+        requested counts.
+        """
+        rng = derive_rng(seed, "dataset-sample", self.name, n_positive, n_negative)
+        positives = self.positives()
+        negatives = self.negatives()
+        if n_positive > len(positives) or n_negative > len(negatives):
+            raise ValueError(
+                f"requested {n_positive}+/{n_negative}- but dataset has "
+                f"{len(positives)}+/{len(negatives)}-"
+            )
+        chosen_pos = [positives[int(i)] for i in
+                      rng.choice(len(positives), size=n_positive, replace=False)]
+        chosen_neg = [negatives[int(i)] for i in
+                      rng.choice(len(negatives), size=n_negative, replace=False)]
+        combined = chosen_pos + chosen_neg
+        order = rng.permutation(len(combined))
+        return Dataset([combined[i] for i in order], name=f"{self.name}/sample")
+
+    def stratified_split(
+        self, fractions: Sequence[float], seed: SeedLike = 0
+    ) -> List["Dataset"]:
+        """Split into parts with the given fractions, per class.
+
+        ``fractions`` must sum to 1 (within tolerance).  Each class is
+        shuffled and partitioned independently so every part preserves the
+        dataset's positive:negative ratio; the last part absorbs rounding.
+        """
+        if abs(sum(fractions) - 1.0) > 1e-9:
+            raise ValueError(f"fractions must sum to 1, got {sum(fractions)}")
+        if any(f <= 0 for f in fractions):
+            raise ValueError("all fractions must be positive")
+        rng = derive_rng(seed, "dataset-split", self.name, tuple(fractions))
+        parts: List[List[LabeledTriple]] = [[] for _ in fractions]
+        for group in (self.positives(), self.negatives()):
+            if not group:
+                continue
+            order = rng.permutation(len(group))
+            boundaries = np.cumsum(
+                [int(round(f * len(group))) for f in fractions[:-1]]
+            )
+            pieces = np.split(order, boundaries)
+            for part, piece in zip(parts, pieces):
+                part.extend(group[int(i)] for i in piece)
+        datasets = []
+        for index, part in enumerate(parts):
+            shuffled_part = [part[int(i)] for i in rng.permutation(len(part))]
+            datasets.append(
+                Dataset(shuffled_part, name=f"{self.name}/part{index}")
+            )
+        return datasets
+
+
+@dataclass(frozen=True)
+class DatasetSplit:
+    """Named train/test (and optionally validation) datasets."""
+
+    train: Dataset
+    test: Dataset
+    validation: Optional[Dataset] = None
+
+
+def build_task_dataset(
+    ontology: Ontology, task_number: int, seed: SeedLike = 0
+) -> Dataset:
+    """Build the full dataset for one task (paper Table 2 construction).
+
+    Positives come from :func:`~repro.core.tasks.positive_triples`; negatives
+    from the task-specific generator.  The result interleaves classes in a
+    deterministic shuffle.
+    """
+    task = task_by_number(task_number)
+    positives = positive_triples(ontology)
+    if task.number == 1:
+        negatives = generate_task1_negatives(ontology, positives, seed=seed)
+    elif task.number == 2:
+        positives, negatives = generate_task2_negatives(ontology, positives)
+    else:
+        negatives = generate_task3_negatives(ontology, positives, seed=seed)
+    dataset = Dataset(list(positives) + list(negatives), name=f"task{task.number}")
+    return dataset.shuffled(seed=derive_rng(seed, "task-dataset", task.number))
+
+
+def train_test_split_9_1(dataset: Dataset, seed: SeedLike = 0) -> DatasetSplit:
+    """The supervised-learning 9:1 stratified split (Table 2)."""
+    train, test = dataset.stratified_split([0.9, 0.1], seed=seed)
+    return DatasetSplit(train=train, test=test)
+
+
+def train_val_test_split_8_1_1(dataset: Dataset, seed: SeedLike = 0) -> DatasetSplit:
+    """The fine-tuning 8:1:1 stratified split (Table 4)."""
+    train, validation, test = dataset.stratified_split([0.8, 0.1, 0.1], seed=seed)
+    return DatasetSplit(train=train, test=test, validation=validation)
+
+
+__all__ = [
+    "Dataset",
+    "DatasetSplit",
+    "build_task_dataset",
+    "train_test_split_9_1",
+    "train_val_test_split_8_1_1",
+]

@@ -1,0 +1,450 @@
+"""The Lab: one-stop construction and caching of the whole apparatus.
+
+Benchmarks and examples need the same expensive objects — the synthetic
+ontology, the corpora, six trained embedding models, a pretrained mini-BERT,
+task datasets and their splits.  :class:`Lab` builds each lazily once and
+caches it, so a benchmark module can share a single Lab across tables.
+
+Scale note: the paper's full datasets hold ~620k triples; the Lab defaults
+target minutes-not-hours runtimes (a few thousand entities, capped training
+sets).  Every knob is in :class:`LabConfig`.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.adaptation.naive import naive_token_filter
+from repro.adaptation.task_oriented import (
+    TaskOrientedConfig,
+    select_stop_tokens,
+    stopword_filter,
+)
+from repro.bert.finetune import FineTuneConfig, FineTunedClassifier, fine_tune
+from repro.bert.model import BertConfig, MiniBert
+from repro.bert.pretrain import PretrainConfig, pretrain_mlm
+from repro.bert.wordpiece import WordPieceTokenizer, train_wordpiece
+from repro.core.datasets import (
+    Dataset,
+    DatasetSplit,
+    build_task_dataset,
+    train_test_split_9_1,
+    train_val_test_split_8_1_1,
+)
+from repro.core.tasks import positive_triples
+from repro.core.triples import LabeledTriple
+from repro.embeddings.base import EmbeddingModel
+from repro.embeddings.registry import RegistryConfig, build_embedding_models
+from repro.metrics.classification import ClassificationReport, evaluate_binary
+from repro.ml.features import FeatureExtractor, TokenFilter
+from repro.ml.forest import RandomForest, RandomForestConfig
+from repro.ml.lstm import LSTMClassifier, LSTMConfig
+from repro.ontology.model import Ontology
+from repro.ontology.synthesis import SynthesisConfig, synthesize_chebi_like
+from repro.text.corpus import (
+    CorpusConfig,
+    corpus_sentences,
+    generate_chemistry_corpus,
+    generate_generic_corpus,
+)
+from repro.utils.rng import derive_rng
+
+#: Adaptation kinds accepted by :meth:`Lab.adaptation_filter`.
+ADAPTATIONS = ("none", "naive", "task-oriented")
+
+
+@dataclass(frozen=True)
+class LabConfig:
+    """Every knob of the experimental apparatus."""
+
+    # ontology
+    n_chemical_entities: int = 2_000
+    ontology_seed: int = 7
+    # corpora
+    corpus_documents: int = 250
+    corpus_sentences: int = 25
+    corpus_seed: int = 11
+    statement_coverage: float = 0.6
+    generic_chemistry_fraction: float = 0.12
+    biomedical_chemistry_fraction: float = 0.55
+    # embeddings
+    embedding_dim: int = 64
+    embedding_epochs: int = 3
+    glove_epochs: int = 10
+    # BERT
+    wordpiece_vocab: int = 900
+    bert_d_model: int = 64
+    bert_layers: int = 4
+    bert_heads: int = 4
+    bert_d_ff: int = 128
+    bert_max_len: int = 64
+    pretrain_epochs: int = 3
+    pretrain_sentences: int = 3_000
+    # datasets
+    dataset_seed: int = 42
+    max_train: Optional[int] = 4_000
+    max_test: Optional[int] = 1_000
+    # models
+    rf_estimators: int = 30
+    rf_max_depth: int = 16
+    lstm_hidden: int = 32
+    lstm_epochs: int = 5
+    ft_epochs: int = 6
+    ft_learning_rate: float = 1e-3
+    seed: int = 0
+
+
+def subsample(dataset: Dataset, max_size: Optional[int], seed: int = 0) -> Dataset:
+    """Class-ratio-preserving random subsample of at most ``max_size``."""
+    if max_size is None or len(dataset) <= max_size:
+        return dataset
+    n_pos, n_neg = dataset.counts()
+    total = n_pos + n_neg
+    take_pos = max(1, int(round(max_size * n_pos / total)))
+    take_neg = max(1, max_size - take_pos)
+    return dataset.sample(min(take_pos, n_pos), min(take_neg, n_neg), seed=seed)
+
+
+class Lab:
+    """Lazily constructed, cached experimental apparatus."""
+
+    def __init__(self, config: Optional[LabConfig] = None):
+        self.config = config or LabConfig()
+        self._cache: Dict[str, object] = {}
+
+    def _memo(self, key: str, build: Callable[[], object]) -> object:
+        if key not in self._cache:
+            self._cache[key] = build()
+        return self._cache[key]
+
+    # -- substrates -----------------------------------------------------------
+
+    @property
+    def ontology(self) -> Ontology:
+        return self._memo(
+            "ontology",
+            lambda: synthesize_chebi_like(
+                SynthesisConfig(
+                    n_chemical_entities=self.config.n_chemical_entities,
+                    seed=self.config.ontology_seed,
+                )
+            ),
+        )
+
+    def _corpus_config(self, seed_offset: int) -> CorpusConfig:
+        return CorpusConfig(
+            n_documents=self.config.corpus_documents,
+            sentences_per_document=self.config.corpus_sentences,
+            statement_coverage=self.config.statement_coverage,
+            seed=self.config.corpus_seed + seed_offset,
+        )
+
+    @property
+    def chemistry_sentences(self) -> List[List[str]]:
+        return self._memo(
+            "chem_sentences",
+            lambda: corpus_sentences(
+                generate_chemistry_corpus(self.ontology, self._corpus_config(0))
+            ),
+        )
+
+    @property
+    def generic_sentences(self) -> List[List[str]]:
+        return self._memo(
+            "generic_sentences",
+            lambda: corpus_sentences(
+                generate_generic_corpus(
+                    self.ontology,
+                    self._corpus_config(1),
+                    chemistry_fraction=self.config.generic_chemistry_fraction,
+                )
+            ),
+        )
+
+    @property
+    def biomedical_sentences(self) -> List[List[str]]:
+        return self._memo(
+            "biomedical_sentences",
+            lambda: corpus_sentences(
+                generate_generic_corpus(
+                    self.ontology,
+                    self._corpus_config(2),
+                    chemistry_fraction=self.config.biomedical_chemistry_fraction,
+                )
+            ),
+        )
+
+    # -- BERT -------------------------------------------------------------------
+
+    @property
+    def wordpiece(self) -> WordPieceTokenizer:
+        return self._memo(
+            "wordpiece",
+            lambda: train_wordpiece(
+                self.chemistry_sentences, vocab_size=self.config.wordpiece_vocab
+            ),
+        )
+
+    @property
+    def bert(self) -> MiniBert:
+        def build():
+            config = BertConfig(
+                d_model=self.config.bert_d_model,
+                n_heads=self.config.bert_heads,
+                n_layers=self.config.bert_layers,
+                d_ff=self.config.bert_d_ff,
+                max_len=self.config.bert_max_len,
+                seed=self.config.seed,
+            )
+            sentences = self.chemistry_sentences[: self.config.pretrain_sentences]
+            return pretrain_mlm(
+                sentences,
+                self.wordpiece,
+                config,
+                PretrainConfig(
+                    epochs=self.config.pretrain_epochs, seed=self.config.seed
+                ),
+            )
+
+        return self._memo("bert", build)
+
+    # -- embeddings ----------------------------------------------------------------
+
+    @property
+    def embeddings(self) -> Dict[str, EmbeddingModel]:
+        return self._memo(
+            "embeddings",
+            lambda: build_embedding_models(
+                self.chemistry_sentences,
+                self.generic_sentences,
+                self.biomedical_sentences,
+                bert=self.bert,
+                config=RegistryConfig(
+                    dim=self.config.embedding_dim,
+                    epochs=self.config.embedding_epochs,
+                    glove_epochs=self.config.glove_epochs,
+                    seed=self.config.seed,
+                ),
+            ),
+        )
+
+    def embedding(self, name: str) -> EmbeddingModel:
+        try:
+            return self.embeddings[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown embedding {name!r}; have {sorted(self.embeddings)}"
+            ) from None
+
+    # -- datasets ---------------------------------------------------------------------
+
+    def dataset(self, task: int) -> Dataset:
+        return self._memo(
+            f"dataset-{task}",
+            lambda: build_task_dataset(
+                self.ontology, task, seed=self.config.dataset_seed
+            ),
+        )
+
+    def ml_split(self, task: int) -> DatasetSplit:
+        """9:1 supervised-learning split with the configured size caps."""
+
+        def build():
+            split = train_test_split_9_1(self.dataset(task), seed=self.config.seed)
+            return DatasetSplit(
+                train=subsample(split.train, self.config.max_train, seed=1),
+                test=subsample(split.test, self.config.max_test, seed=2),
+            )
+
+        return self._memo(f"ml-split-{task}", build)
+
+    def ft_split(self, task: int) -> DatasetSplit:
+        """8:1:1 fine-tuning split with the configured size caps."""
+
+        def build():
+            split = train_val_test_split_8_1_1(
+                self.dataset(task), seed=self.config.seed
+            )
+            return DatasetSplit(
+                train=subsample(split.train, self.config.max_train, seed=3),
+                test=subsample(split.test, self.config.max_test, seed=4),
+                validation=subsample(
+                    split.validation, self.config.max_test, seed=5
+                ),
+            )
+
+        return self._memo(f"ft-split-{task}", build)
+
+    # -- adaptations --------------------------------------------------------------------
+
+    def adaptation_filter(
+        self, kind: str, embedding_name: Optional[str] = None
+    ) -> Optional[TokenFilter]:
+        """Token filter for an adaptation kind (and embedding, if needed).
+
+        ``none`` returns ``None``; ``naive`` is shared across embeddings;
+        ``task-oriented`` runs Algorithm 2 once per embedding and caches the
+        stop-word set.
+        """
+        if kind not in ADAPTATIONS:
+            raise ValueError(f"unknown adaptation {kind!r}; valid: {ADAPTATIONS}")
+        if kind == "none":
+            return None
+        if kind == "naive":
+            return naive_token_filter()
+        if embedding_name is None:
+            raise ValueError("task-oriented adaptation needs an embedding name")
+
+        def build():
+            positives = positive_triples(self.ontology)
+            stop_tokens = select_stop_tokens(
+                positives,
+                self.embedding(embedding_name),
+                TaskOrientedConfig(seed=self.config.seed),
+            )
+            return stopword_filter(stop_tokens)
+
+        return self._memo(f"task-filter-{embedding_name}", build)
+
+    # -- evaluation helpers -----------------------------------------------------------------
+
+    def rf_config(self) -> RandomForestConfig:
+        return RandomForestConfig(
+            n_estimators=self.config.rf_estimators,
+            max_depth=self.config.rf_max_depth,
+            seed=self.config.seed,
+        )
+
+    def lstm_config(self) -> LSTMConfig:
+        return LSTMConfig(
+            hidden_size=self.config.lstm_hidden,
+            epochs=self.config.lstm_epochs,
+            seed=self.config.seed,
+        )
+
+    def trained_forest(
+        self, task: int, embedding_name: str, adaptation: str = "none"
+    ) -> Tuple[FeatureExtractor, RandomForest]:
+        """Memoized (extractor, fitted forest) for one RF cell.
+
+        Several experiments reuse the same trained forests (Tables 3/6,
+        Figures 2/A1), so cells are trained once per Lab.
+        """
+
+        def build():
+            split = self.ml_split(task)
+            token_filter = self.adaptation_filter(adaptation, embedding_name)
+            extractor = FeatureExtractor(
+                self.embedding(embedding_name), token_filter
+            )
+            forest = RandomForest(self.rf_config()).fit(
+                extractor.matrix(split.train.triples),
+                extractor.labels(split.train.triples),
+            )
+            return extractor, forest
+
+        return self._memo(f"forest-{task}-{embedding_name}-{adaptation}", build)
+
+    def evaluate_random_forest(
+        self, task: int, embedding_name: str, adaptation: str = "none"
+    ) -> Tuple[ClassificationReport, RandomForest]:
+        """Train (cached) + evaluate one (task, embedding, adaptation) cell."""
+        split = self.ml_split(task)
+        extractor, forest = self.trained_forest(task, embedding_name, adaptation)
+        predictions = forest.predict(extractor.matrix(split.test.triples))
+        report = evaluate_binary(split.test.labels(), predictions)
+        return report, forest
+
+    def ft_config(self) -> FineTuneConfig:
+        return FineTuneConfig(
+            epochs=self.config.ft_epochs,
+            learning_rate=self.config.ft_learning_rate,
+            seed=self.config.seed,
+        )
+
+    def fine_tuned(self, task: int) -> FineTunedClassifier:
+        """Memoized fine-tuned classifier for a task (Table 4 protocol)."""
+
+        def build():
+            split = self.ft_split(task)
+            return fine_tune(
+                self.bert,
+                split.train.triples,
+                self.ft_config(),
+                validation_triples=(
+                    split.validation.triples if split.validation else None
+                ),
+            )
+
+        return self._memo(f"fine-tuned-{task}", build)
+
+    def evaluate_fine_tuned(self, task: int) -> ClassificationReport:
+        """Evaluate the cached fine-tuned model on the FT test split."""
+        split = self.ft_split(task)
+        classifier = self.fine_tuned(task)
+        predictions = classifier.predict(split.test.triples)
+        return evaluate_binary(split.test.labels(), predictions)
+
+    def grid_search_random_forest(
+        self,
+        task: int,
+        embedding_name: str,
+        adaptation: str = "naive",
+        grid: Optional[Dict[str, Sequence[object]]] = None,
+        n_folds: int = 5,
+        max_samples: Optional[int] = 1_000,
+    ):
+        """The paper's hyperparameter protocol: 5-fold CV grid search on the
+        training split, scored by F1 (Section 2.6).
+
+        Returns a :class:`~repro.ml.grid_search.GridSearchResult`.  The
+        default grid covers tree count and depth; ``max_samples`` caps the
+        search data (CV multiplies training cost by folds x combinations).
+        """
+        from repro.ml.grid_search import grid_search
+
+        grid = grid or {
+            "n_estimators": [10, self.config.rf_estimators],
+            "max_depth": [8, self.config.rf_max_depth],
+        }
+        split = self.ml_split(task)
+        train = subsample(split.train, max_samples, seed=6)
+        extractor = FeatureExtractor(
+            self.embedding(embedding_name),
+            self.adaptation_filter(adaptation, embedding_name),
+        )
+        features = extractor.matrix(train.triples)
+        labels = extractor.labels(train.triples)
+
+        def factory(params):
+            return RandomForest(
+                RandomForestConfig(seed=self.config.seed, **params)
+            )
+
+        return grid_search(
+            factory, grid, features, labels, n_folds=n_folds,
+            seed=self.config.seed,
+        )
+
+    def evaluate_lstm(
+        self, task: int, embedding_name: str, adaptation: str = "none"
+    ) -> Tuple[ClassificationReport, LSTMClassifier]:
+        """Train + evaluate one LSTM cell (Appendix Table A6)."""
+        split = self.ml_split(task)
+        token_filter = self.adaptation_filter(adaptation, embedding_name)
+        extractor = FeatureExtractor(self.embedding(embedding_name), token_filter)
+        model = LSTMClassifier(
+            extractor.embeddings.dim, self.lstm_config()
+        ).fit(
+            extractor.sequences(split.train.triples),
+            extractor.labels(split.train.triples),
+        )
+        predictions = model.predict(extractor.sequences(split.test.triples))
+        report = evaluate_binary(split.test.labels(), predictions)
+        return report, model
+
+
+__all__ = ["LabConfig", "Lab", "subsample", "ADAPTATIONS"]

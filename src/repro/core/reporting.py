@@ -1,0 +1,74 @@
+"""Plain-text table rendering for the benchmark harness.
+
+Every benchmark prints a table with the paper's reported values next to the
+values measured on the scaled-down synthetic apparatus, and writes the same
+text to ``benchmarks/results/`` so runs leave an inspectable artefact.
+"""
+
+from __future__ import annotations
+
+import os
+from typing import Iterable, List, Optional, Sequence, Union
+
+Cell = Union[str, int, float, None]
+
+
+def format_cell(value: Cell, precision: int = 4) -> str:
+    if value is None:
+        return "-"
+    if isinstance(value, float):
+        return f"{value:.{precision}f}"
+    return str(value)
+
+
+class Table:
+    """A fixed-column text table."""
+
+    def __init__(self, title: str, columns: Sequence[str], precision: int = 4):
+        if not columns:
+            raise ValueError("table needs at least one column")
+        self.title = title
+        self.columns = list(columns)
+        self.precision = precision
+        self._rows: List[List[str]] = []
+
+    def add_row(self, *cells: Cell):
+        if len(cells) != len(self.columns):
+            raise ValueError(
+                f"row has {len(cells)} cells, table has {len(self.columns)} columns"
+            )
+        self._rows.append([format_cell(c, self.precision) for c in cells])
+
+    def add_section(self, label: str):
+        """A full-width separator row used to group related rows."""
+        self._rows.append([f"-- {label} --"] + [""] * (len(self.columns) - 1))
+
+    def render(self) -> str:
+        widths = [len(c) for c in self.columns]
+        for row in self._rows:
+            for index, cell in enumerate(row):
+                widths[index] = max(widths[index], len(cell))
+        lines = [self.title, "=" * len(self.title)]
+        header = "  ".join(c.ljust(w) for c, w in zip(self.columns, widths))
+        lines.append(header)
+        lines.append("-" * len(header))
+        for row in self._rows:
+            lines.append("  ".join(c.ljust(w) for c, w in zip(row, widths)))
+        return "\n".join(lines)
+
+    def show(self) -> str:
+        """Print and return the rendered table."""
+        text = self.render()
+        print("\n" + text + "\n")
+        return text
+
+    def save(self, path: str) -> str:
+        """Write the rendered table to ``path`` (directories created)."""
+        text = self.render()
+        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
+        with open(path, "w", encoding="utf-8") as handle:
+            handle.write(text + "\n")
+        return text
+
+
+__all__ = ["Table", "format_cell"]

@@ -1,0 +1,120 @@
+"""Data-availability scenarios (paper Section 2.8 / 3.6.1, Figure 3).
+
+The paper simulates five scenarios over a random ~10% subset of each task's
+data: the test set is held constant (balanced) while the training set shrinks
+and becomes increasingly imbalanced:
+
+=========  =================  =====================
+scenario   train:test ratio   positive:negative
+=========  =================  =====================
+S1         9 : 1              1 : 1
+S2         7 : 1              0.75 : 1
+S3         4 : 1              0.5  : 1
+S4         1 : 1              0.25 : 1
+S5         0.5 : 1            0.125 : 1
+=========  =================  =====================
+
+(The ratios reproduce the paper's reported training sizes, e.g. task 1:
+55,835 / 43,427 / 24,815 / 6,204 / 3,102 against a constant 6,204 test set.)
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+from repro.core.datasets import Dataset, DatasetSplit
+from repro.utils.rng import SeedLike, derive_rng
+
+
+@dataclass(frozen=True)
+class Scenario:
+    """One data-availability scenario.
+
+    Attributes:
+        name: short identifier, e.g. ``"S4"``.
+        train_test_ratio: training-set size as a multiple of the test size.
+        positive_per_negative: positive:negative ratio in the training set
+            (1.0 is balanced; 0.125 is the paper's most extreme imbalance).
+    """
+
+    name: str
+    train_test_ratio: float
+    positive_per_negative: float
+
+    def __post_init__(self):
+        if self.train_test_ratio <= 0:
+            raise ValueError("train_test_ratio must be positive")
+        if not 0 < self.positive_per_negative <= 1:
+            raise ValueError("positive_per_negative must be in (0, 1]")
+
+    @property
+    def positive_fraction(self) -> float:
+        """Share of positives in the training set."""
+        return self.positive_per_negative / (1.0 + self.positive_per_negative)
+
+    def describe(self) -> str:
+        return (
+            f"{self.name} (split {self.train_test_ratio:g}:1, "
+            f"P:N {self.positive_per_negative:g}:1)"
+        )
+
+
+#: The paper's five scenarios, most to least favourable.
+SCENARIOS: Tuple[Scenario, ...] = (
+    Scenario("S1", 9.0, 1.0),
+    Scenario("S2", 7.0, 0.75),
+    Scenario("S3", 4.0, 0.5),
+    Scenario("S4", 1.0, 0.25),
+    Scenario("S5", 0.5, 0.125),
+)
+
+
+def build_scenario_split(
+    dataset: Dataset,
+    scenario: Scenario,
+    subset_fraction: float = 0.1,
+    seed: SeedLike = 0,
+) -> DatasetSplit:
+    """Materialise one scenario from a full task dataset.
+
+    A random ``subset_fraction`` of the dataset is drawn (stratified); 10% of
+    the subset becomes the constant balanced test set; the training set is
+    then sampled from the remainder at the scenario's size and imbalance.
+
+    The test set is identical across scenarios for a given ``(dataset,
+    subset_fraction, seed)`` so scenario curves are comparable, exactly as in
+    the paper's Figure 3.
+    """
+    if not 0 < subset_fraction <= 1:
+        raise ValueError("subset_fraction must be in (0, 1]")
+    rng_tag = derive_rng(seed, "scenario-subset", dataset.name, subset_fraction)
+    if subset_fraction < 1.0:
+        subset, _ = dataset.stratified_split(
+            [subset_fraction, 1.0 - subset_fraction], seed=rng_tag
+        )
+    else:
+        subset = dataset
+
+    pool, test = subset.stratified_split(
+        [0.9, 0.1], seed=derive_rng(seed, "scenario-test", dataset.name)
+    )
+
+    n_train = int(round(scenario.train_test_ratio * len(test)))
+    n_pos = int(round(n_train * scenario.positive_fraction))
+    n_neg = n_train - n_pos
+    pool_pos, pool_neg = pool.counts()
+    n_pos = min(n_pos, pool_pos)
+    n_neg = min(n_neg, pool_neg)
+    if n_pos < 1 or n_neg < 1:
+        raise ValueError(
+            f"scenario {scenario.name} infeasible: pool has "
+            f"{pool_pos}+/{pool_neg}-, needs {n_pos}+/{n_neg}-"
+        )
+    train = pool.sample(
+        n_pos, n_neg, seed=derive_rng(seed, "scenario-train", scenario.name)
+    )
+    return DatasetSplit(train=train, test=test)
+
+
+__all__ = ["Scenario", "SCENARIOS", "build_scenario_split"]

@@ -1,0 +1,220 @@
+"""The three knowledge-curation tasks (paper Section 2.2 / 3.2).
+
+All three tasks are binary classification over triples:
+
+* **Task 1** — true vs *random* negatives: for every positive triple, a
+  negative ``(s, o, l)`` is drawn uniformly over entity pairs such that the
+  triple is not in the ontology.  The relation of each negative mirrors a
+  positive triple's relation, preserving the relationship distribution (the
+  paper breaks results down by relationship type in Figure 2).
+* **Task 2** — true vs *wrong-direction* negatives: each positive triple is
+  flipped to ``(o, s, l)``; symmetric ``is_tautomer_of`` triples are excluded
+  from the positives because their flip is also true.
+* **Task 3** — true vs *wrong-object* negatives: the object is replaced by a
+  sibling entity (one sharing an ``is_a`` parent).  Positives without a
+  usable sibling produce no negative.
+
+Positives for all tasks are the ontology statements minus
+``is_conjugate_acid_of`` (the inverse of ``is_conjugate_base_of``,
+dropped in Section 2.1).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Callable, Dict, FrozenSet, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.triples import LabeledTriple
+from repro.ontology.model import Ontology
+from repro.ontology.queries import siblings
+from repro.ontology.relations import (
+    IS_CONJUGATE_ACID_OF,
+    IS_TAUTOMER_OF,
+    RelationType,
+)
+from repro.utils.rng import SeedLike, derive_rng
+
+
+@dataclass(frozen=True)
+class Task:
+    """Descriptor for one curation task."""
+
+    number: int
+    name: str
+    description: str
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return f"task{self.number}"
+
+
+TASK1 = Task(1, "random-negatives", "true vs randomly generated false triples")
+TASK2 = Task(2, "wrong-direction", "true vs direction-flipped triples")
+TASK3 = Task(3, "wrong-object", "true vs sibling-object triples")
+
+TASKS: Tuple[Task, ...] = (TASK1, TASK2, TASK3)
+
+
+def task_by_number(number: int) -> Task:
+    """Look up a task descriptor by its paper number (1-3)."""
+    for task in TASKS:
+        if task.number == number:
+            return task
+    raise KeyError(f"no task {number}; valid numbers are 1-3")
+
+
+def positive_triples(
+    ontology: Ontology,
+    exclude_relations: FrozenSet[str] = frozenset({IS_CONJUGATE_ACID_OF.name}),
+) -> List[LabeledTriple]:
+    """All true triples used as positives.
+
+    ``is_conjugate_acid_of`` is excluded by default (paper Section 2.1).
+    """
+    positives = []
+    for statement in ontology.statements():
+        if statement.relation.name in exclude_relations:
+            continue
+        positives.append(
+            LabeledTriple(
+                subject_id=statement.subject,
+                subject_name=ontology.entity(statement.subject).name,
+                relation=statement.relation,
+                object_id=statement.object,
+                object_name=ontology.entity(statement.object).name,
+                label=1,
+            )
+        )
+    return positives
+
+
+def _negative(
+    ontology: Ontology, subject_id: str, relation: RelationType, object_id: str
+) -> LabeledTriple:
+    return LabeledTriple(
+        subject_id=subject_id,
+        subject_name=ontology.entity(subject_id).name,
+        relation=relation,
+        object_id=object_id,
+        object_name=ontology.entity(object_id).name,
+        label=0,
+    )
+
+
+def generate_task1_negatives(
+    ontology: Ontology,
+    positives: Sequence[LabeledTriple],
+    seed: SeedLike = 0,
+    max_attempts: int = 64,
+) -> List[LabeledTriple]:
+    """Random negatives, one per positive, matching its relation type.
+
+    Raises :class:`RuntimeError` if a fresh random pair cannot be found after
+    ``max_attempts`` draws (only possible on degenerate tiny ontologies).
+    """
+    rng = derive_rng(seed, "task1-negatives")
+    entity_ids = ontology.entity_ids()
+    negatives: List[LabeledTriple] = []
+    produced = set()
+    for positive in positives:
+        relation = positive.relation
+        for _ in range(max_attempts):
+            subject = entity_ids[int(rng.integers(0, len(entity_ids)))]
+            obj = entity_ids[int(rng.integers(0, len(entity_ids)))]
+            if subject == obj:
+                continue
+            key = (subject, relation.name, obj)
+            if key in produced or ontology.has_statement(subject, relation, obj):
+                continue
+            produced.add(key)
+            negatives.append(_negative(ontology, subject, relation, obj))
+            break
+        else:
+            raise RuntimeError(
+                f"could not generate a random negative for relation "
+                f"{relation.name} after {max_attempts} attempts"
+            )
+    return negatives
+
+
+def generate_task2_negatives(
+    ontology: Ontology,
+    positives: Sequence[LabeledTriple],
+    exclude_relations: FrozenSet[str] = frozenset({IS_TAUTOMER_OF.name}),
+) -> Tuple[List[LabeledTriple], List[LabeledTriple]]:
+    """Direction-flipped negatives.
+
+    Returns ``(kept_positives, negatives)``: positives whose relation is in
+    ``exclude_relations`` (symmetric ``is_tautomer_of`` by default, paper
+    Section 3.2) are dropped, and flips that happen to be true triples are
+    skipped together with their positive so the classes stay paired.
+    """
+    kept: List[LabeledTriple] = []
+    negatives: List[LabeledTriple] = []
+    for positive in positives:
+        if positive.relation.name in exclude_relations:
+            continue
+        if ontology.has_statement(
+            positive.object_id, positive.relation, positive.subject_id
+        ):
+            continue
+        kept.append(positive)
+        negatives.append(
+            _negative(
+                ontology, positive.object_id, positive.relation, positive.subject_id
+            )
+        )
+    return kept, negatives
+
+
+def generate_task3_negatives(
+    ontology: Ontology,
+    positives: Sequence[LabeledTriple],
+    seed: SeedLike = 0,
+) -> List[LabeledTriple]:
+    """Sibling-object negatives (the hardest task).
+
+    For each positive ``(s, o, l)`` the object is replaced by a sibling of
+    ``o`` — an entity sharing at least one ``is_a`` parent — chosen uniformly
+    among siblings that do not form a true triple.  Positives with no usable
+    sibling generate no negative (paper Section 3.2: 307,188 negatives from
+    310,193 positives), so the output may be slightly shorter than the input.
+    """
+    rng = derive_rng(seed, "task3-negatives")
+    sibling_cache: Dict[str, List[str]] = {}
+    negatives: List[LabeledTriple] = []
+    for positive in positives:
+        pool = sibling_cache.get(positive.object_id)
+        if pool is None:
+            pool = sorted(siblings(ontology, positive.object_id))
+            sibling_cache[positive.object_id] = pool
+        candidates = [
+            candidate
+            for candidate in pool
+            if candidate != positive.subject_id
+            and not ontology.has_statement(
+                positive.subject_id, positive.relation, candidate
+            )
+        ]
+        if not candidates:
+            continue
+        chosen = candidates[int(rng.integers(0, len(candidates)))]
+        negatives.append(
+            _negative(ontology, positive.subject_id, positive.relation, chosen)
+        )
+    return negatives
+
+
+__all__ = [
+    "Task",
+    "TASK1",
+    "TASK2",
+    "TASK3",
+    "TASKS",
+    "task_by_number",
+    "positive_triples",
+    "generate_task1_negatives",
+    "generate_task2_negatives",
+    "generate_task3_negatives",
+]

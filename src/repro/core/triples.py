@@ -1,0 +1,65 @@
+"""Labelled triples — the unit of data for all three curation tasks.
+
+A triple ``(s, o, l)`` pairs two entities with a relationship label; the
+curation task is the binary classification ``f(t) = 1`` iff the triple states
+a true piece of knowledge (paper Section 2.2).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Tuple
+
+from repro.ontology.relations import RelationType
+
+
+@dataclass(frozen=True)
+class LabeledTriple:
+    """A triple with its gold label.
+
+    Attributes:
+        subject_id / object_id: ontology identifiers (kept for graph queries).
+        subject_name / object_name: entity labels used for tokenisation,
+            prompting and BERT input.
+        relation: the relationship type.
+        label: 1 for a correct triple, 0 for an erroneous one.
+    """
+
+    subject_id: str
+    subject_name: str
+    relation: RelationType
+    object_id: str
+    object_name: str
+    label: int
+
+    def __post_init__(self):
+        if self.label not in (0, 1):
+            raise ValueError(f"label must be 0 or 1, got {self.label!r}")
+
+    def key(self) -> Tuple[str, str, str]:
+        """Identity of the underlying triple, ignoring the label."""
+        return (self.subject_id, self.relation.name, self.object_id)
+
+    def as_text(self) -> str:
+        """Human-readable rendering, e.g. for prompts.
+
+        >>> from repro.ontology.relations import HAS_ROLE
+        >>> LabeledTriple("a", "ammonium chloride", HAS_ROLE,
+        ...               "b", "ferroptosis inhibitor", 1).as_text()
+        '(ammonium chloride, has_role, ferroptosis inhibitor)'
+        """
+        return f"({self.subject_name}, {self.relation.name}, {self.object_name})"
+
+
+def triple_text(triple: LabeledTriple, separator: str = " [SEP] ") -> str:
+    """Serialise a triple for sequence models.
+
+    The paper converts triples into word sequences by concatenating subject,
+    relationship and object labels with a separator token (Section 2.5).
+    """
+    return separator.join(
+        (triple.subject_name, triple.relation.label, triple.object_name)
+    )
+
+
+__all__ = ["LabeledTriple", "triple_text"]

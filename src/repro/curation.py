@@ -1,0 +1,156 @@
+"""High-level curation API — the workflow the paper motivates.
+
+An ontology curator receives candidate triples (proposed additions) and
+must accept, reject, or manually review each.  :class:`CurationAssistant`
+wraps any probability-producing paradigm into that triage loop: candidates
+with confident scores are decided automatically; the uncertain band goes to
+a human.  This is the "automated knowledge curation" application the paper
+benchmarks its three paradigms for.
+"""
+
+from __future__ import annotations
+
+import enum
+from dataclasses import dataclass, field
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.triples import LabeledTriple
+
+
+class Decision(enum.Enum):
+    """Triage outcome for one candidate triple."""
+
+    ACCEPT = "accept"
+    REJECT = "reject"
+    REVIEW = "review"
+
+
+@dataclass(frozen=True)
+class TriageResult:
+    """One candidate's triage outcome."""
+
+    triple: LabeledTriple
+    probability: float
+    decision: Decision
+
+
+@dataclass
+class TriageSummary:
+    """Aggregate outcome of a triage batch."""
+
+    results: List[TriageResult]
+
+    def by_decision(self, decision: Decision) -> List[TriageResult]:
+        return [r for r in self.results if r.decision is decision]
+
+    @property
+    def automation_rate(self) -> float:
+        """Fraction of candidates decided without human review."""
+        automated = len(self.results) - len(self.by_decision(Decision.REVIEW))
+        return automated / len(self.results) if self.results else 0.0
+
+    def automated_error_rate(self) -> float:
+        """Error rate among automated decisions (needs gold labels)."""
+        errors = 0
+        automated = 0
+        for result in self.results:
+            if result.decision is Decision.REVIEW:
+                continue
+            automated += 1
+            predicted = 1 if result.decision is Decision.ACCEPT else 0
+            errors += predicted != result.triple.label
+        return errors / automated if automated else 0.0
+
+    def counts(self) -> dict:
+        return {
+            decision.value: len(self.by_decision(decision))
+            for decision in Decision
+        }
+
+
+class CurationAssistant:
+    """Triage candidate triples with a trained scoring model.
+
+    ``scorer`` is anything with ``predict_proba(triples) -> array`` over
+    labelled triples (all three paradigm wrappers and the fine-tuned
+    classifier qualify).  The review band defaults to probabilities in
+    (0.35, 0.65); widen it to trade automation rate for error rate.
+    """
+
+    def __init__(
+        self,
+        scorer,
+        reject_below: float = 0.35,
+        accept_above: float = 0.65,
+    ):
+        if not hasattr(scorer, "predict_proba"):
+            raise TypeError("scorer must expose predict_proba(triples)")
+        if not 0.0 <= reject_below <= accept_above <= 1.0:
+            raise ValueError(
+                "need 0 <= reject_below <= accept_above <= 1, got "
+                f"({reject_below}, {accept_above})"
+            )
+        self.scorer = scorer
+        self.reject_below = reject_below
+        self.accept_above = accept_above
+
+    def triage(self, candidates: Sequence[LabeledTriple]) -> TriageSummary:
+        """Score and bucket a batch of candidate triples."""
+        if not candidates:
+            raise ValueError("no candidates to triage")
+        probabilities = np.asarray(self.scorer.predict_proba(list(candidates)))
+        results = []
+        for triple, probability in zip(candidates, probabilities):
+            if probability >= self.accept_above:
+                decision = Decision.ACCEPT
+            elif probability <= self.reject_below:
+                decision = Decision.REJECT
+            else:
+                decision = Decision.REVIEW
+            results.append(
+                TriageResult(
+                    triple=triple,
+                    probability=float(probability),
+                    decision=decision,
+                )
+            )
+        return TriageSummary(results=results)
+
+    def calibrate_band(
+        self,
+        validation: Sequence[LabeledTriple],
+        max_error_rate: float = 0.05,
+        grid: int = 20,
+    ) -> Tuple[float, float]:
+        """Choose the widest symmetric automation band whose automated
+        error rate on ``validation`` stays within ``max_error_rate``.
+
+        Returns the chosen ``(reject_below, accept_above)`` and installs it
+        on the assistant.  Falls back to the narrowest candidate band (most
+        conservative) when no band meets the target.
+        """
+        if not 0.0 < max_error_rate < 1.0:
+            raise ValueError("max_error_rate must be in (0, 1)")
+        best: Optional[Tuple[float, float]] = None
+        # widest band first: margin 0 means automate everything
+        for margin in np.linspace(0.0, 0.49, grid):
+            self.reject_below = 0.5 - margin
+            self.accept_above = 0.5 + margin
+            summary = self.triage(validation)
+            if summary.automated_error_rate() <= max_error_rate:
+                best = (self.reject_below, self.accept_above)
+                break
+        if best is None:
+            best = (0.5 - 0.49, 0.5 + 0.49)
+        self.reject_below, self.accept_above = best
+        return best
+
+
+__all__ = [
+    "Decision",
+    "TriageResult",
+    "TriageSummary",
+    "CurationAssistant",
+]

@@ -1,0 +1,30 @@
+"""Embedding substrate: the paper's six embedding models, from scratch.
+
+* :class:`RandomEmbeddings` — uniform random vectors per token (the paper's
+  semantics-free baseline).
+* :class:`Word2Vec` — skip-gram with negative sampling (W2V-Chem when trained
+  on the chemistry corpus).
+* :class:`GloVe` — co-occurrence factorisation with AdaGrad (GloVe generic,
+  and GloVe-Chem when further trained on the chemistry corpus).
+* :class:`FastText` — subword n-gram embeddings (the BioWordVec analogue).
+* :class:`ContextualEmbeddings` — mini-BERT last-4-layer [CLS] vectors (the
+  PubmedBERT-embedding analogue); defined in :mod:`repro.embeddings.contextual`.
+"""
+
+from repro.embeddings.base import EmbeddingModel, StaticEmbeddings
+from repro.embeddings.fasttext import FastText, FastTextConfig
+from repro.embeddings.glove import GloVe, GloVeConfig
+from repro.embeddings.random import RandomEmbeddings
+from repro.embeddings.word2vec import Word2Vec, Word2VecConfig
+
+__all__ = [
+    "EmbeddingModel",
+    "StaticEmbeddings",
+    "RandomEmbeddings",
+    "Word2Vec",
+    "Word2VecConfig",
+    "GloVe",
+    "GloVeConfig",
+    "FastText",
+    "FastTextConfig",
+]

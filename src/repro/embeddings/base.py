@@ -1,0 +1,125 @@
+"""Embedding model interface and shared out-of-vocabulary policy.
+
+Every paradigm consumes embeddings through :meth:`EmbeddingModel.vector`.
+The paper handles OOV tokens by substituting random vectors (Section 2.6);
+here OOV vectors are *deterministic* per (model, token) so experiments are
+reproducible while preserving the paper's behaviour (OOV vectors carry no
+semantics but are stable features).
+"""
+
+from __future__ import annotations
+
+import abc
+from typing import Dict, Iterable, List, Optional, Sequence
+
+import numpy as np
+
+from repro.text.vocab import Vocabulary
+from repro.utils.rng import stable_hash
+
+
+class EmbeddingModel(abc.ABC):
+    """A token → fixed-dimension vector mapping with OOV fallback."""
+
+    #: When True, the model represents whole phrases (e.g. a full entity
+    #: name) rather than individual tokens; the ML feature pipeline passes
+    #: each triple component as a single unit (see ContextualEmbeddings).
+    phrase_level = False
+
+    def __init__(self, dim: int, name: str, oov_seed: int = 0):
+        if dim < 1:
+            raise ValueError("embedding dimension must be positive")
+        self._dim = dim
+        self.name = name
+        self._oov_seed = oov_seed
+        self._oov_cache: Dict[str, np.ndarray] = {}
+
+    @property
+    def dim(self) -> int:
+        """Vector dimensionality."""
+        return self._dim
+
+    @property
+    @abc.abstractmethod
+    def vocabulary(self) -> Optional[Vocabulary]:
+        """The model's vocabulary, or ``None`` for open-vocabulary models."""
+
+    @abc.abstractmethod
+    def contains(self, token: str) -> bool:
+        """True when the model has a learned representation for ``token``."""
+
+    @abc.abstractmethod
+    def _in_vocab_vector(self, token: str) -> np.ndarray:
+        """Vector for a token known to be in-vocabulary."""
+
+    def oov_vector(self, token: str) -> np.ndarray:
+        """Deterministic uniform[-1, 1) fallback vector for an OOV token."""
+        cached = self._oov_cache.get(token)
+        if cached is None:
+            rng = np.random.default_rng(
+                stable_hash("oov", self.name, self._oov_seed, token)
+            )
+            cached = rng.uniform(-1.0, 1.0, size=self._dim)
+            self._oov_cache[token] = cached
+        return cached
+
+    def vector(self, token: str) -> np.ndarray:
+        """Vector for ``token``, falling back to :meth:`oov_vector`."""
+        if self.contains(token):
+            return self._in_vocab_vector(token)
+        return self.oov_vector(token)
+
+    def encode(self, tokens: Sequence[str]) -> np.ndarray:
+        """Stack vectors for a token sequence into a ``(len, dim)`` matrix."""
+        if not tokens:
+            raise ValueError("cannot encode an empty token sequence")
+        return np.stack([self.vector(token) for token in tokens])
+
+    def mean_vector(self, tokens: Sequence[str]) -> np.ndarray:
+        """Average of the token vectors (Algorithm 1's non-RNN path)."""
+        return self.encode(tokens).mean(axis=0)
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"{type(self).__name__}(name={self.name!r}, dim={self._dim})"
+
+
+class StaticEmbeddings(EmbeddingModel):
+    """A lookup-table embedding backed by a matrix and a vocabulary.
+
+    Base class for the trained static models (word2vec, GloVe) and the
+    random baseline; also usable directly to wrap externally trained vectors.
+    """
+
+    def __init__(
+        self,
+        vocabulary: Vocabulary,
+        matrix: np.ndarray,
+        name: str,
+        oov_seed: int = 0,
+    ):
+        if matrix.ndim != 2 or matrix.shape[0] != len(vocabulary):
+            raise ValueError(
+                f"matrix shape {matrix.shape} does not match vocabulary size "
+                f"{len(vocabulary)}"
+            )
+        super().__init__(dim=matrix.shape[1], name=name, oov_seed=oov_seed)
+        self._vocabulary = vocabulary
+        self._matrix = matrix
+
+    @property
+    def vocabulary(self) -> Vocabulary:
+        return self._vocabulary
+
+    @property
+    def matrix(self) -> np.ndarray:
+        """The full ``(vocab, dim)`` embedding table (read-only by convention)."""
+        return self._matrix
+
+    def contains(self, token: str) -> bool:
+        return token in self._vocabulary
+
+    def _in_vocab_vector(self, token: str) -> np.ndarray:
+        return self._matrix[self._vocabulary.id_of(token)]
+
+
+__all__ = ["EmbeddingModel", "StaticEmbeddings"]

@@ -1,0 +1,62 @@
+"""Contextual (mini-BERT) embeddings — the PubmedBERT-embedding analogue.
+
+The paper derives triple-component representations from PubmedBERT by
+summing the last four hidden layers of the ``[CLS]`` token for each component
+(Section 2.3).  Unlike the static models, the unit of representation is the
+whole component *phrase*, not individual tokens; the feature pipeline in
+:mod:`repro.ml.features` checks :attr:`EmbeddingModel.phrase_level` and
+passes whole phrases accordingly.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional
+
+import numpy as np
+
+from repro.bert.model import MiniBert
+from repro.embeddings.base import EmbeddingModel
+from repro.text.tokenizer import ChemTokenizer
+from repro.text.vocab import Vocabulary
+
+
+class ContextualEmbeddings(EmbeddingModel):
+    """Phrase-level embeddings from a pretrained :class:`MiniBert`."""
+
+    phrase_level = True
+
+    def __init__(self, model: MiniBert, n_last_layers: int = 4,
+                 name: str = "PubmedBERT", cache_size: int = 100_000):
+        super().__init__(dim=model.config.d_model, name=name)
+        self._model = model
+        self._n_last_layers = n_last_layers
+        self._tokenizer = ChemTokenizer()
+        self._cache: Dict[str, np.ndarray] = {}
+        self._cache_size = cache_size
+
+    @property
+    def model(self) -> MiniBert:
+        return self._model
+
+    @property
+    def vocabulary(self) -> Optional[Vocabulary]:
+        return None  # WordPiece is open-vocabulary via [UNK]
+
+    def contains(self, token: str) -> bool:
+        return True
+
+    def _in_vocab_vector(self, phrase: str) -> np.ndarray:
+        cached = self._cache.get(phrase)
+        if cached is None:
+            # Tokenise the way the WordPiece vocabulary was trained
+            # (hyphenated chemical names would otherwise become [UNK]).
+            words = self._tokenizer(phrase)
+            if not words:
+                return self.oov_vector(phrase)
+            cached = self._model.cls_embedding(words, self._n_last_layers)
+            if len(self._cache) < self._cache_size:
+                self._cache[phrase] = cached
+        return cached
+
+
+__all__ = ["ContextualEmbeddings"]

@@ -1,0 +1,189 @@
+"""GloVe embeddings from scratch (Pennington et al., 2014).
+
+Two of the paper's six embedding models are GloVe-based: the generic GloVe
+(pretrained on an open-domain corpus) and **GloVe-Chem**, produced by further
+training GloVe on the chemistry corpus with a vocabulary that joins the
+chemistry tokens with GloVe's own (Section 2.3).  Both paths are supported:
+
+* ``GloVe.train(sentences, config)`` trains from scratch;
+* ``GloVe.train(sentences, config, init_from=base_model)`` joins vocabularies
+  and initialises the input layer from ``base_model`` — the paper's
+  continued-pretraining recipe for GloVe-Chem.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.embeddings.base import StaticEmbeddings
+from repro.text.vocab import Vocabulary, build_vocabulary
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class GloVeConfig:
+    """GloVe hyperparameters.
+
+    Attributes:
+        dim: vector dimensionality.
+        window: symmetric co-occurrence window; counts are weighted by
+            1/distance as in the reference implementation.
+        x_max / alpha: parameters of the weighting function
+            ``f(x) = min(1, (x / x_max) ** alpha)``.
+        epochs: AdaGrad passes over the non-zero co-occurrence entries.
+        learning_rate: initial AdaGrad step.
+        min_count: vocabulary frequency floor.
+        batch_size: non-zero entries per vectorised update.
+        seed: training seed.
+    """
+
+    dim: int = 64
+    window: int = 6
+    x_max: float = 50.0
+    alpha: float = 0.75
+    epochs: int = 12
+    learning_rate: float = 0.05
+    min_count: int = 2
+    batch_size: int = 4096
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.dim < 1 or self.window < 1:
+            raise ValueError("dim and window must be positive")
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ValueError("epochs and batch_size must be positive")
+        if self.learning_rate <= 0 or self.x_max <= 0:
+            raise ValueError("learning_rate and x_max must be positive")
+
+
+def cooccurrence_counts(
+    sentences: Sequence[Sequence[str]], vocabulary: Vocabulary, window: int
+) -> Dict[Tuple[int, int], float]:
+    """Distance-weighted co-occurrence counts over in-vocabulary tokens."""
+    counts: Dict[Tuple[int, int], float] = {}
+    for sentence in sentences:
+        ids = [vocabulary.get_id(t) for t in sentence]
+        ids = [i for i in ids if i is not None]
+        for position, center in enumerate(ids):
+            hi = min(len(ids), position + window + 1)
+            for other in range(position + 1, hi):
+                weight = 1.0 / (other - position)
+                a, b = center, ids[other]
+                counts[(a, b)] = counts.get((a, b), 0.0) + weight
+                counts[(b, a)] = counts.get((b, a), 0.0) + weight
+    if not counts:
+        raise ValueError("no co-occurrences found; corpus too small")
+    return counts
+
+
+def _joined_vocabulary(
+    sentences: Sequence[Sequence[str]], min_count: int, base: StaticEmbeddings
+) -> Vocabulary:
+    """Union of the corpus vocabulary and a base model's vocabulary."""
+    corpus_vocab = build_vocabulary(sentences, min_count=min_count)
+    counts = corpus_vocab.counts()
+    if base.vocabulary is not None:
+        for token in base.vocabulary:
+            counts.setdefault(token, base.vocabulary.count(token))
+    return Vocabulary(counts)
+
+
+class GloVe(StaticEmbeddings):
+    """A trained GloVe embedding table (sum of input and context layers)."""
+
+    @classmethod
+    def train(
+        cls,
+        sentences: Sequence[Sequence[str]],
+        config: Optional[GloVeConfig] = None,
+        name: str = "GloVe",
+        init_from: Optional[StaticEmbeddings] = None,
+    ) -> "GloVe":
+        """Train GloVe on tokenised ``sentences``.
+
+        With ``init_from``, the vocabulary is the union of the corpus tokens
+        and the base model's vocabulary, and rows for shared tokens start
+        from the base model's vectors (the GloVe-Chem recipe).  The base
+        model must have the same dimensionality.
+        """
+        config = config or GloVeConfig()
+        rng = derive_rng(config.seed, "glove", name)
+
+        if init_from is not None:
+            if init_from.dim != config.dim:
+                raise ValueError(
+                    f"init_from dim {init_from.dim} != config dim {config.dim}"
+                )
+            vocabulary = _joined_vocabulary(sentences, config.min_count, init_from)
+        else:
+            vocabulary = build_vocabulary(sentences, min_count=config.min_count)
+
+        counts = cooccurrence_counts(sentences, vocabulary, config.window)
+        keys = np.array(list(counts.keys()), dtype=np.int64)
+        row_ids, col_ids = keys[:, 0], keys[:, 1]
+        values = np.array(list(counts.values()), dtype=np.float64)
+        log_values = np.log(values)
+        weights = np.minimum(1.0, (values / config.x_max) ** config.alpha)
+
+        vocab_size = len(vocabulary)
+        scale = 0.5 / config.dim
+        w_main = rng.uniform(-scale, scale, size=(vocab_size, config.dim))
+        w_ctx = rng.uniform(-scale, scale, size=(vocab_size, config.dim))
+        b_main = np.zeros(vocab_size)
+        b_ctx = np.zeros(vocab_size)
+        if init_from is not None:
+            for token in init_from.vocabulary:
+                row = vocabulary.get_id(token)
+                if row is not None:
+                    # Split the pretrained vector across both layers so the
+                    # exported sum (w_main + w_ctx) starts at the base vector.
+                    w_main[row] = init_from.vector(token) * 0.5
+                    w_ctx[row] = init_from.vector(token) * 0.5
+
+        grad_sq = {
+            "w_main": np.ones_like(w_main),
+            "w_ctx": np.ones_like(w_ctx),
+            "b_main": np.ones_like(b_main),
+            "b_ctx": np.ones_like(b_ctx),
+        }
+
+        n_entries = values.size
+        for _ in range(config.epochs):
+            order = rng.permutation(n_entries)
+            for start in range(0, n_entries, config.batch_size):
+                batch = order[start : start + config.batch_size]
+                rows = row_ids[batch]
+                cols = col_ids[batch]
+                main_vecs = w_main[rows]
+                ctx_vecs = w_ctx[cols]
+                inner = np.sum(main_vecs * ctx_vecs, axis=1)
+                diff = inner + b_main[rows] + b_ctx[cols] - log_values[batch]
+                weighted = weights[batch] * diff  # d(loss)/d(inner), halved
+
+                grad_main = weighted[:, None] * ctx_vecs
+                grad_ctx = weighted[:, None] * main_vecs
+
+                for table, accum_key, ids, grad in (
+                    (w_main, "w_main", rows, grad_main),
+                    (w_ctx, "w_ctx", cols, grad_ctx),
+                ):
+                    accum = grad_sq[accum_key]
+                    step = config.learning_rate * grad / np.sqrt(accum[ids])
+                    np.add.at(table, ids, -step)
+                    np.add.at(accum, ids, grad**2)
+                for bias, accum_key, ids in (
+                    (b_main, "b_main", rows),
+                    (b_ctx, "b_ctx", cols),
+                ):
+                    accum = grad_sq[accum_key]
+                    step = config.learning_rate * weighted / np.sqrt(accum[ids])
+                    np.add.at(bias, ids, -step)
+                    np.add.at(accum, ids, weighted**2)
+
+        return cls(vocabulary, w_main + w_ctx, name=name, oov_seed=config.seed)
+
+
+__all__ = ["GloVe", "GloVeConfig", "cooccurrence_counts"]

@@ -1,0 +1,45 @@
+"""Random embeddings — the paper's semantics-free baseline (Section 2.3).
+
+Each token receives a vector drawn uniformly from [-1, 1); vectors are
+deterministic per token, so the "embedding" is a stable but meaningless
+feature map.  The paper's surprising finding is that, *without* adaptation,
+random-forest models on random embeddings beat semantic embeddings on task 1
+(Table 3a), because the random vectors keep high-frequency, low-semantics
+locant tokens linearly separable.
+"""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.embeddings.base import EmbeddingModel
+from repro.text.vocab import Vocabulary
+from repro.utils.rng import stable_hash
+
+
+class RandomEmbeddings(EmbeddingModel):
+    """Uniform random vector per token, deterministic in (seed, token).
+
+    The model is open-vocabulary: every token "hits", and the vector comes
+    from the same construction as the OOV fallback (which is the point — the
+    whole vocabulary is treated the way other models treat OOV tokens).
+    """
+
+    def __init__(self, dim: int = 300, seed: int = 0, name: str = "Random"):
+        super().__init__(dim=dim, name=name, oov_seed=seed)
+        self._seed = seed
+
+    @property
+    def vocabulary(self) -> Optional[Vocabulary]:
+        return None
+
+    def contains(self, token: str) -> bool:
+        return True
+
+    def _in_vocab_vector(self, token: str) -> np.ndarray:
+        return self.oov_vector(token)
+
+
+__all__ = ["RandomEmbeddings"]

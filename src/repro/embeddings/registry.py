@@ -1,0 +1,129 @@
+"""The paper's six named embedding models, assembled from the substrates.
+
+Section 2.3 / Table A4 lineup:
+
+=============  =====================================================
+name           construction here
+=============  =====================================================
+Random         uniform random vectors per token
+GloVe          GloVe trained on the open-domain (generic) corpus
+W2V-Chem       word2vec trained from scratch on the chemistry corpus
+GloVe-Chem     GloVe further trained on the chemistry corpus with the
+               joined vocabulary, initialised from generic GloVe
+BioWordVec     fastText (subword) trained on the biomedical corpus
+PubmedBERT     mini-BERT last-4-layer [CLS] phrase embeddings
+=============  =====================================================
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence
+
+from repro.bert.model import MiniBert
+from repro.embeddings.base import EmbeddingModel
+from repro.embeddings.contextual import ContextualEmbeddings
+from repro.embeddings.fasttext import FastText, FastTextConfig
+from repro.embeddings.glove import GloVe, GloVeConfig
+from repro.embeddings.random import RandomEmbeddings
+from repro.embeddings.word2vec import Word2Vec, Word2VecConfig
+
+#: Canonical model names, in the paper's table order.
+MODEL_NAMES = (
+    "Random",
+    "GloVe",
+    "W2V-Chem",
+    "GloVe-Chem",
+    "BioWordVec",
+    "PubmedBERT",
+)
+
+#: The static (token-level) subset eligible for token-selection adaptations.
+STATIC_MODEL_NAMES = ("Random", "GloVe", "W2V-Chem", "GloVe-Chem", "BioWordVec")
+
+
+@dataclass(frozen=True)
+class RegistryConfig:
+    """Shared training knobs for the embedding lineup."""
+
+    dim: int = 64
+    epochs: int = 3
+    glove_epochs: int = 10
+    min_count: int = 2
+    seed: int = 0
+
+
+def build_embedding_models(
+    chem_sentences: Sequence[Sequence[str]],
+    generic_sentences: Sequence[Sequence[str]],
+    biomedical_sentences: Sequence[Sequence[str]],
+    bert: Optional[MiniBert] = None,
+    config: Optional[RegistryConfig] = None,
+) -> Dict[str, EmbeddingModel]:
+    """Train and return the named lineup.
+
+    ``bert=None`` omits the PubmedBERT entry (e.g. when only the static
+    models are needed).  Corpora are tokenised sentences (lists of tokens).
+    """
+    config = config or RegistryConfig()
+    models: Dict[str, EmbeddingModel] = {}
+
+    models["Random"] = RandomEmbeddings(dim=config.dim, seed=config.seed)
+
+    glove_generic = GloVe.train(
+        generic_sentences,
+        GloVeConfig(
+            dim=config.dim,
+            epochs=config.glove_epochs,
+            min_count=config.min_count,
+            seed=config.seed,
+        ),
+        name="GloVe",
+    )
+    models["GloVe"] = glove_generic
+
+    models["W2V-Chem"] = Word2Vec.train(
+        chem_sentences,
+        Word2VecConfig(
+            dim=config.dim,
+            epochs=config.epochs,
+            min_count=config.min_count,
+            seed=config.seed,
+        ),
+        name="W2V-Chem",
+    )
+
+    models["GloVe-Chem"] = GloVe.train(
+        chem_sentences,
+        GloVeConfig(
+            dim=config.dim,
+            epochs=config.glove_epochs,
+            min_count=config.min_count,
+            seed=config.seed,
+        ),
+        name="GloVe-Chem",
+        init_from=glove_generic,
+    )
+
+    models["BioWordVec"] = FastText.train(
+        biomedical_sentences,
+        FastTextConfig(
+            dim=config.dim,
+            epochs=config.epochs,
+            min_count=config.min_count,
+            seed=config.seed,
+        ),
+        name="BioWordVec",
+    )
+
+    if bert is not None:
+        models["PubmedBERT"] = ContextualEmbeddings(bert, name="PubmedBERT")
+    return models
+
+
+__all__ = [
+    "MODEL_NAMES",
+    "STATIC_MODEL_NAMES",
+    "RegistryConfig",
+    "build_embedding_models",
+]

@@ -1,0 +1,12 @@
+"""Structure-based knowledge-graph embedding baselines.
+
+The paper situates its text-based paradigms within the link-prediction
+literature (Section 1).  This package provides the canonical structural
+comparator — TransE — which learns entity/relation vectors from the graph
+alone (no entity names), so its comparison against the text-feature models
+isolates how much of the curation signal lives in nomenclature vs topology.
+"""
+
+from repro.kg.transe import TransE, TransEConfig
+
+__all__ = ["TransE", "TransEConfig"]

@@ -1,0 +1,239 @@
+"""TransE (Bordes et al., 2013) from scratch in numpy.
+
+Entities and relations live in the same space; a true triple ``(s, l, o)``
+should satisfy ``e_s + r_l ~ e_o``.  Training minimises a margin ranking
+loss against corrupted triples (head or tail replaced by a random entity),
+with entity vectors renormalised to the unit ball each step.
+
+For the curation tasks the scorer is wrapped as a classifier: a decision
+threshold on ``-||e_s + r_l - e_o||`` is calibrated on the training triples
+(maximising F1).  Because TransE never sees entity *names*, it is the
+structure-only comparator to the paper's text-based paradigms: strong on
+task 1 (random negatives break graph structure), weak on triples about
+entities unseen in training.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.triples import LabeledTriple
+from repro.metrics.classification import f1_score
+from repro.utils.rng import SeedLike, derive_rng
+
+
+@dataclass(frozen=True)
+class TransEConfig:
+    """TransE hyperparameters."""
+
+    dim: int = 32
+    margin: float = 1.0
+    epochs: int = 40
+    learning_rate: float = 0.05
+    batch_size: int = 512
+    norm: int = 1  # L1 or L2 dissimilarity
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.dim < 1 or self.epochs < 1 or self.batch_size < 1:
+            raise ValueError("dim, epochs, batch_size must be positive")
+        if self.margin <= 0 or self.learning_rate <= 0:
+            raise ValueError("margin and learning_rate must be positive")
+        if self.norm not in (1, 2):
+            raise ValueError("norm must be 1 or 2")
+
+
+class TransE:
+    """A trained TransE model with a calibrated classification threshold."""
+
+    def __init__(self, config: Optional[TransEConfig] = None):
+        self.config = config or TransEConfig()
+        self.entity_index: Dict[str, int] = {}
+        self.relation_index: Dict[str, int] = {}
+        self.entity_vectors: Optional[np.ndarray] = None
+        self.relation_vectors: Optional[np.ndarray] = None
+        self.threshold: float = 0.0
+
+    # -- training -------------------------------------------------------------
+
+    def _index_triples(
+        self, triples: Sequence[LabeledTriple]
+    ) -> np.ndarray:
+        rows = []
+        for triple in triples:
+            rows.append(
+                (
+                    self.entity_index[triple.subject_id],
+                    self.relation_index[triple.relation.name],
+                    self.entity_index[triple.object_id],
+                )
+            )
+        return np.array(rows, dtype=np.int64)
+
+    def _distance(
+        self, heads: np.ndarray, relations: np.ndarray, tails: np.ndarray
+    ) -> np.ndarray:
+        diff = (
+            self.entity_vectors[heads]
+            + self.relation_vectors[relations]
+            - self.entity_vectors[tails]
+        )
+        if self.config.norm == 1:
+            return np.abs(diff).sum(axis=1)
+        return np.sqrt((diff**2).sum(axis=1) + 1e-12)
+
+    def fit(self, train_triples: Sequence[LabeledTriple]) -> "TransE":
+        """Train on the *positive* triples of a labelled training split.
+
+        Only the graph edges present in the training data are learned —
+        test positives are never seen, so the evaluation is leak-free.  The
+        full labelled split calibrates the classification threshold.
+        """
+        config = self.config
+        rng = derive_rng(config.seed, "transe")
+        positives = [t for t in train_triples if t.label == 1]
+        if not positives:
+            raise ValueError("training split contains no positive triples")
+
+        entity_ids = sorted(
+            {t.subject_id for t in train_triples}
+            | {t.object_id for t in train_triples}
+        )
+        self.entity_index = {e: i for i, e in enumerate(entity_ids)}
+        relations = sorted({t.relation.name for t in train_triples})
+        self.relation_index = {r: i for i, r in enumerate(relations)}
+        n_entities = len(self.entity_index)
+
+        bound = 6.0 / np.sqrt(config.dim)
+        self.entity_vectors = rng.uniform(-bound, bound, (n_entities, config.dim))
+        self.relation_vectors = rng.uniform(
+            -bound, bound, (len(self.relation_index), config.dim)
+        )
+        self.relation_vectors /= np.maximum(
+            np.linalg.norm(self.relation_vectors, axis=1, keepdims=True), 1e-12
+        )
+
+        edges = self._index_triples(positives)
+        n_edges = edges.shape[0]
+
+        for _ in range(config.epochs):
+            # Renormalise entities to the unit ball (the TransE constraint).
+            norms = np.maximum(
+                np.linalg.norm(self.entity_vectors, axis=1, keepdims=True), 1.0
+            )
+            self.entity_vectors /= norms
+
+            order = rng.permutation(n_edges)
+            for start in range(0, n_edges, config.batch_size):
+                batch = edges[order[start : start + config.batch_size]]
+                heads, rels, tails = batch[:, 0], batch[:, 1], batch[:, 2]
+                corrupt = rng.integers(0, n_entities, size=batch.shape[0])
+                corrupt_heads = rng.random(batch.shape[0]) < 0.5
+                neg_heads = np.where(corrupt_heads, corrupt, heads)
+                neg_tails = np.where(corrupt_heads, tails, corrupt)
+
+                pos_diff = (
+                    self.entity_vectors[heads]
+                    + self.relation_vectors[rels]
+                    - self.entity_vectors[tails]
+                )
+                neg_diff = (
+                    self.entity_vectors[neg_heads]
+                    + self.relation_vectors[rels]
+                    - self.entity_vectors[neg_tails]
+                )
+                if config.norm == 1:
+                    pos_dist = np.abs(pos_diff).sum(axis=1)
+                    neg_dist = np.abs(neg_diff).sum(axis=1)
+                    pos_grad = np.sign(pos_diff)
+                    neg_grad = np.sign(neg_diff)
+                else:
+                    pos_dist = np.sqrt((pos_diff**2).sum(axis=1) + 1e-12)
+                    neg_dist = np.sqrt((neg_diff**2).sum(axis=1) + 1e-12)
+                    pos_grad = pos_diff / pos_dist[:, None]
+                    neg_grad = neg_diff / neg_dist[:, None]
+
+                active = (config.margin + pos_dist - neg_dist) > 0
+                if not active.any():
+                    continue
+                lr = config.learning_rate
+                pos_grad = pos_grad[active] * lr
+                neg_grad = neg_grad[active] * lr
+
+                np.add.at(self.entity_vectors, heads[active], -pos_grad)
+                np.add.at(self.entity_vectors, tails[active], pos_grad)
+                np.add.at(self.relation_vectors, rels[active], -pos_grad)
+                np.add.at(self.entity_vectors, neg_heads[active], neg_grad)
+                np.add.at(self.entity_vectors, neg_tails[active], -neg_grad)
+                np.add.at(self.relation_vectors, rels[active], neg_grad)
+
+        self._calibrate(train_triples, edges)
+        return self
+
+    def _calibrate(
+        self, train_triples: Sequence[LabeledTriple], edges: np.ndarray
+    ) -> None:
+        known = [
+            t for t in train_triples
+            if t.subject_id in self.entity_index
+            and t.object_id in self.entity_index
+            and t.relation.name in self.relation_index
+        ]
+        labels = [t.label for t in known]
+        if known and 0 in labels and 1 in labels:
+            indexed = self._index_triples(known)
+            distances = self._distance(indexed[:, 0], indexed[:, 1], indexed[:, 2])
+            candidates = np.quantile(distances, np.linspace(0.05, 0.95, 19))
+            best_threshold, best_f1 = float(candidates[0]), -1.0
+            for candidate in candidates:
+                predictions = (distances <= candidate).astype(np.int64)
+                score = f1_score(labels, predictions)
+                if score > best_f1:
+                    best_f1 = score
+                    best_threshold = float(candidate)
+            self.threshold = best_threshold
+            return
+        positive_distances = self._distance(edges[:, 0], edges[:, 1], edges[:, 2])
+        self.threshold = float(np.median(positive_distances))
+
+    # -- inference ---------------------------------------------------------------
+
+    def score(self, triples: Sequence[LabeledTriple]) -> np.ndarray:
+        """Plausibility score (higher = more plausible): ``-distance``.
+
+        Triples mentioning unknown entities/relations score ``-inf``.
+        """
+        if self.entity_vectors is None:
+            raise RuntimeError("model is not fitted")
+        scores = np.full(len(triples), -np.inf)
+        rows = []
+        positions = []
+        for position, triple in enumerate(triples):
+            if (
+                triple.subject_id in self.entity_index
+                and triple.object_id in self.entity_index
+                and triple.relation.name in self.relation_index
+            ):
+                rows.append(
+                    (
+                        self.entity_index[triple.subject_id],
+                        self.relation_index[triple.relation.name],
+                        self.entity_index[triple.object_id],
+                    )
+                )
+                positions.append(position)
+        if rows:
+            indexed = np.array(rows, dtype=np.int64)
+            distances = self._distance(indexed[:, 0], indexed[:, 1], indexed[:, 2])
+            scores[positions] = -distances
+        return scores
+
+    def predict(self, triples: Sequence[LabeledTriple]) -> np.ndarray:
+        """0/1 decisions via the calibrated distance threshold."""
+        return (self.score(triples) >= -self.threshold).astype(np.int64)
+
+
+__all__ = ["TransE", "TransEConfig"]

@@ -1,0 +1,46 @@
+"""In-context-learning paradigm: prompting LLMs to classify triples.
+
+Contains the Table 1 prompt template with its three formulations, a chat
+client interface (with an HTTP client for real OpenAI-compatible endpoints
+and calibrated offline simulators for GPT-4 / GPT-3.5 / BioGPT), response
+parsing, and the 100-prompt x 5-repeat experiment protocol of Section 2.4.
+"""
+
+from repro.llm.client import ChatClient, EchoClient, HTTPChatClient
+from repro.llm.icl import (
+    ICLConfig,
+    ICLResult,
+    build_icl_queries,
+    parse_response,
+    run_icl_experiment,
+)
+from repro.llm.prompts import PromptVariant, render_prompt
+from repro.llm.simulated import (
+    BIOGPT_PROFILE,
+    GPT35_PROFILE,
+    GPT4_PROFILE,
+    LLAMA2_PROFILE,
+    BehaviourProfile,
+    SimulatedChatModel,
+    truth_table,
+)
+
+__all__ = [
+    "PromptVariant",
+    "render_prompt",
+    "ChatClient",
+    "HTTPChatClient",
+    "EchoClient",
+    "BehaviourProfile",
+    "SimulatedChatModel",
+    "GPT4_PROFILE",
+    "GPT35_PROFILE",
+    "BIOGPT_PROFILE",
+    "LLAMA2_PROFILE",
+    "truth_table",
+    "ICLConfig",
+    "ICLResult",
+    "build_icl_queries",
+    "parse_response",
+    "run_icl_experiment",
+]

@@ -1,0 +1,90 @@
+"""Chat-completion client interface.
+
+:class:`SimulatedChatModel` (in :mod:`repro.llm.simulated`) implements this
+interface offline; :class:`HTTPChatClient` talks to a real OpenAI-compatible
+endpoint for users with API access, reproducing the paper's original setup
+(``gpt-3.5-turbo-0613`` / ``gpt-4-0613`` via the chat-completions API).
+"""
+
+from __future__ import annotations
+
+import abc
+import json
+import urllib.request
+from typing import Optional
+
+
+class ChatClient(abc.ABC):
+    """Anything that maps a prompt string to a completion string."""
+
+    @abc.abstractmethod
+    def complete(self, prompt: str) -> str:
+        """Return the model's completion for ``prompt``."""
+
+    @property
+    def name(self) -> str:
+        return type(self).__name__
+
+
+class EchoClient(ChatClient):
+    """Degenerate client returning a fixed completion; useful in tests."""
+
+    def __init__(self, response: str = "True"):
+        self._response = response
+
+    def complete(self, prompt: str) -> str:
+        return self._response
+
+
+class HTTPChatClient(ChatClient):
+    """OpenAI-compatible chat-completions client (requires network access).
+
+    Mirrors the paper's API usage: one user message per prompt, temperature
+    configurable (the repeated-delivery protocol measures consistency, so
+    the default keeps the provider's sampling behaviour).
+    """
+
+    def __init__(
+        self,
+        api_key: str,
+        model: str = "gpt-4-0613",
+        endpoint: str = "https://api.openai.com/v1/chat/completions",
+        temperature: Optional[float] = None,
+        timeout: float = 60.0,
+    ):
+        if not api_key:
+            raise ValueError("api_key must be provided")
+        self.api_key = api_key
+        self.model = model
+        self.endpoint = endpoint
+        self.temperature = temperature
+        self.timeout = timeout
+
+    @property
+    def name(self) -> str:
+        return self.model
+
+    def complete(self, prompt: str) -> str:
+        payload = {
+            "model": self.model,
+            "messages": [{"role": "user", "content": prompt}],
+        }
+        if self.temperature is not None:
+            payload["temperature"] = self.temperature
+        request = urllib.request.Request(
+            self.endpoint,
+            data=json.dumps(payload).encode("utf-8"),
+            headers={
+                "Content-Type": "application/json",
+                "Authorization": f"Bearer {self.api_key}",
+            },
+        )
+        with urllib.request.urlopen(request, timeout=self.timeout) as response:
+            body = json.loads(response.read().decode("utf-8"))
+        try:
+            return body["choices"][0]["message"]["content"]
+        except (KeyError, IndexError) as error:
+            raise RuntimeError(f"malformed chat-completions response: {body!r}") from error
+
+
+__all__ = ["ChatClient", "EchoClient", "HTTPChatClient"]

@@ -1,0 +1,121 @@
+"""Few-shot prompt construction (paper Table 1 and Section 2.4).
+
+Three prompt formulations were tested:
+
+* **#1 BASE** — three positive examples, then three negative examples, then
+  the query (the Table 1 template verbatim);
+* **#2 ABSTAIN** — #1 plus "If you do not know the answer, state 'I don't
+  know'", aimed at reducing hallucinations;
+* **#3 SHUFFLED** — #1 with positive and negative examples interleaved in
+  random order, motivated by BioGPT's tendency to copy the trailing block of
+  negative examples.
+"""
+
+from __future__ import annotations
+
+import enum
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.triples import LabeledTriple
+from repro.utils.rng import SeedLike, derive_rng
+
+INSTRUCTION = "Your task is to classify triples as True or False."
+ABSTAIN_SENTENCE = "If you do not know the answer, state 'I don't know'."
+
+TRIPLE_TAG = "<triple>"
+CLASSIFICATION_TAG = "<classification>"
+
+
+class PromptVariant(enum.Enum):
+    """The paper's three prompt formulations."""
+
+    BASE = 1
+    ABSTAIN = 2
+    SHUFFLED = 3
+
+
+def format_example(triple: LabeledTriple, label: bool) -> str:
+    """One few-shot example block."""
+    word = "True" if label else "False"
+    return (
+        f"{TRIPLE_TAG}: {triple.as_text()}\n"
+        f"{CLASSIFICATION_TAG}: {word}"
+    )
+
+
+def render_prompt(
+    positive_examples: Sequence[LabeledTriple],
+    negative_examples: Sequence[LabeledTriple],
+    query: LabeledTriple,
+    variant: PromptVariant = PromptVariant.BASE,
+    seed: SeedLike = 0,
+) -> str:
+    """Render the full prompt string for one query.
+
+    For :attr:`PromptVariant.SHUFFLED` the example order is drawn from
+    ``seed``; the other variants keep the Table 1 order (positives first).
+    """
+    if not positive_examples or not negative_examples:
+        raise ValueError("need at least one positive and one negative example")
+    examples: List[Tuple[LabeledTriple, bool]] = [
+        (t, True) for t in positive_examples
+    ] + [(t, False) for t in negative_examples]
+
+    if variant is PromptVariant.SHUFFLED:
+        rng = derive_rng(seed, "prompt-shuffle", query.as_text())
+        order = rng.permutation(len(examples))
+        examples = [examples[int(i)] for i in order]
+
+    lines = [INSTRUCTION]
+    if variant is PromptVariant.ABSTAIN:
+        lines.append(ABSTAIN_SENTENCE)
+    lines.append("")
+    for triple, label in examples:
+        lines.append(format_example(triple, label))
+    lines.append(f"{TRIPLE_TAG}: {query.as_text()}")
+    lines.append(f"{CLASSIFICATION_TAG}:")
+    return "\n".join(lines)
+
+
+def extract_query_text(prompt: str) -> str:
+    """The query triple text of a rendered prompt (its last ``<triple>:``).
+
+    Used by the simulated models to look the query up in their knowledge
+    oracle; raises :class:`ValueError` for texts this module did not render.
+    """
+    marker = f"{TRIPLE_TAG}: "
+    position = prompt.rfind(marker)
+    if position < 0:
+        raise ValueError("prompt contains no <triple>: line")
+    rest = prompt[position + len(marker):]
+    return rest.split("\n", 1)[0].strip()
+
+
+def example_order_signature(prompt: str) -> List[bool]:
+    """Labels of the few-shot examples in prompt order.
+
+    Lets the simulated models detect blocked orderings (all positives first)
+    and reproduce the order-bias behaviour discussed in Section 2.4.
+    """
+    labels: List[bool] = []
+    for line in prompt.splitlines():
+        if line.startswith(f"{CLASSIFICATION_TAG}:"):
+            value = line.split(":", 1)[1].strip().lower()
+            if value == "true":
+                labels.append(True)
+            elif value == "false":
+                labels.append(False)
+    return labels
+
+
+__all__ = [
+    "PromptVariant",
+    "render_prompt",
+    "format_example",
+    "extract_query_text",
+    "example_order_signature",
+    "INSTRUCTION",
+    "ABSTAIN_SENTENCE",
+]

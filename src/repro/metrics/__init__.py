@@ -1,0 +1,32 @@
+"""Evaluation metrics used throughout the benchmark.
+
+The paper reports accuracy, precision, recall, F1 (Tables 3-6), ROC-AUC broken
+down by relationship type (Figure 2), and Fleiss' kappa for LLM response
+consistency (Table 5).  All are implemented here from scratch.
+"""
+
+from repro.metrics.agreement import fleiss_kappa
+from repro.metrics.classification import (
+    ClassificationReport,
+    accuracy,
+    confusion_matrix,
+    evaluate_binary,
+    f1_score,
+    precision,
+    recall,
+)
+from repro.metrics.roc import auc, roc_auc_score, roc_curve
+
+__all__ = [
+    "ClassificationReport",
+    "accuracy",
+    "confusion_matrix",
+    "evaluate_binary",
+    "precision",
+    "recall",
+    "f1_score",
+    "roc_curve",
+    "auc",
+    "roc_auc_score",
+    "fleiss_kappa",
+]

@@ -1,0 +1,61 @@
+"""Inter-rating agreement statistics.
+
+The paper delivers each ICL prompt five times and reports Fleiss' kappa over
+the repeated classifications (Section 2.4, Table 5) to quantify how consistent
+each LLM's answers are.
+"""
+
+from __future__ import annotations
+
+from typing import Hashable, Sequence
+
+import numpy as np
+
+
+def fleiss_kappa(ratings: Sequence[Sequence[Hashable]]) -> float:
+    """Fleiss' kappa for categorical ratings.
+
+    ``ratings`` is a list of subjects; each subject is the list of category
+    labels assigned by the raters (here: the answers from the five repeated
+    deliveries of one prompt).  Every subject must have the same number of
+    ratings, and there must be at least two raters.
+
+    Returns 1.0 for perfect agreement.  When every rating in the whole input
+    is the same single category, chance agreement is also 1 and kappa is
+    conventionally reported as 1.0 (all raters always agreed).
+    """
+    if not ratings:
+        raise ValueError("ratings must contain at least one subject")
+    n_raters = len(ratings[0])
+    if n_raters < 2:
+        raise ValueError("Fleiss' kappa requires at least two ratings per subject")
+    for idx, subject in enumerate(ratings):
+        if len(subject) != n_raters:
+            raise ValueError(
+                f"subject {idx} has {len(subject)} ratings, expected {n_raters}"
+            )
+
+    categories = sorted({label for subject in ratings for label in subject}, key=repr)
+    category_index = {label: i for i, label in enumerate(categories)}
+
+    counts = np.zeros((len(ratings), len(categories)), dtype=np.float64)
+    for row, subject in enumerate(ratings):
+        for label in subject:
+            counts[row, category_index[label]] += 1
+
+    # Per-subject observed agreement.
+    p_i = (np.sum(counts * (counts - 1), axis=1)) / (n_raters * (n_raters - 1))
+    p_bar = float(np.mean(p_i))
+
+    # Chance agreement from the marginal category distribution.
+    p_j = counts.sum(axis=0) / counts.sum()
+    p_e = float(np.sum(p_j**2))
+
+    if np.isclose(p_e, 1.0):
+        # Single category used throughout: perfect (and trivially chance-level)
+        # agreement.  Report 1.0 rather than 0/0.
+        return 1.0
+    return (p_bar - p_e) / (1.0 - p_e)
+
+
+__all__ = ["fleiss_kappa"]

@@ -1,0 +1,153 @@
+"""Binary classification metrics.
+
+The paper evaluates every model with accuracy, precision, recall and F1.  For
+the supervised-learning tables the paper reports *weighted* (effectively
+macro-averaged over the two balanced classes) precision/recall; for the ICL
+tables it reports positive-class metrics with unclassified responses excluded
+from precision/recall/F1 but counted as errors for accuracy (Section 3.5).
+Both conventions are supported here.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Sequence
+
+import numpy as np
+
+
+def _as_int_array(values: Sequence[int]) -> np.ndarray:
+    arr = np.asarray(values)
+    if arr.ndim != 1:
+        raise ValueError(f"labels must be one-dimensional, got shape {arr.shape}")
+    return arr.astype(np.int64)
+
+
+def _validate_pair(y_true: Sequence[int], y_pred: Sequence[int]):
+    true_arr = _as_int_array(y_true)
+    pred_arr = _as_int_array(y_pred)
+    if true_arr.shape != pred_arr.shape:
+        raise ValueError(
+            f"y_true and y_pred lengths differ: {true_arr.shape[0]} vs {pred_arr.shape[0]}"
+        )
+    if true_arr.size == 0:
+        raise ValueError("cannot compute metrics on empty label arrays")
+    return true_arr, pred_arr
+
+
+def confusion_matrix(y_true: Sequence[int], y_pred: Sequence[int]) -> np.ndarray:
+    """Return the 2x2 confusion matrix ``[[tn, fp], [fn, tp]]``.
+
+    Labels must be 0 (negative) or 1 (positive).
+    """
+    true_arr, pred_arr = _validate_pair(y_true, y_pred)
+    for name, arr in (("y_true", true_arr), ("y_pred", pred_arr)):
+        bad = set(np.unique(arr)) - {0, 1}
+        if bad:
+            raise ValueError(f"{name} contains non-binary labels: {sorted(bad)}")
+    matrix = np.zeros((2, 2), dtype=np.int64)
+    np.add.at(matrix, (true_arr, pred_arr), 1)
+    return matrix
+
+
+def accuracy(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """Fraction of predictions equal to the true label."""
+    true_arr, pred_arr = _validate_pair(y_true, y_pred)
+    return float(np.mean(true_arr == pred_arr))
+
+
+def precision(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """Positive-class precision: tp / (tp + fp).  Returns 0.0 when undefined."""
+    matrix = confusion_matrix(y_true, y_pred)
+    tp, fp = matrix[1, 1], matrix[0, 1]
+    return float(tp / (tp + fp)) if (tp + fp) else 0.0
+
+
+def recall(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """Positive-class recall: tp / (tp + fn).  Returns 0.0 when undefined."""
+    matrix = confusion_matrix(y_true, y_pred)
+    tp, fn = matrix[1, 1], matrix[1, 0]
+    return float(tp / (tp + fn)) if (tp + fn) else 0.0
+
+
+def f1_score(y_true: Sequence[int], y_pred: Sequence[int]) -> float:
+    """Harmonic mean of positive-class precision and recall."""
+    p = precision(y_true, y_pred)
+    r = recall(y_true, y_pred)
+    return 2 * p * r / (p + r) if (p + r) else 0.0
+
+
+@dataclass(frozen=True)
+class ClassificationReport:
+    """Bundle of the four headline metrics plus class-averaged variants.
+
+    ``precision``/``recall``/``f1`` follow the *weighted* convention used in
+    the paper's ML/FT tables (per-class metrics weighted by class support,
+    which coincides with macro averaging on balanced test sets).
+    ``positive_precision``/``positive_recall``/``positive_f1`` follow the
+    positive-class convention used in the ICL tables.
+    """
+
+    accuracy: float
+    precision: float
+    recall: float
+    f1: float
+    positive_precision: float
+    positive_recall: float
+    positive_f1: float
+    support: int
+
+    def as_row(self) -> dict:
+        """Flatten into a plain dict suitable for table rendering."""
+        return {
+            "accuracy": round(self.accuracy, 4),
+            "precision": round(self.precision, 4),
+            "recall": round(self.recall, 4),
+            "f1": round(self.f1, 4),
+        }
+
+
+def _per_class_prf(matrix: np.ndarray, label: int):
+    tp = matrix[label, label]
+    fp = matrix[1 - label, label]
+    fn = matrix[label, 1 - label]
+    p = tp / (tp + fp) if (tp + fp) else 0.0
+    r = tp / (tp + fn) if (tp + fn) else 0.0
+    f = 2 * p * r / (p + r) if (p + r) else 0.0
+    return p, r, f
+
+
+def evaluate_binary(
+    y_true: Sequence[int], y_pred: Sequence[int]
+) -> ClassificationReport:
+    """Compute the full metric bundle for a binary prediction run."""
+    matrix = confusion_matrix(y_true, y_pred)
+    supports = matrix.sum(axis=1)
+    total = int(supports.sum())
+    weighted = np.zeros(3)
+    for label in (0, 1):
+        prf = _per_class_prf(matrix, label)
+        weighted += np.array(prf) * (supports[label] / total)
+    pos_p, pos_r, pos_f = _per_class_prf(matrix, 1)
+    acc = float((matrix[0, 0] + matrix[1, 1]) / total)
+    return ClassificationReport(
+        accuracy=acc,
+        precision=float(weighted[0]),
+        recall=float(weighted[1]),
+        f1=float(weighted[2]),
+        positive_precision=float(pos_p),
+        positive_recall=float(pos_r),
+        positive_f1=float(pos_f),
+        support=total,
+    )
+
+
+__all__ = [
+    "ClassificationReport",
+    "confusion_matrix",
+    "accuracy",
+    "precision",
+    "recall",
+    "f1_score",
+    "evaluate_binary",
+]

@@ -1,0 +1,74 @@
+"""ROC curve and AUC, used for the Figure 2 per-relationship breakdown."""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+
+def roc_curve(
+    y_true: Sequence[int], y_score: Sequence[float]
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Compute the ROC curve.
+
+    Returns ``(fpr, tpr, thresholds)`` where thresholds are the distinct
+    scores in decreasing order, prefixed by ``+inf`` so the curve starts at
+    (0, 0).  Matches the standard construction (ties collapsed).
+    """
+    true_arr = np.asarray(y_true, dtype=np.int64)
+    score_arr = np.asarray(y_score, dtype=np.float64)
+    if true_arr.shape != score_arr.shape:
+        raise ValueError("y_true and y_score must have equal length")
+    if true_arr.size == 0:
+        raise ValueError("cannot compute an ROC curve on empty input")
+    bad = set(np.unique(true_arr)) - {0, 1}
+    if bad:
+        raise ValueError(f"y_true contains non-binary labels: {sorted(bad)}")
+
+    order = np.argsort(-score_arr, kind="stable")
+    sorted_true = true_arr[order]
+    sorted_score = score_arr[order]
+
+    # Indices where the score changes: curve vertices after collapsing ties.
+    distinct = np.where(np.diff(sorted_score))[0]
+    cut_indices = np.concatenate([distinct, [sorted_true.size - 1]])
+
+    tps = np.cumsum(sorted_true)[cut_indices].astype(np.float64)
+    fps = (cut_indices + 1) - tps
+
+    n_pos = float(sorted_true.sum())
+    n_neg = float(sorted_true.size - n_pos)
+
+    tpr = tps / n_pos if n_pos else np.zeros_like(tps)
+    fpr = fps / n_neg if n_neg else np.zeros_like(fps)
+
+    tpr = np.concatenate([[0.0], tpr])
+    fpr = np.concatenate([[0.0], fpr])
+    thresholds = np.concatenate([[np.inf], sorted_score[cut_indices]])
+    return fpr, tpr, thresholds
+
+
+def auc(x: Sequence[float], y: Sequence[float]) -> float:
+    """Trapezoidal area under a curve defined by monotone ``x`` and ``y``."""
+    x_arr = np.asarray(x, dtype=np.float64)
+    y_arr = np.asarray(y, dtype=np.float64)
+    if x_arr.size < 2:
+        raise ValueError("need at least two points to integrate")
+    trapezoid = getattr(np, "trapezoid", None) or np.trapz  # numpy 2.0 rename
+    return float(trapezoid(y_arr, x_arr))
+
+
+def roc_auc_score(y_true: Sequence[int], y_score: Sequence[float]) -> float:
+    """Area under the ROC curve.
+
+    Raises :class:`ValueError` if only one class is present (AUC undefined).
+    """
+    true_arr = np.asarray(y_true, dtype=np.int64)
+    if len(set(np.unique(true_arr))) < 2:
+        raise ValueError("ROC AUC is undefined with a single class present")
+    fpr, tpr, _ = roc_curve(y_true, y_score)
+    return auc(fpr, tpr)
+
+
+__all__ = ["roc_curve", "auc", "roc_auc_score"]

@@ -1,0 +1,38 @@
+"""Supervised-learning paradigm: feature pipeline, Random Forest, LSTM.
+
+Implements the paper's Algorithm 1 (triple → vector / sequence features via
+embedding models), from-scratch CART decision trees and Random Forests with
+feature importances (needed for the Figure A1 analysis), a numpy LSTM
+classifier, and the 5-fold-CV hyperparameter grid search of Appendix A7.
+"""
+
+from repro.ml.features import (
+    FeatureExtractor,
+    triple_component_tokens,
+    triple_to_sequence,
+    triple_to_vector,
+)
+from repro.ml.forest import RandomForest, RandomForestConfig
+from repro.ml.logistic import LogisticRegression, LogisticRegressionConfig
+from repro.ml.tree import DecisionTree, DecisionTreeConfig
+from repro.ml.lstm import LSTMClassifier, LSTMConfig
+from repro.ml.cross_validation import stratified_kfold
+from repro.ml.grid_search import GridSearchResult, grid_search
+
+__all__ = [
+    "FeatureExtractor",
+    "triple_component_tokens",
+    "triple_to_vector",
+    "triple_to_sequence",
+    "DecisionTree",
+    "DecisionTreeConfig",
+    "RandomForest",
+    "RandomForestConfig",
+    "LogisticRegression",
+    "LogisticRegressionConfig",
+    "LSTMClassifier",
+    "LSTMConfig",
+    "stratified_kfold",
+    "grid_search",
+    "GridSearchResult",
+]

@@ -1,0 +1,49 @@
+"""Stratified k-fold cross-validation indices."""
+
+from __future__ import annotations
+
+from typing import Iterator, List, Sequence, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, derive_rng
+
+
+def stratified_kfold(
+    labels: Sequence[int], n_folds: int = 5, seed: SeedLike = 0
+) -> List[Tuple[np.ndarray, np.ndarray]]:
+    """Stratified fold index pairs ``[(train_idx, test_idx), ...]``.
+
+    Each class's indices are shuffled and dealt round-robin into folds, so
+    fold class ratios match the dataset's.  Every index appears in exactly
+    one test fold.
+    """
+    y = np.asarray(labels, dtype=np.int64)
+    if y.ndim != 1 or y.size == 0:
+        raise ValueError("labels must be a non-empty 1-D sequence")
+    if n_folds < 2:
+        raise ValueError("n_folds must be at least 2")
+    class_counts = np.bincount(y)
+    smallest = class_counts[class_counts > 0].min()
+    if smallest < n_folds:
+        raise ValueError(
+            f"smallest class has {smallest} samples; cannot build {n_folds} folds"
+        )
+    rng = derive_rng(seed, "kfold", n_folds)
+    fold_members: List[List[int]] = [[] for _ in range(n_folds)]
+    for label in np.unique(y):
+        indices = np.flatnonzero(y == label)
+        indices = indices[rng.permutation(indices.size)]
+        for position, index in enumerate(indices):
+            fold_members[position % n_folds].append(int(index))
+
+    folds = []
+    all_indices = set(range(y.size))
+    for members in fold_members:
+        test_idx = np.array(sorted(members), dtype=np.int64)
+        train_idx = np.array(sorted(all_indices - set(members)), dtype=np.int64)
+        folds.append((train_idx, test_idx))
+    return folds
+
+
+__all__ = ["stratified_kfold"]

@@ -1,0 +1,164 @@
+"""Triple → feature conversion (the paper's Algorithm 1).
+
+Two representations, chosen by the learning algorithm:
+
+* **vector** (Random Forest and other non-sequential models): tokenize each
+  component, average its token vectors, concatenate the three component
+  means into one ``3 * dim`` vector;
+* **sequence** (LSTM / RNN models): token vectors of subject, relation and
+  object joined by a learnable-free separator vector.
+
+Token-selection *adaptations* (Section 2.7) plug in as a ``token_filter``
+applied after tokenisation.  Phrase-level (contextual) embedding models skip
+tokenisation: each component is embedded as a whole phrase.
+"""
+
+from __future__ import annotations
+
+from typing import Callable, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.core.triples import LabeledTriple
+from repro.embeddings.base import EmbeddingModel
+from repro.text.tokenizer import ChemTokenizer
+
+TokenFilter = Callable[[List[str]], List[str]]
+
+#: Separator pseudo-token embedded between components in sequence features.
+SEPARATOR_TOKEN = "[SEP]"
+
+
+def triple_component_tokens(
+    triple: LabeledTriple,
+    tokenizer: Optional[ChemTokenizer] = None,
+    token_filter: Optional[TokenFilter] = None,
+) -> Tuple[List[str], List[str], List[str]]:
+    """Tokenised (subject, relation, object) with the adaptation filter applied.
+
+    A filter that would empty a component is ignored for that component (the
+    paper's naive adaptation keeps all tokens when every token is short).
+    """
+    tokenizer = tokenizer or ChemTokenizer()
+    components = []
+    for text in (triple.subject_name, triple.relation.label, triple.object_name):
+        tokens = tokenizer(text)
+        if not tokens:
+            tokens = [text.lower()]
+        if token_filter is not None:
+            filtered = token_filter(tokens)
+            if filtered:
+                tokens = filtered
+        components.append(tokens)
+    return components[0], components[1], components[2]
+
+
+def triple_to_vector(
+    triple: LabeledTriple,
+    embeddings: EmbeddingModel,
+    tokenizer: Optional[ChemTokenizer] = None,
+    token_filter: Optional[TokenFilter] = None,
+) -> np.ndarray:
+    """Averaged-then-concatenated feature vector, shape ``(3 * dim,)``."""
+    if embeddings.phrase_level:
+        parts = [
+            embeddings.vector(text)
+            for text in (
+                triple.subject_name,
+                triple.relation.label,
+                triple.object_name,
+            )
+        ]
+        return np.concatenate(parts)
+    subject, relation, obj = triple_component_tokens(triple, tokenizer, token_filter)
+    return np.concatenate(
+        [
+            embeddings.mean_vector(subject),
+            embeddings.mean_vector(relation),
+            embeddings.mean_vector(obj),
+        ]
+    )
+
+
+def triple_to_sequence(
+    triple: LabeledTriple,
+    embeddings: EmbeddingModel,
+    tokenizer: Optional[ChemTokenizer] = None,
+    token_filter: Optional[TokenFilter] = None,
+) -> np.ndarray:
+    """Token-vector sequence with separator rows, shape ``(T, dim)``."""
+    separator = embeddings.oov_vector(SEPARATOR_TOKEN)[None, :]
+    if embeddings.phrase_level:
+        rows = [
+            embeddings.vector(triple.subject_name)[None, :],
+            separator,
+            embeddings.vector(triple.relation.label)[None, :],
+            separator,
+            embeddings.vector(triple.object_name)[None, :],
+        ]
+        return np.concatenate(rows, axis=0)
+    subject, relation, obj = triple_component_tokens(triple, tokenizer, token_filter)
+    return np.concatenate(
+        [
+            embeddings.encode(subject),
+            separator,
+            embeddings.encode(relation),
+            separator,
+            embeddings.encode(obj),
+        ],
+        axis=0,
+    )
+
+
+class FeatureExtractor:
+    """Reusable extractor binding an embedding model and an adaptation.
+
+    Caches nothing across calls beyond what the embedding model itself
+    caches; instances are cheap and safe to share.
+    """
+
+    def __init__(
+        self,
+        embeddings: EmbeddingModel,
+        token_filter: Optional[TokenFilter] = None,
+        tokenizer: Optional[ChemTokenizer] = None,
+    ):
+        self.embeddings = embeddings
+        self.token_filter = token_filter
+        self.tokenizer = tokenizer or ChemTokenizer()
+
+    def matrix(self, triples: Sequence[LabeledTriple]) -> np.ndarray:
+        """Feature matrix ``(n, 3 * dim)`` for the vector representation."""
+        if not triples:
+            raise ValueError("no triples to featurise")
+        return np.stack(
+            [
+                triple_to_vector(
+                    t, self.embeddings, self.tokenizer, self.token_filter
+                )
+                for t in triples
+            ]
+        )
+
+    def sequences(self, triples: Sequence[LabeledTriple]) -> List[np.ndarray]:
+        """Per-triple ``(T_i, dim)`` sequences for the RNN representation."""
+        if not triples:
+            raise ValueError("no triples to featurise")
+        return [
+            triple_to_sequence(t, self.embeddings, self.tokenizer, self.token_filter)
+            for t in triples
+        ]
+
+    @staticmethod
+    def labels(triples: Sequence[LabeledTriple]) -> np.ndarray:
+        return np.array([t.label for t in triples], dtype=np.int64)
+
+
+__all__ = [
+    "TokenFilter",
+    "SEPARATOR_TOKEN",
+    "triple_component_tokens",
+    "triple_to_vector",
+    "triple_to_sequence",
+    "FeatureExtractor",
+]

@@ -1,0 +1,105 @@
+"""Logistic regression on triple feature vectors.
+
+A linear baseline for the supervised-learning paradigm: the paper's
+Algorithm 1 feeds any non-sequential learner; logistic regression is the
+standard linear comparator for the Random Forest and exposes the same
+``fit`` / ``predict`` / ``predict_proba`` interface (so it drops into the
+grid search and the paradigm wrappers unchanged).
+
+Trained with full-batch gradient descent + L2 regularisation; features are
+standardised internally (embedding coordinates have wildly different
+scales across models).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Optional
+
+import numpy as np
+
+
+@dataclass(frozen=True)
+class LogisticRegressionConfig:
+    """Training hyperparameters."""
+
+    learning_rate: float = 0.5
+    epochs: int = 300
+    l2: float = 1e-3
+    tol: float = 1e-7
+
+    def __post_init__(self):
+        if self.learning_rate <= 0 or self.epochs < 1:
+            raise ValueError("learning_rate and epochs must be positive")
+        if self.l2 < 0:
+            raise ValueError("l2 must be non-negative")
+
+
+class LogisticRegression:
+    """Binary logistic regression with internal feature standardisation."""
+
+    def __init__(self, config: Optional[LogisticRegressionConfig] = None):
+        self.config = config or LogisticRegressionConfig()
+        self.weights: Optional[np.ndarray] = None
+        self.bias: float = 0.0
+        self._mean: Optional[np.ndarray] = None
+        self._std: Optional[np.ndarray] = None
+        self.n_iterations_: int = 0
+
+    def _standardise(self, x: np.ndarray) -> np.ndarray:
+        return (x - self._mean) / self._std
+
+    def fit(self, x: np.ndarray, y: np.ndarray) -> "LogisticRegression":
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.float64)
+        if x.ndim != 2 or x.shape[0] != y.shape[0]:
+            raise ValueError("x must be (n, d) with matching y")
+        bad = set(np.unique(y)) - {0.0, 1.0}
+        if bad:
+            raise ValueError(f"labels must be binary, found {sorted(bad)}")
+
+        self._mean = x.mean(axis=0)
+        self._std = np.where(x.std(axis=0) > 1e-12, x.std(axis=0), 1.0)
+        z = self._standardise(x)
+
+        n, d = z.shape
+        self.weights = np.zeros(d)
+        self.bias = 0.0
+        previous_loss = np.inf
+        for iteration in range(self.config.epochs):
+            logits = z @ self.weights + self.bias
+            probs = 1.0 / (1.0 + np.exp(-np.clip(logits, -30, 30)))
+            error = probs - y
+            grad_w = z.T @ error / n + self.config.l2 * self.weights
+            grad_b = float(error.mean())
+            self.weights -= self.config.learning_rate * grad_w
+            self.bias -= self.config.learning_rate * grad_b
+            loss = float(
+                -np.mean(
+                    y * np.log(np.maximum(probs, 1e-12))
+                    + (1 - y) * np.log(np.maximum(1 - probs, 1e-12))
+                )
+                + 0.5 * self.config.l2 * float(self.weights @ self.weights)
+            )
+            self.n_iterations_ = iteration + 1
+            if abs(previous_loss - loss) < self.config.tol:
+                break
+            previous_loss = loss
+        return self
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        if self.weights is None:
+            raise RuntimeError("model is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self.weights.size:
+            raise ValueError(
+                f"x must be (n, {self.weights.size}), got shape {x.shape}"
+            )
+        logits = self._standardise(x) @ self.weights + self.bias
+        return 1.0 / (1.0 + np.exp(-np.clip(logits, -30, 30)))
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(x) >= 0.5).astype(np.int64)
+
+
+__all__ = ["LogisticRegression", "LogisticRegressionConfig"]

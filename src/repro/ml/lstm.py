@@ -1,0 +1,212 @@
+"""LSTM sequence classifier with backpropagation through time, in numpy.
+
+The paper's RNN archetype (Section 2.6): triples are converted into token
+vector sequences (Algorithm 1) and classified from the final hidden state.
+Embeddings are fixed inputs (not fine-tuned), matching the paper's setup.
+Sequences are right-padded per batch; masked steps pass hidden and cell
+states through unchanged so the final state equals the state at each
+sequence's true last step.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+from repro.nn.losses import softmax_cross_entropy
+from repro.nn.optim import Adam, clip_gradients
+from repro.utils.rng import derive_rng
+
+
+@dataclass(frozen=True)
+class LSTMConfig:
+    """LSTM classifier hyperparameters."""
+
+    hidden_size: int = 32
+    epochs: int = 5
+    batch_size: int = 32
+    learning_rate: float = 5e-3
+    max_grad_norm: float = 5.0
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.hidden_size < 1:
+            raise ValueError("hidden_size must be positive")
+        if self.epochs < 1 or self.batch_size < 1:
+            raise ValueError("epochs and batch_size must be positive")
+        if self.learning_rate <= 0:
+            raise ValueError("learning_rate must be positive")
+
+
+def _sigmoid(x: np.ndarray) -> np.ndarray:
+    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
+
+
+def _pad_batch(
+    sequences: Sequence[np.ndarray],
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Right-pad to ``(batch, T_max, dim)`` with a ``(batch, T_max)`` mask."""
+    dim = sequences[0].shape[1]
+    t_max = max(s.shape[0] for s in sequences)
+    x = np.zeros((len(sequences), t_max, dim))
+    mask = np.zeros((len(sequences), t_max))
+    for row, sequence in enumerate(sequences):
+        x[row, : sequence.shape[0]] = sequence
+        mask[row, : sequence.shape[0]] = 1.0
+    return x, mask
+
+
+class LSTMClassifier:
+    """Single-layer LSTM → linear softmax classifier over sequences."""
+
+    def __init__(self, input_dim: int, config: Optional[LSTMConfig] = None):
+        if input_dim < 1:
+            raise ValueError("input_dim must be positive")
+        self.config = config or LSTMConfig()
+        self.input_dim = input_dim
+        h = self.config.hidden_size
+        rng = derive_rng(self.config.seed, "lstm-init")
+        scale_x = 1.0 / np.sqrt(input_dim)
+        scale_h = 1.0 / np.sqrt(h)
+        self.w_x = Parameter(rng.normal(0, scale_x, size=(input_dim, 4 * h)), "lstm.w_x")
+        self.w_h = Parameter(rng.normal(0, scale_h, size=(h, 4 * h)), "lstm.w_h")
+        bias = np.zeros(4 * h)
+        bias[h : 2 * h] = 1.0  # forget-gate bias trick
+        self.b = Parameter(bias, "lstm.b")
+        self.w_out = Parameter(rng.normal(0, scale_h, size=(h, 2)), "lstm.w_out")
+        self.b_out = Parameter(np.zeros(2), "lstm.b_out")
+        self.history: List[dict] = []
+
+    def parameters(self) -> List[Parameter]:
+        return [self.w_x, self.w_h, self.b, self.w_out, self.b_out]
+
+    # -- forward/backward ----------------------------------------------------
+
+    def _forward(self, x: np.ndarray, mask: np.ndarray):
+        """Run the recurrence; returns (final hidden, per-step caches)."""
+        batch, t_max, _ = x.shape
+        h_size = self.config.hidden_size
+        h = np.zeros((batch, h_size))
+        c = np.zeros((batch, h_size))
+        caches = []
+        for t in range(t_max):
+            x_t = x[:, t, :]
+            m = mask[:, t : t + 1]
+            z = x_t @ self.w_x.value + h @ self.w_h.value + self.b.value
+            i = _sigmoid(z[:, :h_size])
+            f = _sigmoid(z[:, h_size : 2 * h_size])
+            g = np.tanh(z[:, 2 * h_size : 3 * h_size])
+            o = _sigmoid(z[:, 3 * h_size :])
+            c_new = f * c + i * g
+            tanh_c = np.tanh(c_new)
+            h_new = o * tanh_c
+            caches.append((x_t, h, c, i, f, g, o, tanh_c, m))
+            c = m * c_new + (1.0 - m) * c
+            h = m * h_new + (1.0 - m) * h
+        return h, caches
+
+    def _backward(self, caches, grad_h: np.ndarray):
+        h_size = self.config.hidden_size
+        grad_c = np.zeros_like(grad_h)
+        for x_t, h_prev, c_prev, i, f, g, o, tanh_c, m in reversed(caches):
+            dh_new = grad_h * m
+            dc_pass = grad_c * (1.0 - m)
+            dh_pass = grad_h * (1.0 - m)
+
+            do = dh_new * tanh_c
+            dc_new = grad_c * m + dh_new * o * (1.0 - tanh_c**2)
+
+            df = dc_new * c_prev
+            di = dc_new * g
+            dg = dc_new * i
+            dc_prev = dc_new * f + dc_pass
+
+            dz = np.concatenate(
+                [
+                    di * i * (1.0 - i),
+                    df * f * (1.0 - f),
+                    dg * (1.0 - g**2),
+                    do * o * (1.0 - o),
+                ],
+                axis=1,
+            )
+            self.w_x.grad += x_t.T @ dz
+            self.w_h.grad += h_prev.T @ dz
+            self.b.grad += dz.sum(axis=0)
+            grad_h = dz @ self.w_h.value.T + dh_pass
+            grad_c = dc_prev
+
+    # -- training & inference ---------------------------------------------------
+
+    def fit(
+        self,
+        sequences: Sequence[np.ndarray],
+        labels: Sequence[int],
+        validation: Optional[Tuple[Sequence[np.ndarray], Sequence[int]]] = None,
+    ) -> "LSTMClassifier":
+        """Train on variable-length sequences with binary labels."""
+        if len(sequences) != len(labels):
+            raise ValueError("sequences and labels must have equal length")
+        if not sequences:
+            raise ValueError("training set is empty")
+        for sequence in sequences:
+            if sequence.ndim != 2 or sequence.shape[1] != self.input_dim:
+                raise ValueError(
+                    f"each sequence must be (T, {self.input_dim})"
+                )
+        y = np.asarray(labels, dtype=np.int64)
+        rng = derive_rng(self.config.seed, "lstm-train")
+        optimizer = Adam(self.parameters(), lr=self.config.learning_rate)
+
+        for epoch in range(self.config.epochs):
+            order = rng.permutation(len(sequences))
+            epoch_losses: List[float] = []
+            for start in range(0, len(sequences), self.config.batch_size):
+                chosen = order[start : start + self.config.batch_size]
+                batch = [sequences[int(i)] for i in chosen]
+                x, mask = _pad_batch(batch)
+                h_final, caches = self._forward(x, mask)
+                logits = h_final @ self.w_out.value + self.b_out.value
+                loss, grad_logits = softmax_cross_entropy(logits, y[chosen])
+                for parameter in self.parameters():
+                    parameter.zero_grad()
+                self.w_out.grad += h_final.T @ grad_logits
+                self.b_out.grad += grad_logits.sum(axis=0)
+                grad_h = grad_logits @ self.w_out.value.T
+                self._backward(caches, grad_h)
+                clip_gradients(self.parameters(), self.config.max_grad_norm)
+                optimizer.step()
+                epoch_losses.append(loss)
+            record = {"epoch": epoch, "train_loss": float(np.mean(epoch_losses))}
+            if validation is not None:
+                val_x, val_y = validation
+                predictions = self.predict(val_x)
+                record["validation_accuracy"] = float(
+                    np.mean(predictions == np.asarray(val_y))
+                )
+            self.history.append(record)
+        return self
+
+    def predict_proba(self, sequences: Sequence[np.ndarray],
+                      batch_size: int = 128) -> np.ndarray:
+        """Positive-class probability per sequence."""
+        if not sequences:
+            raise ValueError("no sequences to classify")
+        probs: List[np.ndarray] = []
+        for start in range(0, len(sequences), batch_size):
+            x, mask = _pad_batch(sequences[start : start + batch_size])
+            h_final, _ = self._forward(x, mask)
+            logits = h_final @ self.w_out.value + self.b_out.value
+            shifted = logits - logits.max(axis=1, keepdims=True)
+            exp = np.exp(shifted)
+            probs.append((exp / exp.sum(axis=1, keepdims=True))[:, 1])
+        return np.concatenate(probs)
+
+    def predict(self, sequences: Sequence[np.ndarray]) -> np.ndarray:
+        return (self.predict_proba(sequences) >= 0.5).astype(np.int64)
+
+
+__all__ = ["LSTMClassifier", "LSTMConfig"]

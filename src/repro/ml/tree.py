@@ -1,0 +1,255 @@
+"""CART decision trees (binary classification) from scratch.
+
+Split search is quantile-histogram based: per candidate feature, up to
+``n_thresholds`` quantile cut points are evaluated in one vectorised pass.
+This trades a little exactness for an order-of-magnitude speedup over sorted
+scans, which matters because the benchmarks train many forests.  Impurity
+decrease per feature is accumulated into feature importances (needed for the
+paper's Figure A1 analysis).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.utils.rng import SeedLike, derive_rng
+
+
+@dataclass(frozen=True)
+class DecisionTreeConfig:
+    """CART hyperparameters.
+
+    Attributes:
+        max_depth: maximum tree depth (root at depth 0).
+        min_samples_split: minimum node size eligible for splitting.
+        min_samples_leaf: minimum samples on each side of a split.
+        max_features: candidate features per node; ``None`` uses all,
+            ``"sqrt"`` uses the square root (the Random Forest default).
+        n_thresholds: quantile cut points evaluated per feature.
+        seed: feature-subsampling seed.
+    """
+
+    max_depth: int = 12
+    min_samples_split: int = 4
+    min_samples_leaf: int = 2
+    max_features: Optional[object] = "sqrt"
+    n_thresholds: int = 24
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.max_depth < 1:
+            raise ValueError("max_depth must be >= 1")
+        if self.min_samples_split < 2:
+            raise ValueError("min_samples_split must be >= 2")
+        if self.min_samples_leaf < 1:
+            raise ValueError("min_samples_leaf must be >= 1")
+        if self.n_thresholds < 1:
+            raise ValueError("n_thresholds must be >= 1")
+
+    def resolve_max_features(self, n_features: int) -> int:
+        if self.max_features is None:
+            return n_features
+        if self.max_features == "sqrt":
+            return max(1, int(np.sqrt(n_features)))
+        if isinstance(self.max_features, int):
+            return max(1, min(self.max_features, n_features))
+        raise ValueError(f"unsupported max_features: {self.max_features!r}")
+
+
+class _Node:
+    """One tree node; leaves carry the positive-class probability."""
+
+    __slots__ = ("feature", "threshold", "left", "right", "probability")
+
+    def __init__(self):
+        self.feature: int = -1
+        self.threshold: float = 0.0
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.probability: float = 0.5
+
+    @property
+    def is_leaf(self) -> bool:
+        return self.left is None
+
+
+def _gini_from_counts(n_pos: np.ndarray, n_total: np.ndarray) -> np.ndarray:
+    """Gini impurity for arrays of (positive, total) counts; 0 where empty."""
+    with np.errstate(invalid="ignore", divide="ignore"):
+        p = np.where(n_total > 0, n_pos / np.maximum(n_total, 1), 0.0)
+    return 2.0 * p * (1.0 - p)
+
+
+class DecisionTree:
+    """A fitted CART classifier for binary labels."""
+
+    def __init__(self, config: Optional[DecisionTreeConfig] = None):
+        self.config = config or DecisionTreeConfig()
+        self._root: Optional[_Node] = None
+        self._n_features: int = 0
+        self.feature_importances_: Optional[np.ndarray] = None
+
+    def fit(self, x: np.ndarray, y: np.ndarray,
+            sample_indices: Optional[np.ndarray] = None) -> "DecisionTree":
+        """Grow the tree on ``x`` (n, d) and binary labels ``y`` (n,)."""
+        x = np.asarray(x, dtype=np.float64)
+        y = np.asarray(y, dtype=np.int64)
+        if x.ndim != 2 or y.ndim != 1 or x.shape[0] != y.shape[0]:
+            raise ValueError("x must be (n, d) and y (n,) with matching n")
+        if x.shape[0] == 0:
+            raise ValueError("cannot fit on an empty dataset")
+        bad = set(np.unique(y)) - {0, 1}
+        if bad:
+            raise ValueError(f"labels must be binary, found {sorted(bad)}")
+        self._n_features = x.shape[1]
+        self.feature_importances_ = np.zeros(self._n_features)
+        rng = derive_rng(self.config.seed, "tree-features")
+        indices = (
+            np.arange(x.shape[0]) if sample_indices is None
+            else np.asarray(sample_indices, dtype=np.int64)
+        )
+        self._root = self._build(x, y, indices, depth=0, rng=rng,
+                                 n_total=indices.size)
+        total = self.feature_importances_.sum()
+        if total > 0:
+            self.feature_importances_ /= total
+        return self
+
+    def _best_split(
+        self, x: np.ndarray, y: np.ndarray, indices: np.ndarray,
+        rng: np.random.Generator,
+    ) -> Optional[Tuple[int, float, float]]:
+        """Return ``(feature, threshold, impurity_decrease)`` or None."""
+        config = self.config
+        n = indices.size
+        labels = y[indices]
+        n_pos = int(labels.sum())
+        parent_gini = _gini_from_counts(
+            np.array([n_pos]), np.array([n])
+        )[0]
+        if parent_gini == 0.0:
+            return None
+        k = config.resolve_max_features(self._n_features)
+        features = rng.choice(self._n_features, size=k, replace=False)
+        best = None
+        best_decrease = 1e-12
+        for feature in features:
+            values = x[indices, feature]
+            order = np.argsort(values, kind="stable")
+            sorted_values = values[order]
+            if sorted_values[0] == sorted_values[-1]:
+                continue
+            cum_pos = np.cumsum(labels[order])
+            # Candidate cuts at evenly spaced ranks; each cut keeps every
+            # duplicate of its threshold value on the left side.
+            ranks = np.unique(
+                np.linspace(
+                    config.min_samples_leaf - 1,
+                    n - config.min_samples_leaf - 1,
+                    num=min(config.n_thresholds, n),
+                ).astype(np.int64)
+            )
+            ranks = ranks[(ranks >= 0) & (ranks < n - 1)]
+            if ranks.size == 0:
+                continue
+            n_left = np.searchsorted(
+                sorted_values, sorted_values[ranks], side="right"
+            )
+            n_left = np.unique(n_left)
+            n_left = n_left[
+                (n_left >= config.min_samples_leaf)
+                & (n - n_left >= config.min_samples_leaf)
+            ]
+            if n_left.size == 0:
+                continue
+            n_right = n - n_left
+            pos_left = cum_pos[n_left - 1]
+            pos_right = n_pos - pos_left
+            gini_left = _gini_from_counts(pos_left, n_left)
+            gini_right = _gini_from_counts(pos_right, n_right)
+            child = (n_left * gini_left + n_right * gini_right) / n
+            decrease = parent_gini - child
+            pick = int(np.argmax(decrease))
+            if decrease[pick] > best_decrease:
+                best_decrease = float(decrease[pick])
+                best = (
+                    int(feature),
+                    float(sorted_values[n_left[pick] - 1]),
+                    best_decrease,
+                )
+        return best
+
+    def _build(self, x: np.ndarray, y: np.ndarray, indices: np.ndarray,
+               depth: int, rng: np.random.Generator, n_total: int) -> _Node:
+        node = _Node()
+        labels = y[indices]
+        node.probability = float(labels.mean()) if indices.size else 0.5
+        if (
+            depth >= self.config.max_depth
+            or indices.size < self.config.min_samples_split
+            or labels.min() == labels.max()
+        ):
+            return node
+        split = self._best_split(x, y, indices, rng)
+        if split is None:
+            return node
+        feature, threshold, decrease = split
+        mask = x[indices, feature] <= threshold
+        left_idx = indices[mask]
+        right_idx = indices[~mask]
+        if (
+            left_idx.size < self.config.min_samples_leaf
+            or right_idx.size < self.config.min_samples_leaf
+        ):
+            return node
+        self.feature_importances_[feature] += decrease * indices.size / n_total
+        node.feature = feature
+        node.threshold = threshold
+        node.left = self._build(x, y, left_idx, depth + 1, rng, n_total)
+        node.right = self._build(x, y, right_idx, depth + 1, rng, n_total)
+        return node
+
+    def predict_proba(self, x: np.ndarray) -> np.ndarray:
+        """Positive-class probability per row."""
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+        x = np.asarray(x, dtype=np.float64)
+        if x.ndim != 2 or x.shape[1] != self._n_features:
+            raise ValueError(
+                f"x must be (n, {self._n_features}), got shape {x.shape}"
+            )
+        out = np.empty(x.shape[0])
+        # Batched traversal: route index groups level by level.
+        stack = [(self._root, np.arange(x.shape[0]))]
+        while stack:
+            node, idx = stack.pop()
+            if idx.size == 0:
+                continue
+            if node.is_leaf:
+                out[idx] = node.probability
+                continue
+            mask = x[idx, node.feature] <= node.threshold
+            stack.append((node.left, idx[mask]))
+            stack.append((node.right, idx[~mask]))
+        return out
+
+    def predict(self, x: np.ndarray) -> np.ndarray:
+        return (self.predict_proba(x) >= 0.5).astype(np.int64)
+
+    def depth(self) -> int:
+        """Actual depth of the fitted tree."""
+        if self._root is None:
+            raise RuntimeError("tree is not fitted")
+
+        def walk(node: _Node) -> int:
+            if node.is_leaf:
+                return 0
+            return 1 + max(walk(node.left), walk(node.right))
+
+        return walk(self._root)
+
+
+__all__ = ["DecisionTree", "DecisionTreeConfig"]

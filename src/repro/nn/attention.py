@@ -1,0 +1,101 @@
+"""Multi-head self-attention with padding masks and manual backprop."""
+
+from __future__ import annotations
+
+from typing import Optional
+
+import numpy as np
+
+from repro.nn.layers import Linear, Module
+from repro.utils.rng import SeedLike
+
+
+def _softmax(x: np.ndarray, axis: int = -1) -> np.ndarray:
+    shifted = x - x.max(axis=axis, keepdims=True)
+    exp = np.exp(shifted)
+    return exp / exp.sum(axis=axis, keepdims=True)
+
+
+class MultiHeadSelfAttention(Module):
+    """Standard scaled dot-product multi-head self-attention.
+
+    Input ``x`` has shape ``(batch, seq, d_model)``; ``mask`` has shape
+    ``(batch, seq)`` with 1 for real tokens and 0 for padding.  Padding
+    positions are excluded as attention *keys*; their query rows still
+    produce outputs but those are masked out downstream.
+    """
+
+    def __init__(self, d_model: int, n_heads: int, seed: SeedLike = 0,
+                 name: str = "attention"):
+        super().__init__()
+        if d_model % n_heads != 0:
+            raise ValueError(
+                f"d_model={d_model} must be divisible by n_heads={n_heads}"
+            )
+        self.d_model = d_model
+        self.n_heads = n_heads
+        self.d_head = d_model // n_heads
+        self.qkv = Linear(d_model, 3 * d_model, seed=seed, name=f"{name}.qkv")
+        self.out = Linear(d_model, d_model, seed=seed, name=f"{name}.out")
+        self._cache = None
+
+    def _split_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, seq, _ = x.shape
+        return x.reshape(batch, seq, self.n_heads, self.d_head).transpose(0, 2, 1, 3)
+
+    def _merge_heads(self, x: np.ndarray) -> np.ndarray:
+        batch, heads, seq, d_head = x.shape
+        return x.transpose(0, 2, 1, 3).reshape(batch, seq, heads * d_head)
+
+    def forward(self, x: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
+        batch, seq, _ = x.shape
+        qkv = self.qkv.forward(x)  # (B, T, 3d)
+        q, k, v = np.split(qkv, 3, axis=-1)
+        q = self._split_heads(q)  # (B, H, T, dh)
+        k = self._split_heads(k)
+        v = self._split_heads(v)
+
+        scale = 1.0 / np.sqrt(self.d_head)
+        scores = np.einsum("bhqd,bhkd->bhqk", q, k) * scale
+        if mask is not None:
+            key_mask = mask[:, None, None, :]  # (B, 1, 1, T)
+            scores = np.where(key_mask > 0, scores, -1e9)
+        attn = _softmax(scores, axis=-1)  # (B, H, Tq, Tk)
+        context = np.einsum("bhqk,bhkd->bhqd", attn, v)
+        merged = self._merge_heads(context)
+        self._cache = (q, k, v, attn, scale)
+        return self.out.forward(merged)
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        if self._cache is None:
+            raise RuntimeError("backward called before forward")
+        q, k, v, attn, scale = self._cache
+        grad_merged = self.out.backward(grad)
+        batch, seq, _ = grad_merged.shape
+        grad_context = grad_merged.reshape(
+            batch, seq, self.n_heads, self.d_head
+        ).transpose(0, 2, 1, 3)
+
+        grad_attn = np.einsum("bhqd,bhkd->bhqk", grad_context, v)
+        grad_v = np.einsum("bhqk,bhqd->bhkd", attn, grad_context)
+
+        # Softmax backward: dL/ds = attn * (dL/da - sum(dL/da * attn)).
+        dot = (grad_attn * attn).sum(axis=-1, keepdims=True)
+        grad_scores = attn * (grad_attn - dot)
+        # Masked (-1e9) positions have attn ~ 0, so their gradient vanishes.
+
+        grad_q = np.einsum("bhqk,bhkd->bhqd", grad_scores, k) * scale
+        grad_k = np.einsum("bhqk,bhqd->bhkd", grad_scores, q) * scale
+
+        grad_qkv = np.concatenate(
+            [
+                self._merge_heads(grad_q),
+                self._merge_heads(grad_k),
+                self._merge_heads(grad_v),
+            ],
+            axis=-1,
+        )
+        return self.qkv.backward(grad_qkv)
+
+
+__all__ = ["MultiHeadSelfAttention"]

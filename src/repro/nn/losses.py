@@ -1,0 +1,52 @@
+"""Loss functions returning (scalar loss, gradient w.r.t. logits)."""
+
+from __future__ import annotations
+
+from typing import Optional, Tuple
+
+import numpy as np
+
+
+def softmax_cross_entropy(
+    logits: np.ndarray,
+    labels: np.ndarray,
+    ignore_index: Optional[int] = None,
+) -> Tuple[float, np.ndarray]:
+    """Mean softmax cross-entropy over the last axis.
+
+    ``logits`` has shape ``(..., n_classes)``; ``labels`` the matching
+    leading shape.  Positions whose label equals ``ignore_index`` contribute
+    neither loss nor gradient (used for unmasked MLM positions and padding).
+
+    Returns ``(loss, grad)`` with ``grad`` shaped like ``logits`` and already
+    divided by the number of contributing positions.
+    """
+    labels = np.asarray(labels, dtype=np.int64)
+    flat_logits = logits.reshape(-1, logits.shape[-1])
+    flat_labels = labels.reshape(-1)
+
+    if ignore_index is not None:
+        active = flat_labels != ignore_index
+    else:
+        active = np.ones(flat_labels.shape, dtype=bool)
+    n_active = int(active.sum())
+    if n_active == 0:
+        return 0.0, np.zeros_like(logits)
+
+    shifted = flat_logits - flat_logits.max(axis=1, keepdims=True)
+    exp = np.exp(shifted)
+    probs = exp / exp.sum(axis=1, keepdims=True)
+
+    safe_labels = np.where(active, flat_labels, 0)
+    picked = probs[np.arange(flat_labels.size), safe_labels]
+    losses = -np.log(np.maximum(picked, 1e-12))
+    loss = float(losses[active].mean())
+
+    grad = probs.copy()
+    grad[np.arange(flat_labels.size), safe_labels] -= 1.0
+    grad[~active] = 0.0
+    grad /= n_active
+    return loss, grad.reshape(logits.shape)
+
+
+__all__ = ["softmax_cross_entropy"]

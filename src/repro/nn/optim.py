@@ -1,0 +1,100 @@
+"""Optimizers over :class:`~repro.nn.layers.Parameter` lists."""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+from repro.nn.layers import Parameter
+
+
+def clip_gradients(parameters: Sequence[Parameter], max_norm: float) -> float:
+    """Scale gradients so their global L2 norm is at most ``max_norm``.
+
+    Returns the pre-clipping norm.
+    """
+    if max_norm <= 0:
+        raise ValueError("max_norm must be positive")
+    total = float(
+        np.sqrt(sum(float(np.sum(p.grad**2)) for p in parameters))
+    )
+    if total > max_norm:
+        scale = max_norm / (total + 1e-12)
+        for parameter in parameters:
+            parameter.grad *= scale
+    return total
+
+
+class SGD:
+    """Plain SGD with optional momentum."""
+
+    def __init__(self, parameters: Sequence[Parameter], lr: float = 0.01,
+                 momentum: float = 0.0):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        if not 0.0 <= momentum < 1.0:
+            raise ValueError("momentum must be in [0, 1)")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.momentum = momentum
+        self._velocity = [np.zeros_like(p.value) for p in self.parameters]
+
+    def step(self):
+        for parameter, velocity in zip(self.parameters, self._velocity):
+            if self.momentum:
+                velocity *= self.momentum
+                velocity += parameter.grad
+                parameter.value -= self.lr * velocity
+            else:
+                parameter.value -= self.lr * parameter.grad
+
+    def zero_grad(self):
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+
+class Adam:
+    """Adam (Kingma & Ba, 2015) — the paper's fine-tuning optimizer."""
+
+    def __init__(
+        self,
+        parameters: Sequence[Parameter],
+        lr: float = 1e-3,
+        betas: tuple = (0.9, 0.999),
+        eps: float = 1e-8,
+        weight_decay: float = 0.0,
+    ):
+        if lr <= 0:
+            raise ValueError("lr must be positive")
+        self.parameters = list(parameters)
+        self.lr = lr
+        self.beta1, self.beta2 = betas
+        self.eps = eps
+        self.weight_decay = weight_decay
+        self._m = [np.zeros_like(p.value) for p in self.parameters]
+        self._v = [np.zeros_like(p.value) for p in self.parameters]
+        self._t = 0
+
+    def step(self):
+        self._t += 1
+        bias1 = 1.0 - self.beta1**self._t
+        bias2 = 1.0 - self.beta2**self._t
+        for parameter, m, v in zip(self.parameters, self._m, self._v):
+            grad = parameter.grad
+            if self.weight_decay:
+                grad = grad + self.weight_decay * parameter.value
+            m *= self.beta1
+            m += (1.0 - self.beta1) * grad
+            v *= self.beta2
+            v += (1.0 - self.beta2) * grad**2
+            m_hat = m / bias1
+            v_hat = v / bias2
+            parameter.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+
+    def zero_grad(self):
+        for parameter in self.parameters:
+            parameter.zero_grad()
+
+
+__all__ = ["SGD", "Adam", "clip_gradients"]

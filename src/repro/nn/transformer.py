@@ -1,0 +1,149 @@
+"""Transformer encoder (pre-LayerNorm) built from the nn layers.
+
+The encoder exposes *all* layer outputs from its forward pass because the
+paper's PubmedBERT-embedding model sums the last four hidden layers of the
+``[CLS]`` token (Section 2.3); :class:`repro.embeddings.contextual` consumes
+them.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List, Optional, Tuple
+
+import numpy as np
+
+from repro.nn.attention import MultiHeadSelfAttention
+from repro.nn.layers import Dropout, Embedding, GELU, LayerNorm, Linear, Module
+from repro.utils.rng import SeedLike, derive_rng, stable_hash
+
+
+@dataclass(frozen=True)
+class TransformerConfig:
+    """Mini-BERT encoder shape.
+
+    Defaults give a ~200k-parameter model that pretrains in seconds on the
+    synthetic corpus while preserving the architecture of the real thing.
+    """
+
+    vocab_size: int = 2_000
+    d_model: int = 64
+    n_heads: int = 4
+    n_layers: int = 2
+    d_ff: int = 128
+    max_len: int = 64
+    dropout: float = 0.1
+    seed: int = 0
+
+    def __post_init__(self):
+        if self.vocab_size < 5:
+            raise ValueError("vocab_size too small")
+        if self.d_model % self.n_heads:
+            raise ValueError("d_model must be divisible by n_heads")
+        if self.n_layers < 1 or self.d_ff < 1 or self.max_len < 2:
+            raise ValueError("n_layers, d_ff, max_len must be positive")
+
+
+class FeedForward(Module):
+    """Position-wise feed-forward block: Linear → GELU → Linear."""
+
+    def __init__(self, d_model: int, d_ff: int, seed: SeedLike = 0,
+                 name: str = "ffn"):
+        super().__init__()
+        self.fc1 = Linear(d_model, d_ff, seed=seed, name=f"{name}.fc1")
+        self.act = GELU()
+        self.fc2 = Linear(d_ff, d_model, seed=seed, name=f"{name}.fc2")
+
+    def forward(self, x: np.ndarray) -> np.ndarray:
+        return self.fc2.forward(self.act.forward(self.fc1.forward(x)))
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        return self.fc1.backward(self.act.backward(self.fc2.backward(grad)))
+
+
+class EncoderBlock(Module):
+    """Pre-LN transformer block: x + Attn(LN(x)); x + FFN(LN(x))."""
+
+    def __init__(self, config: TransformerConfig, index: int):
+        super().__init__()
+        seed = stable_hash(config.seed, "block", index)
+        self.ln1 = LayerNorm(config.d_model, name=f"block{index}.ln1")
+        self.attn = MultiHeadSelfAttention(
+            config.d_model, config.n_heads, seed=seed, name=f"block{index}.attn"
+        )
+        self.drop1 = Dropout(config.dropout, seed=seed, name=f"block{index}.drop1")
+        self.ln2 = LayerNorm(config.d_model, name=f"block{index}.ln2")
+        self.ffn = FeedForward(
+            config.d_model, config.d_ff, seed=seed, name=f"block{index}.ffn"
+        )
+        self.drop2 = Dropout(config.dropout, seed=seed, name=f"block{index}.drop2")
+
+    def forward(self, x: np.ndarray, mask: Optional[np.ndarray]) -> np.ndarray:
+        x = x + self.drop1.forward(self.attn.forward(self.ln1.forward(x), mask))
+        x = x + self.drop2.forward(self.ffn.forward(self.ln2.forward(x)))
+        return x
+
+    def backward(self, grad: np.ndarray) -> np.ndarray:
+        grad_ffn = self.ln2.backward(
+            self.ffn.backward(self.drop2.backward(grad))
+        )
+        grad = grad + grad_ffn
+        grad_attn = self.ln1.backward(
+            self.attn.backward(self.drop1.backward(grad))
+        )
+        return grad + grad_attn
+
+
+class TransformerEncoder(Module):
+    """Token + position embeddings followed by pre-LN encoder blocks.
+
+    :meth:`forward` returns ``(final, all_layers)`` where ``all_layers`` is
+    the list of per-block outputs *after* the final LayerNorm has been applied
+    to the last element, so ``all_layers[-1] is final``.
+    """
+
+    def __init__(self, config: TransformerConfig):
+        super().__init__()
+        self.config = config
+        self.token_emb = Embedding(
+            config.vocab_size, config.d_model, seed=config.seed, name="token_emb"
+        )
+        self.pos_emb = Embedding(
+            config.max_len, config.d_model, seed=config.seed + 1, name="pos_emb"
+        )
+        self.drop = Dropout(config.dropout, seed=config.seed, name="emb_drop")
+        self.blocks = [EncoderBlock(config, i) for i in range(config.n_layers)]
+        self.final_ln = LayerNorm(config.d_model, name="final_ln")
+
+    def forward(
+        self, ids: np.ndarray, mask: Optional[np.ndarray] = None
+    ) -> Tuple[np.ndarray, List[np.ndarray]]:
+        ids = np.asarray(ids, dtype=np.int64)
+        if ids.ndim != 2:
+            raise ValueError(f"ids must be (batch, seq), got shape {ids.shape}")
+        batch, seq = ids.shape
+        if seq > self.config.max_len:
+            raise ValueError(
+                f"sequence length {seq} exceeds max_len {self.config.max_len}"
+            )
+        positions = np.broadcast_to(np.arange(seq), (batch, seq))
+        x = self.token_emb.forward(ids) + self.pos_emb.forward(positions)
+        x = self.drop.forward(x)
+        layers: List[np.ndarray] = []
+        for block in self.blocks:
+            x = block.forward(x, mask)
+            layers.append(x)
+        final = self.final_ln.forward(x)
+        layers[-1] = final
+        return final, layers
+
+    def backward(self, grad: np.ndarray) -> None:
+        grad = self.final_ln.backward(grad)
+        for block in reversed(self.blocks):
+            grad = block.backward(grad)
+        grad = self.drop.backward(grad)
+        self.token_emb.backward(grad)
+        self.pos_emb.backward(grad)
+
+
+__all__ = ["TransformerConfig", "FeedForward", "EncoderBlock", "TransformerEncoder"]

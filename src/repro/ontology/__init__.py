@@ -1,0 +1,37 @@
+"""ChEBI ontology substrate.
+
+Provides the in-memory ontology model, the ten ChEBI relationship types, graph
+queries (parents / children / siblings), an OBO 1.2 parser/writer for loading
+a real ChEBI release, a synthetic ChEBI-like generator for offline runs, and
+census statistics matching the paper's Tables A1-A3.
+"""
+
+from repro.ontology.model import Entity, Ontology, SubOntology
+from repro.ontology.relations import (
+    ALL_RELATIONS,
+    CURATION_RELATIONS,
+    IS_A,
+    IS_CONJUGATE_ACID_OF,
+    IS_TAUTOMER_OF,
+    RelationType,
+    relation_by_name,
+)
+from repro.ontology.synthesis import SynthesisConfig, synthesize_chebi_like
+from repro.ontology.statistics import OntologyCensus, census
+
+__all__ = [
+    "Entity",
+    "Ontology",
+    "SubOntology",
+    "RelationType",
+    "ALL_RELATIONS",
+    "CURATION_RELATIONS",
+    "IS_A",
+    "IS_CONJUGATE_ACID_OF",
+    "IS_TAUTOMER_OF",
+    "relation_by_name",
+    "SynthesisConfig",
+    "synthesize_chebi_like",
+    "OntologyCensus",
+    "census",
+]

@@ -1,0 +1,195 @@
+"""In-memory ontology model: entities, statements, and the ontology graph.
+
+The ontology is the paper's ``G = (V, T, L)``: a set of entities ``V``, a set
+of directed labelled triples ``T`` and a label set ``L`` (the relationship
+types).  :class:`Ontology` stores statements with indexes for the queries the
+curation tasks need — triple membership tests, per-relation listing, and
+parent/child navigation over ``is_a``.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from enum import Enum
+from typing import Dict, Iterable, Iterator, List, Optional, Set, Tuple
+
+from repro.ontology.relations import IS_A, RelationType, relation_by_name
+
+
+class SubOntology(Enum):
+    """The three ChEBI sub-ontologies (paper Table A1)."""
+
+    CHEMICAL = "chemical_entity"
+    ROLE = "role"
+    SUBATOMIC = "subatomic_particle"
+
+
+@dataclass(frozen=True)
+class Entity:
+    """A ChEBI entity.
+
+    Attributes:
+        identifier: ChEBI-style accession, e.g. ``"CHEBI:15377"``.
+        name: primary label used in prompts and for tokenisation.
+        sub_ontology: which of the three sub-ontologies the entity belongs to.
+        definition: optional free-text definition (carried through OBO I/O).
+        synonyms: alternative labels (carried through OBO I/O).
+    """
+
+    identifier: str
+    name: str
+    sub_ontology: SubOntology = SubOntology.CHEMICAL
+    definition: str = ""
+    synonyms: Tuple[str, ...] = ()
+
+    def __post_init__(self):
+        if not self.identifier:
+            raise ValueError("entity identifier must be non-empty")
+        if not self.name:
+            raise ValueError(f"entity {self.identifier} must have a name")
+
+
+@dataclass(frozen=True)
+class Statement:
+    """A directed, labelled edge: subject --relation--> object."""
+
+    subject: str
+    relation: RelationType
+    object: str
+
+    def key(self) -> Tuple[str, str, str]:
+        """Hashable (subject, relation-name, object) key."""
+        return (self.subject, self.relation.name, self.object)
+
+
+class Ontology:
+    """A mutable ontology graph with membership and navigation indexes.
+
+    Entities are registered before statements referencing them; statements are
+    deduplicated.  All lookups are by entity identifier.
+    """
+
+    def __init__(self, name: str = "ontology"):
+        self.name = name
+        self._entities: Dict[str, Entity] = {}
+        self._statements: List[Statement] = []
+        self._statement_keys: Set[Tuple[str, str, str]] = set()
+        self._by_relation: Dict[str, List[Statement]] = {}
+        self._parents: Dict[str, Set[str]] = {}
+        self._children: Dict[str, Set[str]] = {}
+
+    # -- entities ---------------------------------------------------------
+
+    def add_entity(self, entity: Entity) -> Entity:
+        """Register ``entity``; re-adding the identical entity is a no-op."""
+        existing = self._entities.get(entity.identifier)
+        if existing is not None:
+            if existing != entity:
+                raise ValueError(
+                    f"entity {entity.identifier} already registered with "
+                    f"different attributes"
+                )
+            return existing
+        self._entities[entity.identifier] = entity
+        return entity
+
+    def entity(self, identifier: str) -> Entity:
+        """Return the entity for ``identifier`` or raise :class:`KeyError`."""
+        try:
+            return self._entities[identifier]
+        except KeyError:
+            raise KeyError(f"unknown entity {identifier!r}") from None
+
+    def has_entity(self, identifier: str) -> bool:
+        return identifier in self._entities
+
+    def entities(self) -> Iterator[Entity]:
+        """Iterate entities in insertion order."""
+        return iter(self._entities.values())
+
+    def entity_ids(self) -> List[str]:
+        return list(self._entities)
+
+    @property
+    def num_entities(self) -> int:
+        return len(self._entities)
+
+    def entities_in(self, sub_ontology: SubOntology) -> List[Entity]:
+        """All entities in the given sub-ontology, in insertion order."""
+        return [e for e in self._entities.values() if e.sub_ontology is sub_ontology]
+
+    # -- statements -------------------------------------------------------
+
+    def add_statement(self, subject: str, relation, obj: str) -> Statement:
+        """Add a statement; returns the (possibly pre-existing) statement.
+
+        ``relation`` may be a :class:`RelationType` or its name.  Both
+        endpoints must already be registered entities; self-loops are
+        rejected because no ChEBI relationship relates an entity to itself.
+        """
+        if isinstance(relation, str):
+            relation = relation_by_name(relation)
+        for endpoint in (subject, obj):
+            if endpoint not in self._entities:
+                raise KeyError(f"unknown entity {endpoint!r} in statement")
+        if subject == obj:
+            raise ValueError(f"self-loop statement on {subject!r} rejected")
+        statement = Statement(subject, relation, obj)
+        if statement.key() in self._statement_keys:
+            return statement
+        self._statement_keys.add(statement.key())
+        self._statements.append(statement)
+        self._by_relation.setdefault(relation.name, []).append(statement)
+        if relation.name == IS_A.name:
+            self._parents.setdefault(subject, set()).add(obj)
+            self._children.setdefault(obj, set()).add(subject)
+        return statement
+
+    def has_statement(self, subject: str, relation, obj: str) -> bool:
+        """Membership test used by the negative-triple generators."""
+        name = relation.name if isinstance(relation, RelationType) else str(relation)
+        return (subject, name, obj) in self._statement_keys
+
+    def statements(
+        self, relation: Optional[RelationType] = None
+    ) -> Iterator[Statement]:
+        """Iterate statements, optionally restricted to one relation type."""
+        if relation is None:
+            return iter(self._statements)
+        return iter(self._by_relation.get(relation.name, []))
+
+    @property
+    def num_statements(self) -> int:
+        return len(self._statements)
+
+    def relation_names(self) -> List[str]:
+        """Relation types present, ordered by descending statement count."""
+        return sorted(
+            self._by_relation, key=lambda n: -len(self._by_relation[n])
+        )
+
+    # -- is_a navigation ----------------------------------------------------
+
+    def parents(self, identifier: str) -> Set[str]:
+        """Direct ``is_a`` parents of an entity (the paper's ``p(.)``)."""
+        self.entity(identifier)
+        return set(self._parents.get(identifier, ()))
+
+    def children(self, identifier: str) -> Set[str]:
+        """Direct ``is_a`` children of an entity."""
+        self.entity(identifier)
+        return set(self._children.get(identifier, ()))
+
+    def roots(self) -> List[str]:
+        """Entities that appear as an ``is_a`` object but have no parents,
+        plus isolated entities that never appear in an ``is_a`` triple."""
+        return [e for e in self._entities if not self._parents.get(e)]
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return (
+            f"Ontology({self.name!r}, entities={self.num_entities}, "
+            f"statements={self.num_statements})"
+        )
+
+
+__all__ = ["SubOntology", "Entity", "Statement", "Ontology"]

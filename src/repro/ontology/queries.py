@@ -1,0 +1,106 @@
+"""Graph queries over an :class:`~repro.ontology.model.Ontology`.
+
+These power the task-3 negative generator (sibling lookup via shared ``is_a``
+parents) and the census statistics (ancestor closure, depth).
+"""
+
+from __future__ import annotations
+
+from collections import deque
+from typing import Dict, List, Set
+
+from repro.ontology.model import Ontology
+
+
+def siblings(ontology: Ontology, identifier: str) -> Set[str]:
+    """Entities sharing at least one direct ``is_a`` parent with ``identifier``.
+
+    This is the paper's sibling notion for task 3:
+    ``{o2 | p(o1) ∩ p(o2) ≠ ∅}`` excluding the entity itself.
+    """
+    shared: Set[str] = set()
+    for parent in ontology.parents(identifier):
+        shared |= ontology.children(parent)
+    shared.discard(identifier)
+    return shared
+
+
+def ancestors(ontology: Ontology, identifier: str) -> Set[str]:
+    """Transitive ``is_a`` ancestors (excluding the entity itself)."""
+    seen: Set[str] = set()
+    frontier = deque(ontology.parents(identifier))
+    while frontier:
+        node = frontier.popleft()
+        if node in seen:
+            continue
+        seen.add(node)
+        frontier.extend(ontology.parents(node) - seen)
+    return seen
+
+
+def descendants(ontology: Ontology, identifier: str) -> Set[str]:
+    """Transitive ``is_a`` descendants (excluding the entity itself)."""
+    seen: Set[str] = set()
+    frontier = deque(ontology.children(identifier))
+    while frontier:
+        node = frontier.popleft()
+        if node in seen:
+            continue
+        seen.add(node)
+        frontier.extend(ontology.children(node) - seen)
+    return seen
+
+
+def depth_map(ontology: Ontology) -> Dict[str, int]:
+    """Shortest ``is_a`` distance from any root for every entity.
+
+    Roots have depth 0.  Entities unreachable from a root via child edges
+    (possible only in malformed inputs) are assigned depth 0 as standalone
+    roots, which is how :meth:`Ontology.roots` already treats them.
+    """
+    depths: Dict[str, int] = {}
+    frontier = deque((root, 0) for root in ontology.roots())
+    while frontier:
+        node, depth = frontier.popleft()
+        if node in depths and depths[node] <= depth:
+            continue
+        depths[node] = depth
+        for child in ontology.children(node):
+            frontier.append((child, depth + 1))
+    for entity_id in ontology.entity_ids():
+        depths.setdefault(entity_id, 0)
+    return depths
+
+
+def is_dag(ontology: Ontology) -> bool:
+    """True when the ``is_a`` subgraph has no directed cycles.
+
+    ChEBI's ``is_a`` hierarchy is a DAG; the synthetic generator must preserve
+    that, and the OBO loader verifies it.
+    """
+    state: Dict[str, int] = {}  # 0 = visiting, 1 = done
+
+    for start in ontology.entity_ids():
+        if start in state:
+            continue
+        stack: List[tuple] = [(start, iter(ontology.parents(start)))]
+        state[start] = 0
+        while stack:
+            node, edges = stack[-1]
+            advanced = False
+            for parent in edges:
+                status = state.get(parent)
+                if status == 0:
+                    return False
+                if status is None:
+                    state[parent] = 0
+                    stack.append((parent, iter(ontology.parents(parent))))
+                    advanced = True
+                    break
+            if not advanced:
+                state[node] = 1
+                stack.pop()
+    return True
+
+
+__all__ = ["siblings", "ancestors", "descendants", "depth_map", "is_dag"]

@@ -1,0 +1,125 @@
+"""The ten ChEBI relationship types (paper Appendix Tables A2-A3).
+
+Each relationship carries the metadata the experiments need: whether it is
+symmetric (``is tautomer of`` is excluded from the direction-flipping task 2
+because flipping a symmetric relation yields a true triple), its inverse
+(``is conjugate acid of`` is dropped from all tasks as the inverse of
+``is conjugate base of``), and its share of ChEBI triples (Table A3), which
+the synthetic generator reproduces.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Tuple
+
+
+@dataclass(frozen=True)
+class RelationType:
+    """A ChEBI relationship type.
+
+    Attributes:
+        name: canonical snake_case identifier, e.g. ``"is_a"``.
+        label: human-readable phrase used in prompts, e.g. ``"is a"``.
+        symmetric: True if (o, s, l) is true whenever (s, o, l) is.
+        inverse_name: name of the inverse relation, if any.
+        chebi_count: number of triples of this type in the Feb-2022 ChEBI
+            release (paper Table A3); used as the frequency profile for the
+            synthetic generator.
+    """
+
+    name: str
+    label: str
+    symmetric: bool = False
+    inverse_name: Optional[str] = None
+    chebi_count: int = 0
+
+    def __str__(self) -> str:  # pragma: no cover - trivial
+        return self.name
+
+
+IS_A = RelationType("is_a", "is a", chebi_count=230_241)
+HAS_ROLE = RelationType("has_role", "has role", chebi_count=42_095)
+HAS_FUNCTIONAL_PARENT = RelationType(
+    "has_functional_parent", "has functional parent", chebi_count=18_204
+)
+IS_CONJUGATE_BASE_OF = RelationType(
+    "is_conjugate_base_of",
+    "is conjugate base of",
+    inverse_name="is_conjugate_acid_of",
+    chebi_count=8_247,
+)
+IS_CONJUGATE_ACID_OF = RelationType(
+    "is_conjugate_acid_of",
+    "is conjugate acid of",
+    inverse_name="is_conjugate_base_of",
+    chebi_count=8_247,
+)
+HAS_PART = RelationType("has_part", "has part", chebi_count=3_911)
+IS_ENANTIOMER_OF = RelationType(
+    "is_enantiomer_of", "is enantiomer of", symmetric=True, chebi_count=2_674
+)
+IS_TAUTOMER_OF = RelationType(
+    "is_tautomer_of", "is tautomer of", symmetric=True, chebi_count=1_804
+)
+HAS_PARENT_HYDRIDE = RelationType(
+    "has_parent_hydride", "has parent hydride", chebi_count=1_736
+)
+IS_SUBSTITUENT_GROUP_FROM = RelationType(
+    "is_substituent_group_from", "is substituent group from", chebi_count=1_279
+)
+
+#: All ten ChEBI relationship types in Table A3 order (descending frequency).
+ALL_RELATIONS: Tuple[RelationType, ...] = (
+    IS_A,
+    HAS_ROLE,
+    HAS_FUNCTIONAL_PARENT,
+    IS_CONJUGATE_BASE_OF,
+    IS_CONJUGATE_ACID_OF,
+    HAS_PART,
+    IS_ENANTIOMER_OF,
+    IS_TAUTOMER_OF,
+    HAS_PARENT_HYDRIDE,
+    IS_SUBSTITUENT_GROUP_FROM,
+)
+
+#: The nine relationship types kept for the curation tasks: the paper removes
+#: ``is_conjugate_acid_of`` as the inverse of ``is_conjugate_base_of``
+#: (Section 2.1).
+CURATION_RELATIONS: Tuple[RelationType, ...] = tuple(
+    r for r in ALL_RELATIONS if r.name != "is_conjugate_acid_of"
+)
+
+_BY_NAME: Dict[str, RelationType] = {r.name: r for r in ALL_RELATIONS}
+_BY_LABEL: Dict[str, RelationType] = {r.label: r for r in ALL_RELATIONS}
+
+
+def relation_by_name(name: str) -> RelationType:
+    """Look up a relationship by snake_case name or human-readable label.
+
+    Raises :class:`KeyError` with the list of valid names when unknown.
+    """
+    relation = _BY_NAME.get(name) or _BY_LABEL.get(name)
+    if relation is None:
+        raise KeyError(
+            f"unknown relationship {name!r}; valid names: {sorted(_BY_NAME)}"
+        )
+    return relation
+
+
+__all__ = [
+    "RelationType",
+    "ALL_RELATIONS",
+    "CURATION_RELATIONS",
+    "relation_by_name",
+    "IS_A",
+    "HAS_ROLE",
+    "HAS_FUNCTIONAL_PARENT",
+    "IS_CONJUGATE_BASE_OF",
+    "IS_CONJUGATE_ACID_OF",
+    "HAS_PART",
+    "IS_ENANTIOMER_OF",
+    "IS_TAUTOMER_OF",
+    "HAS_PARENT_HYDRIDE",
+    "IS_SUBSTITUENT_GROUP_FROM",
+]

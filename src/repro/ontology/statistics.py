@@ -1,0 +1,83 @@
+"""Ontology census statistics (paper Section 3.1, Tables A1/A3).
+
+The paper reports entity counts per sub-ontology (145,869 chemical entities,
+1,550 roles, 42 subatomic particles) and the highly skewed relationship
+distribution (``is_a`` 72.3%, ``has_role`` 13.2%, ...).  :func:`census`
+computes the same breakdown for any :class:`~repro.ontology.model.Ontology`,
+and carries the paper's reference numbers for side-by-side reporting.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Tuple
+
+from repro.ontology.model import Ontology, SubOntology
+from repro.ontology.relations import ALL_RELATIONS
+
+#: ChEBI Feb-2022 reference counts from the paper (Section 3.1 / Table A3).
+CHEBI_REFERENCE_ENTITY_COUNTS: Dict[str, int] = {
+    SubOntology.CHEMICAL.value: 145_869,
+    SubOntology.ROLE.value: 1_550,
+    SubOntology.SUBATOMIC.value: 42,
+}
+
+CHEBI_REFERENCE_RELATION_COUNTS: Dict[str, int] = {
+    r.name: r.chebi_count for r in ALL_RELATIONS
+}
+
+
+@dataclass(frozen=True)
+class OntologyCensus:
+    """Summary statistics of an ontology.
+
+    Attributes:
+        total_entities: number of entities.
+        entities_by_sub_ontology: counts per sub-ontology value.
+        total_statements: number of triples.
+        statements_by_relation: counts per relationship name.
+    """
+
+    total_entities: int
+    entities_by_sub_ontology: Dict[str, int]
+    total_statements: int
+    statements_by_relation: Dict[str, int]
+
+    def relation_shares(self) -> Dict[str, float]:
+        """Fraction of all statements per relationship, descending."""
+        if not self.total_statements:
+            return {}
+        items = sorted(self.statements_by_relation.items(), key=lambda kv: -kv[1])
+        return {name: count / self.total_statements for name, count in items}
+
+    def top_relations(self, n: int = 3) -> List[Tuple[str, int]]:
+        """The ``n`` most frequent relationship types with counts."""
+        return sorted(
+            self.statements_by_relation.items(), key=lambda kv: -kv[1]
+        )[:n]
+
+
+def census(ontology: Ontology) -> OntologyCensus:
+    """Compute entity and relationship census statistics for ``ontology``."""
+    by_sub: Dict[str, int] = {}
+    for entity in ontology.entities():
+        key = entity.sub_ontology.value
+        by_sub[key] = by_sub.get(key, 0) + 1
+    by_relation: Dict[str, int] = {}
+    for statement in ontology.statements():
+        name = statement.relation.name
+        by_relation[name] = by_relation.get(name, 0) + 1
+    return OntologyCensus(
+        total_entities=ontology.num_entities,
+        entities_by_sub_ontology=by_sub,
+        total_statements=ontology.num_statements,
+        statements_by_relation=by_relation,
+    )
+
+
+__all__ = [
+    "OntologyCensus",
+    "census",
+    "CHEBI_REFERENCE_ENTITY_COUNTS",
+    "CHEBI_REFERENCE_RELATION_COUNTS",
+]

@@ -1,0 +1,703 @@
+"""Synthetic ChEBI-like ontology generator.
+
+The paper uses the February-2022 ChEBI release (147,461 entities, 318,438
+triples).  That download is unavailable offline, so this module generates a
+scaled-down ontology that reproduces the *interfaces and statistics* the
+experiments depend on:
+
+* the three sub-ontologies (chemical entities, roles, subatomic particles)
+  with ChEBI-like proportions (Table A1);
+* the ten relationship types with the Table A3 frequency profile;
+* a compositional chemical-name grammar.  Child classes extend their parent's
+  name with IUPAC-style modifiers (``3-hydroxy``, ``(2S)-``, ``N-acetyl`` ...)
+  so that entity names exhibit the token pathology the paper analyses in
+  Table A5: head entities are dominated by short, high-frequency locant and
+  stereo-descriptor tokens (``2``, ``3``, ``yl``, ``6r`` ...) that carry little
+  semantic signal.  This is what makes the hypothesis-driven adaptation
+  experiments (Section 2.7) meaningful on synthetic data;
+* an ``is_a`` DAG (multi-parenting included) so task 3 can find sibling
+  entities, plus conjugate acid/base pairs, enantiomer and tautomer pairs,
+  parent hydrides and substituent groups for the remaining relation types.
+
+The generator is fully deterministic given a seed.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple
+
+import numpy as np
+
+from repro.ontology.model import Entity, Ontology, SubOntology
+from repro.ontology.relations import (
+    HAS_FUNCTIONAL_PARENT,
+    HAS_PARENT_HYDRIDE,
+    HAS_PART,
+    HAS_ROLE,
+    IS_A,
+    IS_CONJUGATE_ACID_OF,
+    IS_CONJUGATE_BASE_OF,
+    IS_ENANTIOMER_OF,
+    IS_SUBSTITUENT_GROUP_FROM,
+    IS_TAUTOMER_OF,
+)
+from repro.utils.rng import SeedLike, derive_rng
+
+# --------------------------------------------------------------------------
+# Name grammar vocabularies
+# --------------------------------------------------------------------------
+
+#: Top-level chemical classes (is_a roots below the global root).
+CHEMICAL_ROOT_CLASSES: Tuple[str, ...] = (
+    "carboxylic acid",
+    "fatty acid",
+    "amino acid",
+    "hydroxy acid",
+    "monocarboxylic acid",
+    "steroid",
+    "alcohol",
+    "amine",
+    "ketone",
+    "aldehyde",
+    "ester",
+    "ether",
+    "amide",
+    "lactam",
+    "alkaloid",
+    "peptide",
+    "carbohydrate",
+    "oligosaccharide",
+    "flavonoid",
+    "terpenoid",
+    "glycoside",
+    "nucleoside",
+    "nucleotide",
+    "phospholipid",
+    "sphingolipid",
+    "porphyrin",
+    "quinone",
+    "sulfonamide",
+    "azamacrocycle",
+    "aromatic compound",
+    "organic anion",
+    "organic cation",
+    "inorganic salt",
+    "organochlorine compound",
+    "organophosphate",
+    "benzenoid",
+    "imidazole",
+    "pyridine",
+    "furanone",
+    "coumarin",
+)
+
+#: Substituent prefixes attachable to a parent class name.
+SUBSTITUENTS: Tuple[str, ...] = (
+    "hydroxy",
+    "amino",
+    "methyl",
+    "ethyl",
+    "propyl",
+    "butyl",
+    "methoxy",
+    "ethoxy",
+    "chloro",
+    "fluoro",
+    "bromo",
+    "iodo",
+    "oxo",
+    "acetyl",
+    "phenyl",
+    "benzyl",
+    "nitro",
+    "cyano",
+    "formyl",
+    "acetamido",
+    "sulfo",
+    "thio",
+    "carboxy",
+    "benzoyl",
+    "galactosyl",
+    "glucosyl",
+    "acyl",
+    "dehydro",
+    "dihydro",
+    "hydroxymethyl",
+    "aminomethyl",
+    "keto",
+    "epoxy",
+    "glycero",
+    "phosphono",
+)
+
+#: Multiplying prefixes used with multi-locant modifiers.
+MULTIPLIERS: Tuple[str, ...] = ("di", "tri", "tetra")
+
+#: Stereo-descriptor centres used in parenthesised prefixes, e.g. ``(2S)-``.
+STEREO_CENTRES: Tuple[str, ...] = (
+    "2S", "2R", "3S", "3R", "4S", "4R", "5S", "5R", "6S", "6R",
+    "R", "S", "E", "Z",
+)
+
+#: Greek-letter and positional qualifiers.
+QUALIFIERS: Tuple[str, ...] = ("alpha", "beta", "gamma", "omega", "N", "O", "L", "D")
+
+#: Role sub-ontology: (role name, parent role name) — paper Table A1 examples.
+ROLE_TREE: Tuple[Tuple[str, Optional[str]], ...] = (
+    ("role", None),
+    ("biological role", "role"),
+    ("chemical role", "role"),
+    ("application", "role"),
+    ("metabolite", "biological role"),
+    ("human metabolite", "metabolite"),
+    ("plant metabolite", "metabolite"),
+    ("bacterial metabolite", "metabolite"),
+    ("fungal metabolite", "metabolite"),
+    ("hormone", "biological role"),
+    ("androgen", "hormone"),
+    ("estrogen", "hormone"),
+    ("antibiotic", "biological role"),
+    ("antiviral agent", "biological role"),
+    ("antifungal agent", "biological role"),
+    ("antineoplastic agent", "biological role"),
+    ("enzyme inhibitor", "biological role"),
+    ("EC 1.1.1.1 inhibitor", "enzyme inhibitor"),
+    ("EC 3.4.21.4 inhibitor", "enzyme inhibitor"),
+    ("ferroptosis inhibitor", "enzyme inhibitor"),
+    ("neurotransmitter", "biological role"),
+    ("toxin", "biological role"),
+    ("allergen", "biological role"),
+    ("ligand", "chemical role"),
+    ("inhibitor", "chemical role"),
+    ("surfactant", "chemical role"),
+    ("solvent", "chemical role"),
+    ("buffer", "chemical role"),
+    ("oxidising agent", "chemical role"),
+    ("reducing agent", "chemical role"),
+    ("coenzyme", "chemical role"),
+    ("cofactor", "chemical role"),
+    ("pesticide", "application"),
+    ("herbicide", "application"),
+    ("fungicide", "application"),
+    ("fuel", "application"),
+    ("dye", "application"),
+    ("antirheumatic drug", "application"),
+    ("analgesic", "application"),
+    ("anaesthetic", "application"),
+)
+
+#: Subatomic particles (42 in ChEBI; we include a representative subset and
+#: pad with numbered excited states to reach the configured count).
+SUBATOMIC_PARTICLES: Tuple[str, ...] = (
+    "electron",
+    "positron",
+    "photon",
+    "proton",
+    "neutron",
+    "nucleon",
+    "muon",
+    "tauon",
+    "neutrino",
+    "antineutrino",
+    "alpha particle",
+    "beta particle",
+    "deuteron",
+    "triton",
+    "pion",
+    "kaon",
+    "gluon",
+    "quark",
+    "up quark",
+    "down quark",
+    "strange quark",
+    "charm quark",
+    "top quark",
+    "bottom quark",
+)
+
+_SYLLABLE_ONSETS = (
+    "fl", "gl", "br", "str", "ch", "m", "n", "s", "t", "v", "z",
+    "qu", "pr", "cl", "d", "r", "l", "k", "p", "b",
+)
+_SYLLABLE_VOWELS = ("a", "e", "i", "o", "u", "ae", "io")
+_TRIVIAL_SUFFIXES = (
+    "ine", "ol", "one", "ate", "ide", "ose", "in", "an", "ene",
+    "amide", "azole", "icin", "mycin", "oxin", "erol", "idine",
+)
+
+#: Relationship counts per chemical entity in ChEBI Feb-2022 (Table A3 counts
+#: divided by 145,869 chemical entities).  The generator scales these to the
+#: configured entity count.
+_RELATION_DENSITY: Dict[str, float] = {
+    HAS_ROLE.name: 42_095 / 145_869,
+    HAS_FUNCTIONAL_PARENT.name: 18_204 / 145_869,
+    IS_CONJUGATE_BASE_OF.name: 8_247 / 145_869,
+    HAS_PART.name: 3_911 / 145_869,
+    IS_ENANTIOMER_OF.name: 2_674 / 145_869,
+    IS_TAUTOMER_OF.name: 1_804 / 145_869,
+    HAS_PARENT_HYDRIDE.name: 1_736 / 145_869,
+    IS_SUBSTITUENT_GROUP_FROM.name: 1_279 / 145_869,
+}
+
+
+@dataclass(frozen=True)
+class SynthesisConfig:
+    """Parameters of the synthetic ontology.
+
+    Attributes:
+        n_chemical_entities: target size of the chemical sub-ontology
+            (includes derived entities such as conjugate bases).
+        n_subatomic: number of subatomic-particle entities (ChEBI has 42).
+        seed: master seed; every run with the same config is identical.
+        compositional_fraction: probability that a new class extends its
+            parent's name with a modifier rather than receiving a trivial
+            name.  The compositional majority is what creates both the
+            Table A5 token profile and the name-containment signal that
+            makes directionality (task 2) learnable.
+        extra_parent_probability: chance that a new class receives a second
+            ``is_a`` parent, yielding a DAG with ~1.5 parents per entity as
+            in ChEBI (230,241 is_a edges over 145,869 entities).
+        max_depth: maximum ``is_a`` depth of generated chemical classes.
+        role_affinities: number of preferred roles sampled per root family;
+            80% of ``has_role`` edges use a family-preferred role, which
+            gives embedding models distributional signal to learn from.
+    """
+
+    n_chemical_entities: int = 3_000
+    n_subatomic: int = 24
+    seed: int = 7
+    compositional_fraction: float = 0.72
+    extra_parent_probability: float = 0.38
+    max_depth: int = 9
+    role_affinities: int = 3
+
+    def __post_init__(self):
+        if self.n_chemical_entities < len(CHEMICAL_ROOT_CLASSES) + 10:
+            raise ValueError(
+                "n_chemical_entities must exceed the number of root classes "
+                f"({len(CHEMICAL_ROOT_CLASSES)}) by at least 10"
+            )
+        if not 0.0 <= self.compositional_fraction <= 1.0:
+            raise ValueError("compositional_fraction must be in [0, 1]")
+        if not 0.0 <= self.extra_parent_probability <= 1.0:
+            raise ValueError("extra_parent_probability must be in [0, 1]")
+        if self.max_depth < 2:
+            raise ValueError("max_depth must be at least 2")
+        if self.n_subatomic < 1:
+            raise ValueError("n_subatomic must be positive")
+
+
+class _NameFactory:
+    """Generates unique chemical-style names from the grammar vocabularies."""
+
+    def __init__(self, rng: np.random.Generator):
+        self._rng = rng
+        self._used: Set[str] = set()
+
+    def claim(self, name: str) -> bool:
+        """Reserve ``name``; returns False when already taken."""
+        if name in self._used:
+            return False
+        self._used.add(name)
+        return True
+
+    def modifier(self) -> str:
+        """One IUPAC-style prefix, e.g. ``3-hydroxy``, ``(2S)-``, ``N-acetyl``.
+
+        Locants dominate, mirroring the real ChEBI token census (Table A5).
+        """
+        rng = self._rng
+        kind = rng.random()
+        if kind < 0.15:
+            return f"({rng.choice(STEREO_CENTRES)})-"
+        if kind < 0.30:
+            qualifier = rng.choice(QUALIFIERS)
+            return f"{qualifier}-{rng.choice(SUBSTITUENTS)}"
+        substituent = rng.choice(SUBSTITUENTS)
+        n_locants = int(rng.integers(1, 4))
+        locants = sorted(rng.choice(np.arange(1, 18), size=n_locants, replace=False))
+        locant_str = ",".join(str(int(loc)) for loc in locants)
+        if n_locants > 1:
+            substituent = MULTIPLIERS[n_locants - 2] + substituent
+        return f"{locant_str}-{substituent}"
+
+    def compositional(self, parent_name: str) -> str:
+        """Unique child name formed by prefixing modifiers onto the parent."""
+        for _ in range(64):
+            n_mods = 1 if self._rng.random() < 0.8 else 2
+            prefix = "".join(
+                self.modifier() + ("" if i == n_mods - 1 else "-")
+                for i in range(n_mods)
+            )
+            joiner = "" if prefix.endswith("-") else "-"
+            candidate = f"{prefix}{joiner}{parent_name}"
+            if self.claim(candidate):
+                return candidate
+        raise RuntimeError(f"could not derive a unique child name from {parent_name!r}")
+
+    def trivial(self) -> str:
+        """Unique trivial (non-systematic) chemical name, e.g. ``flumetazone``."""
+        rng = self._rng
+        for _ in range(256):
+            n_syll = int(rng.integers(2, 4))
+            stem = "".join(
+                str(rng.choice(_SYLLABLE_ONSETS)) + str(rng.choice(_SYLLABLE_VOWELS))
+                for _ in range(n_syll)
+            )
+            candidate = stem + str(rng.choice(_TRIVIAL_SUFFIXES))
+            if self.claim(candidate):
+                return candidate
+        raise RuntimeError("trivial-name space exhausted; increase syllable budget")
+
+
+def _conjugate_base_name(acid_name: str) -> str:
+    """Derive the conjugate-base name, ChEBI style.
+
+    ``butanoic acid`` -> ``butanoate``; otherwise append a charge suffix as in
+    ``mannarate(1-)``.
+    """
+    if acid_name.endswith("ic acid"):
+        return acid_name[: -len("ic acid")] + "ate"
+    return f"{acid_name}(1-)"
+
+
+class _Synthesizer:
+    """Stateful builder; one instance per :func:`synthesize_chebi_like` call."""
+
+    def __init__(self, config: SynthesisConfig):
+        self.config = config
+        self.rng = derive_rng(config.seed, "ontology-synthesis")
+        self.ontology = Ontology(name=f"synthetic-chebi-{config.seed}")
+        self.names = _NameFactory(derive_rng(config.seed, "names"))
+        self._next_id = 10_000
+        self.depth: Dict[str, int] = {}
+        self.chemical_ids: List[str] = []
+        self.role_leaf_ids: List[str] = []
+        self.family_of: Dict[str, str] = {}
+
+    # -- low-level helpers --------------------------------------------------
+
+    def _new_entity(self, name: str, sub: SubOntology) -> Entity:
+        identifier = f"CHEBI:{self._next_id}"
+        self._next_id += 1
+        entity = Entity(identifier=identifier, name=name, sub_ontology=sub)
+        self.ontology.add_entity(entity)
+        return entity
+
+    def _add_chemical(self, name: str, parent_id: Optional[str]) -> Entity:
+        entity = self._new_entity(name, SubOntology.CHEMICAL)
+        self.chemical_ids.append(entity.identifier)
+        if parent_id is None:
+            self.depth[entity.identifier] = 0
+            self.family_of[entity.identifier] = entity.identifier
+        else:
+            self.ontology.add_statement(entity.identifier, IS_A, parent_id)
+            self.depth[entity.identifier] = self.depth[parent_id] + 1
+            self.family_of[entity.identifier] = self.family_of[parent_id]
+        return entity
+
+    def _maybe_extra_parents(self, entity_id: str):
+        """Attach up to two extra is_a parents with strictly smaller depth.
+
+        Depth-ordered edges keep the hierarchy a DAG by construction.
+        """
+        my_depth = self.depth[entity_id]
+        if my_depth == 0:
+            return
+        candidates = [
+            other
+            for other in self.chemical_ids
+            if self.depth[other] < my_depth and other != entity_id
+        ]
+        if not candidates:
+            return
+        draws = self.rng.random(2)
+        n_extra = int(draws[0] < self.config.extra_parent_probability) + int(
+            draws[1] < self.config.extra_parent_probability * 0.3
+        )
+        for _ in range(n_extra):
+            parent = candidates[int(self.rng.integers(0, len(candidates)))]
+            if not self.ontology.has_statement(entity_id, IS_A, parent):
+                self.ontology.add_statement(entity_id, IS_A, parent)
+
+    # -- sub-ontology construction -------------------------------------------
+
+    def build_roles(self):
+        by_name: Dict[str, str] = {}
+        for name, parent_name in ROLE_TREE:
+            self.names.claim(name)
+            entity = self._new_entity(name, SubOntology.ROLE)
+            by_name[name] = entity.identifier
+            if parent_name is not None:
+                self.ontology.add_statement(entity.identifier, IS_A, by_name[parent_name])
+        parent_names = {parent for _, parent in ROLE_TREE if parent}
+        self.role_leaf_ids = [
+            by_name[name] for name, _ in ROLE_TREE if name not in parent_names
+        ]
+
+    def build_subatomic(self):
+        root = self._new_entity("subatomic particle", SubOntology.SUBATOMIC)
+        self.names.claim(root.name)
+        count = min(self.config.n_subatomic, len(SUBATOMIC_PARTICLES))
+        for name in SUBATOMIC_PARTICLES[:count]:
+            self.names.claim(name)
+            entity = self._new_entity(name, SubOntology.SUBATOMIC)
+            self.ontology.add_statement(entity.identifier, IS_A, root.identifier)
+        for index in range(self.config.n_subatomic - count):
+            entity = self._new_entity(f"excited particle state {index + 1}",
+                                      SubOntology.SUBATOMIC)
+            self.ontology.add_statement(entity.identifier, IS_A, root.identifier)
+
+    def grow_chemical_tree(self, n_grow: int):
+        root = self._add_chemical("chemical entity", None)
+        self.names.claim(root.name)
+        for class_name in CHEMICAL_ROOT_CLASSES:
+            self.names.claim(class_name)
+            family = self._add_chemical(class_name, root.identifier)
+            # Root families are their own family anchors for role affinity.
+            self.family_of[family.identifier] = family.identifier
+        growable = self.chemical_ids[1:]  # exclude the global root
+        for _ in range(n_grow):
+            parent_id = growable[int(self.rng.integers(0, len(growable)))]
+            parent = self.ontology.entity(parent_id)
+            if self.rng.random() < self.config.compositional_fraction:
+                name = self.names.compositional(parent.name)
+            else:
+                name = self.names.trivial()
+            child = self._add_chemical(name, parent_id)
+            self._maybe_extra_parents(child.identifier)
+            if self.depth[child.identifier] < self.config.max_depth:
+                growable.append(child.identifier)
+
+    # -- non-hierarchy relations ---------------------------------------------
+
+    def _relation_budget(self, relation_name: str) -> int:
+        density = _RELATION_DENSITY[relation_name]
+        return max(1, int(round(density * self.config.n_chemical_entities)))
+
+    def add_roles(self):
+        """``has_role`` edges with family-correlated role preferences."""
+        budget = self._relation_budget(HAS_ROLE.name)
+        families = sorted(set(self.family_of.values()))
+        preferred: Dict[str, List[str]] = {}
+        for family in families:
+            chosen = self.rng.choice(
+                len(self.role_leaf_ids),
+                size=min(self.config.role_affinities, len(self.role_leaf_ids)),
+                replace=False,
+            )
+            preferred[family] = [self.role_leaf_ids[int(i)] for i in chosen]
+        added = 0
+        attempts = 0
+        while added < budget and attempts < budget * 20:
+            attempts += 1
+            subject = self.chemical_ids[int(self.rng.integers(0, len(self.chemical_ids)))]
+            family = self.family_of.get(subject, subject)
+            if self.rng.random() < 0.8 and family in preferred:
+                pool = preferred[family]
+            else:
+                pool = self.role_leaf_ids
+            role = pool[int(self.rng.integers(0, len(pool)))]
+            if not self.ontology.has_statement(subject, HAS_ROLE, role):
+                self.ontology.add_statement(subject, HAS_ROLE, role)
+                added += 1
+
+    def add_conjugate_pairs(self):
+        """Acid/base pairs: ``X-ate is_conjugate_base_of X-ic acid`` + inverse."""
+        budget = self._relation_budget(IS_CONJUGATE_BASE_OF.name)
+        acids = [
+            cid
+            for cid in self.chemical_ids
+            if self.ontology.entity(cid).name.endswith("acid")
+        ]
+        self.rng.shuffle(acids)
+        for acid_id in acids[:budget]:
+            acid = self.ontology.entity(acid_id)
+            base_name = _conjugate_base_name(acid.name)
+            if not self.names.claim(base_name):
+                continue
+            parent = self.ontology.parents(acid_id)
+            parent_id = next(iter(sorted(parent)), None)
+            base = self._add_chemical(base_name, parent_id)
+            self.ontology.add_statement(base.identifier, IS_CONJUGATE_BASE_OF, acid_id)
+            self.ontology.add_statement(acid_id, IS_CONJUGATE_ACID_OF, base.identifier)
+
+    def add_parts(self):
+        """Composite entities: ``sodium X has_part X``-style salts."""
+        budget = self._relation_budget(HAS_PART.name)
+        counter_ions = ("sodium", "potassium", "calcium", "magnesium",
+                        "ammonium", "lithium", "zinc", "cobalt")
+        added = 0
+        attempts = 0
+        while added < budget and attempts < budget * 20:
+            attempts += 1
+            part_id = self.chemical_ids[int(self.rng.integers(0, len(self.chemical_ids)))]
+            part = self.ontology.entity(part_id)
+            ion = counter_ions[int(self.rng.integers(0, len(counter_ions)))]
+            name = f"{ion} {part.name}"
+            if not self.names.claim(name):
+                continue
+            parent_id = next(iter(sorted(self.ontology.parents(part_id))), None)
+            whole = self._add_chemical(name, parent_id)
+            self.ontology.add_statement(whole.identifier, HAS_PART, part_id)
+            added += 1
+
+    def _paired_variants(self, relation, budget: int, prefixes: Sequence[str]):
+        """Create name-variant pairs linked by a (one-directional) relation."""
+        added = 0
+        attempts = 0
+        while added < budget and attempts < budget * 20:
+            attempts += 1
+            base_id = self.chemical_ids[int(self.rng.integers(0, len(self.chemical_ids)))]
+            base = self.ontology.entity(base_id)
+            left_name = f"{prefixes[0]}{base.name}"
+            right_name = f"{prefixes[1]}{base.name}"
+            if left_name == right_name:
+                continue
+            if not self.names.claim(left_name):
+                continue
+            if not self.names.claim(right_name):
+                continue
+            left = self._add_chemical(left_name, base_id)
+            right = self._add_chemical(right_name, base_id)
+            self.ontology.add_statement(left.identifier, relation, right.identifier)
+            added += 1
+
+    def add_enantiomers(self):
+        self._paired_variants(
+            IS_ENANTIOMER_OF,
+            self._relation_budget(IS_ENANTIOMER_OF.name),
+            ("(R)-", "(S)-"),
+        )
+
+    def add_tautomers(self):
+        self._paired_variants(
+            IS_TAUTOMER_OF,
+            self._relation_budget(IS_TAUTOMER_OF.name),
+            ("keto-", "enol-"),
+        )
+
+    def add_parent_hydrides(self):
+        """``X has_parent_hydride X-ane`` style edges to hydride skeletons."""
+        budget = self._relation_budget(HAS_PARENT_HYDRIDE.name)
+        hydride_names = ["methane", "ethane", "propane", "butane", "pentane",
+                         "hexane", "benzene", "naphthalene", "indole", "purine",
+                         "oxane", "18-oxayohimban"]
+        hydride_ids = []
+        root_id = self.chemical_ids[0]
+        for name in hydride_names:
+            if self.names.claim(name):
+                hydride = self._add_chemical(name, root_id)
+                hydride_ids.append(hydride.identifier)
+        added = 0
+        attempts = 0
+        while added < budget and attempts < budget * 20:
+            attempts += 1
+            subject = self.chemical_ids[int(self.rng.integers(0, len(self.chemical_ids)))]
+            hydride = hydride_ids[int(self.rng.integers(0, len(hydride_ids)))]
+            if subject == hydride:
+                continue
+            if not self.ontology.has_statement(subject, HAS_PARENT_HYDRIDE, hydride):
+                self.ontology.add_statement(subject, HAS_PARENT_HYDRIDE, hydride)
+                added += 1
+
+    def add_substituent_groups(self):
+        """``X-yl group is_substituent_group_from X`` edges."""
+        budget = self._relation_budget(IS_SUBSTITUENT_GROUP_FROM.name)
+        added = 0
+        attempts = 0
+        while added < budget and attempts < budget * 20:
+            attempts += 1
+            base_id = self.chemical_ids[int(self.rng.integers(0, len(self.chemical_ids)))]
+            base = self.ontology.entity(base_id)
+            name = f"{base.name} yl group"
+            if not self.names.claim(name):
+                continue
+            parent_id = next(iter(sorted(self.ontology.parents(base_id))), None)
+            group = self._add_chemical(name, parent_id)
+            self.ontology.add_statement(
+                group.identifier, IS_SUBSTITUENT_GROUP_FROM, base_id
+            )
+            added += 1
+
+    def add_functional_parents(self):
+        """``has_functional_parent`` edges from derived to base entities.
+
+        We link compositional children (functional modifications by name
+        construction) to an entity in the ancestry of their parent — the
+        closest offline analogue of ChEBI's functional-modification edges.
+        """
+        budget = self._relation_budget(HAS_FUNCTIONAL_PARENT.name)
+        candidates = [cid for cid in self.chemical_ids if self.depth.get(cid, 0) >= 2]
+        added = 0
+        attempts = 0
+        while added < budget and attempts < budget * 20 and candidates:
+            attempts += 1
+            subject = candidates[int(self.rng.integers(0, len(candidates)))]
+            parents = sorted(self.ontology.parents(subject))
+            if not parents:
+                continue
+            grand = sorted(self.ontology.parents(parents[0]))
+            target = grand[0] if grand and self.rng.random() < 0.5 else parents[0]
+            if target == subject:
+                continue
+            if not self.ontology.has_statement(subject, HAS_FUNCTIONAL_PARENT, target):
+                self.ontology.add_statement(subject, HAS_FUNCTIONAL_PARENT, target)
+                added += 1
+
+    # -- orchestration --------------------------------------------------------
+
+    def run(self) -> Ontology:
+        self.build_roles()
+        self.build_subatomic()
+        # Reserve headroom for derived entities (conjugates, pairs, parts...)
+        # so the final chemical count lands near the configured target.
+        derived_budget = sum(
+            self._relation_budget(name)
+            for name in (
+                IS_CONJUGATE_BASE_OF.name,
+                HAS_PART.name,
+                IS_SUBSTITUENT_GROUP_FROM.name,
+            )
+        ) + 2 * (
+            self._relation_budget(IS_ENANTIOMER_OF.name)
+            + self._relation_budget(IS_TAUTOMER_OF.name)
+        )
+        n_grow = max(
+            10,
+            self.config.n_chemical_entities
+            - len(CHEMICAL_ROOT_CLASSES)
+            - 1
+            - derived_budget,
+        )
+        self.grow_chemical_tree(n_grow)
+        self.add_roles()
+        self.add_conjugate_pairs()
+        self.add_parts()
+        self.add_enantiomers()
+        self.add_tautomers()
+        self.add_parent_hydrides()
+        self.add_substituent_groups()
+        self.add_functional_parents()
+        return self.ontology
+
+
+def synthesize_chebi_like(config: Optional[SynthesisConfig] = None) -> Ontology:
+    """Generate a synthetic ChEBI-like ontology.
+
+    >>> onto = synthesize_chebi_like(SynthesisConfig(n_chemical_entities=200))
+    >>> onto.num_entities > 200
+    True
+    """
+    return _Synthesizer(config or SynthesisConfig()).run()
+
+
+__all__ = [
+    "SynthesisConfig",
+    "synthesize_chebi_like",
+    "CHEMICAL_ROOT_CLASSES",
+    "SUBSTITUENTS",
+    "ROLE_TREE",
+    "SUBATOMIC_PARTICLES",
+]

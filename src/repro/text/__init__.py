@@ -1,0 +1,19 @@
+"""Text substrate: chemical-name tokenisation, vocabularies, and corpora."""
+
+from repro.text.corpus import (
+    CorpusConfig,
+    generate_chemistry_corpus,
+    generate_generic_corpus,
+)
+from repro.text.tokenizer import ChemTokenizer, RegexpTokenizer
+from repro.text.vocab import Vocabulary, build_vocabulary
+
+__all__ = [
+    "ChemTokenizer",
+    "RegexpTokenizer",
+    "Vocabulary",
+    "build_vocabulary",
+    "CorpusConfig",
+    "generate_chemistry_corpus",
+    "generate_generic_corpus",
+]

@@ -1,0 +1,106 @@
+"""Vocabulary management: token census, id mapping, OOV bookkeeping.
+
+Used for embedding training, the paper's Table A4 out-of-vocabulary
+statistics, and the Table A5 token-frequency analysis.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+
+class Vocabulary:
+    """A frozen token → id mapping with frequency counts.
+
+    Ids are dense, starting at 0, assigned in descending frequency order
+    (ties broken lexicographically) so id order is deterministic.
+    """
+
+    def __init__(self, counts: Dict[str, int]):
+        if not counts:
+            raise ValueError("vocabulary must contain at least one token")
+        ordered = sorted(counts.items(), key=lambda kv: (-kv[1], kv[0]))
+        self._tokens: List[str] = [token for token, _ in ordered]
+        self._counts: Dict[str, int] = dict(ordered)
+        self._ids: Dict[str, int] = {t: i for i, t in enumerate(self._tokens)}
+
+    def __len__(self) -> int:
+        return len(self._tokens)
+
+    def __contains__(self, token: str) -> bool:
+        return token in self._ids
+
+    def __iter__(self):
+        return iter(self._tokens)
+
+    def id_of(self, token: str) -> int:
+        """Dense id of ``token``; raises :class:`KeyError` for OOV tokens."""
+        try:
+            return self._ids[token]
+        except KeyError:
+            raise KeyError(f"token {token!r} not in vocabulary") from None
+
+    def get_id(self, token: str) -> Optional[int]:
+        """Dense id or ``None`` when out of vocabulary."""
+        return self._ids.get(token)
+
+    def token_of(self, token_id: int) -> str:
+        return self._tokens[token_id]
+
+    def count(self, token: str) -> int:
+        """Training-corpus frequency of ``token`` (0 when OOV)."""
+        return self._counts.get(token, 0)
+
+    def counts(self) -> Dict[str, int]:
+        """Copy of the full frequency table."""
+        return dict(self._counts)
+
+    def most_common(self, n: int) -> List[Tuple[str, int]]:
+        return [(t, self._counts[t]) for t in self._tokens[:n]]
+
+    def top_fraction(self, fraction: float) -> List[str]:
+        """The most frequent ``fraction`` of tokens (at least one).
+
+        Used by the task-oriented adaptation (Algorithm 2), which analyses the
+        top 25% most frequent tokens.
+        """
+        if not 0.0 < fraction <= 1.0:
+            raise ValueError("fraction must be in (0, 1]")
+        n = max(1, int(len(self._tokens) * fraction))
+        return self._tokens[:n]
+
+    def oov_statistics(self, tokens: Iterable[str]) -> Tuple[int, int, float]:
+        """``(n_oov, n_unique, fraction_oov)`` over the unique ``tokens``.
+
+        This is the paper's Table A4 measurement: the share of unique ChEBI
+        triple tokens missing from an embedding model's vocabulary.
+        """
+        unique = set(tokens)
+        if not unique:
+            raise ValueError("token set must be non-empty")
+        n_oov = sum(1 for token in unique if token not in self._ids)
+        return n_oov, len(unique), n_oov / len(unique)
+
+
+def build_vocabulary(
+    token_streams: Iterable[Sequence[str]], min_count: int = 1
+) -> Vocabulary:
+    """Count tokens across an iterable of token sequences.
+
+    ``min_count`` drops rare tokens (standard word2vec/GloVe preprocessing).
+    """
+    if min_count < 1:
+        raise ValueError("min_count must be >= 1")
+    counter: Counter = Counter()
+    for stream in token_streams:
+        counter.update(stream)
+    kept = {t: c for t, c in counter.items() if c >= min_count}
+    if not kept:
+        raise ValueError(
+            f"no token reached min_count={min_count}; corpus too small"
+        )
+    return Vocabulary(kept)
+
+
+__all__ = ["Vocabulary", "build_vocabulary"]

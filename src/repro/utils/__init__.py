@@ -1,0 +1,5 @@
+"""Shared utilities: deterministic RNG plumbing and small helpers."""
+
+from repro.utils.rng import derive_rng, ensure_rng, stable_hash
+
+__all__ = ["derive_rng", "ensure_rng", "stable_hash"]

@@ -1,0 +1,127 @@
+"""Model persistence: save/load trained embeddings and mini-BERT models.
+
+Static embeddings serialise to a single ``.npz`` (matrix + vocabulary +
+counts); mini-BERT serialises to a ``.npz`` holding every parameter tensor
+in construction order plus the architecture config and WordPiece pieces.
+Training the models takes minutes; reloading takes milliseconds, so a
+downstream pipeline can train once and reuse everywhere.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Union
+
+import numpy as np
+
+from repro.bert.model import BertConfig, MiniBert
+from repro.bert.wordpiece import WordPieceTokenizer
+from repro.embeddings.base import StaticEmbeddings
+from repro.text.vocab import Vocabulary
+
+PathLike = Union[str, Path]
+
+_EMBEDDING_FORMAT = "repro-static-embeddings-v1"
+_BERT_FORMAT = "repro-minibert-v1"
+
+
+def save_embeddings(model: StaticEmbeddings, path: PathLike) -> None:
+    """Serialise a static embedding table to ``path`` (``.npz``)."""
+    tokens = list(model.vocabulary)
+    counts = [model.vocabulary.count(t) for t in tokens]
+    np.savez_compressed(
+        path,
+        format=np.array(_EMBEDDING_FORMAT),
+        name=np.array(model.name),
+        matrix=model.matrix,
+        tokens=np.array(tokens, dtype=object),
+        counts=np.array(counts, dtype=np.int64),
+    )
+
+
+def load_embeddings(path: PathLike) -> StaticEmbeddings:
+    """Load a static embedding table written by :func:`save_embeddings`."""
+    with np.load(path, allow_pickle=True) as data:
+        if str(data["format"]) != _EMBEDDING_FORMAT:
+            raise ValueError(
+                f"{path} is not a {_EMBEDDING_FORMAT} file "
+                f"(found {data['format']!r})"
+            )
+        tokens = [str(t) for t in data["tokens"]]
+        counts = {t: int(c) for t, c in zip(tokens, data["counts"])}
+        vocabulary = Vocabulary(counts)
+        matrix = np.asarray(data["matrix"])
+        # Vocabulary re-sorts by (count, token); realign matrix rows in case
+        # the file was written with a different ordering convention.
+        row_of = {token: row for row, token in enumerate(tokens)}
+        order = [row_of[vocabulary.token_of(i)] for i in range(len(vocabulary))]
+        return StaticEmbeddings(
+            vocabulary, matrix[order], name=str(data["name"])
+        )
+
+
+def save_bert(model: MiniBert, path: PathLike) -> None:
+    """Serialise a mini-BERT (parameters + config + WordPiece vocab)."""
+    config = model.config
+    config_json = json.dumps(
+        {
+            "d_model": config.d_model,
+            "n_heads": config.n_heads,
+            "n_layers": config.n_layers,
+            "d_ff": config.d_ff,
+            "max_len": config.max_len,
+            "dropout": config.dropout,
+            "n_classes": config.n_classes,
+            "seed": config.seed,
+        }
+    )
+    pieces = [model.tokenizer.piece_of(i) for i in range(len(model.tokenizer))]
+    arrays = {
+        f"param_{index:04d}": parameter.value
+        for index, parameter in enumerate(model.parameters())
+    }
+    np.savez_compressed(
+        path,
+        format=np.array(_BERT_FORMAT),
+        config=np.array(config_json),
+        pieces=np.array(pieces, dtype=object),
+        **arrays,
+    )
+
+
+def load_bert(path: PathLike) -> MiniBert:
+    """Load a mini-BERT written by :func:`save_bert`.
+
+    Parameters are restored in construction order, which is deterministic
+    for a given config, so the loaded model reproduces the saved one
+    exactly (verified by the round-trip tests).
+    """
+    with np.load(path, allow_pickle=True) as data:
+        if str(data["format"]) != _BERT_FORMAT:
+            raise ValueError(
+                f"{path} is not a {_BERT_FORMAT} file (found {data['format']!r})"
+            )
+        config = BertConfig(**json.loads(str(data["config"])))
+        tokenizer = WordPieceTokenizer([str(p) for p in data["pieces"]])
+        model = MiniBert(tokenizer, config)
+        parameters = model.parameters()
+        param_keys = sorted(k for k in data.files if k.startswith("param_"))
+        if len(param_keys) != len(parameters):
+            raise ValueError(
+                f"parameter count mismatch: file has {len(param_keys)}, "
+                f"model expects {len(parameters)}"
+            )
+        for key, parameter in zip(param_keys, parameters):
+            saved = np.asarray(data[key])
+            if saved.shape != parameter.value.shape:
+                raise ValueError(
+                    f"shape mismatch for {parameter.name}: "
+                    f"{saved.shape} vs {parameter.value.shape}"
+                )
+            parameter.value[...] = saved
+        model.set_training(False)
+        return model
+
+
+__all__ = ["save_embeddings", "load_embeddings", "save_bert", "load_bert"]

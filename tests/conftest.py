@@ -1,0 +1,68 @@
+"""Shared fixtures: small, session-scoped instances of the expensive objects."""
+
+import pytest
+
+from repro.core import Lab, LabConfig, build_task_dataset
+from repro.ontology import SynthesisConfig, synthesize_chebi_like
+from repro.text import CorpusConfig, generate_chemistry_corpus
+from repro.text.corpus import corpus_sentences
+
+
+SMALL_LAB_CONFIG = LabConfig(
+    n_chemical_entities=400,
+    ontology_seed=3,
+    corpus_documents=60,
+    corpus_sentences=15,
+    statement_coverage=0.6,
+    embedding_dim=32,
+    embedding_epochs=2,
+    glove_epochs=4,
+    wordpiece_vocab=400,
+    bert_d_model=32,
+    bert_layers=2,
+    bert_heads=2,
+    bert_d_ff=64,
+    pretrain_epochs=1,
+    pretrain_sentences=400,
+    max_train=600,
+    max_test=200,
+    rf_estimators=8,
+    rf_max_depth=10,
+    lstm_epochs=2,
+    seed=0,
+)
+
+
+@pytest.fixture(scope="session")
+def ontology():
+    """A small synthetic ontology shared across the suite."""
+    return synthesize_chebi_like(SynthesisConfig(n_chemical_entities=400, seed=3))
+
+
+@pytest.fixture(scope="session")
+def task1_dataset(ontology):
+    return build_task_dataset(ontology, 1, seed=42)
+
+
+@pytest.fixture(scope="session")
+def task2_dataset(ontology):
+    return build_task_dataset(ontology, 2, seed=42)
+
+
+@pytest.fixture(scope="session")
+def task3_dataset(ontology):
+    return build_task_dataset(ontology, 3, seed=42)
+
+
+@pytest.fixture(scope="session")
+def chem_sentences(ontology):
+    documents = generate_chemistry_corpus(
+        ontology, CorpusConfig(n_documents=40, sentences_per_document=12, seed=5)
+    )
+    return corpus_sentences(documents)
+
+
+@pytest.fixture(scope="session")
+def lab():
+    """A small Lab; building all of it lazily keeps unrelated tests fast."""
+    return Lab(SMALL_LAB_CONFIG)

@@ -1,0 +1,205 @@
+"""Tests for DBSCAN, the naive filter, Algorithm 2 and the token analyses."""
+
+import numpy as np
+import pytest
+
+from repro.adaptation.analysis import (
+    component_attention,
+    short_token_share,
+    token_frequency_census,
+)
+from repro.adaptation.dbscan import NOISE, dbscan, estimate_eps, pairwise_distances
+from repro.adaptation.naive import naive_token_filter
+from repro.adaptation.task_oriented import (
+    TaskOrientedConfig,
+    head_tail_token_frequencies,
+    select_stop_tokens,
+    stopword_filter,
+)
+from repro.core.tasks import positive_triples
+from repro.embeddings.random import RandomEmbeddings
+from repro.ml.forest import RandomForest, RandomForestConfig
+
+
+class TestNaiveFilter:
+    def test_drops_short_tokens(self):
+        flt = naive_token_filter()
+        assert flt(["3", "hydroxy", "acid", "d"]) == ["hydroxy", "acid"]
+
+    def test_keeps_all_when_all_short(self):
+        assert naive_token_filter()(["2", "d"]) == ["2", "d"]
+
+    def test_custom_length(self):
+        assert naive_token_filter(5)(["acid", "hydroxy"]) == ["hydroxy"]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            naive_token_filter(0)
+
+
+class TestPairwiseDistances:
+    def test_symmetry_and_zero_diagonal(self):
+        points = np.random.default_rng(0).normal(size=(10, 3))
+        distances = pairwise_distances(points)
+        assert np.allclose(distances, distances.T)
+        assert np.allclose(np.diag(distances), 0.0)
+
+    def test_known_values(self):
+        distances = pairwise_distances(np.array([[0.0, 0.0], [3.0, 4.0]]))
+        assert distances[0, 1] == pytest.approx(5.0)
+
+
+class TestDBSCAN:
+    def two_blobs(self):
+        rng = np.random.default_rng(0)
+        a = rng.normal(0.0, 0.1, size=(20, 2))
+        b = rng.normal(5.0, 0.1, size=(20, 2))
+        return np.vstack([a, b])
+
+    def test_finds_two_clusters(self):
+        labels = dbscan(self.two_blobs(), eps=0.5, min_samples=4)
+        assert set(labels[:20]) == {0}
+        assert set(labels[20:]) == {1}
+
+    def test_outlier_is_noise(self):
+        points = np.vstack([self.two_blobs(), [[100.0, 100.0]]])
+        labels = dbscan(points, eps=0.5, min_samples=4)
+        assert labels[-1] == NOISE
+
+    def test_automatic_eps(self):
+        labels = dbscan(self.two_blobs(), eps=None, min_samples=4)
+        assert len(set(labels) - {NOISE}) == 2
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            dbscan(np.zeros((0, 2)))
+        with pytest.raises(ValueError):
+            dbscan(np.zeros((5, 2)), eps=-1.0)
+        with pytest.raises(ValueError):
+            dbscan(np.zeros((5, 2)), eps=1.0, min_samples=0)
+
+    def test_estimate_eps_positive(self):
+        assert estimate_eps(self.two_blobs(), k=3) > 0.0
+
+
+class TestTaskOrientedAdaptation:
+    def test_token_frequencies(self, ontology):
+        positives = positive_triples(ontology)
+        counter = head_tail_token_frequencies(positives)
+        assert counter
+        # locants are frequent in a ChEBI-like ontology
+        assert any(token.isdigit() for token, _ in counter.most_common(20))
+
+    def test_select_stop_tokens_runs(self, ontology):
+        positives = positive_triples(ontology)[:300]
+        embeddings = RandomEmbeddings(dim=16, seed=0)
+        stop = select_stop_tokens(
+            positives,
+            embeddings,
+            TaskOrientedConfig(n_entities=40, n_iterations=3, seed=0),
+        )
+        assert isinstance(stop, set)
+
+    def test_deterministic(self, ontology):
+        positives = positive_triples(ontology)[:200]
+        embeddings = RandomEmbeddings(dim=16, seed=0)
+        config = TaskOrientedConfig(n_entities=30, n_iterations=3, seed=1)
+        assert select_stop_tokens(positives, embeddings, config) == select_stop_tokens(
+            positives, embeddings, config
+        )
+
+    def test_phrase_level_rejected(self, lab, ontology):
+        positives = positive_triples(ontology)[:50]
+        with pytest.raises(ValueError, match="token-level"):
+            select_stop_tokens(positives, lab.embedding("PubmedBERT"))
+
+    def test_stopword_filter(self):
+        flt = stopword_filter({"2", "3"})
+        assert flt(["2", "acid"]) == ["acid"]
+        assert flt(["2", "3"]) == ["2", "3"]  # never empty a component
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            TaskOrientedConfig(top_fraction=0.0)
+        with pytest.raises(ValueError):
+            TaskOrientedConfig(n_iterations=1)
+
+
+class TestAnalysis:
+    def test_census_shape(self, ontology):
+        positives = positive_triples(ontology)
+        census = token_frequency_census(positives, top_k=10)
+        assert set(census) == {"head", "tail"}
+        assert len(census["head"]) == 10
+        counts = [c for _, c in census["head"]]
+        assert counts == sorted(counts, reverse=True)
+
+    def test_short_token_share_pathology(self, ontology):
+        """Heads carry more short-token mass than tails (Table A5)."""
+        census = token_frequency_census(positive_triples(ontology), top_k=50)
+        shares = short_token_share(census)
+        assert shares["head"] > shares["tail"]
+
+    def test_component_attention_sums_to_one(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(150, 12))
+        y = (x[:, 0] > 0).astype(np.int64)
+        forest = RandomForest(RandomForestConfig(n_estimators=5, seed=0)).fit(x, y)
+        attention = component_attention(forest, dim=4)
+        assert set(attention) == {"subject", "relation", "object"}
+        assert sum(attention.values()) == pytest.approx(1.0)
+        assert attention["subject"] > attention["object"]
+
+    def test_census_requires_positives(self):
+        with pytest.raises(ValueError):
+            token_frequency_census([])
+
+
+class TestAlgorithm2FindsClusteredTokens:
+    """Craft an embedding where locant tokens form one tight cluster: the
+    task-oriented adaptation must identify exactly those as stop words."""
+
+    def _embedding(self):
+        import numpy as np
+
+        from repro.embeddings.base import StaticEmbeddings
+        from repro.text.vocab import Vocabulary
+
+        rng = np.random.default_rng(0)
+        locants = [str(i) for i in range(1, 10)]
+        words = ["acid", "amino", "hydroxy", "metabolite", "phenyl",
+                 "chloro", "oxo", "benzyl"]
+        counts = {t: 100 for t in locants}
+        counts.update({t: 50 for t in words})
+        vocab = Vocabulary(counts)
+        dim = 10
+        matrix = np.zeros((len(vocab), dim))
+        anchor = np.zeros(dim)
+        anchor[0] = 5.0
+        for token in locants:
+            matrix[vocab.id_of(token)] = anchor + rng.normal(0, 0.01, dim)
+        for index, token in enumerate(words):
+            direction = np.zeros(dim)
+            direction[index + 1] = 4.0  # axes disjoint from the locant anchor
+            matrix[vocab.id_of(token)] = direction + rng.normal(0, 0.01, dim)
+        return StaticEmbeddings(vocab, matrix, name="crafted"), locants, words
+
+    def test_locant_cluster_becomes_stop_words(self, ontology):
+        from repro.adaptation.task_oriented import (
+            TaskOrientedConfig,
+            select_stop_tokens,
+        )
+        from repro.core.tasks import positive_triples
+
+        embeddings, locants, words = self._embedding()
+        positives = positive_triples(ontology)[:400]
+        stop = select_stop_tokens(
+            positives,
+            embeddings,
+            TaskOrientedConfig(
+                top_fraction=1.0, n_entities=100, n_iterations=10,
+                min_samples=3, seed=0,
+            ),
+        )
+        found_locants = stop & set(locants)
+        assert len(found_locants) >= 5, f"expected locant stop words, got {stop}"

@@ -1,0 +1,143 @@
+"""Tests for calibration, error breakdowns and cross-model agreement."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.analysis.agreement_matrix import cohens_kappa, pairwise_agreement
+from repro.analysis.calibration import (
+    CalibrationReport,
+    expected_calibration_error,
+    reliability_curve,
+)
+from repro.analysis.errors import error_breakdown_by_relation
+from repro.core.triples import LabeledTriple
+from repro.ontology.relations import HAS_ROLE, IS_A
+
+
+class TestReliabilityCurve:
+    def test_perfectly_calibrated(self):
+        rng = np.random.default_rng(0)
+        probs = rng.random(20_000)
+        labels = (rng.random(20_000) < probs).astype(int)
+        curve = reliability_curve(probs, labels, n_bins=10)
+        for mean_p, frac_pos, count in curve:
+            assert abs(mean_p - frac_pos) < 0.05
+        assert expected_calibration_error(probs, labels) < 0.02
+
+    def test_overconfident_model_high_ece(self):
+        probs = np.array([0.99] * 100)
+        labels = np.array([1] * 50 + [0] * 50)
+        assert expected_calibration_error(probs, labels) > 0.4
+
+    def test_counts_sum_to_total(self):
+        rng = np.random.default_rng(1)
+        probs = rng.random(500)
+        labels = rng.integers(0, 2, 500)
+        curve = reliability_curve(probs, labels)
+        assert sum(count for _, _, count in curve) == 500
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            reliability_curve([], [])
+        with pytest.raises(ValueError):
+            reliability_curve([1.5], [1])
+        with pytest.raises(ValueError):
+            reliability_curve([0.5], [2])
+        with pytest.raises(ValueError):
+            reliability_curve([0.5], [1], n_bins=1)
+
+    def test_report_bundle(self):
+        report = CalibrationReport.from_predictions([0.9, 0.1], [1, 0])
+        assert report.n_samples == 2
+        assert report.ece == pytest.approx(0.1)
+
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(0, 10_000))
+    def test_ece_bounded(self, seed):
+        rng = np.random.default_rng(seed)
+        probs = rng.random(50)
+        labels = rng.integers(0, 2, 50)
+        assert 0.0 <= expected_calibration_error(probs, labels) <= 1.0
+
+
+class TestErrorBreakdown:
+    def make(self):
+        triples = [
+            LabeledTriple("a", "a", IS_A, "b", "b", 1),
+            LabeledTriple("c", "c", IS_A, "d", "d", 0),
+            LabeledTriple("e", "e", HAS_ROLE, "f", "f", 1),
+            LabeledTriple("g", "g", HAS_ROLE, "h", "h", 1),
+        ]
+        return triples
+
+    def test_per_relation_metrics(self):
+        triples = self.make()
+        predictions = [1, 0, 1, 0]
+        breakdown = error_breakdown_by_relation(triples, predictions)
+        assert breakdown["is_a"]["accuracy"] == 1.0
+        assert breakdown["has_role"]["accuracy"] == 0.5
+        assert breakdown["is_a"]["support"] == 2
+
+    def test_unclassified_handling(self):
+        triples = self.make()
+        predictions = [1, None, 1, 1]
+        breakdown = error_breakdown_by_relation(triples, predictions)
+        assert breakdown["is_a"]["unclassified"] == 1
+        assert breakdown["is_a"]["accuracy"] == 0.5  # None counts as wrong
+        assert breakdown["has_role"]["f1"] == 1.0
+
+    def test_min_support_filter(self):
+        triples = self.make()
+        breakdown = error_breakdown_by_relation(
+            triples, [1, 0, 1, 1], min_support=3
+        )
+        assert "is_a" not in breakdown
+        assert "has_role" not in breakdown  # only 2 each
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            error_breakdown_by_relation([], [])
+        with pytest.raises(ValueError):
+            error_breakdown_by_relation(self.make(), [1])
+
+
+class TestAgreement:
+    def test_perfect_agreement(self):
+        assert cohens_kappa([1, 0, 1], [1, 0, 1]) == pytest.approx(1.0)
+
+    def test_chance_agreement_near_zero(self):
+        rng = np.random.default_rng(0)
+        a = rng.integers(0, 2, 4000).tolist()
+        b = rng.integers(0, 2, 4000).tolist()
+        assert abs(cohens_kappa(a, b)) < 0.06
+
+    def test_systematic_disagreement_negative(self):
+        a = [0, 1] * 20
+        b = [1, 0] * 20
+        assert cohens_kappa(a, b) < -0.9
+
+    def test_none_is_a_category(self):
+        a = [1, None, 0]
+        b = [1, None, 0]
+        assert cohens_kappa(a, b) == pytest.approx(1.0)
+
+    def test_pairwise_matrix(self):
+        decisions = {
+            "rf": [1, 0, 1, 0],
+            "gpt": [1, 0, 1, 1],
+            "ft": [0, 1, 0, 1],
+        }
+        agreement = pairwise_agreement(decisions)
+        assert set(agreement) == {("ft", "gpt"), ("ft", "rf"), ("gpt", "rf")}
+        assert agreement[("gpt", "rf")] > agreement[("ft", "rf")]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            cohens_kappa([1], [1, 0])
+        with pytest.raises(ValueError):
+            cohens_kappa([], [])
+        with pytest.raises(ValueError):
+            pairwise_agreement({"only": [1, 0]})
+        with pytest.raises(ValueError):
+            pairwise_agreement({"a": [1], "b": [1, 0]})

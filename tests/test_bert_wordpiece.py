@@ -1,0 +1,88 @@
+"""Tests for WordPiece training and encoding."""
+
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.bert.wordpiece import (
+    SPECIAL_TOKENS,
+    WordPieceTokenizer,
+    train_wordpiece,
+)
+
+CORPUS = [
+    ["hydroxy", "acid", "hydroxyacid"],
+    ["hydroxy", "butanoic", "acid"],
+    ["amino", "acid", "aminobutanoic"],
+] * 10
+
+
+class TestTrainWordpiece:
+    def test_specials_present(self):
+        tokenizer = train_wordpiece(CORPUS, vocab_size=80)
+        for special in SPECIAL_TOKENS:
+            assert special in tokenizer
+
+    def test_merges_frequent_pairs(self):
+        tokenizer = train_wordpiece(CORPUS, vocab_size=200)
+        # 'acid' is frequent enough to become a single piece.
+        assert tokenizer.encode_word("acid") == [tokenizer.id_of("acid")]
+
+    def test_vocab_size_bounded(self):
+        tokenizer = train_wordpiece(CORPUS, vocab_size=60)
+        assert len(tokenizer) <= 60 + 1  # final merge may add one piece
+
+    def test_too_small_vocab_rejected(self):
+        with pytest.raises(ValueError):
+            train_wordpiece(CORPUS, vocab_size=5)
+
+    def test_empty_corpus_rejected(self):
+        with pytest.raises(ValueError):
+            train_wordpiece([], vocab_size=100)
+
+
+class TestEncoding:
+    @pytest.fixture(scope="class")
+    def tokenizer(self):
+        return train_wordpiece(CORPUS, vocab_size=150)
+
+    def test_greedy_longest_match(self, tokenizer):
+        pieces = tokenizer.encode_word("hydroxyacid")
+        decoded = tokenizer.decode(pieces)
+        assert decoded.replace(" ", "") == "hydroxyacid"
+
+    def test_unknown_characters_give_unk(self, tokenizer):
+        assert tokenizer.encode_word("ØØØ") == [tokenizer.unk_id]
+
+    def test_encode_adds_specials(self, tokenizer):
+        ids = tokenizer.encode(["acid"])
+        assert ids[0] == tokenizer.cls_id
+        assert ids[-1] == tokenizer.sep_id
+
+    def test_encode_truncates(self, tokenizer):
+        ids = tokenizer.encode(["hydroxy"] * 50, max_len=10)
+        assert len(ids) == 10
+        assert ids[-1] == tokenizer.sep_id
+
+    def test_decode_skips_specials(self, tokenizer):
+        ids = tokenizer.encode(["acid", "amino"])
+        assert tokenizer.decode(ids) == "acid amino"
+
+    def test_empty_word(self, tokenizer):
+        assert tokenizer.encode_word("") == []
+
+    def test_duplicate_pieces_rejected(self):
+        with pytest.raises(ValueError, match="duplicate"):
+            WordPieceTokenizer(list(SPECIAL_TOKENS) + ["a", "a"])
+
+    def test_missing_special_rejected(self):
+        with pytest.raises(ValueError, match="missing"):
+            WordPieceTokenizer(["a", "b"])
+
+    @settings(deadline=None, max_examples=30)
+    @given(st.text(alphabet="abcdxyz", min_size=1, max_size=15))
+    def test_round_trip_known_alphabet(self, tokenizer, word):
+        # every single character of the training alphabet is in the vocab,
+        # so greedy encoding must reconstruct the word exactly.
+        pieces = tokenizer.encode_word(word)
+        if tokenizer.unk_id not in pieces:
+            assert tokenizer.decode(pieces).replace(" ", "") == word

@@ -1,0 +1,70 @@
+"""Tests for the command-line interface."""
+
+import pytest
+
+from repro.cli import build_parser, main
+
+
+class TestParser:
+    def test_requires_command(self, capsys):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args([])
+
+    def test_synthesize_defaults(self):
+        args = build_parser().parse_args(["synthesize", "out.obo"])
+        assert args.entities == 1_000
+        assert args.seed == 0
+
+    def test_evaluate_choices(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["evaluate", "--paradigm", "nope"])
+
+    def test_icl_variant_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["icl", "--variant", "9"])
+
+
+class TestCommands:
+    def test_synthesize_and_census_round_trip(self, tmp_path, capsys):
+        obo_path = str(tmp_path / "tiny.obo")
+        assert main(["synthesize", obo_path, "--entities", "120"]) == 0
+        out = capsys.readouterr().out
+        assert "entities" in out
+
+        assert main(["census", obo_path]) == 0
+        out = capsys.readouterr().out
+        assert "is_a" in out
+        assert "chemical_entity" in out
+
+    def test_dataset_from_synthetic(self, capsys):
+        assert main(["dataset", "--task", "2", "--entities", "120",
+                     "--show", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "task 2" in out
+        assert "9:1 split" in out
+
+    def test_dataset_from_obo(self, tmp_path, capsys):
+        obo_path = str(tmp_path / "tiny.obo")
+        main(["synthesize", obo_path, "--entities", "120"])
+        capsys.readouterr()
+        assert main(["dataset", "--obo", obo_path, "--task", "1"]) == 0
+        assert "task 1" in capsys.readouterr().out
+
+    def test_icl_with_simulated_model(self, capsys):
+        code = main([
+            "icl", "--task", "1", "--model", "gpt-4", "--variant", "1",
+            "--entities", "300", "--max-train", "400", "--max-test", "150",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "accuracy" in out and "kappa" in out
+
+    def test_evaluate_rf(self, capsys):
+        code = main([
+            "evaluate", "--task", "1", "--paradigm", "rf",
+            "--embedding", "Random", "--adaptation", "naive",
+            "--entities", "300", "--max-train", "300", "--max-test", "100",
+        ])
+        assert code == 0
+        out = capsys.readouterr().out
+        assert "RF(Random)" in out

@@ -1,0 +1,85 @@
+"""Tests for the head-to-head comparison runner."""
+
+import numpy as np
+import pytest
+
+from repro.core.comparison import ComparisonRow, evaluate_paradigm, head_to_head
+from repro.core.datasets import train_test_split_9_1
+from repro.core.paradigms import ICLParadigm, Paradigm, RandomForestParadigm
+from repro.llm.client import EchoClient
+from repro.ml.forest import RandomForestConfig
+
+
+class _FixedParadigm(Paradigm):
+    """Returns a pre-set decision list regardless of input."""
+
+    def __init__(self, decisions):
+        super().__init__("fixed")
+        self._decisions = decisions
+
+    def fit(self, train):
+        return self
+
+    def classify(self, triples):
+        return list(self._decisions[: len(triples)])
+
+
+class TestEvaluateParadigm:
+    def test_perfect_predictions(self, task1_dataset):
+        test = list(task1_dataset)[:10]
+        paradigm = _FixedParadigm([t.label for t in test])
+        row = evaluate_paradigm(paradigm, test)
+        assert row.accuracy == 1.0
+        assert row.f1 == 1.0
+        assert row.n_unclassified == 0
+
+    def test_unclassified_counts_against_accuracy_only(self, task1_dataset):
+        test = list(task1_dataset)[:10]
+        decisions = [t.label for t in test]
+        decisions[0] = None  # one abstention
+        row = evaluate_paradigm(_FixedParadigm(decisions), test)
+        assert row.accuracy == pytest.approx(0.9)
+        assert row.f1 == 1.0  # classified subset is perfect
+        assert row.n_unclassified == 1
+
+    def test_all_unclassified(self, task1_dataset):
+        test = list(task1_dataset)[:6]
+        row = evaluate_paradigm(_FixedParadigm([None] * 6), test)
+        assert row.accuracy == 0.0
+        assert row.f1 == 0.0
+        assert row.n_unclassified == 6
+
+    def test_empty_test_rejected(self):
+        with pytest.raises(ValueError):
+            evaluate_paradigm(_FixedParadigm([]), [])
+
+    def test_as_row(self, task1_dataset):
+        test = list(task1_dataset)[:4]
+        row = evaluate_paradigm(_FixedParadigm([t.label for t in test]), test)
+        assert row.as_row()["paradigm"] == "fixed"
+
+
+class TestHeadToHead:
+    def test_fits_and_ranks(self, lab, task1_dataset):
+        split = train_test_split_9_1(task1_dataset, seed=0)
+        train = list(split.train)[:300]
+        test = list(split.test)[:60]
+        paradigms = [
+            RandomForestParadigm(
+                lab.embedding("W2V-Chem"),
+                config=RandomForestConfig(n_estimators=8, seed=0),
+            ),
+            ICLParadigm(EchoClient("True"), seed=0),
+        ]
+        rows = head_to_head(paradigms, train, test)
+        assert len(rows) == 2
+        by_name = {row.paradigm: row for row in rows}
+        assert by_name["ICL(EchoClient)"].accuracy == pytest.approx(
+            np.mean([t.label for t in test])
+        )
+
+    def test_fit_false_skips_training(self, task1_dataset):
+        test = list(task1_dataset)[:5]
+        paradigm = _FixedParadigm([t.label for t in test])
+        rows = head_to_head([paradigm], [], test, fit=False)
+        assert rows[0].accuracy == 1.0

@@ -1,0 +1,127 @@
+"""Tests for Dataset operations and task-dataset construction."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.datasets import (
+    Dataset,
+    build_task_dataset,
+    train_test_split_9_1,
+    train_val_test_split_8_1_1,
+)
+from repro.core.triples import LabeledTriple
+from repro.ontology.relations import HAS_ROLE, IS_A
+
+
+def toy_triples(n_pos, n_neg):
+    triples = []
+    for i in range(n_pos):
+        triples.append(
+            LabeledTriple(f"s{i}", f"sub {i}", IS_A, f"o{i}", f"obj {i}", 1)
+        )
+    for i in range(n_neg):
+        triples.append(
+            LabeledTriple(f"ns{i}", f"nsub {i}", HAS_ROLE, f"no{i}", f"nobj {i}", 0)
+        )
+    return triples
+
+
+class TestDataset:
+    def test_counts_and_classes(self):
+        dataset = Dataset(toy_triples(6, 4))
+        assert len(dataset) == 10
+        assert dataset.counts() == (6, 4)
+        assert len(dataset.positives()) == 6
+        assert len(dataset.negatives()) == 4
+
+    def test_labels_alignment(self):
+        dataset = Dataset(toy_triples(2, 2))
+        assert dataset.labels().tolist() == [t.label for t in dataset]
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Dataset([])
+
+    def test_restrict_to_relation(self):
+        dataset = Dataset(toy_triples(3, 3))
+        subset = dataset.restrict_to_relation("is_a")
+        assert len(subset) == 3
+        with pytest.raises(ValueError):
+            dataset.restrict_to_relation("has_part")
+
+    def test_shuffled_is_permutation(self):
+        dataset = Dataset(toy_triples(5, 5))
+        shuffled = dataset.shuffled(seed=1)
+        assert sorted(t.key() for t in shuffled) == sorted(t.key() for t in dataset)
+        assert [t.key() for t in shuffled] != [t.key() for t in dataset]
+
+    def test_sample_exact_counts(self):
+        dataset = Dataset(toy_triples(20, 20))
+        sample = dataset.sample(5, 3, seed=2)
+        assert sample.counts() == (5, 3)
+
+    def test_sample_too_large_raises(self):
+        dataset = Dataset(toy_triples(2, 2))
+        with pytest.raises(ValueError, match="requested"):
+            dataset.sample(5, 1)
+
+    def test_sample_deterministic(self):
+        dataset = Dataset(toy_triples(30, 30))
+        a = dataset.sample(4, 4, seed=3)
+        b = dataset.sample(4, 4, seed=3)
+        assert [t.key() for t in a] == [t.key() for t in b]
+
+
+class TestStratifiedSplit:
+    def test_fractions_must_sum_to_one(self):
+        dataset = Dataset(toy_triples(10, 10))
+        with pytest.raises(ValueError):
+            dataset.stratified_split([0.5, 0.4])
+
+    def test_partition_no_overlap(self):
+        dataset = Dataset(toy_triples(50, 50))
+        parts = dataset.stratified_split([0.7, 0.3], seed=1)
+        keys = [set(t.key() for t in part) for part in parts]
+        assert not keys[0] & keys[1]
+        assert len(keys[0]) + len(keys[1]) == 100
+
+    def test_class_ratio_preserved(self):
+        dataset = Dataset(toy_triples(80, 40))
+        train, test = dataset.stratified_split([0.75, 0.25], seed=1)
+        train_pos, train_neg = train.counts()
+        assert train_pos == 60 and train_neg == 30
+
+    @settings(deadline=None, max_examples=25)
+    @given(st.integers(10, 40), st.integers(10, 40), st.integers(0, 1000))
+    def test_split_partitions_exactly(self, n_pos, n_neg, seed):
+        dataset = Dataset(toy_triples(n_pos, n_neg))
+        parts = dataset.stratified_split([0.5, 0.3, 0.2], seed=seed)
+        total = sum(len(p) for p in parts)
+        assert total == len(dataset)
+        all_keys = sorted(k for p in parts for k in (t.key() for t in p))
+        assert all_keys == sorted(t.key() for t in dataset)
+
+
+class TestTaskDatasetConstruction:
+    @pytest.mark.parametrize("task", [1, 2, 3])
+    def test_roughly_balanced(self, ontology, task):
+        dataset = build_task_dataset(ontology, task, seed=42)
+        n_pos, n_neg = dataset.counts()
+        assert n_pos > 0 and n_neg > 0
+        assert abs(n_pos - n_neg) / n_pos < 0.25
+
+    def test_named_by_task(self, task1_dataset):
+        assert task1_dataset.name.startswith("task1")
+
+    def test_9_1_split_sizes(self, task1_dataset):
+        split = train_test_split_9_1(task1_dataset, seed=0)
+        ratio = len(split.train) / len(split.test)
+        assert 8.0 < ratio < 10.0
+
+    def test_8_1_1_split_sizes(self, task1_dataset):
+        split = train_val_test_split_8_1_1(task1_dataset, seed=0)
+        assert split.validation is not None
+        assert len(split.train) > 6 * len(split.test)
+        total = len(split.train) + len(split.test) + len(split.validation)
+        assert total == len(task1_dataset)

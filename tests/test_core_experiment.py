@@ -1,0 +1,106 @@
+"""Tests for the Lab orchestration object."""
+
+import pytest
+
+from repro.core.datasets import Dataset
+from repro.core.experiment import Lab, LabConfig, subsample
+from repro.core.triples import LabeledTriple
+from repro.embeddings.registry import MODEL_NAMES
+from repro.ontology.relations import IS_A
+
+
+class TestSubsample:
+    def make(self, n_pos, n_neg):
+        triples = [
+            LabeledTriple(f"s{i}", f"s {i}", IS_A, f"o{i}", f"o {i}", 1)
+            for i in range(n_pos)
+        ] + [
+            LabeledTriple(f"t{i}", f"t {i}", IS_A, f"u{i}", f"u {i}", 0)
+            for i in range(n_neg)
+        ]
+        return Dataset(triples)
+
+    def test_noop_when_small_enough(self):
+        dataset = self.make(5, 5)
+        assert subsample(dataset, 100) is dataset
+        assert subsample(dataset, None) is dataset
+
+    def test_cap_and_ratio(self):
+        dataset = self.make(60, 30)
+        small = subsample(dataset, 30, seed=0)
+        n_pos, n_neg = small.counts()
+        assert n_pos + n_neg == 30
+        assert n_pos == 20  # 2:1 ratio preserved
+
+
+class TestLab:
+    def test_caching_returns_same_objects(self, lab):
+        assert lab.ontology is lab.ontology
+        assert lab.dataset(1) is lab.dataset(1)
+        assert lab.embeddings is lab.embeddings
+
+    def test_embedding_lineup_complete(self, lab):
+        assert set(lab.embeddings) == set(MODEL_NAMES)
+
+    def test_embedding_lookup_error(self, lab):
+        with pytest.raises(KeyError, match="unknown embedding"):
+            lab.embedding("NotAModel")
+
+    def test_split_caps_respected(self, lab):
+        split = lab.ml_split(1)
+        assert len(split.train) <= lab.config.max_train
+        assert len(split.test) <= lab.config.max_test
+
+    def test_ft_split_has_validation(self, lab):
+        split = lab.ft_split(1)
+        assert split.validation is not None
+
+    def test_adaptation_filters(self, lab):
+        assert lab.adaptation_filter("none") is None
+        naive = lab.adaptation_filter("naive")
+        assert naive(["3", "acid"]) == ["acid"]
+        task = lab.adaptation_filter("task-oriented", "W2V-Chem")
+        assert callable(task)
+        with pytest.raises(ValueError):
+            lab.adaptation_filter("bogus")
+        with pytest.raises(ValueError):
+            lab.adaptation_filter("task-oriented")
+
+    def test_evaluate_random_forest_cell(self, lab):
+        report, forest = lab.evaluate_random_forest(1, "W2V-Chem", "naive")
+        assert 0.5 < report.accuracy <= 1.0
+        assert forest.feature_importances_ is not None
+
+    def test_evaluate_lstm_cell(self, lab):
+        report, model = lab.evaluate_lstm(1, "Random", "none")
+        assert 0.0 <= report.f1 <= 1.0
+        assert model.history
+
+    def test_bert_pretrained(self, lab):
+        assert lab.bert.pretrain_losses
+        assert lab.bert.training is False
+
+
+class TestGridSearch:
+    def test_grid_search_random_forest(self, lab):
+        result = lab.grid_search_random_forest(
+            1,
+            "Random",
+            "none",
+            grid={"n_estimators": [4, 8], "max_depth": [6]},
+            n_folds=3,
+            max_samples=300,
+        )
+        assert result.best_params["max_depth"] == 6
+        assert result.best_params["n_estimators"] in (4, 8)
+        assert 0.0 <= result.best_score <= 1.0
+        assert len(result.all_scores) == 2
+        # the refit best model can predict
+        split = lab.ml_split(1)
+        from repro.ml.features import FeatureExtractor
+
+        extractor = FeatureExtractor(lab.embedding("Random"))
+        predictions = result.best_model.predict(
+            extractor.matrix(split.test.triples[:20])
+        )
+        assert set(predictions.tolist()) <= {0, 1}

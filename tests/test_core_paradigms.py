@@ -1,0 +1,136 @@
+"""Tests for the unified paradigm wrappers."""
+
+import numpy as np
+import pytest
+
+from repro.core.datasets import train_test_split_9_1
+from repro.core.paradigms import (
+    FineTuneParadigm,
+    ICLParadigm,
+    LSTMParadigm,
+    RandomForestParadigm,
+)
+from repro.bert.finetune import FineTuneConfig
+from repro.llm.client import EchoClient
+from repro.llm.simulated import GPT4_PROFILE, SimulatedChatModel, truth_table
+from repro.ml.forest import RandomForestConfig
+from repro.ml.lstm import LSTMConfig
+
+
+@pytest.fixture(scope="module")
+def split(task1_dataset):
+    return train_test_split_9_1(task1_dataset, seed=0)
+
+
+@pytest.fixture(scope="module")
+def small_train(split):
+    return list(split.train)[:400]
+
+
+@pytest.fixture(scope="module")
+def small_test(split):
+    return list(split.test)[:100]
+
+
+class TestRandomForestParadigm:
+    def test_fit_predict_beats_chance(self, lab, small_train, small_test):
+        paradigm = RandomForestParadigm(
+            lab.embedding("W2V-Chem"),
+            config=RandomForestConfig(n_estimators=10, seed=0),
+        )
+        paradigm.fit(small_train)
+        gold = np.array([t.label for t in small_test])
+        accuracy = (paradigm.predict(small_test) == gold).mean()
+        assert accuracy > 0.55
+
+    def test_unfitted_raises(self, lab, small_test):
+        paradigm = RandomForestParadigm(lab.embedding("Random"))
+        with pytest.raises(RuntimeError):
+            paradigm.classify(small_test)
+
+    def test_classify_never_none(self, lab, small_train, small_test):
+        paradigm = RandomForestParadigm(
+            lab.embedding("Random"),
+            config=RandomForestConfig(n_estimators=4, seed=0),
+        ).fit(small_train)
+        assert all(c in (0, 1) for c in paradigm.classify(small_test))
+
+    def test_predict_proba(self, lab, small_train, small_test):
+        paradigm = RandomForestParadigm(
+            lab.embedding("Random"),
+            config=RandomForestConfig(n_estimators=4, seed=0),
+        ).fit(small_train)
+        probs = paradigm.predict_proba(small_test)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+
+class TestLSTMParadigm:
+    def test_fit_predict(self, lab, small_train, small_test):
+        paradigm = LSTMParadigm(
+            lab.embedding("W2V-Chem"), config=LSTMConfig(epochs=2, seed=0)
+        ).fit(small_train)
+        predictions = paradigm.predict(small_test)
+        assert predictions.shape == (len(small_test),)
+        assert set(np.unique(predictions)) <= {0, 1}
+
+
+class TestFineTuneParadigm:
+    def test_fit_predict(self, lab, small_train, small_test):
+        paradigm = FineTuneParadigm(
+            lab.bert, FineTuneConfig(epochs=1, seed=0)
+        ).fit(small_train)
+        predictions = paradigm.predict(small_test)
+        assert predictions.shape == (len(small_test),)
+
+
+class TestICLParadigm:
+    def test_simulated_client(self, task1_dataset, small_train, small_test):
+        client = SimulatedChatModel(
+            GPT4_PROFILE, truth_table(task1_dataset), 1, seed=0
+        )
+        paradigm = ICLParadigm(client, seed=0).fit(small_train)
+        gold = np.array([t.label for t in small_test])
+        accuracy = (paradigm.predict(small_test) == gold).mean()
+        assert accuracy > 0.7
+
+    def test_unclassified_mapped_to_none(self, small_train, small_test):
+        paradigm = ICLParadigm(EchoClient("no idea"), seed=0).fit(small_train)
+        decisions = paradigm.classify(small_test[:5])
+        assert decisions == [None] * 5
+        assert paradigm.predict(small_test[:5]).tolist() == [0] * 5
+
+    def test_fit_requires_examples(self):
+        paradigm = ICLParadigm(EchoClient())
+        with pytest.raises(ValueError):
+            paradigm.fit([])
+
+    def test_unfitted_raises(self, small_test):
+        with pytest.raises(RuntimeError):
+            ICLParadigm(EchoClient()).classify(small_test)
+
+
+class TestLogisticRegressionParadigm:
+    def test_fit_predict(self, lab, small_train, small_test):
+        from repro.core.paradigms import LogisticRegressionParadigm
+
+        paradigm = LogisticRegressionParadigm(lab.embedding("W2V-Chem")).fit(
+            small_train
+        )
+        gold = np.array([t.label for t in small_test])
+        accuracy = (paradigm.predict(small_test) == gold).mean()
+        assert accuracy > 0.55
+
+    def test_predict_proba(self, lab, small_train, small_test):
+        from repro.core.paradigms import LogisticRegressionParadigm
+
+        paradigm = LogisticRegressionParadigm(lab.embedding("Random")).fit(
+            small_train
+        )
+        probs = paradigm.predict_proba(small_test)
+        assert np.all((probs >= 0) & (probs <= 1))
+
+    def test_unfitted_raises(self, lab, small_test):
+        from repro.core.paradigms import LogisticRegressionParadigm
+
+        with pytest.raises(RuntimeError):
+            LogisticRegressionParadigm(lab.embedding("Random")).classify(small_test)

@@ -1,0 +1,62 @@
+"""Tests for the text-table reporting helper."""
+
+import os
+
+import pytest
+
+from repro.core.reporting import Table, format_cell
+
+
+class TestFormatCell:
+    def test_none_is_dash(self):
+        assert format_cell(None) == "-"
+
+    def test_float_precision(self):
+        assert format_cell(0.123456, precision=3) == "0.123"
+
+    def test_int_and_str(self):
+        assert format_cell(42) == "42"
+        assert format_cell("abc") == "abc"
+
+
+class TestTable:
+    def test_render_alignment(self):
+        table = Table("T", ["name", "value"])
+        table.add_row("a", 1.5)
+        table.add_row("longer-name", 2.25)
+        text = table.render()
+        lines = text.splitlines()
+        assert lines[0] == "T"
+        assert "name" in lines[2] and "value" in lines[2]
+        # all data lines have equal prefix width up to the second column
+        assert lines[4].index("1.5000") == lines[5].index("2.2500")
+
+    def test_row_arity_checked(self):
+        table = Table("T", ["a", "b"])
+        with pytest.raises(ValueError, match="cells"):
+            table.add_row(1)
+
+    def test_needs_columns(self):
+        with pytest.raises(ValueError):
+            Table("T", [])
+
+    def test_section_rows(self):
+        table = Table("T", ["a", "b"])
+        table.add_section("group 1")
+        table.add_row(1, 2)
+        assert "-- group 1 --" in table.render()
+
+    def test_save_creates_directories(self, tmp_path):
+        table = Table("T", ["x"])
+        table.add_row(7)
+        path = tmp_path / "nested" / "out.txt"
+        table.save(str(path))
+        assert path.read_text().startswith("T\n")
+
+    def test_show_returns_render(self, capsys):
+        table = Table("T", ["x"])
+        table.add_row(None)
+        text = table.show()
+        captured = capsys.readouterr()
+        assert text in captured.out
+        assert "-" in text

@@ -1,0 +1,75 @@
+"""Tests for the five data-availability scenarios."""
+
+import pytest
+
+from repro.core.scenarios import SCENARIOS, Scenario, build_scenario_split
+
+
+class TestScenario:
+    def test_five_paper_scenarios(self):
+        assert len(SCENARIOS) == 5
+        assert [s.train_test_ratio for s in SCENARIOS] == [9.0, 7.0, 4.0, 1.0, 0.5]
+        assert [s.positive_per_negative for s in SCENARIOS] == [
+            1.0,
+            0.75,
+            0.5,
+            0.25,
+            0.125,
+        ]
+
+    def test_positive_fraction(self):
+        assert SCENARIOS[0].positive_fraction == pytest.approx(0.5)
+        assert SCENARIOS[4].positive_fraction == pytest.approx(1 / 9)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            Scenario("bad", -1.0, 0.5)
+        with pytest.raises(ValueError):
+            Scenario("bad", 1.0, 1.5)
+
+    def test_describe(self):
+        assert "9" in SCENARIOS[0].describe()
+
+
+class TestBuildScenarioSplit:
+    def test_test_set_constant_across_scenarios(self, task1_dataset):
+        splits = [
+            build_scenario_split(task1_dataset, s, subset_fraction=0.5, seed=1)
+            for s in SCENARIOS
+        ]
+        reference = sorted(t.key() for t in splits[0].test)
+        for split in splits[1:]:
+            assert sorted(t.key() for t in split.test) == reference
+
+    def test_train_sizes_decrease(self, task1_dataset):
+        sizes = [
+            len(build_scenario_split(task1_dataset, s, subset_fraction=0.5, seed=1).train)
+            for s in SCENARIOS
+        ]
+        assert sizes == sorted(sizes, reverse=True)
+
+    def test_imbalance_applied(self, task1_dataset):
+        split = build_scenario_split(
+            task1_dataset, SCENARIOS[4], subset_fraction=0.5, seed=1
+        )
+        n_pos, n_neg = split.train.counts()
+        assert n_pos < n_neg
+        assert n_pos / max(1, n_neg) == pytest.approx(0.125, rel=0.35)
+
+    def test_train_test_disjoint(self, task1_dataset):
+        split = build_scenario_split(
+            task1_dataset, SCENARIOS[2], subset_fraction=0.5, seed=1
+        )
+        train_keys = {t.key() for t in split.train}
+        test_keys = {t.key() for t in split.test}
+        assert not train_keys & test_keys
+
+    def test_invalid_subset_fraction(self, task1_dataset):
+        with pytest.raises(ValueError):
+            build_scenario_split(task1_dataset, SCENARIOS[0], subset_fraction=0.0)
+
+    def test_full_subset_allowed(self, task1_dataset):
+        split = build_scenario_split(
+            task1_dataset, SCENARIOS[0], subset_fraction=1.0, seed=1
+        )
+        assert len(split.train) > len(split.test)

@@ -1,0 +1,139 @@
+"""Tests for the three task negative generators."""
+
+import pytest
+
+from repro.core.tasks import (
+    TASKS,
+    generate_task1_negatives,
+    generate_task2_negatives,
+    generate_task3_negatives,
+    positive_triples,
+    task_by_number,
+)
+from repro.ontology.queries import siblings
+from repro.ontology.relations import IS_CONJUGATE_ACID_OF, IS_TAUTOMER_OF
+
+
+class TestTaskDescriptors:
+    def test_three_tasks(self):
+        assert [t.number for t in TASKS] == [1, 2, 3]
+
+    def test_lookup(self):
+        assert task_by_number(2).name == "wrong-direction"
+        with pytest.raises(KeyError):
+            task_by_number(4)
+
+
+class TestPositiveTriples:
+    def test_excludes_conjugate_acid(self, ontology):
+        positives = positive_triples(ontology)
+        assert positives
+        assert all(
+            t.relation.name != IS_CONJUGATE_ACID_OF.name for t in positives
+        )
+        assert all(t.label == 1 for t in positives)
+
+    def test_count_matches_statements(self, ontology):
+        n_acid = sum(
+            1 for s in ontology.statements()
+            if s.relation.name == IS_CONJUGATE_ACID_OF.name
+        )
+        assert len(positive_triples(ontology)) == ontology.num_statements - n_acid
+
+    def test_names_resolved(self, ontology):
+        triple = positive_triples(ontology)[0]
+        assert triple.subject_name == ontology.entity(triple.subject_id).name
+        assert triple.object_name == ontology.entity(triple.object_id).name
+
+
+class TestTask1:
+    def test_one_negative_per_positive(self, ontology):
+        positives = positive_triples(ontology)[:100]
+        negatives = generate_task1_negatives(ontology, positives, seed=1)
+        assert len(negatives) == len(positives)
+
+    def test_negatives_not_in_ontology(self, ontology):
+        positives = positive_triples(ontology)[:100]
+        for negative in generate_task1_negatives(ontology, positives, seed=1):
+            assert negative.label == 0
+            assert not ontology.has_statement(
+                negative.subject_id, negative.relation, negative.object_id
+            )
+
+    def test_relation_distribution_preserved(self, ontology):
+        positives = positive_triples(ontology)
+        negatives = generate_task1_negatives(ontology, positives, seed=1)
+        pos_relations = sorted(t.relation.name for t in positives)
+        neg_relations = sorted(t.relation.name for t in negatives)
+        assert pos_relations == neg_relations
+
+    def test_no_duplicate_negatives(self, ontology):
+        positives = positive_triples(ontology)[:200]
+        negatives = generate_task1_negatives(ontology, positives, seed=1)
+        keys = [n.key() for n in negatives]
+        assert len(keys) == len(set(keys))
+
+    def test_deterministic(self, ontology):
+        positives = positive_triples(ontology)[:50]
+        a = generate_task1_negatives(ontology, positives, seed=9)
+        b = generate_task1_negatives(ontology, positives, seed=9)
+        assert [x.key() for x in a] == [x.key() for x in b]
+
+
+class TestTask2:
+    def test_flips_subject_and_object(self, ontology):
+        positives = positive_triples(ontology)
+        kept, negatives = generate_task2_negatives(ontology, positives)
+        assert len(kept) == len(negatives)
+        for positive, negative in zip(kept, negatives):
+            assert negative.subject_id == positive.object_id
+            assert negative.object_id == positive.subject_id
+            assert negative.relation == positive.relation
+            assert negative.label == 0
+
+    def test_excludes_tautomer(self, ontology):
+        kept, negatives = generate_task2_negatives(
+            ontology, positive_triples(ontology)
+        )
+        assert all(t.relation.name != IS_TAUTOMER_OF.name for t in kept)
+
+    def test_flipped_triples_are_false(self, ontology):
+        _, negatives = generate_task2_negatives(ontology, positive_triples(ontology))
+        for negative in negatives[:200]:
+            assert not ontology.has_statement(
+                negative.subject_id, negative.relation, negative.object_id
+            )
+
+
+class TestTask3:
+    def test_object_replaced_by_sibling(self, ontology):
+        positives = positive_triples(ontology)
+        negatives = generate_task3_negatives(ontology, positives, seed=1)
+        assert negatives
+        by_key = {}
+        for positive in positives:
+            by_key.setdefault(
+                (positive.subject_id, positive.relation.name), []
+            ).append(positive)
+        for negative in negatives[:150]:
+            assert negative.label == 0
+            candidates = by_key[(negative.subject_id, negative.relation.name)]
+            # the new object must be a sibling of some original object
+            assert any(
+                negative.object_id in siblings(ontology, p.object_id)
+                for p in candidates
+            )
+
+    def test_negatives_are_false(self, ontology):
+        negatives = generate_task3_negatives(
+            ontology, positive_triples(ontology), seed=1
+        )
+        for negative in negatives[:200]:
+            assert not ontology.has_statement(
+                negative.subject_id, negative.relation, negative.object_id
+            )
+
+    def test_possibly_fewer_negatives_than_positives(self, ontology):
+        positives = positive_triples(ontology)
+        negatives = generate_task3_negatives(ontology, positives, seed=1)
+        assert 0 < len(negatives) <= len(positives)

@@ -1,0 +1,51 @@
+"""Tests for LabeledTriple and serialisation."""
+
+import pytest
+
+from repro.core.triples import LabeledTriple, triple_text
+from repro.ontology.relations import HAS_ROLE, IS_A
+
+
+def sample():
+    return LabeledTriple(
+        "CHEBI:1", "ammonium chloride", HAS_ROLE, "CHEBI:2", "ferroptosis inhibitor", 1
+    )
+
+
+class TestLabeledTriple:
+    def test_as_text(self):
+        assert sample().as_text() == (
+            "(ammonium chloride, has_role, ferroptosis inhibitor)"
+        )
+
+    def test_key_ignores_label(self):
+        positive = sample()
+        negative = LabeledTriple(
+            positive.subject_id,
+            positive.subject_name,
+            positive.relation,
+            positive.object_id,
+            positive.object_name,
+            0,
+        )
+        assert positive.key() == negative.key()
+
+    def test_label_validated(self):
+        with pytest.raises(ValueError):
+            LabeledTriple("a", "x", IS_A, "b", "y", 2)
+
+    def test_frozen(self):
+        with pytest.raises(AttributeError):
+            sample().label = 0
+
+
+class TestTripleText:
+    def test_default_separator(self):
+        assert triple_text(sample()) == (
+            "ammonium chloride [SEP] has role [SEP] ferroptosis inhibitor"
+        )
+
+    def test_custom_separator(self):
+        assert triple_text(sample(), " | ") == (
+            "ammonium chloride | has role | ferroptosis inhibitor"
+        )

@@ -1,0 +1,103 @@
+"""Tests for the curation-assistant triage API."""
+
+import numpy as np
+import pytest
+
+from repro.core.triples import LabeledTriple
+from repro.curation import CurationAssistant, Decision, TriageSummary
+from repro.ontology.relations import IS_A
+
+
+class _FixedScorer:
+    """Returns a preconfigured probability per triple (by position)."""
+
+    def __init__(self, probabilities):
+        self._probabilities = list(probabilities)
+
+    def predict_proba(self, triples):
+        return np.array(self._probabilities[: len(triples)])
+
+
+def make_triples(labels):
+    return [
+        LabeledTriple(f"s{i}", f"subject {i}", IS_A, f"o{i}", f"object {i}", label)
+        for i, label in enumerate(labels)
+    ]
+
+
+class TestCurationAssistant:
+    def test_triage_buckets(self):
+        triples = make_triples([1, 0, 1, 0])
+        scorer = _FixedScorer([0.9, 0.1, 0.5, 0.4])
+        summary = CurationAssistant(scorer).triage(triples)
+        decisions = [r.decision for r in summary.results]
+        assert decisions == [
+            Decision.ACCEPT, Decision.REJECT, Decision.REVIEW, Decision.REVIEW,
+        ]
+        assert summary.counts() == {"accept": 1, "reject": 1, "review": 2}
+
+    def test_automation_and_error_rates(self):
+        triples = make_triples([1, 0, 0, 1])
+        # accept(correct), reject(correct), accept(WRONG), review
+        scorer = _FixedScorer([0.9, 0.1, 0.9, 0.5])
+        summary = CurationAssistant(scorer).triage(triples)
+        assert summary.automation_rate == pytest.approx(0.75)
+        assert summary.automated_error_rate() == pytest.approx(1 / 3)
+
+    def test_band_boundaries_inclusive(self):
+        triples = make_triples([1, 0])
+        scorer = _FixedScorer([0.65, 0.35])
+        summary = CurationAssistant(scorer).triage(triples)
+        assert summary.results[0].decision is Decision.ACCEPT
+        assert summary.results[1].decision is Decision.REJECT
+
+    def test_validation(self):
+        with pytest.raises(TypeError):
+            CurationAssistant(object())
+        with pytest.raises(ValueError):
+            CurationAssistant(_FixedScorer([]), reject_below=0.7, accept_above=0.3)
+        with pytest.raises(ValueError):
+            CurationAssistant(_FixedScorer([])).triage([])
+
+    def test_calibrate_band_meets_error_target(self):
+        # probabilities correlate with labels but the mid range is noisy
+        rng = np.random.default_rng(0)
+        labels = rng.integers(0, 2, size=400)
+        probabilities = np.clip(
+            labels * 0.8 + 0.1 + rng.normal(0, 0.15, 400), 0, 1
+        )
+        triples = make_triples(labels.tolist())
+        assistant = CurationAssistant(_FixedScorer(probabilities.tolist()))
+        reject_below, accept_above = assistant.calibrate_band(
+            triples, max_error_rate=0.02
+        )
+        assert reject_below <= accept_above
+        summary = assistant.triage(triples)
+        assert summary.automated_error_rate() <= 0.02 + 1e-9
+
+    def test_calibrate_band_widens_until_nothing_is_automated(self):
+        # anti-correlated scores: the only way to hit a 1% error rate is to
+        # route (almost) everything to review.
+        triples = make_triples([1, 0] * 50)
+        probabilities = [0.05, 0.95] * 50
+        assistant = CurationAssistant(_FixedScorer(probabilities))
+        reject_below, accept_above = assistant.calibrate_band(
+            triples, max_error_rate=0.01
+        )
+        assert accept_above - reject_below > 0.85
+        summary = assistant.triage(triples)
+        assert summary.automation_rate == 0.0
+
+    def test_works_with_real_paradigm(self, lab):
+        from repro.core.paradigms import RandomForestParadigm
+        from repro.ml.forest import RandomForestConfig
+
+        split = lab.ml_split(1)
+        paradigm = RandomForestParadigm(
+            lab.embedding("Random"),
+            config=RandomForestConfig(n_estimators=5, seed=0),
+        ).fit(list(split.train)[:300])
+        assistant = CurationAssistant(paradigm)
+        summary = assistant.triage(list(split.test)[:50])
+        assert len(summary.results) == 50
+        assert 0.0 <= summary.automation_rate <= 1.0

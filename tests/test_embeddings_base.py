@@ -1,0 +1,89 @@
+"""Tests for the embedding interface, OOV policy, and random embeddings."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.embeddings.base import StaticEmbeddings
+from repro.embeddings.random import RandomEmbeddings
+from repro.text.vocab import Vocabulary
+
+
+def static_model():
+    vocab = Vocabulary({"acid": 3, "amino": 2})
+    matrix = np.array([[1.0, 0.0], [0.0, 1.0]])
+    return StaticEmbeddings(vocab, matrix, name="test")
+
+
+class TestStaticEmbeddings:
+    def test_lookup(self):
+        model = static_model()
+        assert np.allclose(model.vector("acid"), [1.0, 0.0])
+        assert model.contains("acid")
+        assert not model.contains("zzz")
+
+    def test_oov_fallback_deterministic(self):
+        model = static_model()
+        a = model.vector("unknown-token")
+        b = model.vector("unknown-token")
+        assert np.allclose(a, b)
+        assert a.shape == (2,)
+        assert np.all((a >= -1.0) & (a < 1.0))
+
+    def test_oov_differs_per_token(self):
+        model = static_model()
+        assert not np.allclose(model.vector("oov1"), model.vector("oov2"))
+
+    def test_matrix_shape_validated(self):
+        vocab = Vocabulary({"a": 1})
+        with pytest.raises(ValueError):
+            StaticEmbeddings(vocab, np.zeros((3, 4)), name="bad")
+
+    def test_encode_stacks(self):
+        model = static_model()
+        matrix = model.encode(["acid", "amino"])
+        assert matrix.shape == (2, 2)
+        assert np.allclose(matrix[0], [1.0, 0.0])
+
+    def test_encode_empty_raises(self):
+        with pytest.raises(ValueError):
+            static_model().encode([])
+
+    def test_mean_vector(self):
+        model = static_model()
+        assert np.allclose(model.mean_vector(["acid", "amino"]), [0.5, 0.5])
+
+    def test_phrase_level_default_false(self):
+        assert static_model().phrase_level is False
+
+
+class TestRandomEmbeddings:
+    def test_every_token_hits(self):
+        model = RandomEmbeddings(dim=8, seed=0)
+        assert model.contains("anything")
+        assert model.vocabulary is None
+
+    def test_deterministic_in_seed_and_token(self):
+        a = RandomEmbeddings(dim=8, seed=1)
+        b = RandomEmbeddings(dim=8, seed=1)
+        assert np.allclose(a.vector("acid"), b.vector("acid"))
+
+    def test_seed_changes_vectors(self):
+        a = RandomEmbeddings(dim=8, seed=1)
+        b = RandomEmbeddings(dim=8, seed=2)
+        assert not np.allclose(a.vector("acid"), b.vector("acid"))
+
+    def test_uniform_range(self):
+        model = RandomEmbeddings(dim=256, seed=0)
+        vector = model.vector("token")
+        assert np.all(vector >= -1.0) and np.all(vector < 1.0)
+        assert abs(vector.mean()) < 0.2
+
+    def test_bad_dim_rejected(self):
+        with pytest.raises(ValueError):
+            RandomEmbeddings(dim=0)
+
+    @given(st.text(min_size=1, max_size=12))
+    def test_stable_for_arbitrary_tokens(self, token):
+        model = RandomEmbeddings(dim=4, seed=3)
+        assert np.allclose(model.vector(token), model.vector(token))

@@ -1,0 +1,82 @@
+"""Tests for the six-model embedding registry and contextual embeddings."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.base import EmbeddingModel
+from repro.embeddings.contextual import ContextualEmbeddings
+from repro.embeddings.registry import (
+    MODEL_NAMES,
+    STATIC_MODEL_NAMES,
+    RegistryConfig,
+    build_embedding_models,
+)
+
+
+@pytest.fixture(scope="module")
+def corpora():
+    chem = [["acid", "hydroxy", "metabolite", "role"]] * 40
+    generic = [["people", "time", "government", "acid"]] * 40
+    biomedical = [["protein", "acid", "metabolite", "cell"]] * 40
+    return chem, generic, biomedical
+
+
+class TestRegistry:
+    def test_static_lineup_without_bert(self, corpora):
+        chem, generic, biomedical = corpora
+        models = build_embedding_models(
+            chem, generic, biomedical, bert=None,
+            config=RegistryConfig(dim=8, epochs=1, glove_epochs=2, min_count=1),
+        )
+        assert set(models) == set(STATIC_MODEL_NAMES)
+        for name, model in models.items():
+            assert isinstance(model, EmbeddingModel)
+            assert model.dim == 8
+            assert model.name == name
+
+    def test_full_lineup_with_bert(self, lab):
+        assert set(lab.embeddings) == set(MODEL_NAMES)
+        assert lab.embedding("PubmedBERT").phrase_level is True
+
+    def test_glove_chem_vocabulary_joins_generic(self, corpora):
+        chem, generic, biomedical = corpora
+        models = build_embedding_models(
+            chem, generic, biomedical, bert=None,
+            config=RegistryConfig(dim=8, epochs=1, glove_epochs=2, min_count=1),
+        )
+        # 'government' only occurs in the generic corpus but must be in the
+        # joined GloVe-Chem vocabulary (the paper's construction).
+        assert models["GloVe-Chem"].contains("government")
+        assert not models["W2V-Chem"].contains("government")
+
+
+class TestContextualEmbeddings:
+    def test_vector_shape_and_cache(self, lab):
+        model = lab.embedding("PubmedBERT")
+        a = model.vector("3-hydroxybutanoic acid")
+        b = model.vector("3-hydroxybutanoic acid")
+        assert a.shape == (model.dim,)
+        assert np.allclose(a, b)
+
+    def test_hyphenated_names_are_not_unk_collapsed(self, lab):
+        """Two different hyphenated names must embed differently (the
+        whitespace-splitting bug would map both to [UNK])."""
+        model = lab.embedding("PubmedBERT")
+        a = model.vector("3-hydroxy-porphyrin")
+        b = model.vector("12-chloro-flavonoid")
+        assert not np.allclose(a, b)
+
+    def test_empty_phrase_falls_back(self, lab):
+        model = lab.embedding("PubmedBERT")
+        vector = model.vector("---")
+        assert vector.shape == (model.dim,)
+
+    def test_open_vocabulary(self, lab):
+        model = lab.embedding("PubmedBERT")
+        assert model.contains("anything at all")
+        assert model.vocabulary is None
+
+    def test_wraps_model(self, lab):
+        model = lab.embedding("PubmedBERT")
+        assert isinstance(model, ContextualEmbeddings)
+        assert model.model is lab.bert

@@ -1,0 +1,159 @@
+"""Tests for word2vec, GloVe and fastText training."""
+
+import numpy as np
+import pytest
+
+from repro.embeddings.fasttext import FastText, FastTextConfig, character_ngrams
+from repro.embeddings.glove import GloVe, GloVeConfig, cooccurrence_counts
+from repro.embeddings.word2vec import Word2Vec, Word2VecConfig
+from repro.text.vocab import build_vocabulary
+
+
+def synonym_corpus(n=300):
+    """Corpus where (hot, warm) and (cold, icy) share contexts."""
+    rng = np.random.default_rng(0)
+    sentences = []
+    for _ in range(n):
+        if rng.random() < 0.5:
+            word = "hot" if rng.random() < 0.5 else "warm"
+            sentences.append([word, "sun", "fire", "summer", word])
+        else:
+            word = "cold" if rng.random() < 0.5 else "icy"
+            sentences.append([word, "snow", "winter", "frost", word])
+    return sentences
+
+
+def cosine(a, b):
+    return float(a @ b / (np.linalg.norm(a) * np.linalg.norm(b)))
+
+
+class TestWord2Vec:
+    def test_learns_synonym_structure(self):
+        model = Word2Vec.train(
+            synonym_corpus(),
+            Word2VecConfig(dim=24, epochs=3, min_count=2, seed=1),
+        )
+        same = cosine(model.vector("hot"), model.vector("warm"))
+        cross = cosine(model.vector("hot"), model.vector("icy"))
+        assert same > cross
+
+    def test_deterministic(self):
+        config = Word2VecConfig(dim=8, epochs=1, min_count=1, seed=2)
+        corpus = synonym_corpus(40)
+        a = Word2Vec.train(corpus, config)
+        b = Word2Vec.train(corpus, config)
+        assert np.allclose(a.matrix, b.matrix)
+
+    def test_min_count_respected(self):
+        corpus = [["common"] * 4 + ["rare"]] * 3
+        model = Word2Vec.train(
+            corpus, Word2VecConfig(dim=4, epochs=1, min_count=4, seed=0)
+        )
+        assert model.contains("common")
+        assert not model.contains("rare")
+
+    def test_too_short_sentences_raise(self):
+        with pytest.raises(ValueError, match="pairs"):
+            Word2Vec.train([["only"]], Word2VecConfig(dim=4, min_count=1))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            Word2VecConfig(dim=0)
+        with pytest.raises(ValueError):
+            Word2VecConfig(learning_rate=-1)
+
+
+class TestGloVe:
+    def test_cooccurrence_symmetry(self):
+        vocab = build_vocabulary([["a", "b", "c"]], min_count=1)
+        counts = cooccurrence_counts([["a", "b", "c"]], vocab, window=2)
+        ai, bi = vocab.id_of("a"), vocab.id_of("b")
+        assert counts[(ai, bi)] == counts[(bi, ai)]
+
+    def test_distance_weighting(self):
+        vocab = build_vocabulary([["a", "b", "c"]], min_count=1)
+        counts = cooccurrence_counts([["a", "b", "c"]], vocab, window=2)
+        ai, bi, ci = vocab.id_of("a"), vocab.id_of("b"), vocab.id_of("c")
+        assert counts[(ai, bi)] == pytest.approx(1.0)
+        assert counts[(ai, ci)] == pytest.approx(0.5)
+
+    def test_learns_synonym_structure(self):
+        model = GloVe.train(
+            synonym_corpus(),
+            GloVeConfig(dim=24, epochs=10, min_count=2, seed=1),
+        )
+        same = cosine(model.vector("cold"), model.vector("icy"))
+        cross = cosine(model.vector("cold"), model.vector("warm"))
+        assert same > cross
+
+    def test_init_from_joins_vocabulary(self):
+        base = GloVe.train(
+            [["alpha", "beta"] * 4] * 10,
+            GloVeConfig(dim=8, epochs=2, min_count=1, seed=0),
+            name="base",
+        )
+        extended = GloVe.train(
+            [["gamma", "delta"] * 4] * 10,
+            GloVeConfig(dim=8, epochs=2, min_count=1, seed=0),
+            name="ext",
+            init_from=base,
+        )
+        for token in ("alpha", "beta", "gamma", "delta"):
+            assert extended.contains(token)
+
+    def test_init_from_dim_mismatch(self):
+        base = GloVe.train(
+            [["a", "b"] * 3] * 5, GloVeConfig(dim=8, epochs=1, min_count=1)
+        )
+        with pytest.raises(ValueError, match="dim"):
+            GloVe.train(
+                [["c", "d"] * 3] * 5,
+                GloVeConfig(dim=16, epochs=1, min_count=1),
+                init_from=base,
+            )
+
+    def test_empty_cooccurrence_raises(self):
+        vocab = build_vocabulary([["a"]], min_count=1)
+        with pytest.raises(ValueError):
+            cooccurrence_counts([["a"]], vocab, window=2)
+
+
+class TestCharacterNgrams:
+    def test_boundary_markers(self):
+        assert character_ngrams("acid", 3, 3) == ["<ac", "aci", "cid", "id>"]
+
+    def test_range(self):
+        grams = character_ngrams("ab", 3, 4)
+        assert grams == ["<ab", "ab>", "<ab>"]
+
+    def test_short_word(self):
+        assert character_ngrams("a", 3, 3) == ["<a>"]
+
+
+class TestFastText:
+    def test_learns_and_composes_oov(self):
+        model = FastText.train(
+            synonym_corpus(120),
+            FastTextConfig(dim=16, epochs=2, min_count=2, seed=1, bucket=2_000),
+        )
+        assert model.contains("hot")
+        assert not model.contains("hottest")
+        # OOV words get subword-composed vectors, not random ones
+        vector = model.vector("hottest")
+        assert vector.shape == (16,)
+        assert not np.allclose(vector, model.oov_vector("hottest"))
+
+    def test_morphologically_close_words_close(self):
+        model = FastText.train(
+            synonym_corpus(120),
+            FastTextConfig(dim=16, epochs=2, min_count=2, seed=1, bucket=2_000),
+        )
+        near = cosine(model.vector("winter"), model.vector("winters"))
+        far = cosine(model.vector("winter"), model.vector("sun"))
+        assert near > far
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            FastTextConfig(min_n=4, max_n=3)
+        with pytest.raises(ValueError):
+            FastTextConfig(bucket=0)

@@ -1,0 +1,78 @@
+"""Integration tests: the paper's qualitative findings at miniature scale.
+
+These use the shared session Lab (400 entities, 600 training triples), so
+thresholds are deliberately loose — the full-shape assertions live in the
+benchmarks.
+"""
+
+import numpy as np
+import pytest
+
+from repro.core.comparison import evaluate_paradigm
+from repro.core.paradigms import ICLParadigm, RandomForestParadigm
+from repro.llm.simulated import (
+    BIOGPT_PROFILE,
+    GPT4_PROFILE,
+    SimulatedChatModel,
+    truth_table,
+)
+from repro.ml.forest import RandomForestConfig
+
+
+class TestSupervisedLearningAcrossTasks:
+    @pytest.mark.parametrize("task", [1, 2, 3])
+    def test_rf_beats_chance_on_every_task(self, lab, task):
+        report, _ = lab.evaluate_random_forest(task, "W2V-Chem", "naive")
+        assert report.accuracy > 0.55, f"task {task}: {report.accuracy}"
+
+    def test_forest_importances_cover_entity_components(self, lab):
+        _, forest = lab.evaluate_random_forest(1, "W2V-Chem", "naive")
+        blocks = forest.component_importances(lab.embedding("W2V-Chem").dim)
+        # entity blocks (subject+object) dominate over the relation block
+        assert blocks[0] + blocks[2] > blocks[1]
+
+
+class TestParadigmOrdering:
+    def test_gpt4_beats_biogpt_head_to_head(self, lab):
+        task = 1
+        split = lab.ml_split(task)
+        train = list(split.train)
+        test = list(split.test)[:80]
+        truth = truth_table(lab.dataset(task))
+        scores = {}
+        for profile in (GPT4_PROFILE, BIOGPT_PROFILE):
+            client = SimulatedChatModel(profile, truth, task, seed=0)
+            paradigm = ICLParadigm(client, seed=0).fit(train)
+            scores[profile.name] = evaluate_paradigm(paradigm, test).accuracy
+        assert scores["gpt-4"] > scores["biogpt"] + 0.15
+
+    def test_trained_rf_competitive_with_random_features(self, lab):
+        """Semantic embeddings should not lose badly to random ones here."""
+        semantic, _ = lab.evaluate_random_forest(1, "W2V-Chem", "naive")
+        random_emb, _ = lab.evaluate_random_forest(1, "Random", "none")
+        assert semantic.f1 > random_emb.f1 - 0.1
+
+
+class TestFineTuningIntegration:
+    def test_ft_learns_task2_beyond_chance(self, lab):
+        report = lab.evaluate_fine_tuned(2)
+        assert report.accuracy > 0.55
+
+    def test_ft_validation_history_recorded(self, lab):
+        classifier = lab.fine_tuned(2)
+        assert classifier.history
+        assert "validation_accuracy" in classifier.history[-1]
+
+
+class TestDeterminism:
+    def test_lab_cells_are_reproducible(self, lab):
+        first, _ = lab.evaluate_random_forest(1, "Random", "none")
+        second, _ = lab.evaluate_random_forest(1, "Random", "none")
+        assert first == second  # memoized AND deterministic
+
+    def test_dataset_identical_across_rebuilds(self, lab):
+        from repro.core.datasets import build_task_dataset
+
+        a = build_task_dataset(lab.ontology, 1, seed=lab.config.dataset_seed)
+        b = build_task_dataset(lab.ontology, 1, seed=lab.config.dataset_seed)
+        assert [t.key() for t in a] == [t.key() for t in b]

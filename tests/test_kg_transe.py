@@ -1,0 +1,87 @@
+"""Tests for the TransE structural baseline."""
+
+import numpy as np
+import pytest
+
+from repro.core.datasets import train_test_split_9_1
+from repro.kg.transe import TransE, TransEConfig
+
+
+@pytest.fixture(scope="module")
+def task1_split(task1_dataset):
+    return train_test_split_9_1(task1_dataset, seed=0)
+
+
+@pytest.fixture(scope="module")
+def fitted(task1_split):
+    config = TransEConfig(dim=32, epochs=100, norm=2, seed=0)
+    return TransE(config).fit(list(task1_split.train))
+
+
+class TestTransEConfig:
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            TransEConfig(dim=0)
+        with pytest.raises(ValueError):
+            TransEConfig(margin=0)
+        with pytest.raises(ValueError):
+            TransEConfig(norm=3)
+
+
+class TestTransETraining:
+    def test_beats_chance_on_task1(self, fitted, task1_split):
+        """Random negatives break graph structure: TransE must spot them.
+
+        On this sparse synthetic hierarchy the structural signal is weak
+        (most test entities have very few training edges), so the bar is
+        modest — the text-based paradigms winning by a wide margin is
+        exactly the comparison bench_ablation_structure_vs_text draws.
+        """
+        test = list(task1_split.test)
+        gold = np.array([t.label for t in test])
+        accuracy = (fitted.predict(test) == gold).mean()
+        assert accuracy > 0.52
+
+    def test_positive_triples_score_higher(self, fitted, task1_split):
+        test = list(task1_split.test)
+        scores = fitted.score(test)
+        finite = np.isfinite(scores)
+        gold = np.array([t.label for t in test])[finite]
+        scores = scores[finite]
+        assert scores[gold == 1].mean() > scores[gold == 0].mean()
+
+    def test_unknown_entities_score_minus_inf(self, fitted, task1_dataset):
+        from repro.core.triples import LabeledTriple
+        from repro.ontology.relations import IS_A
+
+        ghost = LabeledTriple("X:1", "ghost", IS_A, "X:2", "phantom", 1)
+        scores = fitted.score([ghost])
+        assert scores[0] == -np.inf
+        assert fitted.predict([ghost])[0] == 0
+
+    def test_requires_positives(self, task1_split):
+        negatives = [t for t in task1_split.train if t.label == 0][:10]
+        with pytest.raises(ValueError, match="positive"):
+            TransE().fit(negatives)
+
+    def test_deterministic(self, task1_split):
+        train = list(task1_split.train)[:400]
+        config = TransEConfig(dim=8, epochs=3, seed=5)
+        a = TransE(config).fit(train)
+        b = TransE(config).fit(train)
+        assert np.allclose(a.entity_vectors, b.entity_vectors)
+        assert a.threshold == b.threshold
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            TransE().score([])
+
+    def test_l2_norm_variant_trains(self, task1_split):
+        train = list(task1_split.train)[:400]
+        model = TransE(TransEConfig(dim=8, epochs=3, norm=2, seed=0)).fit(train)
+        assert model.entity_vectors is not None
+
+    def test_entity_norm_constraint(self, fitted):
+        """Entity vectors stay within (slightly above, pre-renorm) the unit ball."""
+        norms = np.linalg.norm(fitted.entity_vectors, axis=1)
+        assert norms.max() < 2.0

@@ -1,0 +1,83 @@
+"""Tests for the chat-client interface (offline paths only)."""
+
+import json
+
+import pytest
+
+from repro.llm.client import ChatClient, EchoClient, HTTPChatClient
+
+
+class TestEchoClient:
+    def test_returns_fixed_response(self):
+        assert EchoClient("yes").complete("anything") == "yes"
+
+    def test_default(self):
+        assert EchoClient().complete("x") == "True"
+
+    def test_name(self):
+        assert EchoClient().name == "EchoClient"
+
+
+class TestHTTPChatClient:
+    def test_requires_api_key(self):
+        with pytest.raises(ValueError, match="api_key"):
+            HTTPChatClient(api_key="")
+
+    def test_name_is_model(self):
+        client = HTTPChatClient(api_key="sk-test", model="gpt-4-0613")
+        assert client.name == "gpt-4-0613"
+
+    def test_defaults_match_paper_setup(self):
+        client = HTTPChatClient(api_key="sk-test")
+        assert client.model == "gpt-4-0613"
+        assert client.endpoint.endswith("/v1/chat/completions")
+
+    def test_is_chat_client(self):
+        assert issubclass(HTTPChatClient, ChatClient)
+
+    def test_malformed_response_error(self, monkeypatch):
+        client = HTTPChatClient(api_key="sk-test")
+
+        class FakeResponse:
+            def read(self):
+                return json.dumps({"unexpected": True}).encode()
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *args):
+                return False
+
+        monkeypatch.setattr(
+            "urllib.request.urlopen", lambda *a, **k: FakeResponse()
+        )
+        with pytest.raises(RuntimeError, match="malformed"):
+            client.complete("hello")
+
+    def test_successful_response_parsed(self, monkeypatch):
+        client = HTTPChatClient(api_key="sk-test", temperature=0.0)
+        captured = {}
+
+        class FakeResponse:
+            def read(self):
+                return json.dumps(
+                    {"choices": [{"message": {"content": "True"}}]}
+                ).encode()
+
+            def __enter__(self):
+                return self
+
+            def __exit__(self, *args):
+                return False
+
+        def fake_urlopen(request, timeout):
+            captured["body"] = json.loads(request.data.decode())
+            captured["auth"] = request.headers.get("Authorization")
+            return FakeResponse()
+
+        monkeypatch.setattr("urllib.request.urlopen", fake_urlopen)
+        assert client.complete("classify this") == "True"
+        assert captured["body"]["model"] == "gpt-4-0613"
+        assert captured["body"]["temperature"] == 0.0
+        assert captured["body"]["messages"][0]["content"] == "classify this"
+        assert captured["auth"] == "Bearer sk-test"

@@ -1,0 +1,98 @@
+"""Tests for the ICL experiment protocol."""
+
+import pytest
+
+from repro.core.datasets import train_test_split_9_1
+from repro.llm.client import EchoClient
+from repro.llm.icl import (
+    ICLConfig,
+    build_icl_queries,
+    run_icl_experiment,
+)
+from repro.llm.prompts import PromptVariant
+from repro.llm.simulated import GPT4_PROFILE, SimulatedChatModel, truth_table
+
+
+SMALL = ICLConfig(
+    n_positive_queries=15,
+    n_negative_queries=15,
+    n_repeats=3,
+    seed=0,
+)
+
+
+class TestBuildQueries:
+    def test_balanced_and_is_a_only(self, task1_dataset):
+        queries = build_icl_queries(task1_dataset, SMALL)
+        assert len(queries) == 30
+        assert sum(q.label for q in queries) == 15
+        assert all(q.relation.name == "is_a" for q in queries)
+
+    def test_deterministic(self, task1_dataset):
+        a = build_icl_queries(task1_dataset, SMALL)
+        b = build_icl_queries(task1_dataset, SMALL)
+        assert [q.key() for q in a] == [q.key() for q in b]
+
+    def test_too_many_requested_raises(self, task1_dataset):
+        config = ICLConfig(n_positive_queries=10**6, seed=0)
+        with pytest.raises(ValueError, match="eligible"):
+            build_icl_queries(task1_dataset, config)
+
+    def test_token_limit_respected(self, task1_dataset):
+        config = ICLConfig(
+            n_positive_queries=5, n_negative_queries=5, max_query_tokens=12, seed=0
+        )
+        from repro.text.tokenizer import ChemTokenizer
+
+        tokenizer = ChemTokenizer()
+        for query in build_icl_queries(task1_dataset, config):
+            assert len(tokenizer(query.as_text())) < 12
+
+
+class TestRunExperiment:
+    def test_simulated_gpt4_result_shape(self, task1_dataset):
+        split = train_test_split_9_1(task1_dataset, seed=0)
+        queries = build_icl_queries(task1_dataset, SMALL)
+        client = SimulatedChatModel(
+            GPT4_PROFILE, truth_table(task1_dataset), 1, seed=0
+        )
+        result = run_icl_experiment(
+            client, list(split.train), queries, PromptVariant.BASE, SMALL
+        )
+        assert 0.5 < result.accuracy_mean <= 1.0
+        assert result.kappa > 0.7
+        assert result.n_unclassified == 0
+        row = result.as_row()
+        assert row["model"] == "gpt-4"
+
+    def test_echo_true_client(self, task1_dataset):
+        """A client that always answers True gets exactly 50% accuracy."""
+        split = train_test_split_9_1(task1_dataset, seed=0)
+        queries = build_icl_queries(task1_dataset, SMALL)
+        result = run_icl_experiment(
+            EchoClient("True"), list(split.train), queries, PromptVariant.BASE, SMALL
+        )
+        assert result.accuracy_mean == pytest.approx(0.5)
+        assert result.recall_mean == pytest.approx(1.0)
+        assert result.kappa == pytest.approx(1.0)
+
+    def test_unclassifiable_client(self, task1_dataset):
+        split = train_test_split_9_1(task1_dataset, seed=0)
+        queries = build_icl_queries(task1_dataset, SMALL)
+        result = run_icl_experiment(
+            EchoClient("no idea"), list(split.train), queries, PromptVariant.BASE, SMALL
+        )
+        assert result.accuracy_mean == 0.0
+        assert result.n_unclassified == 3 * 30
+        assert result.unclassified_percent == pytest.approx(100.0)
+
+    def test_empty_queries_rejected(self, task1_dataset):
+        split = train_test_split_9_1(task1_dataset, seed=0)
+        with pytest.raises(ValueError):
+            run_icl_experiment(EchoClient(), list(split.train), [], config=SMALL)
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            ICLConfig(n_repeats=1)
+        with pytest.raises(ValueError):
+            ICLConfig(n_positive_queries=0)

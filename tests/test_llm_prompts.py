@@ -1,0 +1,81 @@
+"""Tests for prompt rendering and parsing helpers."""
+
+import pytest
+
+from repro.core.triples import LabeledTriple
+from repro.llm.prompts import (
+    ABSTAIN_SENTENCE,
+    INSTRUCTION,
+    PromptVariant,
+    example_order_signature,
+    extract_query_text,
+    format_example,
+    render_prompt,
+)
+from repro.ontology.relations import IS_A
+
+
+def triples(n, label, prefix):
+    return [
+        LabeledTriple(f"{prefix}{i}", f"{prefix} entity {i}", IS_A,
+                      f"{prefix}o{i}", f"{prefix} class {i}", label)
+        for i in range(n)
+    ]
+
+
+POS = triples(3, 1, "p")
+NEG = triples(3, 0, "n")
+QUERY = LabeledTriple("q", "query entity", IS_A, "qo", "query class", 1)
+
+
+class TestRenderPrompt:
+    def test_base_prompt_structure(self):
+        prompt = render_prompt(POS, NEG, QUERY, PromptVariant.BASE)
+        assert prompt.startswith(INSTRUCTION)
+        assert ABSTAIN_SENTENCE not in prompt
+        assert prompt.count("<triple>:") == 7
+        assert prompt.count("<classification>:") == 7
+        assert prompt.rstrip().endswith("<classification>:")
+
+    def test_base_ordering_positives_first(self):
+        prompt = render_prompt(POS, NEG, QUERY, PromptVariant.BASE)
+        assert example_order_signature(prompt) == [True] * 3 + [False] * 3
+
+    def test_abstain_variant_adds_sentence(self):
+        prompt = render_prompt(POS, NEG, QUERY, PromptVariant.ABSTAIN)
+        assert ABSTAIN_SENTENCE in prompt
+
+    def test_shuffled_variant_reorders(self):
+        prompt = render_prompt(POS, NEG, QUERY, PromptVariant.SHUFFLED, seed=5)
+        signature = example_order_signature(prompt)
+        assert sorted(signature) == [False] * 3 + [True] * 3
+        assert signature != [True] * 3 + [False] * 3
+
+    def test_shuffled_deterministic_per_seed(self):
+        a = render_prompt(POS, NEG, QUERY, PromptVariant.SHUFFLED, seed=5)
+        b = render_prompt(POS, NEG, QUERY, PromptVariant.SHUFFLED, seed=5)
+        assert a == b
+
+    def test_requires_examples(self):
+        with pytest.raises(ValueError):
+            render_prompt([], NEG, QUERY)
+
+    def test_query_last(self):
+        prompt = render_prompt(POS, NEG, QUERY)
+        assert extract_query_text(prompt) == QUERY.as_text()
+
+
+class TestHelpers:
+    def test_format_example(self):
+        block = format_example(POS[0], True)
+        assert block.endswith("True")
+        assert POS[0].as_text() in block
+
+    def test_extract_query_requires_marker(self):
+        with pytest.raises(ValueError):
+            extract_query_text("no markers here")
+
+    def test_signature_ignores_trailing_empty_classification(self):
+        prompt = render_prompt(POS, NEG, QUERY)
+        # the final "<classification>:" (empty) is not a label
+        assert len(example_order_signature(prompt)) == 6

@@ -1,0 +1,59 @@
+"""Tests for Fleiss' kappa."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.agreement import fleiss_kappa
+
+
+class TestFleissKappa:
+    def test_perfect_agreement(self):
+        ratings = [["a"] * 5, ["b"] * 5, ["a"] * 5]
+        assert fleiss_kappa(ratings) == pytest.approx(1.0)
+
+    def test_single_category_everywhere(self):
+        assert fleiss_kappa([["x"] * 3, ["x"] * 3]) == pytest.approx(1.0)
+
+    def test_random_ratings_near_zero(self):
+        rng = np.random.default_rng(0)
+        ratings = [list(rng.choice(["a", "b"], size=5)) for _ in range(600)]
+        assert abs(fleiss_kappa(ratings)) < 0.08
+
+    def test_textbook_example(self):
+        # Fleiss (1971)-style check against a hand-computed value.
+        ratings = [
+            ["a", "a", "b"],
+            ["a", "b", "b"],
+            ["a", "a", "a"],
+            ["b", "b", "b"],
+        ]
+        # P_i = [1/3, 1/3, 1, 1]; P-bar = 2/3; p_a = p_b = 1/2 -> P_e = 1/2.
+        expected = (2 / 3 - 0.5) / (1 - 0.5)
+        assert fleiss_kappa(ratings) == pytest.approx(expected)
+
+    def test_disagreement_is_negative(self):
+        # Two raters always disagreeing: kappa below zero.
+        ratings = [["a", "b"], ["b", "a"], ["a", "b"], ["b", "a"]]
+        assert fleiss_kappa(ratings) < 0.0
+
+    def test_requires_two_raters(self):
+        with pytest.raises(ValueError, match="two ratings"):
+            fleiss_kappa([["a"]])
+
+    def test_requires_equal_rater_counts(self):
+        with pytest.raises(ValueError, match="expected"):
+            fleiss_kappa([["a", "b"], ["a"]])
+
+    def test_empty_raises(self):
+        with pytest.raises(ValueError):
+            fleiss_kappa([])
+
+    @given(st.integers(0, 2**32 - 1), st.integers(2, 6), st.integers(2, 30))
+    def test_kappa_at_most_one(self, seed, n_raters, n_subjects):
+        rng = np.random.default_rng(seed)
+        ratings = [
+            list(rng.choice(["a", "b", "c"], size=n_raters))
+            for _ in range(n_subjects)
+        ]
+        assert fleiss_kappa(ratings) <= 1.0 + 1e-12

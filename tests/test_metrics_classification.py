@@ -1,0 +1,107 @@
+"""Tests for accuracy / precision / recall / F1 / confusion matrix."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.classification import (
+    accuracy,
+    confusion_matrix,
+    evaluate_binary,
+    f1_score,
+    precision,
+    recall,
+)
+
+binary_lists = st.lists(st.integers(0, 1), min_size=1, max_size=60)
+
+
+class TestConfusionMatrix:
+    def test_layout(self):
+        matrix = confusion_matrix([0, 0, 1, 1], [0, 1, 0, 1])
+        assert matrix.tolist() == [[1, 1], [1, 1]]
+
+    def test_all_correct(self):
+        matrix = confusion_matrix([1, 0, 1], [1, 0, 1])
+        assert matrix[0, 0] == 1 and matrix[1, 1] == 2
+        assert matrix[0, 1] == 0 and matrix[1, 0] == 0
+
+    def test_rejects_non_binary(self):
+        with pytest.raises(ValueError, match="non-binary"):
+            confusion_matrix([0, 2], [0, 1])
+
+    def test_rejects_length_mismatch(self):
+        with pytest.raises(ValueError, match="lengths differ"):
+            confusion_matrix([0, 1], [0])
+
+    def test_rejects_empty(self):
+        with pytest.raises(ValueError, match="empty"):
+            confusion_matrix([], [])
+
+
+class TestPointMetrics:
+    def test_known_values(self):
+        y_true = [1, 1, 1, 1, 0, 0, 0, 0]
+        y_pred = [1, 1, 1, 0, 1, 0, 0, 0]
+        assert accuracy(y_true, y_pred) == pytest.approx(0.75)
+        assert precision(y_true, y_pred) == pytest.approx(3 / 4)
+        assert recall(y_true, y_pred) == pytest.approx(3 / 4)
+        assert f1_score(y_true, y_pred) == pytest.approx(0.75)
+
+    def test_zero_division_conventions(self):
+        # No positive predictions: precision 0; no positives: recall 0.
+        assert precision([1, 1], [0, 0]) == 0.0
+        assert recall([0, 0], [0, 0]) == 0.0
+        assert f1_score([1, 0], [0, 0]) == 0.0
+
+    def test_perfect(self):
+        y = [0, 1, 1, 0, 1]
+        assert accuracy(y, y) == 1.0
+        assert f1_score(y, y) == 1.0
+
+    @given(binary_lists)
+    def test_accuracy_on_self_is_one(self, labels):
+        assert accuracy(labels, labels) == 1.0
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_f1_between_precision_and_recall_bounds(self, seed):
+        rng = np.random.default_rng(seed)
+        y_true = rng.integers(0, 2, size=30)
+        y_pred = rng.integers(0, 2, size=30)
+        f1 = f1_score(y_true, y_pred)
+        p = precision(y_true, y_pred)
+        r = recall(y_true, y_pred)
+        assert f1 <= max(p, r) + 1e-12
+        assert f1 >= min(p, r) - 1e-12 or f1 == 0.0
+
+
+class TestEvaluateBinary:
+    def test_weighted_equals_positive_on_symmetric_errors(self):
+        y_true = [1, 0, 1, 0]
+        y_pred = [1, 0, 0, 1]
+        report = evaluate_binary(y_true, y_pred)
+        assert report.accuracy == pytest.approx(0.5)
+        assert report.precision == pytest.approx(0.5)
+
+    def test_report_fields_consistent(self):
+        y_true = [1] * 6 + [0] * 4
+        y_pred = [1] * 5 + [0] + [0] * 3 + [1]
+        report = evaluate_binary(y_true, y_pred)
+        assert report.support == 10
+        assert report.positive_recall == pytest.approx(5 / 6)
+        assert report.positive_precision == pytest.approx(5 / 6)
+        assert 0.0 <= report.f1 <= 1.0
+
+    def test_as_row_rounds(self):
+        report = evaluate_binary([1, 0, 1], [1, 0, 0])
+        row = report.as_row()
+        assert set(row) == {"accuracy", "precision", "recall", "f1"}
+        assert row["accuracy"] == pytest.approx(0.6667, abs=1e-4)
+
+    @given(binary_lists)
+    def test_weighted_metrics_bounded(self, labels):
+        rng = np.random.default_rng(0)
+        predictions = rng.integers(0, 2, size=len(labels))
+        report = evaluate_binary(labels, predictions)
+        for value in (report.precision, report.recall, report.f1):
+            assert 0.0 <= value <= 1.0

@@ -1,0 +1,67 @@
+"""Tests for the ROC curve and AUC."""
+
+import numpy as np
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.metrics.roc import auc, roc_auc_score, roc_curve
+
+
+class TestRocCurve:
+    def test_perfect_separation(self):
+        fpr, tpr, _ = roc_curve([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9])
+        assert roc_auc_score([0, 0, 1, 1], [0.1, 0.2, 0.8, 0.9]) == pytest.approx(1.0)
+        assert fpr[0] == 0.0 and tpr[0] == 0.0
+        assert fpr[-1] == 1.0 and tpr[-1] == 1.0
+
+    def test_inverted_scores(self):
+        assert roc_auc_score([0, 0, 1, 1], [0.9, 0.8, 0.2, 0.1]) == pytest.approx(0.0)
+
+    def test_random_scores_near_half(self):
+        rng = np.random.default_rng(0)
+        y = rng.integers(0, 2, size=4000)
+        score = rng.random(4000)
+        assert roc_auc_score(y, score) == pytest.approx(0.5, abs=0.05)
+
+    def test_ties_collapsed(self):
+        fpr, tpr, thresholds = roc_curve([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5])
+        # One distinct score -> start point plus a single vertex.
+        assert len(thresholds) == 2
+        assert roc_auc_score([0, 1, 0, 1], [0.5, 0.5, 0.5, 0.5]) == pytest.approx(0.5)
+
+    def test_single_class_raises(self):
+        with pytest.raises(ValueError, match="single class"):
+            roc_auc_score([1, 1, 1], [0.1, 0.5, 0.9])
+
+    def test_length_mismatch_raises(self):
+        with pytest.raises(ValueError):
+            roc_curve([0, 1], [0.5])
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_auc_in_unit_interval(self, seed):
+        rng = np.random.default_rng(seed)
+        y = np.concatenate([[0, 1], rng.integers(0, 2, size=20)])
+        scores = rng.random(22)
+        value = roc_auc_score(y, scores)
+        assert 0.0 <= value <= 1.0
+
+    @given(st.integers(0, 2**32 - 1))
+    def test_auc_invariant_to_monotone_transform(self, seed):
+        rng = np.random.default_rng(seed)
+        y = np.concatenate([[0, 1], rng.integers(0, 2, size=20)])
+        scores = rng.random(22)
+        assert roc_auc_score(y, scores) == pytest.approx(
+            roc_auc_score(y, np.exp(3 * scores))
+        )
+
+
+class TestAuc:
+    def test_unit_square(self):
+        assert auc([0, 1], [1, 1]) == pytest.approx(1.0)
+
+    def test_triangle(self):
+        assert auc([0, 1], [0, 1]) == pytest.approx(0.5)
+
+    def test_needs_two_points(self):
+        with pytest.raises(ValueError):
+            auc([0.5], [0.5])

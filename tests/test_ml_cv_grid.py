@@ -1,0 +1,93 @@
+"""Tests for stratified k-fold CV and grid search."""
+
+import numpy as np
+import pytest
+
+from repro.ml.cross_validation import stratified_kfold
+from repro.ml.grid_search import grid_search, parameter_grid
+
+
+class TestStratifiedKFold:
+    def test_partition(self):
+        labels = [0] * 20 + [1] * 30
+        folds = stratified_kfold(labels, n_folds=5, seed=0)
+        assert len(folds) == 5
+        all_test = np.concatenate([test for _, test in folds])
+        assert sorted(all_test.tolist()) == list(range(50))
+
+    def test_stratification(self):
+        labels = np.array([0] * 20 + [1] * 30)
+        for train_idx, test_idx in stratified_kfold(labels, n_folds=5, seed=0):
+            test_labels = labels[test_idx]
+            assert (test_labels == 0).sum() == 4
+            assert (test_labels == 1).sum() == 6
+
+    def test_train_test_disjoint(self):
+        labels = [0, 1] * 10
+        for train_idx, test_idx in stratified_kfold(labels, n_folds=4, seed=0):
+            assert not set(train_idx) & set(test_idx)
+
+    def test_too_small_class_raises(self):
+        with pytest.raises(ValueError, match="folds"):
+            stratified_kfold([0, 0, 0, 1], n_folds=3)
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            stratified_kfold([], n_folds=2)
+        with pytest.raises(ValueError):
+            stratified_kfold([0, 1], n_folds=1)
+
+
+class TestParameterGrid:
+    def test_expansion(self):
+        combos = parameter_grid({"a": [1, 2], "b": ["x"]})
+        assert combos == [{"a": 1, "b": "x"}, {"a": 2, "b": "x"}]
+
+    def test_empty_grid_raises(self):
+        with pytest.raises(ValueError):
+            parameter_grid({})
+        with pytest.raises(ValueError):
+            parameter_grid({"a": []})
+
+
+class _ThresholdModel:
+    """Classifies by x[:, 0] > threshold; 'correct' threshold is 0."""
+
+    def __init__(self, threshold):
+        self.threshold = threshold
+
+    def fit(self, x, y):
+        return self
+
+    def predict(self, x):
+        return (x[:, 0] > self.threshold).astype(np.int64)
+
+
+class TestGridSearch:
+    def test_finds_best_threshold(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(100, 2))
+        y = (x[:, 0] > 0).astype(np.int64)
+        result = grid_search(
+            lambda p: _ThresholdModel(p["threshold"]),
+            {"threshold": [-2.0, 0.0, 2.0]},
+            x,
+            y,
+            n_folds=4,
+        )
+        assert result.best_params == {"threshold": 0.0}
+        assert result.best_score > 0.9
+        assert len(result.all_scores) == 3
+
+    def test_best_model_refit(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(40, 2))
+        y = (x[:, 0] > 0).astype(np.int64)
+        result = grid_search(
+            lambda p: _ThresholdModel(p["threshold"]),
+            {"threshold": [0.0]},
+            x,
+            y,
+            n_folds=4,
+        )
+        assert isinstance(result.best_model, _ThresholdModel)

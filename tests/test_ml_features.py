@@ -1,0 +1,104 @@
+"""Tests for the Algorithm 1 feature pipeline."""
+
+import numpy as np
+import pytest
+
+from repro.core.triples import LabeledTriple
+from repro.embeddings.random import RandomEmbeddings
+from repro.ml.features import (
+    FeatureExtractor,
+    triple_component_tokens,
+    triple_to_sequence,
+    triple_to_vector,
+)
+from repro.ontology.relations import HAS_ROLE, IS_A
+
+
+def sample_triple():
+    return LabeledTriple(
+        "a", "3-hydroxybutanoic acid", HAS_ROLE, "b", "human metabolite", 1
+    )
+
+
+class TestComponentTokens:
+    def test_tokenises_all_components(self):
+        subject, relation, obj = triple_component_tokens(sample_triple())
+        assert subject == ["3", "hydroxybutanoic", "acid"]
+        assert relation == ["has", "role"]
+        assert obj == ["human", "metabolite"]
+
+    def test_filter_applied(self):
+        drop_short = lambda tokens: [t for t in tokens if len(t) > 2]
+        subject, _, _ = triple_component_tokens(sample_triple(), token_filter=drop_short)
+        assert subject == ["hydroxybutanoic", "acid"]
+
+    def test_filter_emptying_component_ignored(self):
+        kill_all = lambda tokens: []
+        subject, relation, obj = triple_component_tokens(
+            sample_triple(), token_filter=kill_all
+        )
+        assert subject  # original tokens kept
+
+
+class TestTripleToVector:
+    def test_shape_is_three_times_dim(self):
+        emb = RandomEmbeddings(dim=16, seed=0)
+        assert triple_to_vector(sample_triple(), emb).shape == (48,)
+
+    def test_is_concatenation_of_component_means(self):
+        emb = RandomEmbeddings(dim=8, seed=0)
+        vector = triple_to_vector(sample_triple(), emb)
+        subject, relation, obj = triple_component_tokens(sample_triple())
+        assert np.allclose(vector[:8], emb.mean_vector(subject))
+        assert np.allclose(vector[8:16], emb.mean_vector(relation))
+        assert np.allclose(vector[16:], emb.mean_vector(obj))
+
+    def test_deterministic(self):
+        emb = RandomEmbeddings(dim=8, seed=0)
+        assert np.allclose(
+            triple_to_vector(sample_triple(), emb),
+            triple_to_vector(sample_triple(), emb),
+        )
+
+
+class TestTripleToSequence:
+    def test_length_includes_separators(self):
+        emb = RandomEmbeddings(dim=8, seed=0)
+        sequence = triple_to_sequence(sample_triple(), emb)
+        subject, relation, obj = triple_component_tokens(sample_triple())
+        assert sequence.shape == (len(subject) + len(relation) + len(obj) + 2, 8)
+
+    def test_separator_rows_identical(self):
+        emb = RandomEmbeddings(dim=8, seed=0)
+        sequence = triple_to_sequence(sample_triple(), emb)
+        subject, _, _ = triple_component_tokens(sample_triple())
+        sep1 = sequence[len(subject)]
+        assert np.allclose(sep1, emb.oov_vector("[SEP]"))
+
+
+class TestFeatureExtractor:
+    def test_matrix_shape(self):
+        emb = RandomEmbeddings(dim=8, seed=0)
+        extractor = FeatureExtractor(emb)
+        triples = [sample_triple()] * 5
+        assert extractor.matrix(triples).shape == (5, 24)
+
+    def test_labels(self):
+        extractor = FeatureExtractor(RandomEmbeddings(dim=4))
+        labels = extractor.labels([sample_triple()])
+        assert labels.tolist() == [1]
+
+    def test_empty_raises(self):
+        extractor = FeatureExtractor(RandomEmbeddings(dim=4))
+        with pytest.raises(ValueError):
+            extractor.matrix([])
+        with pytest.raises(ValueError):
+            extractor.sequences([])
+
+    def test_phrase_level_model_uses_whole_components(self, lab):
+        contextual = lab.embedding("PubmedBERT")
+        triple = sample_triple()
+        vector = triple_to_vector(triple, contextual)
+        assert vector.shape == (3 * contextual.dim,)
+        direct = contextual.vector(triple.subject_name)
+        assert np.allclose(vector[: contextual.dim], direct)

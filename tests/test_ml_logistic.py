@@ -1,0 +1,95 @@
+"""Tests for the logistic-regression baseline."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.logistic import LogisticRegression, LogisticRegressionConfig
+
+
+def linear_task(n=300, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 5))
+    y = ((x[:, 0] - 0.5 * x[:, 1]) > 0).astype(np.int64)
+    return x, y
+
+
+class TestLogisticRegression:
+    def test_learns_linear_boundary(self):
+        x, y = linear_task()
+        x_test, y_test = linear_task(seed=1)
+        model = LogisticRegression().fit(x, y)
+        assert (model.predict(x_test) == y_test).mean() > 0.95
+
+    def test_probabilities_valid(self):
+        x, y = linear_task(100)
+        model = LogisticRegression().fit(x, y)
+        probs = model.predict_proba(x)
+        assert np.all((probs >= 0) & (probs <= 1))
+        assert np.array_equal(model.predict(x), (probs >= 0.5).astype(np.int64))
+
+    def test_handles_constant_features(self):
+        rng = np.random.default_rng(0)
+        x = np.hstack([rng.normal(size=(80, 2)), np.ones((80, 1))])
+        y = (x[:, 0] > 0).astype(np.int64)
+        model = LogisticRegression().fit(x, y)
+        assert (model.predict(x) == y).mean() > 0.9
+
+    def test_early_stopping(self):
+        x, y = linear_task(100)
+        model = LogisticRegression(
+            LogisticRegressionConfig(epochs=10_000, tol=1e-3)
+        ).fit(x, y)
+        assert model.n_iterations_ < 10_000
+
+    def test_l2_shrinks_weights(self):
+        x, y = linear_task(150)
+        free = LogisticRegression(LogisticRegressionConfig(l2=0.0)).fit(x, y)
+        ridge = LogisticRegression(LogisticRegressionConfig(l2=1.0)).fit(x, y)
+        assert np.linalg.norm(ridge.weights) < np.linalg.norm(free.weights)
+
+    def test_input_validation(self):
+        model = LogisticRegression()
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((3, 2)), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            model.fit(np.zeros((2, 2)), np.array([0, 5]))
+        with pytest.raises(RuntimeError):
+            model.predict(np.zeros((1, 2)))
+
+    def test_dimension_check_at_predict(self):
+        x, y = linear_task(60)
+        model = LogisticRegression().fit(x, y)
+        with pytest.raises(ValueError):
+            model.predict(np.zeros((2, 9)))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            LogisticRegressionConfig(learning_rate=0)
+        with pytest.raises(ValueError):
+            LogisticRegressionConfig(l2=-1)
+
+    def test_drops_into_grid_search(self):
+        from repro.ml.grid_search import grid_search
+
+        x, y = linear_task(120)
+        result = grid_search(
+            lambda p: LogisticRegression(
+                LogisticRegressionConfig(l2=p["l2"], epochs=100)
+            ),
+            {"l2": [1e-3, 10.0]},
+            x,
+            y,
+            n_folds=3,
+        )
+        assert result.best_params["l2"] == 1e-3
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(0, 10_000))
+    def test_training_beats_majority_class(self, seed):
+        x, y = linear_task(80, seed)
+        if y.min() == y.max():
+            return
+        model = LogisticRegression(LogisticRegressionConfig(epochs=150)).fit(x, y)
+        accuracy = (model.predict(x) == y).mean()
+        assert accuracy >= max(y.mean(), 1 - y.mean()) - 0.05

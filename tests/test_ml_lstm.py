@@ -1,0 +1,122 @@
+"""Tests for the numpy LSTM classifier."""
+
+import numpy as np
+import pytest
+
+from repro.ml.lstm import LSTMClassifier, LSTMConfig, _pad_batch
+
+
+def sequence_task(n=200, seed=0):
+    """Label = whether the sequence mean of feature 0 is positive."""
+    rng = np.random.default_rng(seed)
+    sequences, labels = [], []
+    for _ in range(n):
+        length = int(rng.integers(3, 9))
+        offset = 1.0 if rng.random() < 0.5 else -1.0
+        seq = rng.normal(0, 0.3, size=(length, 4))
+        seq[:, 0] += offset
+        sequences.append(seq)
+        labels.append(int(offset > 0))
+    return sequences, labels
+
+
+class TestPadBatch:
+    def test_shapes_and_mask(self):
+        seqs = [np.ones((2, 3)), np.ones((4, 3))]
+        x, mask = _pad_batch(seqs)
+        assert x.shape == (2, 4, 3)
+        assert mask.tolist() == [[1, 1, 0, 0], [1, 1, 1, 1]]
+        assert np.all(x[0, 2:] == 0)
+
+
+class TestLSTMClassifier:
+    def test_learns_sequence_task(self):
+        sequences, labels = sequence_task(300)
+        test_sequences, test_labels = sequence_task(80, seed=1)
+        model = LSTMClassifier(4, LSTMConfig(hidden_size=12, epochs=6, seed=0))
+        model.fit(sequences, labels)
+        accuracy = (model.predict(test_sequences) == np.array(test_labels)).mean()
+        assert accuracy > 0.9
+
+    def test_padding_invariance(self):
+        """The final hidden state must not depend on batch padding."""
+        sequences, labels = sequence_task(60)
+        model = LSTMClassifier(4, LSTMConfig(hidden_size=8, epochs=2, seed=0))
+        model.fit(sequences, labels)
+        short = sequences[0]
+        alone = model.predict_proba([short])[0]
+        with_long = model.predict_proba([short, np.zeros((30, 4))])[0]
+        assert alone == pytest.approx(with_long, abs=1e-10)
+
+    def test_loss_decreases(self):
+        sequences, labels = sequence_task(150)
+        model = LSTMClassifier(4, LSTMConfig(hidden_size=8, epochs=4, seed=0))
+        model.fit(sequences, labels)
+        losses = [h["train_loss"] for h in model.history]
+        assert losses[-1] < losses[0]
+
+    def test_validation_tracking(self):
+        sequences, labels = sequence_task(60)
+        model = LSTMClassifier(4, LSTMConfig(epochs=2, seed=0))
+        model.fit(sequences, labels, validation=(sequences[:20], labels[:20]))
+        assert "validation_accuracy" in model.history[-1]
+
+    def test_input_validation(self):
+        model = LSTMClassifier(4)
+        with pytest.raises(ValueError):
+            model.fit([], [])
+        with pytest.raises(ValueError):
+            model.fit([np.ones((3, 2))], [1])  # wrong dim
+        with pytest.raises(ValueError):
+            model.fit([np.ones((3, 4))], [1, 0])  # length mismatch
+        with pytest.raises(ValueError):
+            model.predict_proba([])
+
+    def test_deterministic(self):
+        sequences, labels = sequence_task(50)
+        a = LSTMClassifier(4, LSTMConfig(epochs=2, seed=3)).fit(sequences, labels)
+        b = LSTMClassifier(4, LSTMConfig(epochs=2, seed=3)).fit(sequences, labels)
+        assert np.allclose(
+            a.predict_proba(sequences), b.predict_proba(sequences)
+        )
+
+    def test_gradient_check_tiny(self):
+        """BPTT gradients against central differences on a tiny model."""
+        model = LSTMClassifier(3, LSTMConfig(hidden_size=4, seed=0))
+        rng = np.random.default_rng(0)
+        sequences = [rng.normal(size=(3, 3)), rng.normal(size=(5, 3))]
+        labels = np.array([0, 1])
+        x, mask = _pad_batch(sequences)
+
+        from repro.nn.losses import softmax_cross_entropy
+
+        def loss_fn():
+            h, _ = model._forward(x, mask)
+            logits = h @ model.w_out.value + model.b_out.value
+            return softmax_cross_entropy(logits, labels)[0]
+
+        for parameter in model.parameters():
+            parameter.zero_grad()
+        h, caches = model._forward(x, mask)
+        logits = h @ model.w_out.value + model.b_out.value
+        _, grad_logits = softmax_cross_entropy(logits, labels)
+        model.w_out.grad += h.T @ grad_logits
+        model.b_out.grad += grad_logits.sum(axis=0)
+        model._backward(caches, grad_logits @ model.w_out.value.T)
+
+        eps = 1e-6
+        check_rng = np.random.default_rng(1)
+        for parameter in model.parameters():
+            flat = parameter.value.reshape(-1)
+            grads = parameter.grad.reshape(-1)
+            for _ in range(4):
+                i = int(check_rng.integers(0, flat.size))
+                orig = flat[i]
+                flat[i] = orig + eps
+                plus = loss_fn()
+                flat[i] = orig - eps
+                minus = loss_fn()
+                flat[i] = orig
+                numeric = (plus - minus) / (2 * eps)
+                denom = max(1e-4, abs(numeric) + abs(grads[i]))
+                assert abs(numeric - grads[i]) / denom < 1e-4, parameter.name

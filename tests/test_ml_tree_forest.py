@@ -1,0 +1,159 @@
+"""Tests for the CART tree and Random Forest."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.ml.forest import RandomForest, RandomForestConfig
+from repro.ml.tree import DecisionTree, DecisionTreeConfig
+
+
+def separable(n=200, seed=0):
+    """Labels determined by feature 0's sign; feature 1 is noise."""
+    rng = np.random.default_rng(seed)
+    x = rng.normal(size=(n, 4))
+    y = (x[:, 0] > 0).astype(np.int64)
+    return x, y
+
+
+def xor_data(n=400, seed=0):
+    rng = np.random.default_rng(seed)
+    x = rng.uniform(-1, 1, size=(n, 2))
+    y = ((x[:, 0] > 0) ^ (x[:, 1] > 0)).astype(np.int64)
+    return x, y
+
+
+class TestDecisionTree:
+    def test_fits_separable(self):
+        x, y = separable()
+        tree = DecisionTree(DecisionTreeConfig(max_features=None)).fit(x, y)
+        assert (tree.predict(x) == y).mean() > 0.97
+
+    def test_fits_xor_with_depth(self):
+        x, y = xor_data()
+        tree = DecisionTree(
+            DecisionTreeConfig(max_depth=6, max_features=None)
+        ).fit(x, y)
+        assert (tree.predict(x) == y).mean() > 0.9
+
+    def test_depth_limit_respected(self):
+        x, y = xor_data()
+        tree = DecisionTree(
+            DecisionTreeConfig(max_depth=2, max_features=None)
+        ).fit(x, y)
+        assert tree.depth() <= 2
+
+    def test_pure_node_is_leaf(self):
+        x = np.random.default_rng(0).normal(size=(50, 3))
+        y = np.ones(50, dtype=np.int64)
+        tree = DecisionTree().fit(x, y)
+        assert tree.depth() == 0
+        assert np.all(tree.predict_proba(x) == 1.0)
+
+    def test_feature_importances_identify_signal(self):
+        x, y = separable(400)
+        tree = DecisionTree(DecisionTreeConfig(max_features=None)).fit(x, y)
+        assert tree.feature_importances_.argmax() == 0
+        assert tree.feature_importances_.sum() == pytest.approx(1.0)
+
+    def test_input_validation(self):
+        tree = DecisionTree()
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((3, 2)), np.array([0, 1]))
+        with pytest.raises(ValueError):
+            tree.fit(np.zeros((2, 2)), np.array([0, 3]))
+        with pytest.raises(RuntimeError):
+            tree.predict(np.zeros((1, 2)))
+
+    def test_predict_dimension_check(self):
+        x, y = separable(50)
+        tree = DecisionTree().fit(x, y)
+        with pytest.raises(ValueError):
+            tree.predict(np.zeros((2, 7)))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            DecisionTreeConfig(max_depth=0)
+        with pytest.raises(ValueError):
+            DecisionTreeConfig(min_samples_split=1)
+
+    def test_resolve_max_features(self):
+        assert DecisionTreeConfig(max_features=None).resolve_max_features(10) == 10
+        assert DecisionTreeConfig(max_features="sqrt").resolve_max_features(100) == 10
+        assert DecisionTreeConfig(max_features=3).resolve_max_features(10) == 3
+        with pytest.raises(ValueError):
+            DecisionTreeConfig(max_features="bad").resolve_max_features(10)
+
+    def test_min_samples_leaf_respected(self):
+        x, y = separable(30)
+        tree = DecisionTree(
+            DecisionTreeConfig(min_samples_leaf=10, max_features=None)
+        ).fit(x, y)
+        # With a leaf floor of 10 on 30 samples the tree must stay shallow.
+        assert tree.depth() <= 2
+
+    @settings(deadline=None, max_examples=15)
+    @given(st.integers(0, 10_000))
+    def test_probabilities_in_unit_interval(self, seed):
+        x, y = xor_data(60, seed)
+        if y.min() == y.max():
+            return
+        tree = DecisionTree(DecisionTreeConfig(seed=seed)).fit(x, y)
+        probs = tree.predict_proba(x)
+        assert np.all((probs >= 0.0) & (probs <= 1.0))
+
+
+class TestRandomForest:
+    def test_beats_single_tree_on_noisy_data(self):
+        rng = np.random.default_rng(1)
+        x = rng.normal(size=(500, 10))
+        signal = x[:, 0] + 0.5 * x[:, 1]
+        y = (signal + rng.normal(0, 1.0, 500) > 0).astype(np.int64)
+        x_test = rng.normal(size=(300, 10))
+        y_test = (x_test[:, 0] + 0.5 * x_test[:, 1] > 0).astype(np.int64)
+        tree_acc = (
+            DecisionTree(DecisionTreeConfig(seed=0)).fit(x, y).predict(x_test) == y_test
+        ).mean()
+        forest_acc = (
+            RandomForest(RandomForestConfig(n_estimators=25, seed=0))
+            .fit(x, y)
+            .predict(x_test)
+            == y_test
+        ).mean()
+        assert forest_acc >= tree_acc - 0.02
+
+    def test_predict_proba_is_tree_mean(self):
+        x, y = separable(100)
+        forest = RandomForest(RandomForestConfig(n_estimators=5, seed=0)).fit(x, y)
+        manual = np.mean([t.predict_proba(x) for t in forest.trees], axis=0)
+        assert np.allclose(forest.predict_proba(x), manual)
+
+    def test_deterministic(self):
+        x, y = separable(100)
+        a = RandomForest(RandomForestConfig(n_estimators=4, seed=5)).fit(x, y)
+        b = RandomForest(RandomForestConfig(n_estimators=4, seed=5)).fit(x, y)
+        assert np.allclose(a.predict_proba(x), b.predict_proba(x))
+
+    def test_feature_importances_aggregated(self):
+        x, y = separable(300)
+        forest = RandomForest(RandomForestConfig(n_estimators=10, seed=0)).fit(x, y)
+        assert forest.feature_importances_.argmax() == 0
+
+    def test_component_importances(self):
+        rng = np.random.default_rng(0)
+        x = rng.normal(size=(200, 6))  # dim=2 per component
+        y = (x[:, 0] > 0).astype(np.int64)
+        forest = RandomForest(RandomForestConfig(n_estimators=8, seed=0)).fit(x, y)
+        blocks = forest.component_importances(2)
+        assert blocks.shape == (3,)
+        assert blocks.argmax() == 0  # signal lives in the subject block
+        with pytest.raises(ValueError):
+            forest.component_importances(5)
+
+    def test_unfitted_raises(self):
+        with pytest.raises(RuntimeError):
+            RandomForest().predict(np.zeros((1, 3)))
+
+    def test_config_validation(self):
+        with pytest.raises(ValueError):
+            RandomForestConfig(n_estimators=0)

@@ -1,0 +1,180 @@
+"""Gradient checks and behaviour tests for the nn layers."""
+
+import numpy as np
+import pytest
+
+from repro.nn.layers import Dropout, Embedding, GELU, LayerNorm, Linear, Module, Parameter
+
+
+def numeric_grad_check(layer, params, x, loss_weights, forward, eps=1e-6, tol=1e-5):
+    """Compare analytic parameter grads against central differences.
+
+    ``forward`` maps the input to the layer output; loss = sum(out * weights).
+    """
+    out = forward(x)
+    layer.zero_grad()
+    layer.backward(loss_weights)
+    for parameter in params:
+        flat = parameter.value.reshape(-1)
+        grad = parameter.grad.reshape(-1)
+        rng = np.random.default_rng(0)
+        for _ in range(4):
+            i = int(rng.integers(0, flat.size))
+            orig = flat[i]
+            flat[i] = orig + eps
+            loss_plus = float(np.sum(forward(x) * loss_weights))
+            flat[i] = orig - eps
+            loss_minus = float(np.sum(forward(x) * loss_weights))
+            flat[i] = orig
+            numeric = (loss_plus - loss_minus) / (2 * eps)
+            denom = max(1e-3, abs(numeric) + abs(grad[i]))
+            assert abs(numeric - grad[i]) / denom < tol, (
+                f"{parameter.name}[{i}]: numeric={numeric}, analytic={grad[i]}"
+            )
+
+
+class TestParameterModule:
+    def test_zero_grad(self):
+        parameter = Parameter(np.ones(3))
+        parameter.grad += 5.0
+        parameter.zero_grad()
+        assert np.all(parameter.grad == 0)
+
+    def test_module_collects_nested_parameters(self):
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.lin = Linear(2, 3)
+                self.blocks = [Linear(3, 3), Linear(3, 1)]
+
+        outer = Outer()
+        assert len(outer.parameters()) == 6  # 3 weights + 3 biases
+
+    def test_set_training_recurses(self):
+        class Outer(Module):
+            def __init__(self):
+                super().__init__()
+                self.drop = Dropout(0.5)
+
+        outer = Outer()
+        outer.set_training(False)
+        assert outer.drop.training is False
+
+    def test_n_parameters(self):
+        lin = Linear(4, 5)
+        assert lin.n_parameters() == 4 * 5 + 5
+
+
+class TestLinear:
+    def test_forward_shape(self):
+        lin = Linear(3, 5, seed=1)
+        out = lin.forward(np.ones((2, 7, 3)))
+        assert out.shape == (2, 7, 5)
+
+    def test_gradient_check(self):
+        lin = Linear(4, 3, seed=1)
+        x = np.random.default_rng(0).normal(size=(5, 4))
+        weights = np.random.default_rng(1).normal(size=(5, 3))
+        numeric_grad_check(lin, lin.parameters(), x, weights, lin.forward)
+
+    def test_input_gradient(self):
+        lin = Linear(3, 2, seed=1)
+        x = np.random.default_rng(0).normal(size=(4, 3))
+        lin.forward(x)
+        grad_in = lin.backward(np.ones((4, 2)))
+        assert grad_in.shape == x.shape
+        assert np.allclose(grad_in, np.ones((4, 2)) @ lin.weight.value.T)
+
+    def test_backward_before_forward_raises(self):
+        with pytest.raises(RuntimeError):
+            Linear(2, 2).backward(np.ones((1, 2)))
+
+
+class TestEmbedding:
+    def test_lookup_and_grad_accumulation(self):
+        emb = Embedding(5, 3, seed=1)
+        ids = np.array([[0, 1, 0]])
+        out = emb.forward(ids)
+        assert out.shape == (1, 3, 3)
+        emb.zero_grad()
+        emb.backward(np.ones((1, 3, 3)))
+        # id 0 appears twice -> gradient 2, id 1 once -> 1
+        assert np.allclose(emb.weight.grad[0], 2.0)
+        assert np.allclose(emb.weight.grad[1], 1.0)
+        assert np.allclose(emb.weight.grad[2], 0.0)
+
+
+class TestLayerNorm:
+    def test_normalises(self):
+        ln = LayerNorm(8)
+        out = ln.forward(np.random.default_rng(0).normal(3.0, 2.0, size=(4, 8)))
+        assert np.allclose(out.mean(axis=-1), 0.0, atol=1e-8)
+        assert np.allclose(out.std(axis=-1), 1.0, atol=1e-2)
+
+    def test_gradient_check(self):
+        ln = LayerNorm(6)
+        ln.gamma.value[:] = np.linspace(0.5, 1.5, 6)
+        x = np.random.default_rng(0).normal(size=(3, 6))
+        weights = np.random.default_rng(1).normal(size=(3, 6))
+        numeric_grad_check(ln, ln.parameters(), x, weights, ln.forward)
+
+    def test_input_gradient_numeric(self):
+        ln = LayerNorm(5)
+        rng = np.random.default_rng(2)
+        x = rng.normal(size=(2, 5))
+        weights = rng.normal(size=(2, 5))
+        ln.forward(x)
+        analytic = ln.backward(weights)
+        eps = 1e-6
+        for i in range(2):
+            for j in range(5):
+                x[i, j] += eps
+                plus = float(np.sum(ln.forward(x) * weights))
+                x[i, j] -= 2 * eps
+                minus = float(np.sum(ln.forward(x) * weights))
+                x[i, j] += eps
+                numeric = (plus - minus) / (2 * eps)
+                assert abs(numeric - analytic[i, j]) < 1e-5
+
+
+class TestDropout:
+    def test_eval_mode_is_identity(self):
+        drop = Dropout(0.5, seed=1)
+        drop.set_training(False)
+        x = np.ones((3, 3))
+        assert np.allclose(drop.forward(x), x)
+
+    def test_train_mode_scales(self):
+        drop = Dropout(0.5, seed=1)
+        x = np.ones((200, 100))
+        out = drop.forward(x)
+        # surviving entries are scaled by 1/(1-p) = 2
+        assert set(np.unique(out)) <= {0.0, 2.0}
+        assert out.mean() == pytest.approx(1.0, abs=0.05)
+
+    def test_backward_uses_same_mask(self):
+        drop = Dropout(0.5, seed=1)
+        x = np.ones((10, 10))
+        out = drop.forward(x)
+        grad = drop.backward(np.ones((10, 10)))
+        assert np.allclose(grad, out)
+
+    def test_invalid_probability(self):
+        with pytest.raises(ValueError):
+            Dropout(1.0)
+
+
+class TestGELU:
+    def test_known_values(self):
+        gelu = GELU()
+        assert gelu.forward(np.array([0.0]))[0] == pytest.approx(0.0)
+        assert gelu.forward(np.array([10.0]))[0] == pytest.approx(10.0, rel=1e-3)
+
+    def test_gradient_numeric(self):
+        gelu = GELU()
+        x = np.linspace(-3, 3, 13)
+        gelu.forward(x)
+        analytic = gelu.backward(np.ones_like(x))
+        eps = 1e-6
+        numeric = (gelu.forward(x + eps) - gelu.forward(x - eps)) / (2 * eps)
+        assert np.allclose(analytic, numeric, atol=1e-6)

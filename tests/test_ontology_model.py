@@ -1,0 +1,125 @@
+"""Tests for the ontology data model."""
+
+import pytest
+
+from repro.ontology.model import Entity, Ontology, Statement, SubOntology
+from repro.ontology.relations import HAS_ROLE, IS_A
+
+
+def make_ontology():
+    onto = Ontology("t")
+    for ident, name in [("E:1", "acid"), ("E:2", "organic acid"), ("E:3", "butanoic acid")]:
+        onto.add_entity(Entity(ident, name))
+    onto.add_entity(Entity("E:4", "metabolite", SubOntology.ROLE))
+    return onto
+
+
+class TestEntity:
+    def test_requires_identifier_and_name(self):
+        with pytest.raises(ValueError):
+            Entity("", "x")
+        with pytest.raises(ValueError):
+            Entity("E:1", "")
+
+    def test_defaults(self):
+        entity = Entity("E:1", "water")
+        assert entity.sub_ontology is SubOntology.CHEMICAL
+        assert entity.synonyms == ()
+
+
+class TestOntologyEntities:
+    def test_add_and_lookup(self):
+        onto = make_ontology()
+        assert onto.entity("E:1").name == "acid"
+        assert onto.has_entity("E:2")
+        assert not onto.has_entity("E:99")
+        assert onto.num_entities == 4
+
+    def test_unknown_entity_raises(self):
+        with pytest.raises(KeyError, match="E:99"):
+            make_ontology().entity("E:99")
+
+    def test_duplicate_identical_is_noop(self):
+        onto = make_ontology()
+        onto.add_entity(Entity("E:1", "acid"))
+        assert onto.num_entities == 4
+
+    def test_duplicate_conflicting_raises(self):
+        onto = make_ontology()
+        with pytest.raises(ValueError, match="already registered"):
+            onto.add_entity(Entity("E:1", "different name"))
+
+    def test_entities_in_suboontology(self):
+        onto = make_ontology()
+        roles = onto.entities_in(SubOntology.ROLE)
+        assert [e.identifier for e in roles] == ["E:4"]
+
+
+class TestOntologyStatements:
+    def test_add_statement_and_membership(self):
+        onto = make_ontology()
+        onto.add_statement("E:3", IS_A, "E:2")
+        assert onto.has_statement("E:3", IS_A, "E:2")
+        assert not onto.has_statement("E:2", IS_A, "E:3")
+        assert onto.num_statements == 1
+
+    def test_relation_by_string_name(self):
+        onto = make_ontology()
+        onto.add_statement("E:3", "has_role", "E:4")
+        assert onto.has_statement("E:3", HAS_ROLE, "E:4")
+
+    def test_duplicate_statement_is_deduplicated(self):
+        onto = make_ontology()
+        onto.add_statement("E:3", IS_A, "E:2")
+        onto.add_statement("E:3", IS_A, "E:2")
+        assert onto.num_statements == 1
+
+    def test_self_loop_rejected(self):
+        onto = make_ontology()
+        with pytest.raises(ValueError, match="self-loop"):
+            onto.add_statement("E:1", IS_A, "E:1")
+
+    def test_unknown_endpoint_rejected(self):
+        onto = make_ontology()
+        with pytest.raises(KeyError):
+            onto.add_statement("E:1", IS_A, "E:99")
+
+    def test_statements_filtered_by_relation(self):
+        onto = make_ontology()
+        onto.add_statement("E:3", IS_A, "E:2")
+        onto.add_statement("E:3", HAS_ROLE, "E:4")
+        assert len(list(onto.statements(IS_A))) == 1
+        assert len(list(onto.statements())) == 2
+
+    def test_relation_names_ordered_by_count(self):
+        onto = make_ontology()
+        onto.add_statement("E:3", IS_A, "E:2")
+        onto.add_statement("E:2", IS_A, "E:1")
+        onto.add_statement("E:3", HAS_ROLE, "E:4")
+        assert onto.relation_names() == ["is_a", "has_role"]
+
+
+class TestIsANavigation:
+    def test_parents_children(self):
+        onto = make_ontology()
+        onto.add_statement("E:3", IS_A, "E:2")
+        onto.add_statement("E:2", IS_A, "E:1")
+        assert onto.parents("E:3") == {"E:2"}
+        assert onto.children("E:1") == {"E:2"}
+        assert onto.parents("E:1") == set()
+
+    def test_roots(self):
+        onto = make_ontology()
+        onto.add_statement("E:3", IS_A, "E:2")
+        roots = set(onto.roots())
+        assert "E:2" in roots and "E:3" not in roots
+
+    def test_navigation_unknown_entity_raises(self):
+        with pytest.raises(KeyError):
+            make_ontology().parents("E:99")
+
+
+class TestStatement:
+    def test_key(self):
+        statement = Statement("a", IS_A, "b")
+        assert statement.key() == ("a", "is_a", "b")

@@ -1,0 +1,84 @@
+"""Tests for graph queries: siblings, ancestors, depth, DAG checks."""
+
+import pytest
+
+from repro.ontology.model import Entity, Ontology
+from repro.ontology.queries import ancestors, depth_map, descendants, is_dag, siblings
+from repro.ontology.relations import IS_A
+
+
+def diamond():
+    """root -> (a, b); a,b -> leaf (a DAG with a diamond)."""
+    onto = Ontology()
+    for ident in ("root", "a", "b", "leaf", "lonely"):
+        onto.add_entity(Entity(ident, ident))
+    onto.add_statement("a", IS_A, "root")
+    onto.add_statement("b", IS_A, "root")
+    onto.add_statement("leaf", IS_A, "a")
+    onto.add_statement("leaf", IS_A, "b")
+    return onto
+
+
+class TestSiblings:
+    def test_shared_parent(self):
+        onto = diamond()
+        assert siblings(onto, "a") == {"b"}
+        assert siblings(onto, "b") == {"a"}
+
+    def test_excludes_self(self):
+        onto = diamond()
+        assert "a" not in siblings(onto, "a")
+
+    def test_no_parents_no_siblings(self):
+        onto = diamond()
+        assert siblings(onto, "root") == set()
+        assert siblings(onto, "lonely") == set()
+
+    def test_multi_parent_union(self):
+        onto = diamond()
+        onto.add_entity(Entity("c", "c"))
+        onto.add_statement("c", IS_A, "a")
+        assert siblings(onto, "leaf") == {"c"}
+
+
+class TestAncestorsDescendants:
+    def test_ancestors_transitive(self):
+        onto = diamond()
+        assert ancestors(onto, "leaf") == {"a", "b", "root"}
+        assert ancestors(onto, "root") == set()
+
+    def test_descendants_transitive(self):
+        onto = diamond()
+        assert descendants(onto, "root") == {"a", "b", "leaf"}
+        assert descendants(onto, "leaf") == set()
+
+
+class TestDepthMap:
+    def test_shortest_depth(self):
+        onto = diamond()
+        depths = depth_map(onto)
+        assert depths["root"] == 0
+        assert depths["a"] == depths["b"] == 1
+        assert depths["leaf"] == 2
+        assert depths["lonely"] == 0
+
+    def test_all_entities_present(self):
+        onto = diamond()
+        assert set(depth_map(onto)) == set(onto.entity_ids())
+
+
+class TestIsDag:
+    def test_diamond_is_dag(self):
+        assert is_dag(diamond())
+
+    def test_cycle_detected(self):
+        onto = Ontology()
+        for ident in ("x", "y", "z"):
+            onto.add_entity(Entity(ident, ident))
+        onto.add_statement("x", IS_A, "y")
+        onto.add_statement("y", IS_A, "z")
+        onto.add_statement("z", IS_A, "x")
+        assert not is_dag(onto)
+
+    def test_synthetic_ontology_is_dag(self, ontology):
+        assert is_dag(ontology)

@@ -1,0 +1,53 @@
+"""Tests for the ontology census."""
+
+import pytest
+
+from repro.ontology.model import Entity, Ontology, SubOntology
+from repro.ontology.relations import HAS_ROLE, IS_A
+from repro.ontology.statistics import (
+    CHEBI_REFERENCE_ENTITY_COUNTS,
+    CHEBI_REFERENCE_RELATION_COUNTS,
+    census,
+)
+
+
+def tiny():
+    onto = Ontology()
+    onto.add_entity(Entity("E:1", "a"))
+    onto.add_entity(Entity("E:2", "b"))
+    onto.add_entity(Entity("E:3", "r", SubOntology.ROLE))
+    onto.add_statement("E:2", IS_A, "E:1")
+    onto.add_statement("E:1", HAS_ROLE, "E:3")
+    onto.add_statement("E:2", HAS_ROLE, "E:3")
+    return onto
+
+
+class TestCensus:
+    def test_counts(self):
+        result = census(tiny())
+        assert result.total_entities == 3
+        assert result.total_statements == 3
+        assert result.entities_by_sub_ontology == {
+            "chemical_entity": 2,
+            "role": 1,
+        }
+        assert result.statements_by_relation == {"is_a": 1, "has_role": 2}
+
+    def test_relation_shares_sorted_and_sum_to_one(self):
+        shares = census(tiny()).relation_shares()
+        assert list(shares) == ["has_role", "is_a"]
+        assert sum(shares.values()) == pytest.approx(1.0)
+
+    def test_top_relations(self):
+        top = census(tiny()).top_relations(1)
+        assert top == [("has_role", 2)]
+
+    def test_reference_tables_match_paper(self):
+        assert CHEBI_REFERENCE_ENTITY_COUNTS["chemical_entity"] == 145_869
+        assert CHEBI_REFERENCE_RELATION_COUNTS["is_a"] == 230_241
+        assert sum(CHEBI_REFERENCE_RELATION_COUNTS.values()) == 318_438
+
+    def test_synthetic_census_is_a_share_near_chebi(self, ontology):
+        """The generator should land near ChEBI's 72.3% is_a share."""
+        shares = census(ontology).relation_shares()
+        assert 0.55 < shares["is_a"] < 0.85

@@ -1,0 +1,95 @@
+"""Tests for the synthetic ChEBI-like generator."""
+
+import numpy as np
+import pytest
+
+from repro.ontology.model import SubOntology
+from repro.ontology.queries import is_dag, siblings
+from repro.ontology.relations import ALL_RELATIONS, IS_A
+from repro.ontology.statistics import census
+from repro.ontology.synthesis import (
+    CHEMICAL_ROOT_CLASSES,
+    SynthesisConfig,
+    _conjugate_base_name,
+    synthesize_chebi_like,
+)
+from repro.text.tokenizer import ChemTokenizer
+
+
+class TestSynthesisConfig:
+    def test_rejects_too_few_entities(self):
+        with pytest.raises(ValueError, match="exceed"):
+            SynthesisConfig(n_chemical_entities=10)
+
+    def test_rejects_bad_fractions(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(compositional_fraction=1.5)
+        with pytest.raises(ValueError):
+            SynthesisConfig(extra_parent_probability=-0.1)
+
+    def test_rejects_shallow_depth(self):
+        with pytest.raises(ValueError):
+            SynthesisConfig(max_depth=1)
+
+
+class TestGeneratedOntology:
+    def test_three_sub_ontologies_present(self, ontology):
+        counts = census(ontology).entities_by_sub_ontology
+        assert counts[SubOntology.CHEMICAL.value] > 300
+        assert counts[SubOntology.ROLE.value] >= 30
+        assert counts[SubOntology.SUBATOMIC.value] >= 10
+
+    def test_all_ten_relations_present(self, ontology):
+        present = set(census(ontology).statements_by_relation)
+        assert present == {r.name for r in ALL_RELATIONS}
+
+    def test_is_a_dominates(self, ontology):
+        shares = census(ontology).relation_shares()
+        assert next(iter(shares)) == "is_a"
+        assert shares["is_a"] > 0.5
+
+    def test_is_a_is_dag(self, ontology):
+        assert is_dag(ontology)
+
+    def test_deterministic(self):
+        config = SynthesisConfig(n_chemical_entities=120, seed=9)
+        first = synthesize_chebi_like(config)
+        second = synthesize_chebi_like(config)
+        assert [e.name for e in first.entities()] == [
+            e.name for e in second.entities()
+        ]
+        assert first.num_statements == second.num_statements
+
+    def test_different_seeds_differ(self):
+        a = synthesize_chebi_like(SynthesisConfig(n_chemical_entities=120, seed=1))
+        b = synthesize_chebi_like(SynthesisConfig(n_chemical_entities=120, seed=2))
+        assert {e.name for e in a.entities()} != {e.name for e in b.entities()}
+
+    def test_entity_names_unique(self, ontology):
+        names = [e.name for e in ontology.entities()]
+        assert len(names) == len(set(names))
+
+    def test_siblings_exist_for_task3(self, ontology):
+        """Task 3 needs sibling entities; most is_a objects should have some."""
+        objects = [s.object for s in ontology.statements(IS_A)]
+        with_siblings = sum(1 for o in objects[:200] if siblings(ontology, o))
+        assert with_siblings > 100
+
+    def test_token_pathology_short_tokens_in_heads(self, ontology):
+        """Head names should contain many short locant tokens (Table A5)."""
+        tokenizer = ChemTokenizer()
+        short = total = 0
+        for statement in ontology.statements(IS_A):
+            for token in tokenizer(ontology.entity(statement.subject).name):
+                total += 1
+                short += len(token) <= 2
+        assert short / total > 0.15
+
+    def test_conjugate_base_name(self):
+        assert _conjugate_base_name("butanoic acid") == "butanoate"
+        assert _conjugate_base_name("weird acid") == "weird acid(1-)"
+
+    def test_root_classes_exist(self, ontology):
+        names = {e.name for e in ontology.entities()}
+        for class_name in CHEMICAL_ROOT_CLASSES[:5]:
+            assert class_name in names

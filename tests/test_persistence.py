@@ -1,0 +1,100 @@
+"""Round-trip tests for model persistence."""
+
+import numpy as np
+import pytest
+
+from repro.bert.model import BertConfig, MiniBert
+from repro.bert.pretrain import PretrainConfig, pretrain_mlm
+from repro.bert.wordpiece import train_wordpiece
+from repro.embeddings.word2vec import Word2Vec, Word2VecConfig
+from repro.utils.persistence import (
+    load_bert,
+    load_embeddings,
+    save_bert,
+    save_embeddings,
+)
+
+CORPUS = [["alpha", "beta", "gamma", "delta"], ["beta", "gamma", "alpha"]] * 15
+
+
+class TestEmbeddingPersistence:
+    @pytest.fixture(scope="class")
+    def model(self):
+        return Word2Vec.train(
+            CORPUS, Word2VecConfig(dim=12, epochs=1, min_count=1, seed=0),
+            name="W2V-test",
+        )
+
+    def test_round_trip_vectors(self, model, tmp_path):
+        path = tmp_path / "emb.npz"
+        save_embeddings(model, path)
+        loaded = load_embeddings(path)
+        assert loaded.name == "W2V-test"
+        assert loaded.dim == model.dim
+        for token in ("alpha", "beta", "gamma"):
+            assert np.allclose(loaded.vector(token), model.vector(token))
+
+    def test_round_trip_vocabulary_counts(self, model, tmp_path):
+        path = tmp_path / "emb.npz"
+        save_embeddings(model, path)
+        loaded = load_embeddings(path)
+        for token in model.vocabulary:
+            assert loaded.vocabulary.count(token) == model.vocabulary.count(token)
+
+    def test_oov_behaviour_preserved_by_name(self, model, tmp_path):
+        path = tmp_path / "emb.npz"
+        save_embeddings(model, path)
+        loaded = load_embeddings(path)
+        assert not loaded.contains("zzz")
+        assert loaded.vector("zzz").shape == (12,)
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, format=np.array("something-else"))
+        with pytest.raises(ValueError, match="not a repro-static"):
+            load_embeddings(path)
+
+
+class TestBertPersistence:
+    @pytest.fixture(scope="class")
+    def model(self):
+        tokenizer = train_wordpiece(CORPUS, vocab_size=50)
+        return pretrain_mlm(
+            CORPUS,
+            tokenizer,
+            BertConfig(d_model=16, n_heads=2, n_layers=2, d_ff=32,
+                       max_len=16, dropout=0.0, seed=1),
+            PretrainConfig(epochs=1, seed=1),
+        )
+
+    def test_round_trip_exact(self, model, tmp_path):
+        path = tmp_path / "bert.npz"
+        save_bert(model, path)
+        loaded = load_bert(path)
+        assert loaded.config == model.config
+        assert len(loaded.tokenizer) == len(model.tokenizer)
+        original = model.cls_embedding(["alpha", "beta"])
+        restored = loaded.cls_embedding(["alpha", "beta"])
+        assert np.allclose(original, restored)
+
+    def test_classification_logits_identical(self, model, tmp_path):
+        path = tmp_path / "bert.npz"
+        save_bert(model, path)
+        loaded = load_bert(path)
+        ids, mask = model.pad_batch([[2, 5, 6, 3]])
+        model.set_training(False)
+        assert np.allclose(
+            model.forward_classify(ids, mask),
+            loaded.forward_classify(ids, mask),
+        )
+
+    def test_wrong_format_rejected(self, tmp_path):
+        path = tmp_path / "bogus.npz"
+        np.savez(path, format=np.array("nope"))
+        with pytest.raises(ValueError, match="not a repro-minibert"):
+            load_bert(path)
+
+    def test_loaded_model_is_eval_mode(self, model, tmp_path):
+        path = tmp_path / "bert.npz"
+        save_bert(model, path)
+        assert load_bert(path).training is False

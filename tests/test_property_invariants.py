@@ -1,0 +1,116 @@
+"""Cross-module property-based tests on core invariants."""
+
+import io
+
+import numpy as np
+import pytest
+from hypothesis import given, settings, strategies as st
+
+from repro.core.triples import LabeledTriple
+from repro.llm.prompts import PromptVariant, extract_query_text, render_prompt
+from repro.ontology.model import Entity, Ontology
+from repro.ontology.obo import dumps_obo, load_obo
+from repro.ontology.queries import is_dag
+from repro.ontology.relations import IS_A
+from repro.ontology.synthesis import SynthesisConfig, synthesize_chebi_like
+from repro.ml.tree import DecisionTree, DecisionTreeConfig
+
+# Entity names: printable, no newlines, non-empty after strip.
+name_strategy = st.text(
+    alphabet=st.characters(
+        whitelist_categories=("Lu", "Ll", "Nd"), whitelist_characters=" -(),'"
+    ),
+    min_size=1,
+    max_size=40,
+).map(str.strip).filter(bool)
+
+
+def make_triple(subject_name, object_name):
+    return LabeledTriple("s", subject_name, IS_A, "o", object_name, 1)
+
+
+class TestPromptRoundTrip:
+    @settings(deadline=None, max_examples=60)
+    @given(name_strategy, name_strategy, st.sampled_from(list(PromptVariant)))
+    def test_query_extractable_from_any_prompt(self, subject, obj, variant):
+        examples_pos = [make_triple(f"pos {i}", f"class {i}") for i in range(3)]
+        examples_neg = [
+            LabeledTriple(f"n{i}", f"neg {i}", IS_A, f"no{i}", f"nclass {i}", 0)
+            for i in range(3)
+        ]
+        query = make_triple(subject, obj)
+        prompt = render_prompt(examples_pos, examples_neg, query, variant, seed=1)
+        assert extract_query_text(prompt) == query.as_text()
+
+
+class TestSynthesisInvariants:
+    @settings(deadline=None, max_examples=6)
+    @given(st.integers(0, 10_000), st.integers(80, 250))
+    def test_generator_invariants(self, seed, n_entities):
+        ontology = synthesize_chebi_like(
+            SynthesisConfig(n_chemical_entities=n_entities, seed=seed)
+        )
+        # names unique
+        names = [e.name for e in ontology.entities()]
+        assert len(names) == len(set(names))
+        # is_a hierarchy acyclic
+        assert is_dag(ontology)
+        # every statement references registered entities, no self-loops
+        for statement in ontology.statements():
+            assert ontology.has_entity(statement.subject)
+            assert ontology.has_entity(statement.object)
+            assert statement.subject != statement.object
+
+
+class TestOboRoundTripProperty:
+    @settings(deadline=None, max_examples=25)
+    @given(
+        st.lists(
+            st.tuples(name_strategy, st.text(max_size=30)),
+            min_size=1,
+            max_size=8,
+            unique_by=lambda pair: pair[0],
+        )
+    )
+    def test_arbitrary_entities_round_trip(self, entities):
+        ontology = Ontology("prop")
+        for index, (name, definition) in enumerate(entities):
+            ontology.add_entity(
+                Entity(f"E:{index}", name, definition=definition.replace("\n", " "))
+            )
+        for index in range(1, len(entities)):
+            ontology.add_statement(f"E:{index}", IS_A, "E:0")
+        reloaded = load_obo(io.StringIO(dumps_obo(ontology)))
+        assert reloaded.num_entities == ontology.num_entities
+        assert reloaded.num_statements == ontology.num_statements
+        for entity in ontology.entities():
+            assert reloaded.entity(entity.identifier).name == entity.name
+
+
+class TestTreeInvariants:
+    @settings(deadline=None, max_examples=20)
+    @given(st.integers(0, 100_000))
+    def test_predict_consistent_with_proba(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(40, 3))
+        y = rng.integers(0, 2, size=40)
+        if y.min() == y.max():
+            return
+        tree = DecisionTree(DecisionTreeConfig(seed=seed)).fit(x, y)
+        probs = tree.predict_proba(x)
+        assert np.array_equal(tree.predict(x), (probs >= 0.5).astype(np.int64))
+
+    @settings(deadline=None, max_examples=10)
+    @given(st.integers(0, 100_000))
+    def test_training_accuracy_at_least_majority(self, seed):
+        rng = np.random.default_rng(seed)
+        x = rng.normal(size=(60, 4))
+        y = rng.integers(0, 2, size=60)
+        if y.min() == y.max():
+            return
+        tree = DecisionTree(
+            DecisionTreeConfig(max_features=None, seed=seed)
+        ).fit(x, y)
+        accuracy = (tree.predict(x) == y).mean()
+        majority = max(y.mean(), 1 - y.mean())
+        assert accuracy >= majority - 1e-12

@@ -1,0 +1,93 @@
+"""Tests for the synthetic corpus generators."""
+
+import pytest
+
+from repro.ontology.relations import ALL_RELATIONS
+from repro.text.corpus import (
+    RELATION_TEMPLATES,
+    CorpusConfig,
+    corpus_sentences,
+    generate_chemistry_corpus,
+    generate_generic_corpus,
+)
+
+
+class TestCorpusConfig:
+    def test_rejects_bad_dimensions(self):
+        with pytest.raises(ValueError):
+            CorpusConfig(n_documents=0)
+        with pytest.raises(ValueError):
+            CorpusConfig(triple_sentence_fraction=1.5)
+        with pytest.raises(ValueError):
+            CorpusConfig(statement_coverage=0.0)
+
+
+class TestTemplates:
+    def test_every_relation_has_templates(self):
+        for relation in ALL_RELATIONS:
+            templates = RELATION_TEMPLATES[relation.name]
+            assert templates
+            for template in templates:
+                assert "{s}" in template and "{o}" in template
+
+
+class TestChemistryCorpus:
+    def test_shape(self, ontology):
+        config = CorpusConfig(n_documents=5, sentences_per_document=7, seed=1)
+        documents = generate_chemistry_corpus(ontology, config)
+        assert len(documents) == 5
+        assert all(len(doc) == 7 for doc in documents)
+
+    def test_deterministic(self, ontology):
+        config = CorpusConfig(n_documents=3, sentences_per_document=5, seed=2)
+        assert generate_chemistry_corpus(ontology, config) == generate_chemistry_corpus(
+            ontology, config
+        )
+
+    def test_sentences_are_tokenised(self, ontology):
+        config = CorpusConfig(n_documents=2, sentences_per_document=4, seed=3)
+        for doc in generate_chemistry_corpus(ontology, config):
+            for sentence in doc:
+                assert sentence == sentence.lower()
+                assert "(" not in sentence
+
+    def test_mentions_ontology_tokens(self, ontology):
+        config = CorpusConfig(n_documents=10, sentences_per_document=10, seed=4)
+        text = " ".join(
+            s for doc in generate_chemistry_corpus(ontology, config) for s in doc
+        )
+        assert "acid" in text or "role" in text
+
+    def test_coverage_reduces_vocabulary(self, ontology):
+        full = CorpusConfig(n_documents=30, sentences_per_document=10,
+                            statement_coverage=1.0, seed=5)
+        partial = CorpusConfig(n_documents=30, sentences_per_document=10,
+                               statement_coverage=0.2, seed=5)
+        vocab_full = {
+            t for s in corpus_sentences(generate_chemistry_corpus(ontology, full))
+            for t in s
+        }
+        vocab_partial = {
+            t for s in corpus_sentences(generate_chemistry_corpus(ontology, partial))
+            for t in s
+        }
+        assert len(vocab_partial) < len(vocab_full)
+
+
+class TestGenericCorpus:
+    def test_mostly_generic_at_low_fraction(self, ontology):
+        config = CorpusConfig(n_documents=20, sentences_per_document=10, seed=6)
+        documents = generate_generic_corpus(ontology, config, chemistry_fraction=0.0)
+        text = " ".join(s for doc in documents for s in doc)
+        assert "government" in text or "people" in text or "market" in text
+
+    def test_invalid_fraction(self, ontology):
+        with pytest.raises(ValueError):
+            generate_generic_corpus(ontology, chemistry_fraction=1.2)
+
+    def test_corpus_sentences_flattens(self, ontology):
+        config = CorpusConfig(n_documents=3, sentences_per_document=4, seed=7)
+        documents = generate_generic_corpus(ontology, config)
+        sentences = corpus_sentences(documents)
+        assert len(sentences) == 12
+        assert all(isinstance(s, list) for s in sentences)

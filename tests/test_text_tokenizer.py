@@ -1,0 +1,71 @@
+"""Tests for the chemical tokenisers."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.tokenizer import ChemTokenizer, RegexpTokenizer
+
+
+class TestRegexpTokenizer:
+    def test_findall_mode(self):
+        tokenizer = RegexpTokenizer(r"[a-z]+")
+        assert tokenizer("ab, cd ef") == ["ab", "cd", "ef"]
+
+    def test_gaps_mode(self):
+        tokenizer = RegexpTokenizer(r"\s+", gaps=True)
+        assert tokenizer("a  b c") == ["a", "b", "c"]
+
+    def test_callable_equals_tokenize(self):
+        tokenizer = RegexpTokenizer(r"\w+")
+        assert tokenizer("x y") == tokenizer.tokenize("x y")
+
+    def test_empty_string(self):
+        assert RegexpTokenizer(r"\w+")("") == []
+
+
+class TestChemTokenizer:
+    def test_stereo_descriptor(self):
+        assert ChemTokenizer()("(2S)-3-Hydroxybutanoic acid") == [
+            "2s",
+            "3",
+            "hydroxybutanoic",
+            "acid",
+        ]
+
+    def test_chebi_style_group_name(self):
+        assert ChemTokenizer()("N(2)-L-glutamino(1-) group") == [
+            "n",
+            "2",
+            "l",
+            "glutamino",
+            "1",
+            "group",
+        ]
+
+    def test_lowercases(self):
+        assert ChemTokenizer()("BETA-Estradiol") == ["beta", "estradiol"]
+
+    def test_multi_locant(self):
+        assert ChemTokenizer()("4,8,9-triacetyl-porphyrin") == [
+            "4",
+            "8",
+            "9",
+            "triacetyl",
+            "porphyrin",
+        ]
+
+    def test_punctuation_only_gives_nothing(self):
+        assert ChemTokenizer()("---(,)") == []
+
+    @given(st.text(max_size=80))
+    def test_tokens_are_lowercase_alphanumeric(self, text):
+        for token in ChemTokenizer()(text):
+            assert token
+            assert all(c.islower() or c.isdigit() for c in token)
+
+    @given(st.text(alphabet="abc123-,() ", max_size=60))
+    def test_idempotent_on_own_output(self, text):
+        tokenizer = ChemTokenizer()
+        once = tokenizer(text)
+        again = tokenizer(" ".join(once))
+        assert once == again

@@ -1,0 +1,87 @@
+"""Tests for vocabulary management."""
+
+import pytest
+from hypothesis import given, strategies as st
+
+from repro.text.vocab import Vocabulary, build_vocabulary
+
+
+def sample_vocab():
+    return Vocabulary({"acid": 10, "amino": 5, "zz": 5, "rare": 1})
+
+
+class TestVocabulary:
+    def test_ids_by_descending_frequency(self):
+        vocab = sample_vocab()
+        assert vocab.id_of("acid") == 0
+        # frequency tie broken lexicographically: amino before zz
+        assert vocab.id_of("amino") == 1
+        assert vocab.id_of("zz") == 2
+
+    def test_token_of_inverts_id_of(self):
+        vocab = sample_vocab()
+        for token in vocab:
+            assert vocab.token_of(vocab.id_of(token)) == token
+
+    def test_contains_and_get_id(self):
+        vocab = sample_vocab()
+        assert "acid" in vocab
+        assert vocab.get_id("missing") is None
+        with pytest.raises(KeyError):
+            vocab.id_of("missing")
+
+    def test_counts(self):
+        vocab = sample_vocab()
+        assert vocab.count("acid") == 10
+        assert vocab.count("missing") == 0
+
+    def test_most_common(self):
+        assert sample_vocab().most_common(1) == [("acid", 10)]
+
+    def test_top_fraction(self):
+        vocab = sample_vocab()
+        assert vocab.top_fraction(0.25) == ["acid"]
+        assert len(vocab.top_fraction(1.0)) == 4
+        with pytest.raises(ValueError):
+            vocab.top_fraction(0.0)
+
+    def test_empty_rejected(self):
+        with pytest.raises(ValueError):
+            Vocabulary({})
+
+    def test_oov_statistics(self):
+        vocab = sample_vocab()
+        n_oov, n_unique, fraction = vocab.oov_statistics(["acid", "new", "new2"])
+        assert (n_oov, n_unique) == (2, 3)
+        assert fraction == pytest.approx(2 / 3)
+        with pytest.raises(ValueError):
+            vocab.oov_statistics([])
+
+
+class TestBuildVocabulary:
+    def test_counts_across_streams(self):
+        vocab = build_vocabulary([["a", "b"], ["a"]])
+        assert vocab.count("a") == 2
+        assert vocab.count("b") == 1
+
+    def test_min_count_filters(self):
+        vocab = build_vocabulary([["a", "a", "b"]], min_count=2)
+        assert "a" in vocab and "b" not in vocab
+
+    def test_all_filtered_raises(self):
+        with pytest.raises(ValueError, match="min_count"):
+            build_vocabulary([["a"]], min_count=5)
+
+    def test_bad_min_count(self):
+        with pytest.raises(ValueError):
+            build_vocabulary([["a"]], min_count=0)
+
+    @given(st.lists(st.lists(st.sampled_from("abcde"), max_size=6), min_size=1, max_size=20))
+    def test_total_count_preserved(self, streams):
+        total = sum(len(s) for s in streams)
+        if total == 0:
+            with pytest.raises(ValueError):
+                build_vocabulary(streams)
+        else:
+            vocab = build_vocabulary(streams)
+            assert sum(vocab.counts().values()) == total
