@@ -15,7 +15,9 @@ import os
 
 import pytest
 
+from repro import obs
 from repro.core import Lab, LabConfig
+from repro.obs.trace import env_enables_trace
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -48,9 +50,25 @@ BENCH_LAB_CONFIG = LabConfig(
 )
 
 
+@pytest.fixture(scope="session", autouse=True)
+def _observability():
+    """Collect spans for every benchmark run so each saved table ships with
+    a ``*.manifest.json`` (stderr progress only when ``REPRO_TRACE`` asks)."""
+    obs.enable(verbose=env_enables_trace())
+    yield
+
+
 @pytest.fixture(scope="session")
 def lab():
-    return Lab(BENCH_LAB_CONFIG)
+    lab = Lab(BENCH_LAB_CONFIG)
+    # Warm the shared apparatus up front (unless opted out) so every
+    # benchmark's manifest carries the full stage span tree — ontology,
+    # corpora, embedding training, BERT and one classifier fit — and so
+    # per-benchmark timings measure the benchmark, not lazy Lab builds.
+    if os.environ.get("REPRO_BENCH_NO_WARM", "") not in ("1", "true", "yes"):
+        lab.embeddings  # ontology + corpora + wordpiece + BERT + six models
+        lab.trained_forest(1, "W2V-Chem", "naive")
+    return lab
 
 
 @pytest.fixture(scope="session")

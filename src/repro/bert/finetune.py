@@ -18,6 +18,8 @@ from repro.bert.model import MiniBert
 from repro.core.triples import LabeledTriple
 from repro.nn.losses import softmax_cross_entropy
 from repro.nn.optim import Adam, clip_gradients
+from repro.obs.progress import StageProgress, emit
+from repro.obs.trace import span
 from repro.text.tokenizer import ChemTokenizer
 from repro.utils.rng import derive_rng
 
@@ -131,26 +133,34 @@ def fine_tune(
     sequences = classifier._encode(train_triples)
     labels = np.array([t.label for t in train_triples], dtype=np.int64)
 
-    for epoch in range(config.epochs):
-        model.set_training(True)
-        order = rng.permutation(len(sequences))
-        epoch_losses: List[float] = []
-        for start in range(0, len(sequences), config.batch_size):
-            chosen = order[start : start + config.batch_size]
-            ids, mask = model.pad_batch([sequences[int(i)] for i in chosen])
-            logits = model.forward_classify(ids, mask)
-            loss, grad = softmax_cross_entropy(logits, labels[chosen])
-            model.zero_grad()
-            model.backward_classify(grad)
-            clip_gradients(model.parameters(), config.max_grad_norm)
-            optimizer.step()
-            epoch_losses.append(loss)
-        record = {"epoch": epoch, "train_loss": float(np.mean(epoch_losses))}
-        if validation_triples:
-            predictions = classifier.predict(validation_triples)
-            gold = np.array([t.label for t in validation_triples])
-            record["validation_accuracy"] = float(np.mean(predictions == gold))
-        classifier.history.append(record)
+    with span(
+        "bert.finetune", epochs=config.epochs, triples=len(train_triples)
+    ) as sp, StageProgress("bert.finetune", unit="steps") as progress:
+        for epoch in range(config.epochs):
+            model.set_training(True)
+            order = rng.permutation(len(sequences))
+            epoch_losses: List[float] = []
+            for start in range(0, len(sequences), config.batch_size):
+                chosen = order[start : start + config.batch_size]
+                ids, mask = model.pad_batch([sequences[int(i)] for i in chosen])
+                logits = model.forward_classify(ids, mask)
+                loss, grad = softmax_cross_entropy(logits, labels[chosen])
+                model.zero_grad()
+                model.backward_classify(grad)
+                clip_gradients(model.parameters(), config.max_grad_norm)
+                optimizer.step()
+                epoch_losses.append(loss)
+                sp.incr("steps")
+                progress.advance(1)
+            record = {"epoch": epoch, "train_loss": float(np.mean(epoch_losses))}
+            if validation_triples:
+                predictions = classifier.predict(validation_triples)
+                gold = np.array([t.label for t in validation_triples])
+                record["validation_accuracy"] = float(np.mean(predictions == gold))
+            classifier.history.append(record)
+            emit("bert.finetune", **record)
+        if classifier.history:
+            sp.gauge("final_train_loss", classifier.history[-1]["train_loss"])
 
     model.set_training(False)
     return classifier

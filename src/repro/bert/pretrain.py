@@ -18,6 +18,8 @@ from repro.bert.model import BertConfig, MiniBert
 from repro.bert.wordpiece import WordPieceTokenizer
 from repro.nn.losses import softmax_cross_entropy
 from repro.nn.optim import Adam, clip_gradients
+from repro.obs.progress import StageProgress, emit
+from repro.obs.trace import span
 from repro.utils.rng import SeedLike, derive_rng
 
 _IGNORE = -100  # label value for positions that carry no MLM loss
@@ -98,25 +100,39 @@ def pretrain_mlm(
 
     losses: List[float] = []
     model.set_training(True)
-    for _ in range(config.epochs):
-        order = rng.permutation(len(encoded))
-        epoch_losses: List[float] = []
-        for start in range(0, len(encoded), config.batch_size):
-            batch = [encoded[int(i)] for i in order[start : start + config.batch_size]]
-            ids, mask = model.pad_batch(batch)
-            masked_ids, labels = _apply_masking(
-                ids, mask, tokenizer, config.mask_probability, rng
+    with span(
+        "bert.pretrain", epochs=config.epochs, sentences=len(encoded)
+    ) as sp, StageProgress("bert.pretrain", unit="steps") as progress:
+        for epoch in range(config.epochs):
+            order = rng.permutation(len(encoded))
+            epoch_losses: List[float] = []
+            for start in range(0, len(encoded), config.batch_size):
+                batch = [
+                    encoded[int(i)] for i in order[start : start + config.batch_size]
+                ]
+                ids, mask = model.pad_batch(batch)
+                masked_ids, labels = _apply_masking(
+                    ids, mask, tokenizer, config.mask_probability, rng
+                )
+                logits = model.forward_mlm(masked_ids, mask)
+                loss, grad = softmax_cross_entropy(
+                    logits, labels, ignore_index=_IGNORE
+                )
+                sp.incr("steps")
+                progress.advance(1)
+                if loss == 0.0:
+                    continue  # no position was selected in this batch
+                model.zero_grad()
+                model.backward_mlm(grad)
+                clip_gradients(model.parameters(), config.max_grad_norm)
+                optimizer.step()
+                epoch_losses.append(loss)
+            losses.append(
+                float(np.mean(epoch_losses)) if epoch_losses else float("nan")
             )
-            logits = model.forward_mlm(masked_ids, mask)
-            loss, grad = softmax_cross_entropy(logits, labels, ignore_index=_IGNORE)
-            if loss == 0.0:
-                continue  # no position was selected in this batch
-            model.zero_grad()
-            model.backward_mlm(grad)
-            clip_gradients(model.parameters(), config.max_grad_norm)
-            optimizer.step()
-            epoch_losses.append(loss)
-        losses.append(float(np.mean(epoch_losses)) if epoch_losses else float("nan"))
+            emit("bert.pretrain", epoch=epoch, loss=losses[-1])
+        if losses:
+            sp.gauge("final_loss", losses[-1])
 
     model.set_training(False)
     model.pretrain_losses = losses

@@ -6,9 +6,12 @@ Commands:
 * ``census`` — print the entity/relationship census of an OBO file;
 * ``dataset`` — build one curation-task dataset and print its statistics;
 * ``evaluate`` — train and score one paradigm on one task;
-* ``icl`` — run the Table 5 prompting protocol with a simulated model.
+* ``icl`` — run the Table 5 prompting protocol with a simulated model;
+* ``trace`` — pretty-print a saved run manifest as a span-time summary.
 
-Every command is deterministic given ``--seed``.
+Every command is deterministic given ``--seed``.  The global ``--trace``
+flag enables span tracing and stderr progress for any command (equivalent
+to ``REPRO_TRACE=1``); ``--version`` prints the package version.
 """
 
 from __future__ import annotations
@@ -143,6 +146,86 @@ def cmd_evaluate(args: argparse.Namespace) -> int:
     return 0
 
 
+def _render_span(node: dict, indent: int, lines: List[str]) -> None:
+    pad = "  " * indent
+    details = dict(node.get("attrs") or {})
+    details.update(node.get("counters") or {})
+    extras = ""
+    if details:
+        extras = "  [" + ", ".join(
+            f"{k}={v}" for k, v in sorted(details.items())
+        ) + "]"
+    lines.append(
+        f"{pad}{node['name']:<{max(1, 40 - len(pad))}} "
+        f"total {node['duration_s']*1000:10.2f} ms   "
+        f"self {node['self_time_s']*1000:10.2f} ms{extras}"
+    )
+    for child in node.get("children", ()):
+        _render_span(child, indent + 1, lines)
+
+
+def _aggregate_self_times(node: dict, totals: dict) -> None:
+    entry = totals.setdefault(node["name"], {"self": 0.0, "total": 0.0, "count": 0})
+    entry["self"] += node.get("self_time_s", 0.0)
+    entry["total"] += node.get("duration_s", 0.0)
+    entry["count"] += 1
+    for child in node.get("children", ()):
+        _aggregate_self_times(child, totals)
+
+
+def render_manifest(manifest: dict) -> str:
+    """Flame-style text rendering of a manifest's span tree + summary."""
+    lines: List[str] = []
+    environment = manifest.get("environment", {})
+    lines.append(f"manifest: {manifest.get('artefact', manifest.get('title', '?'))}")
+    lines.append(
+        f"created {manifest.get('created', '?')} | "
+        f"python {environment.get('python_version', '?')} | "
+        f"numpy {environment.get('numpy_version', '?')} | "
+        f"platform {environment.get('platform', '?')}"
+    )
+    memory = manifest.get("memory") or {}
+    if memory.get("peak_rss_mb") is not None:
+        lines.append(f"peak RSS: {memory['peak_rss_mb']:.1f} MiB")
+    lines.append("")
+    lines.append("span tree")
+    lines.append("---------")
+    for root in manifest.get("spans", ()):
+        _render_span(root, 0, lines)
+    if not manifest.get("spans"):
+        lines.append("(no spans recorded)")
+
+    totals: dict = {}
+    for root in manifest.get("spans", ()):
+        _aggregate_self_times(root, totals)
+    table = Table(
+        "per-stage self time (descending)",
+        ["stage", "self ms", "total ms", "spans"],
+        precision=2,
+    )
+    for name, entry in sorted(
+        totals.items(), key=lambda item: item[1]["self"], reverse=True
+    ):
+        table.add_row(
+            name, entry["self"] * 1000, entry["total"] * 1000, entry["count"]
+        )
+    lines.append("")
+    lines.append(table.render())
+    return "\n".join(lines)
+
+
+def cmd_trace(args: argparse.Namespace) -> int:
+    from repro.obs.manifest import ManifestError, load_manifest
+
+    try:
+        manifest = load_manifest(args.manifest)
+    except ManifestError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    print(render_manifest(manifest))
+    return 0
+
+
 def cmd_icl(args: argparse.Namespace) -> int:
     lab = _small_lab(args)
     dataset = lab.dataset(args.task)
@@ -168,11 +251,20 @@ def cmd_icl(args: argparse.Namespace) -> int:
 
 
 def build_parser() -> argparse.ArgumentParser:
+    from repro import __version__
+
     parser = argparse.ArgumentParser(
         prog="repro",
         description="ChEBI knowledge-curation benchmark reproduction",
     )
     parser.add_argument("--seed", type=int, default=0)
+    parser.add_argument(
+        "--version", action="version", version=f"repro {__version__}"
+    )
+    parser.add_argument(
+        "--trace", action="store_true",
+        help="enable span tracing and stderr progress (like REPRO_TRACE=1)",
+    )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
     synth = subparsers.add_parser("synthesize", help="generate a synthetic ontology")
@@ -214,12 +306,22 @@ def build_parser() -> argparse.ArgumentParser:
     icl.add_argument("--max-test", type=int, default=400, dest="max_test")
     icl.set_defaults(func=cmd_icl)
 
+    trace = subparsers.add_parser(
+        "trace", help="pretty-print a saved run manifest"
+    )
+    trace.add_argument("manifest", help="path to a *.manifest.json file")
+    trace.set_defaults(func=cmd_trace)
+
     return parser
 
 
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
+    if getattr(args, "trace", False):
+        from repro import obs
+
+        obs.enable()
     return args.func(args)
 
 

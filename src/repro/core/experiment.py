@@ -40,6 +40,8 @@ from repro.embeddings.base import EmbeddingModel
 from repro.embeddings.registry import RegistryConfig, build_embedding_models
 from repro.metrics.classification import ClassificationReport, evaluate_binary
 from repro.ml.features import FeatureExtractor, TokenFilter
+from repro.obs.manifest import record_config
+from repro.obs.trace import span
 from repro.ml.forest import RandomForest, RandomForestConfig
 from repro.ml.lstm import LSTMClassifier, LSTMConfig
 from repro.ontology.model import Ontology
@@ -114,10 +116,12 @@ class Lab:
     def __init__(self, config: Optional[LabConfig] = None):
         self.config = config or LabConfig()
         self._cache: Dict[str, object] = {}
+        record_config(self.config)
 
     def _memo(self, key: str, build: Callable[[], object]) -> object:
         if key not in self._cache:
-            self._cache[key] = build()
+            with span(f"lab.{key}"):
+                self._cache[key] = build()
         return self._cache[key]
 
     # -- substrates -----------------------------------------------------------

@@ -2,11 +2,14 @@
 
 Every benchmark prints a table with the paper's reported values next to the
 values measured on the scaled-down synthetic apparatus, and writes the same
-text to ``benchmarks/results/`` so runs leave an inspectable artefact.
+text to ``benchmarks/results/`` so runs leave an inspectable artefact.  When
+tracing is enabled (``REPRO_TRACE=1`` or ``repro.obs.enable()``), saving a
+table also writes a ``<table>.manifest.json`` run manifest beside it.
 """
 
 from __future__ import annotations
 
+import numbers
 import os
 from typing import Iterable, List, Optional, Sequence, Union
 
@@ -16,8 +19,14 @@ Cell = Union[str, int, float, None]
 def format_cell(value: Cell, precision: int = 4) -> str:
     if value is None:
         return "-"
-    if isinstance(value, float):
-        return f"{value:.{precision}f}"
+    if isinstance(value, bool):
+        return str(value)
+    # numbers.Integral / numbers.Real also catch numpy int64 / float32
+    # scalars, which are not instances of the builtin int / float.
+    if isinstance(value, numbers.Integral):
+        return str(int(value))
+    if isinstance(value, numbers.Real):
+        return f"{float(value):.{precision}f}"
     return str(value)
 
 
@@ -63,11 +72,19 @@ class Table:
         return text
 
     def save(self, path: str) -> str:
-        """Write the rendered table to ``path`` (directories created)."""
+        """Write the rendered table to ``path`` (directories created).
+
+        With tracing enabled, a ``<path-stem>.manifest.json`` run manifest
+        (environment, config, span tree, counters) is written next to the
+        table; untraced runs write only the table, exactly as before.
+        """
         text = self.render()
         os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
         with open(path, "w", encoding="utf-8") as handle:
             handle.write(text + "\n")
+        from repro.obs.manifest import write_artefact_manifest
+
+        write_artefact_manifest(path, title=self.title)
         return text
 
 

@@ -19,6 +19,8 @@ from typing import Dict, List, Optional, Sequence, Tuple
 import numpy as np
 
 from repro.embeddings.base import StaticEmbeddings
+from repro.obs.progress import StageProgress
+from repro.obs.trace import span
 from repro.text.vocab import Vocabulary, build_vocabulary
 from repro.utils.rng import derive_rng
 
@@ -151,37 +153,46 @@ class GloVe(StaticEmbeddings):
         }
 
         n_entries = values.size
-        for _ in range(config.epochs):
-            order = rng.permutation(n_entries)
-            for start in range(0, n_entries, config.batch_size):
-                batch = order[start : start + config.batch_size]
-                rows = row_ids[batch]
-                cols = col_ids[batch]
-                main_vecs = w_main[rows]
-                ctx_vecs = w_ctx[cols]
-                inner = np.sum(main_vecs * ctx_vecs, axis=1)
-                diff = inner + b_main[rows] + b_ctx[cols] - log_values[batch]
-                weighted = weights[batch] * diff  # d(loss)/d(inner), halved
+        with span(
+            "embedding.glove.train",
+            model=name,
+            epochs=config.epochs,
+            entries=int(n_entries),
+            vocab=vocab_size,
+        ) as sp, StageProgress(f"embedding.glove[{name}]", unit="entries") as progress:
+            for _ in range(config.epochs):
+                order = rng.permutation(n_entries)
+                for start in range(0, n_entries, config.batch_size):
+                    batch = order[start : start + config.batch_size]
+                    rows = row_ids[batch]
+                    cols = col_ids[batch]
+                    main_vecs = w_main[rows]
+                    ctx_vecs = w_ctx[cols]
+                    inner = np.sum(main_vecs * ctx_vecs, axis=1)
+                    diff = inner + b_main[rows] + b_ctx[cols] - log_values[batch]
+                    weighted = weights[batch] * diff  # d(loss)/d(inner), halved
 
-                grad_main = weighted[:, None] * ctx_vecs
-                grad_ctx = weighted[:, None] * main_vecs
+                    grad_main = weighted[:, None] * ctx_vecs
+                    grad_ctx = weighted[:, None] * main_vecs
 
-                for table, accum_key, ids, grad in (
-                    (w_main, "w_main", rows, grad_main),
-                    (w_ctx, "w_ctx", cols, grad_ctx),
-                ):
-                    accum = grad_sq[accum_key]
-                    step = config.learning_rate * grad / np.sqrt(accum[ids])
-                    np.add.at(table, ids, -step)
-                    np.add.at(accum, ids, grad**2)
-                for bias, accum_key, ids in (
-                    (b_main, "b_main", rows),
-                    (b_ctx, "b_ctx", cols),
-                ):
-                    accum = grad_sq[accum_key]
-                    step = config.learning_rate * weighted / np.sqrt(accum[ids])
-                    np.add.at(bias, ids, -step)
-                    np.add.at(accum, ids, weighted**2)
+                    for table, accum_key, ids, grad in (
+                        (w_main, "w_main", rows, grad_main),
+                        (w_ctx, "w_ctx", cols, grad_ctx),
+                    ):
+                        accum = grad_sq[accum_key]
+                        step = config.learning_rate * grad / np.sqrt(accum[ids])
+                        np.add.at(table, ids, -step)
+                        np.add.at(accum, ids, grad**2)
+                    for bias, accum_key, ids in (
+                        (b_main, "b_main", rows),
+                        (b_ctx, "b_ctx", cols),
+                    ):
+                        accum = grad_sq[accum_key]
+                        step = config.learning_rate * weighted / np.sqrt(accum[ids])
+                        np.add.at(bias, ids, -step)
+                        np.add.at(accum, ids, weighted**2)
+                    sp.incr("entries", int(batch.size))
+                    progress.advance(int(batch.size))
 
         return cls(vocabulary, w_main + w_ctx, name=name, oov_seed=config.seed)
 

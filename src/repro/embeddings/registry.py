@@ -27,6 +27,8 @@ from repro.embeddings.fasttext import FastText, FastTextConfig
 from repro.embeddings.glove import GloVe, GloVeConfig
 from repro.embeddings.random import RandomEmbeddings
 from repro.embeddings.word2vec import Word2Vec, Word2VecConfig
+from repro.obs.progress import emit
+from repro.obs.trace import span
 
 #: Canonical model names, in the paper's table order.
 MODEL_NAMES = (
@@ -68,56 +70,65 @@ def build_embedding_models(
     config = config or RegistryConfig()
     models: Dict[str, EmbeddingModel] = {}
 
-    models["Random"] = RandomEmbeddings(dim=config.dim, seed=config.seed)
+    with span("embedding.registry", dim=config.dim):
+        models["Random"] = RandomEmbeddings(dim=config.dim, seed=config.seed)
 
-    glove_generic = GloVe.train(
-        generic_sentences,
-        GloVeConfig(
-            dim=config.dim,
-            epochs=config.glove_epochs,
-            min_count=config.min_count,
-            seed=config.seed,
-        ),
-        name="GloVe",
-    )
-    models["GloVe"] = glove_generic
+        with span("embedding.train", model="GloVe"):
+            glove_generic = GloVe.train(
+                generic_sentences,
+                GloVeConfig(
+                    dim=config.dim,
+                    epochs=config.glove_epochs,
+                    min_count=config.min_count,
+                    seed=config.seed,
+                ),
+                name="GloVe",
+            )
+        models["GloVe"] = glove_generic
+        emit("embedding.registry", "trained GloVe")
 
-    models["W2V-Chem"] = Word2Vec.train(
-        chem_sentences,
-        Word2VecConfig(
-            dim=config.dim,
-            epochs=config.epochs,
-            min_count=config.min_count,
-            seed=config.seed,
-        ),
-        name="W2V-Chem",
-    )
+        with span("embedding.train", model="W2V-Chem"):
+            models["W2V-Chem"] = Word2Vec.train(
+                chem_sentences,
+                Word2VecConfig(
+                    dim=config.dim,
+                    epochs=config.epochs,
+                    min_count=config.min_count,
+                    seed=config.seed,
+                ),
+                name="W2V-Chem",
+            )
+        emit("embedding.registry", "trained W2V-Chem")
 
-    models["GloVe-Chem"] = GloVe.train(
-        chem_sentences,
-        GloVeConfig(
-            dim=config.dim,
-            epochs=config.glove_epochs,
-            min_count=config.min_count,
-            seed=config.seed,
-        ),
-        name="GloVe-Chem",
-        init_from=glove_generic,
-    )
+        with span("embedding.train", model="GloVe-Chem"):
+            models["GloVe-Chem"] = GloVe.train(
+                chem_sentences,
+                GloVeConfig(
+                    dim=config.dim,
+                    epochs=config.glove_epochs,
+                    min_count=config.min_count,
+                    seed=config.seed,
+                ),
+                name="GloVe-Chem",
+                init_from=glove_generic,
+            )
+        emit("embedding.registry", "trained GloVe-Chem")
 
-    models["BioWordVec"] = FastText.train(
-        biomedical_sentences,
-        FastTextConfig(
-            dim=config.dim,
-            epochs=config.epochs,
-            min_count=config.min_count,
-            seed=config.seed,
-        ),
-        name="BioWordVec",
-    )
+        with span("embedding.train", model="BioWordVec"):
+            models["BioWordVec"] = FastText.train(
+                biomedical_sentences,
+                FastTextConfig(
+                    dim=config.dim,
+                    epochs=config.epochs,
+                    min_count=config.min_count,
+                    seed=config.seed,
+                ),
+                name="BioWordVec",
+            )
+        emit("embedding.registry", "trained BioWordVec")
 
-    if bert is not None:
-        models["PubmedBERT"] = ContextualEmbeddings(bert, name="PubmedBERT")
+        if bert is not None:
+            models["PubmedBERT"] = ContextualEmbeddings(bert, name="PubmedBERT")
     return models
 
 

@@ -26,6 +26,8 @@ from repro.core.triples import LabeledTriple
 from repro.llm.client import ChatClient
 from repro.llm.prompts import PromptVariant, render_prompt
 from repro.metrics.agreement import fleiss_kappa
+from repro.obs.progress import StageProgress
+from repro.obs.trace import span
 from repro.text.tokenizer import ChemTokenizer
 from repro.utils.rng import SeedLike, derive_rng
 
@@ -218,9 +220,20 @@ def run_icl_experiment(
     gold = [query.label for query in queries]
     # responses[r][q] in {true, false, unclassified}
     responses: List[List[str]] = []
-    for _ in range(config.n_repeats):
-        passes = [parse_response(client.complete(prompt)) for prompt in prompts]
-        responses.append(passes)
+    with span(
+        "icl.experiment",
+        model=client.name,
+        variant=variant.value,
+        queries=len(queries),
+        repeats=config.n_repeats,
+    ) as sp, StageProgress("icl.experiment", unit="deliveries") as progress:
+        for _ in range(config.n_repeats):
+            passes = []
+            for prompt in prompts:
+                passes.append(parse_response(client.complete(prompt)))
+                sp.incr("deliveries")
+                progress.advance(1)
+            responses.append(passes)
 
     accuracies, precisions, recalls, f1s = [], [], [], []
     n_unclassified = 0

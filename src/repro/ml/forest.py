@@ -13,6 +13,8 @@ from typing import List, Optional
 import numpy as np
 
 from repro.ml.tree import DecisionTree, DecisionTreeConfig
+from repro.obs.progress import StageProgress
+from repro.obs.trace import span
 from repro.utils.rng import SeedLike, derive_rng, stable_hash
 
 
@@ -60,16 +62,24 @@ class RandomForest:
         n = x.shape[0]
         self.trees = []
         importances = np.zeros(x.shape[1])
-        for index in range(self.config.n_estimators):
-            rng = derive_rng(self.config.seed, "bootstrap", index)
-            if self.config.bootstrap:
-                sample = rng.integers(0, n, size=n)
-            else:
-                sample = np.arange(n)
-            tree = DecisionTree(self.config.tree_config(index))
-            tree.fit(x, y, sample_indices=sample)
-            self.trees.append(tree)
-            importances += tree.feature_importances_
+        with span(
+            "classifier.forest.fit",
+            n_estimators=self.config.n_estimators,
+            samples=n,
+            features=x.shape[1],
+        ) as sp, StageProgress("classifier.forest.fit", unit="trees") as progress:
+            for index in range(self.config.n_estimators):
+                rng = derive_rng(self.config.seed, "bootstrap", index)
+                if self.config.bootstrap:
+                    sample = rng.integers(0, n, size=n)
+                else:
+                    sample = np.arange(n)
+                tree = DecisionTree(self.config.tree_config(index))
+                tree.fit(x, y, sample_indices=sample)
+                self.trees.append(tree)
+                importances += tree.feature_importances_
+                sp.incr("trees")
+                progress.advance(1)
         self.feature_importances_ = importances / self.config.n_estimators
         return self
 

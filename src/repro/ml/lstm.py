@@ -18,6 +18,8 @@ import numpy as np
 from repro.nn.layers import Parameter
 from repro.nn.losses import softmax_cross_entropy
 from repro.nn.optim import Adam, clip_gradients
+from repro.obs.progress import StageProgress, emit
+from repro.obs.trace import span
 from repro.utils.rng import derive_rng
 
 
@@ -161,33 +163,43 @@ class LSTMClassifier:
         rng = derive_rng(self.config.seed, "lstm-train")
         optimizer = Adam(self.parameters(), lr=self.config.learning_rate)
 
-        for epoch in range(self.config.epochs):
-            order = rng.permutation(len(sequences))
-            epoch_losses: List[float] = []
-            for start in range(0, len(sequences), self.config.batch_size):
-                chosen = order[start : start + self.config.batch_size]
-                batch = [sequences[int(i)] for i in chosen]
-                x, mask = _pad_batch(batch)
-                h_final, caches = self._forward(x, mask)
-                logits = h_final @ self.w_out.value + self.b_out.value
-                loss, grad_logits = softmax_cross_entropy(logits, y[chosen])
-                for parameter in self.parameters():
-                    parameter.zero_grad()
-                self.w_out.grad += h_final.T @ grad_logits
-                self.b_out.grad += grad_logits.sum(axis=0)
-                grad_h = grad_logits @ self.w_out.value.T
-                self._backward(caches, grad_h)
-                clip_gradients(self.parameters(), self.config.max_grad_norm)
-                optimizer.step()
-                epoch_losses.append(loss)
-            record = {"epoch": epoch, "train_loss": float(np.mean(epoch_losses))}
-            if validation is not None:
-                val_x, val_y = validation
-                predictions = self.predict(val_x)
-                record["validation_accuracy"] = float(
-                    np.mean(predictions == np.asarray(val_y))
-                )
-            self.history.append(record)
+        with span(
+            "classifier.lstm.fit",
+            epochs=self.config.epochs,
+            sequences=len(sequences),
+        ) as sp, StageProgress("classifier.lstm.fit", unit="steps") as progress:
+            for epoch in range(self.config.epochs):
+                order = rng.permutation(len(sequences))
+                epoch_losses: List[float] = []
+                for start in range(0, len(sequences), self.config.batch_size):
+                    chosen = order[start : start + self.config.batch_size]
+                    batch = [sequences[int(i)] for i in chosen]
+                    x, mask = _pad_batch(batch)
+                    h_final, caches = self._forward(x, mask)
+                    logits = h_final @ self.w_out.value + self.b_out.value
+                    loss, grad_logits = softmax_cross_entropy(logits, y[chosen])
+                    for parameter in self.parameters():
+                        parameter.zero_grad()
+                    self.w_out.grad += h_final.T @ grad_logits
+                    self.b_out.grad += grad_logits.sum(axis=0)
+                    grad_h = grad_logits @ self.w_out.value.T
+                    self._backward(caches, grad_h)
+                    clip_gradients(self.parameters(), self.config.max_grad_norm)
+                    optimizer.step()
+                    epoch_losses.append(loss)
+                    sp.incr("steps")
+                    progress.advance(1)
+                record = {"epoch": epoch, "train_loss": float(np.mean(epoch_losses))}
+                if validation is not None:
+                    val_x, val_y = validation
+                    predictions = self.predict(val_x)
+                    record["validation_accuracy"] = float(
+                        np.mean(predictions == np.asarray(val_y))
+                    )
+                self.history.append(record)
+                emit("classifier.lstm.fit", **record)
+            if self.history:
+                sp.gauge("final_train_loss", self.history[-1]["train_loss"])
         return self
 
     def predict_proba(self, sequences: Sequence[np.ndarray],

@@ -1,0 +1,190 @@
+"""Run manifests: a JSON artefact describing how a result was produced.
+
+A manifest captures everything needed to interpret (and re-run) a benchmark
+table: the environment (interpreter, numpy, platform), the active
+:class:`~repro.core.experiment.LabConfig`, the full span tree recorded by
+the tracer, aggregate counters, and a memory snapshot.  The reporting layer
+writes one next to every saved table (``<table>.manifest.json``) whenever
+tracing is enabled, and ``repro trace <manifest>`` renders it back as a
+per-stage timing summary.
+"""
+
+from __future__ import annotations
+
+import dataclasses
+import json
+import os
+import platform
+import sys
+import time
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+from repro.obs.metrics import memory_metrics
+from repro.obs.trace import Tracer, get_tracer
+
+PathLike = Union[str, Path]
+
+#: Format tag written into (and required of) every manifest file.
+MANIFEST_FORMAT = "repro-manifest-v1"
+
+
+class ManifestError(Exception):
+    """A manifest file is missing, unreadable, or not a manifest."""
+
+
+#: Process-wide context merged into every manifest (configs, seeds, labels).
+_run_context: Dict[str, object] = {}
+
+
+def set_context(**fields) -> None:
+    """Attach key/value pairs to every subsequently written manifest."""
+    _run_context.update(fields)
+
+
+def record_config(config: object, key: str = "lab_config") -> None:
+    """Record a (dataclass) config object in the run context.
+
+    Called by ``Lab.__init__`` so manifests always carry the exact knobs of
+    the apparatus that produced them; last constructed Lab wins.
+    """
+    if dataclasses.is_dataclass(config) and not isinstance(config, type):
+        _run_context[key] = dataclasses.asdict(config)
+    else:
+        _run_context[key] = config
+
+
+def clear_context() -> None:
+    """Drop all recorded run context (used by tests)."""
+    _run_context.clear()
+
+
+def environment_info() -> dict:
+    """Interpreter / library / platform facts for reproducibility."""
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
+    try:
+        from repro import __version__ as repro_version
+    except ImportError:  # pragma: no cover - import cycle guard
+        repro_version = None
+    return {
+        "repro_version": repro_version,
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "numpy_version": numpy_version,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "pid": os.getpid(),
+        "argv": list(sys.argv),
+    }
+
+
+def build_manifest(
+    tracer: Optional[Tracer] = None, extra: Optional[dict] = None
+) -> dict:
+    """Assemble the manifest dictionary from the tracer's current state."""
+    tracer = tracer or get_tracer()
+    manifest = {
+        "format": MANIFEST_FORMAT,
+        "created_unix": time.time(),
+        "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
+        "environment": environment_info(),
+        "context": dict(_run_context),
+        "spans": [root.to_dict() for root in tracer.roots()],
+        "counters": tracer.counters(),
+        "memory": memory_metrics(),
+    }
+    if extra:
+        manifest.update(extra)
+    return manifest
+
+
+def write_manifest(
+    path: PathLike,
+    tracer: Optional[Tracer] = None,
+    extra: Optional[dict] = None,
+) -> dict:
+    """Build and write a manifest JSON to ``path``; returns the dict."""
+    manifest = build_manifest(tracer, extra)
+    path = Path(path)
+    path.parent.mkdir(parents=True, exist_ok=True)
+    with open(path, "w", encoding="utf-8") as handle:
+        json.dump(manifest, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return manifest
+
+
+def load_manifest(path: PathLike) -> dict:
+    """Load and validate a manifest written by :func:`write_manifest`.
+
+    Raises :class:`ManifestError` (never a bare traceback-worthy error) when
+    the file is missing, not JSON, or not a recognised manifest.
+    """
+    path = Path(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        raise ManifestError(f"manifest not found: {path}") from None
+    except IsADirectoryError:
+        raise ManifestError(f"not a manifest file: {path} is a directory") from None
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise ManifestError(f"corrupt manifest {path}: {error}") from None
+    except OSError as error:
+        raise ManifestError(f"cannot read manifest {path}: {error}") from None
+    if not isinstance(data, dict) or data.get("format") != MANIFEST_FORMAT:
+        raise ManifestError(
+            f"{path} is not a {MANIFEST_FORMAT} file "
+            f"(found format={data.get('format')!r})"
+            if isinstance(data, dict)
+            else f"{path} is not a {MANIFEST_FORMAT} file"
+        )
+    return data
+
+
+def manifest_path_for(artefact_path: PathLike) -> Path:
+    """The manifest path shipped alongside an artefact.
+
+    ``benchmarks/results/table2_datasets.txt`` maps to
+    ``benchmarks/results/table2_datasets.manifest.json``.
+    """
+    path = Path(artefact_path)
+    return path.parent / (path.stem + ".manifest.json")
+
+
+def write_artefact_manifest(
+    artefact_path: PathLike,
+    title: Optional[str] = None,
+    tracer: Optional[Tracer] = None,
+) -> Optional[dict]:
+    """Write ``<artefact>.manifest.json`` when tracing is enabled.
+
+    This is the hook the reporting layer calls after saving a table; it is a
+    silent no-op while tracing is off, so plain (untraced) runs produce
+    exactly the artefacts they always did.
+    """
+    tracer = tracer or get_tracer()
+    if not tracer.enabled:
+        return None
+    extra = {"artefact": str(artefact_path)}
+    if title is not None:
+        extra["title"] = title
+    return write_manifest(manifest_path_for(artefact_path), tracer, extra)
+
+
+__all__ = [
+    "MANIFEST_FORMAT",
+    "ManifestError",
+    "set_context",
+    "record_config",
+    "clear_context",
+    "environment_info",
+    "build_manifest",
+    "write_manifest",
+    "load_manifest",
+    "manifest_path_for",
+    "write_artefact_manifest",
+]

@@ -1,0 +1,145 @@
+"""Opt-in stderr progress reporting with per-stage rates.
+
+Long stages (MLM pretraining, GloVe epochs, forest fits) report their
+throughput here.  Emission is off unless ``REPRO_TRACE`` is set or the CLI
+``--trace`` flag enabled it, and every call starts with one boolean check,
+so instrumented loops pay nothing in the default configuration.
+
+Typical use inside a training loop::
+
+    from repro.obs.progress import StageProgress
+
+    with StageProgress("bert.pretrain", unit="steps") as progress:
+        for batch in batches:
+            ...
+            progress.advance(1)
+
+which emits lines like::
+
+    [repro] bert.pretrain: 312 steps in 4.1s (76.1 steps/s)
+"""
+
+from __future__ import annotations
+
+import sys
+import time
+from typing import Optional, TextIO
+
+from repro.obs.trace import env_enables_trace
+
+#: Emission flag; initialised from ``REPRO_TRACE`` at import.
+_verbose = env_enables_trace()
+
+#: Minimum seconds between intermediate lines from one StageProgress.
+_REPORT_INTERVAL_S = 2.0
+
+
+def progress_enabled() -> bool:
+    """Whether progress lines are currently emitted."""
+    return _verbose
+
+
+def enable_progress() -> None:
+    """Turn stderr progress emission on."""
+    global _verbose
+    _verbose = True
+
+
+def disable_progress() -> None:
+    """Turn stderr progress emission off."""
+    global _verbose
+    _verbose = False
+
+
+def format_rate(count: float, seconds: float, unit: str = "items") -> str:
+    """Human-readable throughput, e.g. ``'76.1 steps/s'``."""
+    if seconds <= 0:
+        return f"{unit}/s n/a"
+    rate = count / seconds
+    if rate >= 100:
+        return f"{rate:.0f} {unit}/s"
+    return f"{rate:.1f} {unit}/s"
+
+
+def emit(stage: str, message: str = "", stream: Optional[TextIO] = None,
+         **fields) -> None:
+    """Write one progress line (``[repro] stage: message k=v ...``)."""
+    if not _verbose:
+        return
+    parts = [f"[repro] {stage}"]
+    if message:
+        parts.append(f": {message}")
+    if fields:
+        rendered = " ".join(f"{k}={_format_value(v)}" for k, v in fields.items())
+        parts.append(f" ({rendered})" if message else f": {rendered}")
+    print("".join(parts), file=stream if stream is not None else sys.stderr,
+          flush=True)
+
+
+def _format_value(value: object) -> str:
+    if isinstance(value, float):
+        return f"{value:.4g}"
+    return str(value)
+
+
+class StageProgress:
+    """Context manager reporting a stage's throughput to stderr.
+
+    ``advance(n)`` accumulates completed units; an intermediate line is
+    emitted at most every couple of seconds, and a final line with the
+    overall rate on exit.  All methods are no-ops while emission is off.
+    """
+
+    def __init__(self, stage: str, unit: str = "items",
+                 total: Optional[float] = None,
+                 stream: Optional[TextIO] = None):
+        self.stage = stage
+        self.unit = unit
+        self.total = total
+        self.count = 0.0
+        self._stream = stream
+        self._start = 0.0
+        self._last_report = 0.0
+
+    def __enter__(self) -> "StageProgress":
+        self._start = time.perf_counter()
+        self._last_report = self._start
+        if _verbose:
+            suffix = f" (target {self.total:g} {self.unit})" if self.total else ""
+            emit(self.stage, f"started{suffix}", stream=self._stream)
+        return self
+
+    def advance(self, amount: float = 1) -> None:
+        self.count += amount
+        if not _verbose:
+            return
+        now = time.perf_counter()
+        if now - self._last_report >= _REPORT_INTERVAL_S:
+            self._last_report = now
+            emit(
+                self.stage,
+                f"{self.count:g} {self.unit} in {now - self._start:.1f}s "
+                f"({format_rate(self.count, now - self._start, self.unit)})",
+                stream=self._stream,
+            )
+
+    def __exit__(self, *exc) -> bool:
+        if _verbose:
+            elapsed = time.perf_counter() - self._start
+            emit(
+                self.stage,
+                f"{self.count:g} {self.unit} in {elapsed:.1f}s "
+                f"({format_rate(self.count, elapsed, self.unit)})",
+                stream=self._stream,
+            )
+        return False
+
+
+__all__ = [
+    "progress_enabled",
+    "enable_progress",
+    "disable_progress",
+    "format_rate",
+    "emit",
+    "StageProgress",
+]

@@ -1,0 +1,293 @@
+"""Nested span tracing with a thread-safe in-process registry.
+
+The apparatus spends its time in a handful of deep call chains (Lab builders
+calling corpus generators calling tokenizers ...), so the natural unit of
+observation is a *span*: a named region of wall-time that nests.  Usage::
+
+    from repro.obs import span
+
+    with span("bert.pretrain", epochs=3) as sp:
+        for batch in batches:
+            ...
+            sp.incr("steps")
+
+Tracing is **disabled by default** and costs one truthiness check plus a
+no-op context manager per ``span()`` call when off — instrumented code never
+needs its own guard.  Enable with :func:`enable`, ``REPRO_TRACE=1`` in the
+environment, or the CLI ``--trace`` flag.
+
+Finished root spans accumulate in the process-wide :class:`Tracer`; the
+manifest writer (:mod:`repro.obs.manifest`) snapshots them next to every
+benchmark table.  Each thread keeps its own span stack, so concurrent
+builders nest correctly without cross-talk.
+"""
+
+from __future__ import annotations
+
+import os
+import threading
+import time
+from typing import Dict, List, Optional
+
+#: Environment variable that switches tracing (and progress output) on.
+TRACE_ENV_VAR = "REPRO_TRACE"
+
+_FALSY = ("", "0", "false", "no", "off")
+
+
+def env_enables_trace(env: Optional[Dict[str, str]] = None) -> bool:
+    """Whether the environment asks for tracing (``REPRO_TRACE`` truthy)."""
+    value = (env if env is not None else os.environ).get(TRACE_ENV_VAR, "")
+    return value.strip().lower() not in _FALSY
+
+
+class NullSpan:
+    """No-op stand-in returned by :func:`span` while tracing is disabled.
+
+    Exposes the full :class:`Span` mutation surface so instrumented code can
+    call ``sp.incr(...)`` unconditionally; every method returns immediately.
+    """
+
+    __slots__ = ()
+    name = "<null>"
+    duration = 0.0
+
+    def incr(self, counter: str, amount: float = 1) -> None:
+        pass
+
+    def gauge(self, name: str, value: float) -> None:
+        pass
+
+    def annotate(self, **attrs) -> None:
+        pass
+
+    def __enter__(self) -> "NullSpan":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        return False
+
+
+#: The shared no-op span instance (allocation-free disabled path).
+NULL_SPAN = NullSpan()
+
+
+class Span:
+    """One named, timed region; a node in the trace tree.
+
+    Records wall-clock start (``time.time``), a monotonic duration
+    (``time.perf_counter``), free-form attributes, counters and gauges, and
+    any child spans opened while it is the innermost span of its thread.
+    """
+
+    __slots__ = (
+        "name",
+        "attrs",
+        "counters",
+        "gauges",
+        "children",
+        "start_wall",
+        "duration",
+        "_start",
+        "_tracer",
+    )
+
+    def __init__(self, name: str, tracer: "Tracer", attrs: Dict[str, object]):
+        self.name = name
+        self.attrs = attrs
+        self.counters: Dict[str, float] = {}
+        self.gauges: Dict[str, float] = {}
+        self.children: List["Span"] = []
+        self.start_wall = 0.0
+        self.duration = 0.0
+        self._start = 0.0
+        self._tracer = tracer
+
+    # -- mutation ------------------------------------------------------------
+
+    def incr(self, counter: str, amount: float = 1) -> None:
+        """Add ``amount`` to a per-span counter (created at zero)."""
+        self.counters[counter] = self.counters.get(counter, 0) + amount
+
+    def gauge(self, name: str, value: float) -> None:
+        """Record a point-in-time value (last write wins)."""
+        self.gauges[name] = value
+
+    def annotate(self, **attrs) -> None:
+        """Attach or overwrite free-form attributes."""
+        self.attrs.update(attrs)
+
+    # -- derived -------------------------------------------------------------
+
+    @property
+    def self_time(self) -> float:
+        """Duration minus the duration of direct children (time spent here)."""
+        return max(0.0, self.duration - sum(c.duration for c in self.children))
+
+    def to_dict(self) -> dict:
+        """JSON-serialisable representation of this span and its subtree."""
+        return {
+            "name": self.name,
+            "start_wall": self.start_wall,
+            "duration_s": self.duration,
+            "self_time_s": self.self_time,
+            "attrs": {k: _jsonable(v) for k, v in self.attrs.items()},
+            "counters": dict(self.counters),
+            "gauges": dict(self.gauges),
+            "children": [child.to_dict() for child in self.children],
+        }
+
+    # -- context protocol ----------------------------------------------------
+
+    def __enter__(self) -> "Span":
+        self.start_wall = time.time()
+        self._start = time.perf_counter()
+        self._tracer._push(self)
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.duration = time.perf_counter() - self._start
+        self._tracer._pop(self)
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Span({self.name!r}, duration={self.duration:.6f})"
+
+
+def _jsonable(value: object) -> object:
+    """Best-effort conversion of an attribute to a JSON-safe value."""
+    if isinstance(value, (str, int, float, bool)) or value is None:
+        return value
+    return str(value)
+
+
+class Tracer:
+    """Thread-safe registry of finished span trees and aggregate counters."""
+
+    def __init__(self, enabled: bool = False):
+        self.enabled = enabled
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        self._roots: List[Span] = []
+        self._counters: Dict[str, float] = {}
+
+    # -- span lifecycle ------------------------------------------------------
+
+    def _stack(self) -> List[Span]:
+        stack = getattr(self._local, "stack", None)
+        if stack is None:
+            stack = self._local.stack = []
+        return stack
+
+    def start_span(self, name: str, **attrs):
+        """A new span context, or :data:`NULL_SPAN` when disabled."""
+        if not self.enabled:
+            return NULL_SPAN
+        return Span(name, self, attrs)
+
+    def _push(self, span: Span) -> None:
+        self._stack().append(span)
+
+    def _pop(self, span: Span) -> None:
+        stack = self._stack()
+        if stack and stack[-1] is span:
+            stack.pop()
+        elif span in stack:  # tolerate exits out of order rather than corrupt
+            stack.remove(span)
+        parent = stack[-1] if stack else None
+        with self._lock:
+            if parent is not None:
+                parent.children.append(span)
+            else:
+                self._roots.append(span)
+            for counter, amount in span.counters.items():
+                key = f"{span.name}.{counter}"
+                self._counters[key] = self._counters.get(key, 0) + amount
+
+    def current_span(self) -> Optional[Span]:
+        """The innermost open span of the calling thread, if any."""
+        stack = self._stack()
+        return stack[-1] if stack else None
+
+    # -- aggregate counters --------------------------------------------------
+
+    def count(self, name: str, amount: float = 1) -> None:
+        """Bump a process-wide counter (independent of any span)."""
+        if not self.enabled:
+            return
+        with self._lock:
+            self._counters[name] = self._counters.get(name, 0) + amount
+
+    def counters(self) -> Dict[str, float]:
+        """Snapshot of the aggregated counters."""
+        with self._lock:
+            return dict(self._counters)
+
+    def roots(self) -> List[Span]:
+        """Snapshot of the finished root spans, in completion order."""
+        with self._lock:
+            return list(self._roots)
+
+    def reset(self) -> None:
+        """Drop all recorded spans and counters (enabled state unchanged)."""
+        with self._lock:
+            self._roots.clear()
+            self._counters.clear()
+        self._local = threading.local()
+
+
+#: The process-wide tracer used by :func:`span`.
+_TRACER = Tracer(enabled=env_enables_trace())
+
+
+def get_tracer() -> Tracer:
+    """The process-wide tracer instance."""
+    return _TRACER
+
+
+def span(name: str, **attrs):
+    """Open a named span on the global tracer (no-op when disabled)."""
+    return _TRACER.start_span(name, **attrs)
+
+
+def enabled() -> bool:
+    """Whether tracing is currently collecting spans."""
+    return _TRACER.enabled
+
+
+def enable() -> None:
+    """Turn span collection on."""
+    _TRACER.enabled = True
+
+
+def disable() -> None:
+    """Turn span collection off (already-recorded spans are kept)."""
+    _TRACER.enabled = False
+
+
+def reset() -> None:
+    """Clear the global tracer's recorded spans and counters."""
+    _TRACER.reset()
+
+
+def configure_from_env(env: Optional[Dict[str, str]] = None) -> bool:
+    """Re-read ``REPRO_TRACE`` and set the global enabled state accordingly."""
+    _TRACER.enabled = env_enables_trace(env)
+    return _TRACER.enabled
+
+
+__all__ = [
+    "TRACE_ENV_VAR",
+    "env_enables_trace",
+    "NullSpan",
+    "NULL_SPAN",
+    "Span",
+    "Tracer",
+    "get_tracer",
+    "span",
+    "enabled",
+    "enable",
+    "disable",
+    "reset",
+    "configure_from_env",
+]

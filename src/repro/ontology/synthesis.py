@@ -690,7 +690,16 @@ def synthesize_chebi_like(config: Optional[SynthesisConfig] = None) -> Ontology:
     >>> onto.num_entities > 200
     True
     """
-    return _Synthesizer(config or SynthesisConfig()).run()
+    from repro.obs.trace import span
+
+    config = config or SynthesisConfig()
+    with span(
+        "ontology.synthesis", n_chemical_entities=config.n_chemical_entities
+    ) as sp:
+        ontology = _Synthesizer(config).run()
+        sp.incr("entities", ontology.num_entities)
+        sp.incr("statements", ontology.num_statements)
+    return ontology
 
 
 __all__ = [

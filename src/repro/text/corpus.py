@@ -174,6 +174,8 @@ def generate_chemistry_corpus(
     Returns a list of documents; each document is a list of token lists
     (one per sentence), ready for embedding training.
     """
+    from repro.obs.trace import span
+
     config = config or CorpusConfig()
     rng = derive_rng(config.seed, "chemistry-corpus")
     tokenizer = ChemTokenizer()
@@ -191,18 +193,21 @@ def generate_chemistry_corpus(
     entity_names = [ontology.entity(i).name for i in sorted(covered_ids)]
 
     documents: List[List[str]] = []
-    for _ in range(config.n_documents):
-        sentences: List[str] = []
-        for _ in range(config.sentences_per_document):
-            if rng.random() < config.triple_sentence_fraction:
-                statement = statements[int(rng.integers(0, len(statements)))]
-                sentences.append(_verbalise(statement, ontology, rng))
-            else:
-                template = FILLER_TEMPLATES[int(rng.integers(0, len(FILLER_TEMPLATES)))]
-                a = entity_names[int(rng.integers(0, len(entity_names)))]
-                b = entity_names[int(rng.integers(0, len(entity_names)))]
-                sentences.append(template.format(a=a, b=b))
-        documents.append([" ".join(tokenizer(s)) for s in sentences])
+    with span("corpus.chemistry", n_documents=config.n_documents) as sp:
+        for _ in range(config.n_documents):
+            sentences: List[str] = []
+            for _ in range(config.sentences_per_document):
+                if rng.random() < config.triple_sentence_fraction:
+                    statement = statements[int(rng.integers(0, len(statements)))]
+                    sentences.append(_verbalise(statement, ontology, rng))
+                else:
+                    template = FILLER_TEMPLATES[int(rng.integers(0, len(FILLER_TEMPLATES)))]
+                    a = entity_names[int(rng.integers(0, len(entity_names)))]
+                    b = entity_names[int(rng.integers(0, len(entity_names)))]
+                    sentences.append(template.format(a=a, b=b))
+            documents.append([" ".join(tokenizer(s)) for s in sentences])
+            sp.incr("documents")
+            sp.incr("sentences", len(sentences))
     return documents
 
 
@@ -217,6 +222,8 @@ def generate_generic_corpus(
     entities; low values reproduce the high ChEBI-token OOV rates of generic
     embeddings (Table A4: GloVe 87.8% OOV vs BioWordVec 47.8%).
     """
+    from repro.obs.trace import span
+
     if not 0.0 <= chemistry_fraction <= 1.0:
         raise ValueError("chemistry_fraction must be in [0, 1]")
     config = config or CorpusConfig()
@@ -234,20 +241,27 @@ def generate_generic_corpus(
     weights /= weights.sum()
 
     documents: List[List[str]] = []
-    for _ in range(config.n_documents):
-        sentences: List[str] = []
-        for _ in range(config.sentences_per_document):
-            if statements and rng.random() < chemistry_fraction:
-                statement = statements[int(rng.integers(0, len(statements)))]
-                sentences.append(_verbalise(statement, ontology, rng))
-            else:
-                template = GENERIC_TEMPLATES[int(rng.integers(0, len(GENERIC_TEMPLATES)))]
-                a, b = (
-                    GENERIC_NOUNS[int(i)]
-                    for i in rng.choice(len(GENERIC_NOUNS), size=2, p=weights)
-                )
-                sentences.append(template.format(a=a, b=b))
-        documents.append([" ".join(tokenizer(s)) for s in sentences])
+    with span(
+        "corpus.generic",
+        n_documents=config.n_documents,
+        chemistry_fraction=chemistry_fraction,
+    ) as sp:
+        for _ in range(config.n_documents):
+            sentences: List[str] = []
+            for _ in range(config.sentences_per_document):
+                if statements and rng.random() < chemistry_fraction:
+                    statement = statements[int(rng.integers(0, len(statements)))]
+                    sentences.append(_verbalise(statement, ontology, rng))
+                else:
+                    template = GENERIC_TEMPLATES[int(rng.integers(0, len(GENERIC_TEMPLATES)))]
+                    a, b = (
+                        GENERIC_NOUNS[int(i)]
+                        for i in rng.choice(len(GENERIC_NOUNS), size=2, p=weights)
+                    )
+                    sentences.append(template.format(a=a, b=b))
+            documents.append([" ".join(tokenizer(s)) for s in sentences])
+            sp.incr("documents")
+            sp.incr("sentences", len(sentences))
     return documents
 
 

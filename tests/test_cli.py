@@ -23,6 +23,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["icl", "--variant", "9"])
 
+    def test_version_flag(self, capsys):
+        from repro import __version__
+
+        with pytest.raises(SystemExit) as excinfo:
+            build_parser().parse_args(["--version"])
+        assert excinfo.value.code == 0
+        assert f"repro {__version__}" in capsys.readouterr().out
+
+    def test_trace_requires_manifest_argument(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["trace"])
+
 
 class TestCommands:
     def test_synthesize_and_census_round_trip(self, tmp_path, capsys):
@@ -68,3 +80,38 @@ class TestCommands:
         assert code == 0
         out = capsys.readouterr().out
         assert "RF(Random)" in out
+
+
+class TestTraceCommand:
+    def test_missing_manifest_is_clean_error(self, tmp_path, capsys):
+        code = main(["trace", str(tmp_path / "absent.manifest.json")])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "error:" in captured.err
+        assert "not found" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_corrupt_manifest_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "bad.manifest.json"
+        path.write_text("{broken", encoding="utf-8")
+        code = main(["trace", str(path)])
+        assert code == 1
+        captured = capsys.readouterr()
+        assert "corrupt" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_wrong_format_file_is_clean_error(self, tmp_path, capsys):
+        path = tmp_path / "other.json"
+        path.write_text('{"format": "not-a-manifest"}', encoding="utf-8")
+        assert main(["trace", str(path)]) == 1
+        assert "not a repro-manifest" in capsys.readouterr().err
+
+    def test_valid_manifest_prints_summary(self, tmp_path, capsys):
+        from repro.obs.manifest import write_manifest
+
+        path = tmp_path / "ok.manifest.json"
+        write_manifest(path)
+        assert main(["trace", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        assert "per-stage self time" in out

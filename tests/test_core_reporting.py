@@ -2,6 +2,7 @@
 
 import os
 
+import numpy as np
 import pytest
 
 from repro.core.reporting import Table, format_cell
@@ -17,6 +18,25 @@ class TestFormatCell:
     def test_int_and_str(self):
         assert format_cell(42) == "42"
         assert format_cell("abc") == "abc"
+
+    def test_numpy_float_scalars_respect_precision(self):
+        assert format_cell(np.float32(0.5), precision=3) == "0.500"
+        assert format_cell(np.float64(0.123456), precision=4) == "0.1235"
+
+    def test_numpy_integer_scalars_render_as_ints(self):
+        assert format_cell(np.int64(42)) == "42"
+        assert format_cell(np.int32(7)) == "7"
+
+    def test_numpy_scalars_in_table_rows(self):
+        table = Table("T", ["count", "score"], precision=2)
+        table.add_row(np.int64(3), np.float32(0.25))
+        rendered = table.render()
+        assert "3" in rendered and "0.25" in rendered
+        assert "float32" not in rendered and "np." not in rendered
+
+    def test_bools_keep_their_repr(self):
+        assert format_cell(True) == "True"
+        assert format_cell(False) == "False"
 
 
 class TestTable:

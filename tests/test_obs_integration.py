@@ -1,0 +1,153 @@
+"""End-to-end observability tests: instrumented pipeline pieces, the
+reporting-layer manifest hook, the benchmark-conftest wiring, and the
+``repro trace`` CLI renderer."""
+
+import importlib.util
+import os
+
+import numpy as np
+import pytest
+
+from repro import obs
+from repro.cli import main
+from repro.core.reporting import Table
+from repro.ml.forest import RandomForest, RandomForestConfig
+from repro.obs import trace
+from repro.obs.manifest import load_manifest, manifest_path_for
+from repro.obs.trace import get_tracer, span
+from repro.ontology.synthesis import SynthesisConfig, synthesize_chebi_like
+
+BENCH_CONFTEST = os.path.join(
+    os.path.dirname(__file__), os.pardir, "benchmarks", "conftest.py"
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    trace.reset()
+    yield
+    tracer.enabled = was_enabled
+    trace.reset()
+    obs.progress.disable_progress()
+
+
+def _fit_tiny_forest():
+    rng = np.random.default_rng(0)
+    x = rng.normal(size=(40, 6))
+    y = (x[:, 0] > 0).astype(np.int64)
+    RandomForest(RandomForestConfig(n_estimators=3, max_depth=3)).fit(x, y)
+
+
+class TestInstrumentation:
+    def test_forest_fit_records_span_with_tree_counter(self):
+        obs.enable(verbose=False)
+        _fit_tiny_forest()
+        roots = get_tracer().roots()
+        assert [r.name for r in roots] == ["classifier.forest.fit"]
+        assert roots[0].counters["trees"] == 3
+        assert roots[0].duration > 0
+
+    def test_synthesis_records_entity_counters(self):
+        obs.enable(verbose=False)
+        synthesize_chebi_like(SynthesisConfig(n_chemical_entities=120, seed=0))
+        roots = get_tracer().roots()
+        assert roots[0].name == "ontology.synthesis"
+        assert roots[0].counters["entities"] > 120
+        assert roots[0].counters["statements"] > 0
+
+    def test_lab_memo_spans_nest_stage_spans(self):
+        obs.enable(verbose=False)
+        from repro.core import Lab, LabConfig
+
+        lab = Lab(LabConfig(n_chemical_entities=120, ontology_seed=1))
+        lab.dataset(1)
+        roots = get_tracer().roots()
+        assert roots[0].name == "lab.dataset-1"
+        ontology_span = roots[0].children[0]
+        assert ontology_span.name == "lab.ontology"
+        assert ontology_span.children[0].name == "ontology.synthesis"
+
+    def test_disabled_pipeline_records_nothing(self):
+        get_tracer().enabled = False
+        _fit_tiny_forest()
+        assert get_tracer().roots() == []
+        assert get_tracer().counters() == {}
+
+
+class TestTableManifestHook:
+    def _save_table(self, tmp_path):
+        table = Table("T", ["x"])
+        table.add_row(1)
+        path = tmp_path / "t.txt"
+        table.save(str(path))
+        return path
+
+    def test_save_writes_manifest_when_enabled(self, tmp_path):
+        obs.enable(verbose=False)
+        with span("stage"):
+            _fit_tiny_forest()
+        path = self._save_table(tmp_path)
+        sidecar = manifest_path_for(path)
+        assert sidecar.exists()
+        manifest = load_manifest(sidecar)
+        assert manifest["title"] == "T"
+        names = [s["name"] for s in manifest["spans"]]
+        assert "stage" in names
+
+    def test_save_writes_no_manifest_when_disabled(self, tmp_path):
+        get_tracer().enabled = False
+        path = self._save_table(tmp_path)
+        assert not manifest_path_for(path).exists()
+
+
+class TestBenchConftestWiring:
+    def test_observability_fixture_enables_manifest_emission(self, tmp_path):
+        spec = importlib.util.spec_from_file_location(
+            "bench_conftest_under_test", BENCH_CONFTEST
+        )
+        module = importlib.util.module_from_spec(spec)
+        spec.loader.exec_module(module)
+        fixture_fn = module._observability.__wrapped__
+        generator = fixture_fn()
+        next(generator)  # fixture setup, as pytest would run it
+        assert obs.enabled()
+        with span("bench.stage"):
+            pass
+        table = Table("bench table", ["v"])
+        table.add_row(0.5)
+        table_path = tmp_path / "bench_table.txt"
+        table.save(str(table_path))
+        sidecar = tmp_path / "bench_table.manifest.json"
+        assert sidecar.exists(), "manifest must land next to the table"
+        manifest = load_manifest(sidecar)
+        assert any(s["name"] == "bench.stage" for s in manifest["spans"])
+
+
+class TestTraceCLI:
+    def test_trace_renders_per_stage_summary(self, tmp_path, capsys):
+        obs.enable(verbose=False)
+        with span("outer") as sp:
+            sp.incr("items", 2)
+            with span("inner"):
+                pass
+        table = Table("T", ["x"])
+        table.add_row(1)
+        path = tmp_path / "t.txt"
+        table.save(str(path))
+        capsys.readouterr()
+
+        assert main(["trace", str(manifest_path_for(path))]) == 0
+        out = capsys.readouterr().out
+        assert "span tree" in out
+        assert "outer" in out and "inner" in out
+        assert "per-stage self time" in out
+        assert "items=2" in out
+
+    def test_trace_flag_enables_collection(self, tmp_path, capsys):
+        get_tracer().enabled = False
+        obo = str(tmp_path / "t.obo")
+        assert main(["--trace", "synthesize", obo, "--entities", "120"]) == 0
+        names = [r.name for r in get_tracer().roots()]
+        assert "ontology.synthesis" in names

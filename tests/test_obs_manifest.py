@@ -1,0 +1,141 @@
+"""Tests for run manifests (repro.obs.manifest)."""
+
+import json
+import platform
+from pathlib import Path
+
+import pytest
+
+from repro.core import LabConfig
+from repro.obs import manifest as manifest_mod
+from repro.obs import trace
+from repro.obs.manifest import (
+    MANIFEST_FORMAT,
+    ManifestError,
+    build_manifest,
+    load_manifest,
+    manifest_path_for,
+    record_config,
+    set_context,
+    write_artefact_manifest,
+    write_manifest,
+)
+from repro.obs.trace import get_tracer, span
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    saved_context = dict(manifest_mod._run_context)
+    trace.reset()
+    manifest_mod.clear_context()
+    yield
+    tracer.enabled = was_enabled
+    trace.reset()
+    manifest_mod.clear_context()
+    manifest_mod._run_context.update(saved_context)
+
+
+class TestBuildManifest:
+    def test_environment_facts(self):
+        data = build_manifest()
+        env = data["environment"]
+        assert data["format"] == MANIFEST_FORMAT
+        assert env["python_version"] == platform.python_version()
+        import numpy
+        assert env["numpy_version"] == numpy.__version__
+        assert env["repro_version"]
+        assert data["memory"]["peak_rss_bytes"] > 0
+
+    def test_span_tree_and_counters_included(self):
+        trace.enable()
+        with span("stage") as sp:
+            sp.incr("items", 7)
+            with span("sub"):
+                pass
+        data = build_manifest()
+        assert [s["name"] for s in data["spans"]] == ["stage"]
+        assert data["spans"][0]["children"][0]["name"] == "sub"
+        assert data["counters"] == {"stage.items": 7}
+
+    def test_context_carries_lab_config(self):
+        record_config(LabConfig(n_chemical_entities=123, seed=9))
+        set_context(run_label="unit-test")
+        data = build_manifest()
+        assert data["context"]["lab_config"]["n_chemical_entities"] == 123
+        assert data["context"]["lab_config"]["seed"] == 9
+        assert data["context"]["run_label"] == "unit-test"
+
+
+class TestRoundTrip:
+    def test_write_then_load(self, tmp_path):
+        trace.enable()
+        with span("stage") as sp:
+            sp.incr("n", 2)
+        path = tmp_path / "run.manifest.json"
+        written = write_manifest(path)
+        loaded = load_manifest(path)
+        assert loaded == json.loads(json.dumps(written))  # JSON-stable
+        assert loaded["spans"][0]["counters"] == {"n": 2}
+
+    def test_write_creates_directories(self, tmp_path):
+        path = tmp_path / "deep" / "nested" / "run.manifest.json"
+        write_manifest(path)
+        assert path.exists()
+
+
+class TestLoadErrors:
+    def test_missing_file(self, tmp_path):
+        with pytest.raises(ManifestError, match="not found"):
+            load_manifest(tmp_path / "absent.manifest.json")
+
+    def test_corrupt_json(self, tmp_path):
+        path = tmp_path / "bad.manifest.json"
+        path.write_text("{not json", encoding="utf-8")
+        with pytest.raises(ManifestError, match="corrupt"):
+            load_manifest(path)
+
+    def test_wrong_format_tag(self, tmp_path):
+        path = tmp_path / "other.json"
+        path.write_text(json.dumps({"format": "something-else"}))
+        with pytest.raises(ManifestError, match="not a repro-manifest"):
+            load_manifest(path)
+
+    def test_non_dict_json(self, tmp_path):
+        path = tmp_path / "list.json"
+        path.write_text("[1, 2, 3]")
+        with pytest.raises(ManifestError):
+            load_manifest(path)
+
+    def test_directory_path(self, tmp_path):
+        with pytest.raises(ManifestError):
+            load_manifest(tmp_path)
+
+
+class TestArtefactManifests:
+    def test_manifest_path_for(self):
+        assert manifest_path_for("results/table2_datasets.txt") == Path(
+            "results/table2_datasets.manifest.json"
+        )
+        assert manifest_path_for("plain") == Path("plain.manifest.json")
+
+    def test_noop_while_disabled(self, tmp_path):
+        get_tracer().enabled = False
+        artefact = tmp_path / "table.txt"
+        artefact.write_text("t")
+        assert write_artefact_manifest(artefact) is None
+        assert not manifest_path_for(artefact).exists()
+
+    def test_written_while_enabled(self, tmp_path):
+        trace.enable()
+        with span("stage"):
+            pass
+        artefact = tmp_path / "table.txt"
+        artefact.write_text("t")
+        data = write_artefact_manifest(artefact, title="Table X")
+        sidecar = manifest_path_for(artefact)
+        assert sidecar.exists()
+        assert data["title"] == "Table X"
+        assert data["artefact"] == str(artefact)
+        assert load_manifest(sidecar)["spans"][0]["name"] == "stage"

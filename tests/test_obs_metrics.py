@@ -1,0 +1,100 @@
+"""Tests for the metric primitives (repro.obs.metrics)."""
+
+import threading
+import time
+
+from repro.obs.metrics import (
+    Counter,
+    Gauge,
+    Timer,
+    memory_metrics,
+    peak_rss_bytes,
+    peak_rss_mb,
+    tracemalloc_delta,
+)
+
+
+class TestCounter:
+    def test_incr_and_value(self):
+        counter = Counter("n")
+        assert counter.incr() == 1
+        assert counter.incr(4) == 5
+        assert counter.value == 5
+
+    def test_reset(self):
+        counter = Counter()
+        counter.incr(3)
+        counter.reset()
+        assert counter.value == 0
+
+    def test_thread_safe_increments(self):
+        counter = Counter()
+
+        def bump():
+            for _ in range(1000):
+                counter.incr()
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert counter.value == 4000
+
+
+class TestGauge:
+    def test_set_overwrites(self):
+        gauge = Gauge("g", 1.0)
+        gauge.set(2.5)
+        assert gauge.value == 2.5
+
+
+class TestTimer:
+    def test_accumulates_laps(self):
+        timer = Timer("t")
+        for _ in range(3):
+            with timer:
+                time.sleep(0.001)
+        assert timer.count == 3
+        assert timer.total >= 0.003
+        assert timer.last > 0
+        assert abs(timer.mean - timer.total / 3) < 1e-12
+
+    def test_rate(self):
+        timer = Timer()
+        with timer:
+            time.sleep(0.005)
+        assert timer.rate(100) > 0
+        assert Timer().rate(10) == 0.0  # no elapsed time yet
+
+    def test_mean_of_unused_timer(self):
+        assert Timer().mean == 0.0
+
+
+class TestMemory:
+    def test_peak_rss_positive(self):
+        peak = peak_rss_bytes()
+        assert peak is not None and peak > 1024 * 1024  # > 1 MiB, surely
+
+    def test_peak_rss_mb_consistent(self):
+        in_bytes, in_mb = peak_rss_bytes(), peak_rss_mb()
+        assert abs(in_mb - in_bytes / 1048576.0) < 1e-9
+
+    def test_memory_metrics_keys(self):
+        metrics = memory_metrics()
+        assert set(metrics) == {"peak_rss_bytes", "peak_rss_mb"}
+
+    def test_tracemalloc_delta_sees_allocation(self):
+        keep = None
+        with tracemalloc_delta() as delta:
+            keep = bytearray(512 * 1024)
+        assert delta.available
+        assert delta.delta_bytes is not None and delta.delta_bytes > 400_000
+        assert delta.peak_bytes is not None and delta.peak_bytes > 400_000
+        assert keep is not None
+
+    def test_tracemalloc_delta_near_zero_for_empty_block(self):
+        with tracemalloc_delta() as delta:
+            pass
+        assert delta.delta_bytes is not None
+        assert abs(delta.delta_bytes) < 100_000

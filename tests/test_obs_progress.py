@@ -1,0 +1,77 @@
+"""Tests for the stderr progress emitter (repro.obs.progress)."""
+
+import io
+
+import pytest
+
+from repro.obs import progress
+from repro.obs.progress import (
+    StageProgress,
+    emit,
+    format_rate,
+    progress_enabled,
+)
+
+
+@pytest.fixture(autouse=True)
+def restore_verbosity():
+    was = progress_enabled()
+    yield
+    if was:
+        progress.enable_progress()
+    else:
+        progress.disable_progress()
+
+
+class TestFormatRate:
+    def test_normal(self):
+        assert format_rate(50, 2.0, "steps") == "25.0 steps/s"
+
+    def test_fast_rates_drop_decimals(self):
+        assert format_rate(1000, 2.0, "triples") == "500 triples/s"
+
+    def test_zero_seconds(self):
+        assert format_rate(10, 0.0) == "items/s n/a"
+
+
+class TestEmit:
+    def test_silent_when_disabled(self):
+        progress.disable_progress()
+        stream = io.StringIO()
+        emit("stage", "message", stream=stream)
+        assert stream.getvalue() == ""
+
+    def test_emits_when_enabled(self):
+        progress.enable_progress()
+        stream = io.StringIO()
+        emit("bert.pretrain", "epoch done", stream=stream, loss=0.52, epoch=1)
+        line = stream.getvalue()
+        assert line.startswith("[repro] bert.pretrain: epoch done")
+        assert "loss=0.52" in line and "epoch=1" in line
+
+    def test_fields_only(self):
+        progress.enable_progress()
+        stream = io.StringIO()
+        emit("stage", stream=stream, n=3)
+        assert stream.getvalue() == "[repro] stage: n=3\n"
+
+
+class TestStageProgress:
+    def test_counts_even_when_silent(self):
+        progress.disable_progress()
+        stream = io.StringIO()
+        with StageProgress("stage", unit="steps", stream=stream) as tracker:
+            tracker.advance(3)
+            tracker.advance(2)
+        assert tracker.count == 5
+        assert stream.getvalue() == ""
+
+    def test_emits_start_and_final_rate(self):
+        progress.enable_progress()
+        stream = io.StringIO()
+        with StageProgress("glove", unit="entries", stream=stream) as tracker:
+            tracker.advance(100)
+        output = stream.getvalue()
+        assert "[repro] glove: started" in output
+        assert "100 entries in" in output
+        assert "entries/s" in output

@@ -1,0 +1,191 @@
+"""Tests for the span tracer (repro.obs.trace)."""
+
+import threading
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.trace import (
+    NULL_SPAN,
+    Span,
+    Tracer,
+    configure_from_env,
+    env_enables_trace,
+    get_tracer,
+    span,
+)
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    """Isolate each test from the process-wide tracer state."""
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    trace.reset()
+    yield
+    tracer.enabled = was_enabled
+    trace.reset()
+
+
+class TestDisabledPath:
+    def test_disabled_by_default_returns_null_span(self):
+        get_tracer().enabled = False
+        assert span("anything") is NULL_SPAN
+
+    def test_null_span_absorbs_all_calls(self):
+        get_tracer().enabled = False
+        with span("nope") as sp:
+            sp.incr("steps", 5)
+            sp.gauge("loss", 1.0)
+            sp.annotate(model="x")
+        assert get_tracer().roots() == []
+        assert get_tracer().counters() == {}
+
+    def test_disabled_global_count_is_noop(self):
+        tracer = get_tracer()
+        tracer.enabled = False
+        tracer.count("calls")
+        assert tracer.counters() == {}
+
+
+class TestNesting:
+    def test_nested_spans_form_a_tree(self):
+        trace.enable()
+        with span("outer"):
+            with span("middle"):
+                with span("inner"):
+                    pass
+            with span("sibling"):
+                pass
+        roots = get_tracer().roots()
+        assert [r.name for r in roots] == ["outer"]
+        outer = roots[0]
+        assert [c.name for c in outer.children] == ["middle", "sibling"]
+        assert [c.name for c in outer.children[0].children] == ["inner"]
+
+    def test_durations_are_positive_and_self_time_bounded(self):
+        trace.enable()
+        with span("outer"):
+            with span("inner"):
+                sum(range(1000))
+        outer = get_tracer().roots()[0]
+        assert outer.duration > 0
+        assert outer.children[0].duration > 0
+        assert 0 <= outer.self_time <= outer.duration
+
+    def test_sequential_roots_accumulate(self):
+        trace.enable()
+        with span("a"):
+            pass
+        with span("b"):
+            pass
+        assert [r.name for r in get_tracer().roots()] == ["a", "b"]
+
+
+class TestCountersAndAttrs:
+    def test_span_counters_aggregate_into_tracer(self):
+        trace.enable()
+        with span("stage") as sp:
+            sp.incr("steps")
+            sp.incr("steps", 4)
+        with span("stage") as sp:
+            sp.incr("steps", 5)
+        assert get_tracer().counters() == {"stage.steps": 10}
+
+    def test_gauges_and_attrs_in_to_dict(self):
+        trace.enable()
+        with span("stage", model="W2V") as sp:
+            sp.gauge("loss", 0.5)
+            sp.annotate(task=1)
+        node = get_tracer().roots()[0].to_dict()
+        assert node["attrs"] == {"model": "W2V", "task": 1}
+        assert node["gauges"] == {"loss": 0.5}
+        assert node["duration_s"] >= node["self_time_s"] >= 0
+
+    def test_non_jsonable_attrs_stringified(self):
+        trace.enable()
+        with span("stage", obj=object()):
+            pass
+        node = get_tracer().roots()[0].to_dict()
+        assert isinstance(node["attrs"]["obj"], str)
+
+    def test_global_counter(self):
+        trace.enable()
+        tracer = get_tracer()
+        tracer.count("api.calls")
+        tracer.count("api.calls", 2)
+        assert tracer.counters()["api.calls"] == 3
+
+
+class TestEnvToggle:
+    def test_env_enables_trace_truthiness(self):
+        assert env_enables_trace({}) is False
+        assert env_enables_trace({"REPRO_TRACE": "1"}) is True
+        assert env_enables_trace({"REPRO_TRACE": "yes"}) is True
+        for falsy in ("", "0", "false", "no", "off", "False", "OFF"):
+            assert env_enables_trace({"REPRO_TRACE": falsy}) is False
+
+    def test_configure_from_env_flips_global_state(self):
+        assert configure_from_env({"REPRO_TRACE": "1"}) is True
+        assert trace.enabled() is True
+        assert configure_from_env({}) is False
+        assert trace.enabled() is False
+
+    def test_env_toggle_controls_span_recording(self):
+        configure_from_env({"REPRO_TRACE": "1"})
+        with span("recorded"):
+            pass
+        configure_from_env({"REPRO_TRACE": "0"})
+        with span("dropped"):
+            pass
+        assert [r.name for r in get_tracer().roots()] == ["recorded"]
+
+
+class TestThreadSafety:
+    def test_threads_keep_independent_stacks(self):
+        trace.enable()
+        barrier = threading.Barrier(2)
+
+        def work(label):
+            with span(f"root.{label}") as sp:
+                barrier.wait(timeout=5)
+                with span(f"child.{label}"):
+                    sp.incr("items")
+
+        threads = [
+            threading.Thread(target=work, args=(i,)) for i in range(2)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        roots = get_tracer().roots()
+        assert sorted(r.name for r in roots) == ["root.0", "root.1"]
+        for root in roots:
+            label = root.name.split(".")[1]
+            assert [c.name for c in root.children] == [f"child.{label}"]
+
+    def test_concurrent_counter_updates(self):
+        tracer = Tracer(enabled=True)
+
+        def bump():
+            for _ in range(500):
+                tracer.count("hits")
+
+        threads = [threading.Thread(target=bump) for _ in range(4)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert tracer.counters()["hits"] == 2000
+
+
+class TestReset:
+    def test_reset_clears_spans_and_counters_not_enabled(self):
+        trace.enable()
+        with span("x") as sp:
+            sp.incr("n")
+        trace.reset()
+        assert get_tracer().roots() == []
+        assert get_tracer().counters() == {}
+        assert trace.enabled() is True

@@ -54,6 +54,22 @@ class TestEmbeddingPersistence:
         with pytest.raises(ValueError, match="not a repro-static"):
             load_embeddings(path)
 
+    def test_bert_file_rejected_as_embeddings(self, model, tmp_path):
+        """Cross-format confusion: a mini-BERT .npz is not an embedding file."""
+        tokenizer = train_wordpiece(CORPUS, vocab_size=40)
+        bert = MiniBert(
+            tokenizer,
+            BertConfig(d_model=16, n_heads=2, n_layers=1, d_ff=32, max_len=16),
+        )
+        path = tmp_path / "bert.npz"
+        save_bert(bert, path)
+        with pytest.raises(ValueError, match="not a repro-static"):
+            load_embeddings(path)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_embeddings(tmp_path / "absent.npz")
+
 
 class TestBertPersistence:
     @pytest.fixture(scope="class")
@@ -93,6 +109,44 @@ class TestBertPersistence:
         np.savez(path, format=np.array("nope"))
         with pytest.raises(ValueError, match="not a repro-minibert"):
             load_bert(path)
+
+    def test_embedding_file_rejected_as_bert(self, tmp_path):
+        """Cross-format confusion: an embedding .npz is not a mini-BERT file."""
+        embeddings = Word2Vec.train(
+            CORPUS, Word2VecConfig(dim=8, epochs=1, min_count=1, seed=0)
+        )
+        path = tmp_path / "emb.npz"
+        save_embeddings(embeddings, path)
+        with pytest.raises(ValueError, match="not a repro-minibert"):
+            load_bert(path)
+
+    def test_parameter_count_mismatch_rejected(self, model, tmp_path):
+        path = tmp_path / "bert.npz"
+        save_bert(model, path)
+        with np.load(path, allow_pickle=True) as data:
+            arrays = {key: data[key] for key in data.files}
+        param_keys = sorted(k for k in arrays if k.startswith("param_"))
+        del arrays[param_keys[-1]]  # drop one tensor
+        truncated = tmp_path / "truncated.npz"
+        np.savez(truncated, **arrays)
+        with pytest.raises(ValueError, match="parameter count mismatch"):
+            load_bert(truncated)
+
+    def test_parameter_shape_mismatch_rejected(self, model, tmp_path):
+        path = tmp_path / "bert.npz"
+        save_bert(model, path)
+        with np.load(path, allow_pickle=True) as data:
+            arrays = {key: data[key] for key in data.files}
+        param_keys = sorted(k for k in arrays if k.startswith("param_"))
+        arrays[param_keys[0]] = np.zeros((3, 3))  # wrong shape
+        mangled = tmp_path / "mangled.npz"
+        np.savez(mangled, **arrays)
+        with pytest.raises(ValueError, match="shape mismatch"):
+            load_bert(mangled)
+
+    def test_missing_file_raises(self, tmp_path):
+        with pytest.raises(FileNotFoundError):
+            load_bert(tmp_path / "absent.npz")
 
     def test_loaded_model_is_eval_mode(self, model, tmp_path):
         path = tmp_path / "bert.npz"
