@@ -8,7 +8,7 @@ metrics) neither adds nor hides systematic error.
 
 import os
 
-from conftest import run_once
+from conftest import icl_resilience, run_once
 
 from repro.core.datasets import train_test_split_9_1
 from repro.core.reporting import Table
@@ -33,8 +33,10 @@ def compute(lab):
             consistency=1.0,
         )
         client = SimulatedChatModel(profile, truth, 1, seed=lab.config.seed)
+        wrap, retry, journal = icl_resilience(f"ablation_oracle_{ability}")
         result = run_icl_experiment(
-            client, list(split.train), queries, PromptVariant.BASE, config
+            wrap(client), list(split.train), queries, PromptVariant.BASE,
+            config, retry=retry, journal=journal,
         )
         rows[ability] = result.accuracy_mean
     return rows

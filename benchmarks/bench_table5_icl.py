@@ -15,7 +15,7 @@ high, BioGPT's near zero.
 
 import os
 
-from conftest import run_once
+from conftest import icl_resilience, run_once
 
 from repro.core.datasets import train_test_split_9_1
 from repro.core.reporting import Table
@@ -58,8 +58,14 @@ def compute(lab):
                 client = SimulatedChatModel(
                     profile, truth, task, seed=lab.config.seed
                 )
+                # Optional fault injection / checkpointing via REPRO_FAULTS
+                # and REPRO_JOURNAL_DIR; no-op in a plain benchmark run.
+                wrap, retry, journal = icl_resilience(
+                    f"table5_t{task}_{profile.name}_v{variant.value}"
+                )
                 results[(task, profile.name, variant)] = run_icl_experiment(
-                    client, list(split.train), queries, variant, config
+                    wrap(client), list(split.train), queries, variant, config,
+                    retry=retry, journal=journal,
                 )
     return results
 

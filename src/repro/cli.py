@@ -7,11 +7,18 @@ Commands:
 * ``dataset`` — build one curation-task dataset and print its statistics;
 * ``evaluate`` — train and score one paradigm on one task;
 * ``icl`` — run the Table 5 prompting protocol with a simulated model;
-* ``trace`` — pretty-print a saved run manifest as a span-time summary.
+* ``trace`` — pretty-print a saved run manifest as a span-time summary;
+* ``resume`` — inspect a checkpoint journal left by an interrupted run.
 
 Every command is deterministic given ``--seed``.  The global ``--trace``
 flag enables span tracing and stderr progress for any command (equivalent
 to ``REPRO_TRACE=1``); ``--version`` prints the package version.
+
+The ``icl`` command demos the resilience layer: ``--faults
+timeout:0.1,http500:0.05`` injects deterministic faults (retried on a
+virtual clock, so the run is instant and its table matches the fault-free
+one), ``--journal``/``--resume`` checkpoint and resume the delivery loop,
+and ``--max-deliveries`` stops a run mid-table to exercise resume.
 """
 
 from __future__ import annotations
@@ -173,6 +180,29 @@ def _aggregate_self_times(node: dict, totals: dict) -> None:
         _aggregate_self_times(child, totals)
 
 
+#: Counter key fragments surfaced in the trace command's resilience section.
+_RESILIENCE_PREFIXES = ("retry.", "faults.", "circuit.", "icl.resumes")
+_RESILIENCE_SUFFIXES = (".deliveries_failed", ".deliveries_resumed")
+
+
+def _resilience_lines(manifest: dict) -> List[str]:
+    """Degraded-run accounting: resume state and retry/fault/failure counts."""
+    lines: List[str] = []
+    context = manifest.get("context") or {}
+    if context.get("resumed"):
+        lines.append(
+            f"resumed: true ({context.get('resumed_deliveries', '?')} deliveries "
+            f"from {context.get('resume_journal', '?')})"
+        )
+    counters = manifest.get("counters") or {}
+    for name, value in sorted(counters.items()):
+        if name.startswith(_RESILIENCE_PREFIXES) or name.endswith(
+            _RESILIENCE_SUFFIXES
+        ):
+            lines.append(f"{name}: {int(value)}")
+    return lines
+
+
 def render_manifest(manifest: dict) -> str:
     """Flame-style text rendering of a manifest's span tree + summary."""
     lines: List[str] = []
@@ -187,6 +217,12 @@ def render_manifest(manifest: dict) -> str:
     memory = manifest.get("memory") or {}
     if memory.get("peak_rss_mb") is not None:
         lines.append(f"peak RSS: {memory['peak_rss_mb']:.1f} MiB")
+    resilience = _resilience_lines(manifest)
+    if resilience:
+        lines.append("")
+        lines.append("resilience")
+        lines.append("----------")
+        lines.extend(resilience)
     lines.append("")
     lines.append("span tree")
     lines.append("---------")
@@ -227,6 +263,10 @@ def cmd_trace(args: argparse.Namespace) -> int:
 
 
 def cmd_icl(args: argparse.Namespace) -> int:
+    from repro.resilience.checkpoint import CheckpointAbort, Journal
+    from repro.resilience.faults import FaultClock, FaultPlan, FaultyClient
+    from repro.resilience.retry import RetryPolicy
+
     lab = _small_lab(args)
     dataset = lab.dataset(args.task)
     split = train_test_split_9_1(dataset, seed=args.seed)
@@ -236,17 +276,91 @@ def cmd_icl(args: argparse.Namespace) -> int:
         SIMULATED_MODELS[args.model], truth_table(dataset), args.task,
         seed=args.seed,
     )
+    retry = None
+    if args.faults:
+        try:
+            plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
+        except ValueError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        client = FaultyClient(client, plan)
+        # Demo mode: back off on a virtual clock so the run stays instant.
+        retry = RetryPolicy(seed=args.seed, clock=FaultClock())
+    journal = args.journal
+    if journal and not args.resume:
+        Journal(journal).wipe()  # fresh start unless explicitly resuming
     variant = PromptVariant(args.variant)
-    result = run_icl_experiment(client, list(split.train), queries, variant, config)
+    try:
+        result = run_icl_experiment(
+            client, list(split.train), queries, variant, config,
+            retry=retry, journal=journal, max_deliveries=args.max_deliveries,
+        )
+    except CheckpointAbort as abort:
+        print(f"stopped: {abort}", file=sys.stderr)
+        if journal:
+            print(
+                f"journal {journal} holds the completed deliveries; "
+                f"rerun with --resume to continue",
+                file=sys.stderr,
+            )
+        return 3
     table = Table(
         f"ICL protocol: {args.model}, variant #{args.variant}, task {args.task}",
-        ["accuracy", "unclassified", "precision", "recall", "F1", "kappa"],
+        ["accuracy", "unclassified", "failed", "precision", "recall", "F1",
+         "kappa"],
     )
     table.add_row(
-        result.accuracy_mean, result.n_unclassified, result.precision_mean,
-        result.recall_mean, result.f1_mean, result.kappa,
+        result.accuracy_mean, result.n_unclassified, result.n_failed,
+        result.precision_mean, result.recall_mean, result.f1_mean,
+        result.kappa,
     )
     table.show()
+    if args.output:
+        table.save(args.output)
+    if isinstance(client, FaultyClient):
+        injected = ", ".join(
+            f"{kind}={count}" for kind, count in sorted(client.injected.items())
+        ) or "none"
+        print(
+            f"injected faults over {client.calls} calls: {injected}",
+            file=sys.stderr,
+        )
+    if result.n_resumed:
+        print(
+            f"resumed {result.n_resumed} deliveries from {journal}",
+            file=sys.stderr,
+        )
+    return 0
+
+
+def cmd_resume(args: argparse.Namespace) -> int:
+    """Summarise a checkpoint journal left by an interrupted run."""
+    from repro.llm.icl import FAILED
+    from repro.resilience.checkpoint import Journal
+
+    entries = Journal(args.journal).load()
+    meta = entries.pop("__meta__", None)
+    if not entries and meta is None:
+        print(f"{args.journal}: empty or missing journal", file=sys.stderr)
+        return 1
+    print(f"journal: {args.journal}")
+    if isinstance(meta, dict):
+        described = ", ".join(f"{k}={v}" for k, v in sorted(meta.items()))
+        print(f"experiment: {described}")
+        total = int(meta.get("queries", 0)) * int(meta.get("repeats", 0))
+        if total:
+            print(
+                f"progress: {len(entries)}/{total} deliveries "
+                f"({100.0 * len(entries) / total:.1f}%)"
+            )
+    histogram: dict = {}
+    for value in entries.values():
+        histogram[str(value)] = histogram.get(str(value), 0) + 1
+    for outcome in sorted(histogram):
+        print(f"  {outcome}: {histogram[outcome]}")
+    n_failed = histogram.get(FAILED, 0)
+    if n_failed:
+        print(f"degraded deliveries (permanent failures): {n_failed}")
     return 0
 
 
@@ -304,6 +418,24 @@ def build_parser() -> argparse.ArgumentParser:
     icl.add_argument("--entities", type=int, default=800)
     icl.add_argument("--max-train", type=int, default=1_500, dest="max_train")
     icl.add_argument("--max-test", type=int, default=400, dest="max_test")
+    icl.add_argument(
+        "--journal", help="checkpoint journal path (JSONL, one line/delivery)"
+    )
+    icl.add_argument(
+        "--resume", action="store_true",
+        help="resume from --journal instead of starting fresh",
+    )
+    icl.add_argument(
+        "--faults", metavar="SPEC",
+        help="inject faults, e.g. 'timeout:0.1,http500:0.05,malformed:0.05'",
+    )
+    icl.add_argument("--fault-seed", type=int, default=0, dest="fault_seed")
+    icl.add_argument(
+        "--max-deliveries", type=int, default=None, dest="max_deliveries",
+        help="stop (exit 3) after this many fresh deliveries; use with "
+        "--journal to exercise resume",
+    )
+    icl.add_argument("--output", help="also save the table to this path")
     icl.set_defaults(func=cmd_icl)
 
     trace = subparsers.add_parser(
@@ -311,6 +443,12 @@ def build_parser() -> argparse.ArgumentParser:
     )
     trace.add_argument("manifest", help="path to a *.manifest.json file")
     trace.set_defaults(func=cmd_trace)
+
+    resume = subparsers.add_parser(
+        "resume", help="inspect a checkpoint journal"
+    )
+    resume.add_argument("journal", help="path to a *.journal.jsonl file")
+    resume.set_defaults(func=cmd_resume)
 
     return parser
 

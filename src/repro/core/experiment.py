@@ -12,6 +12,7 @@ sets).  Every knob is in :class:`LabConfig`.
 
 from __future__ import annotations
 
+import os
 from dataclasses import dataclass, field
 from typing import Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -97,6 +98,8 @@ class LabConfig:
     ft_epochs: int = 6
     ft_learning_rate: float = 1e-3
     seed: int = 0
+    # resilience: directory for checkpoint journals (None disables them)
+    journal_dir: Optional[str] = None
 
 
 def subsample(dataset: Dataset, max_size: Optional[int], seed: int = 0) -> Dataset:
@@ -123,6 +126,19 @@ class Lab:
             with span(f"lab.{key}"):
                 self._cache[key] = build()
         return self._cache[key]
+
+    def journal(self, name: str):
+        """A checkpoint :class:`~repro.resilience.checkpoint.Journal` for one
+        long-running unit of work (e.g. one ICL table cell), or ``None`` when
+        ``config.journal_dir`` is unset.  Callers pass it to
+        ``run_icl_experiment(journal=...)`` to make the run resumable."""
+        if self.config.journal_dir is None:
+            return None
+        from repro.resilience.checkpoint import Journal
+
+        return Journal(
+            os.path.join(self.config.journal_dir, f"{name}.journal.jsonl")
+        )
 
     # -- substrates -----------------------------------------------------------
 

@@ -19,9 +19,10 @@ from repro.bert.finetune import FineTuneConfig, fine_tune
 from repro.bert.model import MiniBert
 from repro.core.triples import LabeledTriple
 from repro.embeddings.base import EmbeddingModel
-from repro.llm.client import ChatClient
+from repro.llm.client import ChatClient, ChatClientError
 from repro.llm.icl import FALSE, TRUE, UNCLASSIFIED, parse_response
 from repro.llm.prompts import PromptVariant, render_prompt
+from repro.resilience.retry import CircuitOpenError, RetryError, RetryPolicy
 from repro.ml.features import FeatureExtractor, TokenFilter
 from repro.ml.forest import RandomForest, RandomForestConfig
 from repro.ml.lstm import LSTMClassifier, LSTMConfig
@@ -190,7 +191,9 @@ class ICLParadigm(Paradigm):
     ``fit`` stores the training triples as the example pool (no parameters
     are updated — the defining property of the paradigm).  ``classify``
     renders one prompt per triple and parses the single completion;
-    unparseable or abstaining completions come back as ``None``.
+    unparseable or abstaining completions come back as ``None``, as do
+    deliveries whose client failed permanently (transient failures are
+    retried when a ``retry`` policy is supplied).
     """
 
     def __init__(
@@ -200,12 +203,14 @@ class ICLParadigm(Paradigm):
         n_examples_per_class: int = 3,
         seed: SeedLike = 0,
         name: Optional[str] = None,
+        retry: Optional[RetryPolicy] = None,
     ):
         super().__init__(name or f"ICL({client.name})")
         self.client = client
         self.variant = variant
         self.n_examples_per_class = n_examples_per_class
         self.seed = seed
+        self.retry = retry
         self._pool_pos: List[LabeledTriple] = []
         self._pool_neg: List[LabeledTriple] = []
 
@@ -250,7 +255,15 @@ class ICLParadigm(Paradigm):
                 variant=self.variant,
                 seed=derive_rng(self.seed, "icl-paradigm-order", index),
             )
-            answer = parse_response(self.client.complete(prompt))
+            try:
+                if self.retry is None:
+                    text = self.client.complete(prompt)
+                else:
+                    text = self.retry.call(self.client.complete, prompt)
+            except (ChatClientError, RetryError, CircuitOpenError):
+                results.append(None)
+                continue
+            answer = parse_response(text)
             if answer == UNCLASSIFIED:
                 results.append(None)
             else:

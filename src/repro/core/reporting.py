@@ -10,8 +10,9 @@ table also writes a ``<table>.manifest.json`` run manifest beside it.
 from __future__ import annotations
 
 import numbers
-import os
 from typing import Iterable, List, Optional, Sequence, Union
+
+from repro.utils.atomic import atomic_write
 
 Cell = Union[str, int, float, None]
 
@@ -74,13 +75,14 @@ class Table:
     def save(self, path: str) -> str:
         """Write the rendered table to ``path`` (directories created).
 
-        With tracing enabled, a ``<path-stem>.manifest.json`` run manifest
-        (environment, config, span tree, counters) is written next to the
-        table; untraced runs write only the table, exactly as before.
+        The write is atomic (temp file + rename), so a killed run leaves
+        either the previous table or the complete new one.  With tracing
+        enabled, a ``<path-stem>.manifest.json`` run manifest (environment,
+        config, span tree, counters) is written next to the table; untraced
+        runs write only the table, exactly as before.
         """
         text = self.render()
-        os.makedirs(os.path.dirname(path) or ".", exist_ok=True)
-        with open(path, "w", encoding="utf-8") as handle:
+        with atomic_write(path, "w") as handle:
             handle.write(text + "\n")
         from repro.obs.manifest import write_artefact_manifest
 

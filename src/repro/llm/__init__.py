@@ -6,7 +6,12 @@ and calibrated offline simulators for GPT-4 / GPT-3.5 / BioGPT), response
 parsing, and the 100-prompt x 5-repeat experiment protocol of Section 2.4.
 """
 
-from repro.llm.client import ChatClient, EchoClient, HTTPChatClient
+from repro.llm.client import (
+    ChatClient,
+    ChatClientError,
+    EchoClient,
+    HTTPChatClient,
+)
 from repro.llm.icl import (
     ICLConfig,
     ICLResult,
@@ -29,6 +34,7 @@ __all__ = [
     "PromptVariant",
     "render_prompt",
     "ChatClient",
+    "ChatClientError",
     "HTTPChatClient",
     "EchoClient",
     "BehaviourProfile",

@@ -4,14 +4,53 @@
 interface offline; :class:`HTTPChatClient` talks to a real OpenAI-compatible
 endpoint for users with API access, reproducing the paper's original setup
 (``gpt-3.5-turbo-0613`` / ``gpt-4-0613`` via the chat-completions API).
+
+Every failure of the HTTP path surfaces as a typed :class:`ChatClientError`
+whose ``retryable`` flag drives :class:`repro.resilience.retry.RetryPolicy`;
+raw ``urllib`` / ``json`` / ``KeyError`` exceptions never leak.  Pass a
+``retry`` policy (and optionally a ``breaker``) to make ``complete`` retry
+transient failures with exponential backoff.
 """
 
 from __future__ import annotations
 
 import abc
 import json
+import urllib.error
 import urllib.request
-from typing import Optional
+from typing import TYPE_CHECKING, Optional
+
+from repro.obs.trace import get_tracer, span
+
+if TYPE_CHECKING:  # avoid a runtime cycle: resilience.faults subclasses ChatClient
+    from repro.resilience.retry import CircuitBreaker, RetryPolicy
+
+
+class ChatClientError(RuntimeError):
+    """A chat-completions request failed.
+
+    ``retryable`` tells the retry layer whether another attempt can help;
+    ``status`` carries the HTTP status code when one was received; ``kind``
+    is a coarse category: ``timeout``, ``network``, ``http``, ``malformed``
+    (body is not JSON), or ``protocol`` (JSON of the wrong shape).
+    """
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        status: Optional[int] = None,
+        retryable: bool = False,
+        kind: str = "error",
+    ):
+        super().__init__(message)
+        self.status = status
+        self.retryable = retryable
+        self.kind = kind
+
+
+#: Non-5xx statuses worth retrying (timeouts, races, rate limits).
+RETRYABLE_STATUSES = frozenset({408, 409, 425, 429})
 
 
 class ChatClient(abc.ABC):
@@ -24,6 +63,16 @@ class ChatClient(abc.ABC):
     @property
     def name(self) -> str:
         return type(self).__name__
+
+    def skip_delivery(self, prompt: str) -> None:
+        """Note that one delivery of ``prompt`` was served from a checkpoint.
+
+        The checkpoint-resume path calls this instead of :meth:`complete`
+        for journaled deliveries, so clients that track per-prompt repeat
+        indices (the simulators) stay in sync with an uninterrupted run.
+        Stateless clients ignore it.
+        """
+        return None
 
 
 class EchoClient(ChatClient):
@@ -51,6 +100,8 @@ class HTTPChatClient(ChatClient):
         endpoint: str = "https://api.openai.com/v1/chat/completions",
         temperature: Optional[float] = None,
         timeout: float = 60.0,
+        retry: Optional["RetryPolicy"] = None,
+        breaker: Optional["CircuitBreaker"] = None,
     ):
         if not api_key:
             raise ValueError("api_key must be provided")
@@ -59,12 +110,23 @@ class HTTPChatClient(ChatClient):
         self.endpoint = endpoint
         self.temperature = temperature
         self.timeout = timeout
+        self.retry = retry
+        self.breaker = breaker
 
     @property
     def name(self) -> str:
         return self.model
 
     def complete(self, prompt: str) -> str:
+        if self.retry is not None:
+            return self.retry.call(
+                self._complete_once, prompt, breaker=self.breaker
+            )
+        if self.breaker is not None:
+            return self.breaker.call(self._complete_once, prompt)
+        return self._complete_once(prompt)
+
+    def _complete_once(self, prompt: str) -> str:
         payload = {
             "model": self.model,
             "messages": [{"role": "user", "content": prompt}],
@@ -79,12 +141,77 @@ class HTTPChatClient(ChatClient):
                 "Authorization": f"Bearer {self.api_key}",
             },
         )
-        with urllib.request.urlopen(request, timeout=self.timeout) as response:
-            body = json.loads(response.read().decode("utf-8"))
+        get_tracer().count("llm.http.requests")
+        with span("llm.http.request", model=self.model):
+            try:
+                with urllib.request.urlopen(
+                    request, timeout=self.timeout
+                ) as response:
+                    raw = response.read()
+            except urllib.error.HTTPError as error:
+                status = error.code
+                raise ChatClientError(
+                    f"chat endpoint returned HTTP {status}",
+                    status=status,
+                    retryable=status >= 500 or status in RETRYABLE_STATUSES,
+                    kind="http",
+                ) from error
+            except urllib.error.URLError as error:
+                reason = getattr(error, "reason", error)
+                kind = "timeout" if isinstance(reason, TimeoutError) else "network"
+                raise ChatClientError(
+                    f"chat endpoint unreachable: {reason}",
+                    retryable=True,
+                    kind=kind,
+                ) from error
+            except TimeoutError as error:
+                raise ChatClientError(
+                    "chat request timed out", retryable=True, kind="timeout"
+                ) from error
+            except OSError as error:
+                raise ChatClientError(
+                    f"chat request failed: {error}", retryable=True, kind="network"
+                ) from error
         try:
-            return body["choices"][0]["message"]["content"]
-        except (KeyError, IndexError) as error:
-            raise RuntimeError(f"malformed chat-completions response: {body!r}") from error
+            body = json.loads(raw.decode("utf-8"))
+        except (json.JSONDecodeError, UnicodeDecodeError) as error:
+            raise ChatClientError(
+                f"malformed chat-completions body (not JSON): {raw[:200]!r}",
+                retryable=True,
+                kind="malformed",
+            ) from error
+        return extract_completion(body)
 
 
-__all__ = ["ChatClient", "EchoClient", "HTTPChatClient"]
+def extract_completion(body: object) -> str:
+    """Validate a chat-completions response body and return its content.
+
+    Checks the full path (``choices[0].message.content`` must be a string)
+    before indexing, so a well-formed-JSON-but-wrong-shape response becomes
+    a non-retryable ``protocol`` :class:`ChatClientError` rather than a
+    ``KeyError`` deep in the benchmark loop.
+    """
+    choices = body.get("choices") if isinstance(body, dict) else None
+    message = (
+        choices[0].get("message")
+        if isinstance(choices, list) and choices and isinstance(choices[0], dict)
+        else None
+    )
+    content = message.get("content") if isinstance(message, dict) else None
+    if not isinstance(content, str):
+        raise ChatClientError(
+            f"malformed chat-completions response: {body!r}",
+            retryable=False,
+            kind="protocol",
+        )
+    return content
+
+
+__all__ = [
+    "ChatClient",
+    "ChatClientError",
+    "EchoClient",
+    "HTTPChatClient",
+    "RETRYABLE_STATUSES",
+    "extract_completion",
+]

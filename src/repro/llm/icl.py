@@ -11,28 +11,42 @@ the training data; each prompt is delivered five times.  Reported metrics:
 * **precision / recall / F1** per pass over the *classified* responses only;
 * **number unclassified** — total over all deliveries, with percentage;
 * **Fleiss' kappa** across the five deliveries of each prompt.
+
+The delivery loop is resilient: transient client failures are retried per an
+optional :class:`~repro.resilience.retry.RetryPolicy`; a permanently failed
+or malformed delivery degrades into an explicit ``failed`` outcome (scored
+as unclassified, tallied in ``ICLResult.n_failed``) instead of crashing the
+table; and an optional journal checkpoints every completed delivery so a
+killed run resumes where it stopped (recorded in the run manifest).
 """
 
 from __future__ import annotations
 
 import re
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence, Tuple
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
 from repro.core.datasets import Dataset
 from repro.core.triples import LabeledTriple
-from repro.llm.client import ChatClient
+from repro.llm.client import ChatClient, ChatClientError
 from repro.llm.prompts import PromptVariant, render_prompt
 from repro.metrics.agreement import fleiss_kappa
+from repro.obs.manifest import set_context
 from repro.obs.progress import StageProgress
-from repro.obs.trace import span
+from repro.obs.trace import get_tracer, span
+from repro.resilience.checkpoint import CheckpointAbort, Journal
+from repro.resilience.retry import CircuitOpenError, RetryError, RetryPolicy
 from repro.text.tokenizer import ChemTokenizer
 from repro.utils.rng import SeedLike, derive_rng
 
 #: Parse outcomes.
 TRUE, FALSE, UNCLASSIFIED = "true", "false", "unclassified"
+
+#: Delivery outcome for a permanently failed completion (scored unclassified).
+FAILED = "failed"
 
 _TRUE_RE = re.compile(r"\btrue\b", re.IGNORECASE)
 _FALSE_RE = re.compile(r"\bfalse\b", re.IGNORECASE)
@@ -92,6 +106,10 @@ class ICLResult:
     f1_mean: float
     f1_sd: float
     kappa: float
+    #: Deliveries that permanently failed (after retries) and degraded into
+    #: the unclassified bucket, and deliveries served from a resume journal.
+    n_failed: int = 0
+    n_resumed: int = 0
 
     def as_row(self) -> dict:
         return {
@@ -105,6 +123,7 @@ class ICLResult:
             "recall": round(self.recall_mean, 4),
             "f1": round(self.f1_mean, 4),
             "kappa": round(self.kappa, 2),
+            "failed": self.n_failed,
         }
 
 
@@ -183,14 +202,44 @@ def _positive_metrics(gold: List[int], predicted: List[int]) -> Tuple[float, flo
     return precision, recall, f1
 
 
+def _deliver(client: ChatClient, prompt: str, retry: Optional[RetryPolicy]) -> str:
+    """One delivery -> parse outcome; client failures degrade to ``failed``."""
+    try:
+        if retry is None:
+            text = client.complete(prompt)
+        else:
+            text = retry.call(client.complete, prompt)
+    except (ChatClientError, RetryError, CircuitOpenError):
+        return FAILED
+    return parse_response(text)
+
+
 def run_icl_experiment(
     client: ChatClient,
     example_pool: Sequence[LabeledTriple],
     queries: Sequence[LabeledTriple],
     variant: PromptVariant = PromptVariant.BASE,
     config: Optional[ICLConfig] = None,
+    *,
+    retry: Optional[RetryPolicy] = None,
+    journal: Optional[Union[Journal, str, Path]] = None,
+    max_deliveries: Optional[int] = None,
 ) -> ICLResult:
-    """Deliver every prompt ``n_repeats`` times and aggregate Table 5 metrics."""
+    """Deliver every prompt ``n_repeats`` times and aggregate Table 5 metrics.
+
+    ``retry`` retries transient client failures per delivery; a delivery
+    that still fails (or raises a non-retryable
+    :class:`~repro.llm.client.ChatClientError`) is scored as unclassified
+    and counted in ``ICLResult.n_failed`` instead of aborting the run.
+
+    ``journal`` (a path or :class:`~repro.resilience.checkpoint.Journal`)
+    checkpoints every completed delivery; on restart, journaled deliveries
+    are skipped (the client is told via ``skip_delivery`` so per-prompt
+    repeat tracking stays aligned) and the resume is recorded in the run
+    manifest.  ``max_deliveries`` stops the run with
+    :class:`~repro.resilience.checkpoint.CheckpointAbort` after that many
+    *new* deliveries — the controlled kill used to exercise resume.
+    """
     config = config or ICLConfig()
     if not queries:
         raise ValueError("no queries supplied")
@@ -217,23 +266,88 @@ def run_icl_experiment(
             )
         )
 
+    journal_obj: Optional[Journal] = None
+    owns_journal = False
+    completed: Dict[str, object] = {}
+    if journal is not None:
+        journal_obj = journal if isinstance(journal, Journal) else Journal(journal)
+        owns_journal = journal_obj is not journal
+        completed = journal_obj.load()
+        meta = {
+            "model": client.name,
+            "variant": variant.value,
+            "queries": len(queries),
+            "repeats": config.n_repeats,
+        }
+        stored_meta = completed.pop("__meta__", None)
+        if stored_meta is not None and stored_meta != meta:
+            raise ValueError(
+                f"journal {journal_obj.path} belongs to a different experiment: "
+                f"{stored_meta!r} != {meta!r}"
+            )
+        if stored_meta is None:
+            journal_obj.record("__meta__", meta)
+        if completed:
+            set_context(
+                resumed=True,
+                resume_journal=str(journal_obj.path),
+                resumed_deliveries=len(completed),
+            )
+            get_tracer().count("icl.resumes")
+
     gold = [query.label for query in queries]
     # responses[r][q] in {true, false, unclassified}
     responses: List[List[str]] = []
-    with span(
-        "icl.experiment",
-        model=client.name,
-        variant=variant.value,
-        queries=len(queries),
-        repeats=config.n_repeats,
-    ) as sp, StageProgress("icl.experiment", unit="deliveries") as progress:
-        for _ in range(config.n_repeats):
-            passes = []
-            for prompt in prompts:
-                passes.append(parse_response(client.complete(prompt)))
-                sp.incr("deliveries")
-                progress.advance(1)
-            responses.append(passes)
+    n_failed = 0
+    n_resumed = 0
+    delivered = 0
+    try:
+        with span(
+            "icl.experiment",
+            model=client.name,
+            variant=variant.value,
+            queries=len(queries),
+            repeats=config.n_repeats,
+        ) as sp, StageProgress("icl.experiment", unit="deliveries") as progress:
+            if completed:
+                sp.annotate(resumed=True)
+            for repeat in range(config.n_repeats):
+                passes = []
+                for q_index, prompt in enumerate(prompts):
+                    key = f"{repeat}:{q_index}"
+                    outcome = completed.get(key)
+                    if outcome is not None:
+                        client.skip_delivery(prompt)
+                        n_resumed += 1
+                        sp.incr("deliveries_resumed")
+                    else:
+                        if (
+                            max_deliveries is not None
+                            and delivered >= max_deliveries
+                        ):
+                            raise CheckpointAbort(
+                                f"delivery budget of {max_deliveries} reached "
+                                f"({n_resumed} resumed, {delivered} delivered)",
+                                delivered=delivered,
+                                journal_path=(
+                                    journal_obj.path if journal_obj else None
+                                ),
+                            )
+                        outcome = _deliver(client, prompt, retry)
+                        delivered += 1
+                        if journal_obj is not None:
+                            journal_obj.record(key, outcome)
+                        sp.incr("deliveries")
+                        progress.advance(1)
+                    if outcome == FAILED:
+                        n_failed += 1
+                        sp.incr("deliveries_failed")
+                        outcome = UNCLASSIFIED
+                    passes.append(outcome)
+                responses.append(passes)
+    finally:
+        if owns_journal and journal_obj is not None:
+            journal_obj.close()
 
     accuracies, precisions, recalls, f1s = [], [], [], []
     n_unclassified = 0
@@ -285,6 +399,8 @@ def run_icl_experiment(
         f1_mean=f1_m,
         f1_sd=f1_s,
         kappa=kappa,
+        n_failed=n_failed,
+        n_resumed=n_resumed,
     )
 
 
@@ -297,4 +413,5 @@ __all__ = [
     "TRUE",
     "FALSE",
     "UNCLASSIFIED",
+    "FAILED",
 ]

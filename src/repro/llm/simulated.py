@@ -210,6 +210,15 @@ class SimulatedChatModel(ChatClient):
         """Forget delivery counts (start a fresh repeated-delivery protocol)."""
         self._deliveries.clear()
 
+    def skip_delivery(self, prompt: str) -> None:
+        """Advance the repeat index for a delivery served from a checkpoint.
+
+        Keeps a resumed run's consistency behaviour identical to an
+        uninterrupted one: the repeat counter must reflect every delivery,
+        journaled or live.
+        """
+        self._deliveries[prompt] = self._deliveries.get(prompt, 0) + 1
+
     # -- behaviour ----------------------------------------------------------
 
     def _decide(

@@ -22,6 +22,7 @@ from typing import Dict, Optional, Union
 
 from repro.obs.metrics import memory_metrics
 from repro.obs.trace import Tracer, get_tracer
+from repro.utils.atomic import atomic_write
 
 PathLike = Union[str, Path]
 
@@ -107,11 +108,14 @@ def write_manifest(
     tracer: Optional[Tracer] = None,
     extra: Optional[dict] = None,
 ) -> dict:
-    """Build and write a manifest JSON to ``path``; returns the dict."""
+    """Build and write a manifest JSON to ``path``; returns the dict.
+
+    The write is atomic (temp file + rename), so a manifest on disk is
+    always complete — a killed run leaves the previous manifest, never a
+    truncated one.
+    """
     manifest = build_manifest(tracer, extra)
-    path = Path(path)
-    path.parent.mkdir(parents=True, exist_ok=True)
-    with open(path, "w", encoding="utf-8") as handle:
+    with atomic_write(path, "w") as handle:
         json.dump(manifest, handle, indent=2, sort_keys=True)
         handle.write("\n")
     return manifest

@@ -1,0 +1,115 @@
+"""Checkpoint/resume for long-running delivery loops.
+
+A :class:`Journal` is an append-only JSONL file of ``{"key", "value"}``
+records, one per completed unit of work (for the ICL protocol: one
+``repeat:query`` delivery outcome).  Each record is flushed and fsynced as
+it is written, so a killed run loses at most the delivery in flight;
+:meth:`Journal.load` tolerates a truncated final line, which is exactly
+what a crash mid-append leaves behind.
+
+A restarted run loads the journal, skips every journaled unit, and only
+delivers the remainder — see ``run_icl_experiment(journal=...)`` — with the
+resume recorded in the run manifest (``resumed: true``).
+:class:`CheckpointAbort` is the controlled mid-run stop used by the
+``--max-deliveries`` budget to demonstrate (and test) kill-and-resume.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+from pathlib import Path
+from typing import Dict, Optional, Union
+
+PathLike = Union[str, Path]
+
+
+class CheckpointAbort(RuntimeError):
+    """A run stopped early on purpose; the journal holds completed work."""
+
+    def __init__(
+        self,
+        message: str,
+        *,
+        delivered: int = 0,
+        journal_path: Optional[PathLike] = None,
+    ):
+        super().__init__(message)
+        self.delivered = delivered
+        self.journal_path = str(journal_path) if journal_path is not None else None
+
+
+class Journal:
+    """Append-only, crash-safe JSONL journal of completed work.
+
+    Records are ``{"key": str, "value": <json>}``; ``load`` returns the
+    key-to-value mapping of every intact record and stops at the first
+    corrupt line (the torn tail of a crashed append).  ``record`` keeps the
+    file handle open across calls and fsyncs each append by default.
+    """
+
+    def __init__(self, path: PathLike, sync: bool = True):
+        self.path = Path(path)
+        self.sync = sync
+        self._handle = None
+
+    def load(self) -> Dict[str, object]:
+        """Completed entries on disk; ``{}`` when the journal doesn't exist."""
+        entries: Dict[str, object] = {}
+        try:
+            handle = open(self.path, "r", encoding="utf-8")
+        except (FileNotFoundError, IsADirectoryError):
+            return entries
+        with handle:
+            for line in handle:
+                line = line.strip()
+                if not line:
+                    continue
+                try:
+                    record = json.loads(line)
+                except json.JSONDecodeError:
+                    break  # torn tail from a crash; later bytes untrustworthy
+                if not isinstance(record, dict) or "key" not in record:
+                    break
+                entries[str(record["key"])] = record.get("value")
+        return entries
+
+    def record(self, key: str, value: object) -> None:
+        """Append one completed entry (flushed, and fsynced when ``sync``)."""
+        if self._handle is None:
+            if str(self.path.parent):
+                self.path.parent.mkdir(parents=True, exist_ok=True)
+            self._handle = open(self.path, "a", encoding="utf-8")
+        self._handle.write(
+            json.dumps({"key": key, "value": value}, separators=(",", ":"))
+            + "\n"
+        )
+        self._handle.flush()
+        if self.sync:
+            os.fsync(self._handle.fileno())
+
+    def close(self) -> None:
+        if self._handle is not None:
+            self._handle.close()
+            self._handle = None
+
+    def wipe(self) -> None:
+        """Delete the journal file (start the work from scratch)."""
+        self.close()
+        try:
+            self.path.unlink()
+        except FileNotFoundError:
+            pass
+
+    def __enter__(self) -> "Journal":
+        return self
+
+    def __exit__(self, *exc) -> bool:
+        self.close()
+        return False
+
+    def __repr__(self) -> str:  # pragma: no cover - debug aid
+        return f"Journal({str(self.path)!r})"
+
+
+__all__ = ["CheckpointAbort", "Journal"]

@@ -1,0 +1,52 @@
+"""Crash-safe file writes: write a temp file, then ``os.replace``.
+
+Every artefact writer in the library (embedding/BERT archives, benchmark
+tables, run manifests) routes through :func:`atomic_write`, so a run killed
+mid-write never leaves a truncated file behind — the destination either
+keeps its previous content or receives the complete new content.  The temp
+file lives in the destination directory, keeping the final rename atomic
+(``os.replace`` across filesystems is not).
+"""
+
+from __future__ import annotations
+
+import contextlib
+import os
+import tempfile
+from pathlib import Path
+from typing import IO, Iterator, Union
+
+PathLike = Union[str, Path]
+
+
+@contextlib.contextmanager
+def atomic_write(
+    path: PathLike, mode: str = "w", encoding: str = "utf-8"
+) -> Iterator[IO]:
+    """Context manager yielding a handle whose content lands atomically.
+
+    ``mode`` must be a write mode (``"w"`` or ``"wb"``).  On normal exit the
+    temp file is fsynced and renamed over ``path``; on any exception the temp
+    file is removed and ``path`` is left untouched.
+    """
+    if mode not in ("w", "wb"):
+        raise ValueError(f"atomic_write supports modes 'w' and 'wb', not {mode!r}")
+    path = Path(path)
+    if str(path.parent):
+        path.parent.mkdir(parents=True, exist_ok=True)
+    fd, tmp_name = tempfile.mkstemp(
+        dir=str(path.parent), prefix=f".{path.name}.", suffix=".tmp"
+    )
+    tmp = Path(tmp_name)
+    try:
+        with os.fdopen(fd, mode, encoding=None if "b" in mode else encoding) as handle:
+            yield handle
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    finally:
+        with contextlib.suppress(FileNotFoundError):
+            tmp.unlink()
+
+
+__all__ = ["atomic_write"]

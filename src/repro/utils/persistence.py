@@ -5,6 +5,10 @@ counts); mini-BERT serialises to a ``.npz`` holding every parameter tensor
 in construction order plus the architecture config and WordPiece pieces.
 Training the models takes minutes; reloading takes milliseconds, so a
 downstream pipeline can train once and reuse everywhere.
+
+Saves are crash-safe: the archive is written to a temp file in the target
+directory and renamed into place, so a killed run never leaves a truncated
+``.npz`` behind.
 """
 
 from __future__ import annotations
@@ -19,6 +23,7 @@ from repro.bert.model import BertConfig, MiniBert
 from repro.bert.wordpiece import WordPieceTokenizer
 from repro.embeddings.base import StaticEmbeddings
 from repro.text.vocab import Vocabulary
+from repro.utils.atomic import atomic_write
 
 PathLike = Union[str, Path]
 
@@ -26,18 +31,27 @@ _EMBEDDING_FORMAT = "repro-static-embeddings-v1"
 _BERT_FORMAT = "repro-minibert-v1"
 
 
+def _npz_path(path: PathLike) -> Path:
+    """Mirror numpy's string-path behaviour: append ``.npz`` if missing."""
+    path = Path(path)
+    if not str(path).endswith(".npz"):
+        path = Path(str(path) + ".npz")
+    return path
+
+
 def save_embeddings(model: StaticEmbeddings, path: PathLike) -> None:
     """Serialise a static embedding table to ``path`` (``.npz``)."""
     tokens = list(model.vocabulary)
     counts = [model.vocabulary.count(t) for t in tokens]
-    np.savez_compressed(
-        path,
-        format=np.array(_EMBEDDING_FORMAT),
-        name=np.array(model.name),
-        matrix=model.matrix,
-        tokens=np.array(tokens, dtype=object),
-        counts=np.array(counts, dtype=np.int64),
-    )
+    with atomic_write(_npz_path(path), "wb") as handle:
+        np.savez_compressed(
+            handle,
+            format=np.array(_EMBEDDING_FORMAT),
+            name=np.array(model.name),
+            matrix=model.matrix,
+            tokens=np.array(tokens, dtype=object),
+            counts=np.array(counts, dtype=np.int64),
+        )
 
 
 def load_embeddings(path: PathLike) -> StaticEmbeddings:
@@ -81,13 +95,14 @@ def save_bert(model: MiniBert, path: PathLike) -> None:
         f"param_{index:04d}": parameter.value
         for index, parameter in enumerate(model.parameters())
     }
-    np.savez_compressed(
-        path,
-        format=np.array(_BERT_FORMAT),
-        config=np.array(config_json),
-        pieces=np.array(pieces, dtype=object),
-        **arrays,
-    )
+    with atomic_write(_npz_path(path), "wb") as handle:
+        np.savez_compressed(
+            handle,
+            format=np.array(_BERT_FORMAT),
+            config=np.array(config_json),
+            pieces=np.array(pieces, dtype=object),
+            **arrays,
+        )
 
 
 def load_bert(path: PathLike) -> MiniBert:

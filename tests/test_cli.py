@@ -35,6 +35,18 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["trace"])
 
+    def test_icl_resilience_defaults(self):
+        args = build_parser().parse_args(["icl"])
+        assert args.journal is None
+        assert args.resume is False
+        assert args.faults is None
+        assert args.max_deliveries is None
+        assert args.output is None
+
+    def test_resume_requires_journal_argument(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["resume"])
+
 
 class TestCommands:
     def test_synthesize_and_census_round_trip(self, tmp_path, capsys):
@@ -82,6 +94,97 @@ class TestCommands:
         assert "RF(Random)" in out
 
 
+ICL_ARGS = [
+    "icl", "--task", "1", "--model", "gpt-4", "--variant", "1",
+    "--entities", "300", "--max-train", "400", "--max-test", "150",
+]
+
+
+class TestICLResilience:
+    def test_bad_fault_spec_is_clean_error(self, capsys):
+        assert main(ICL_ARGS + ["--faults", "explode:0.5"]) == 2
+        captured = capsys.readouterr()
+        assert "unknown fault kind" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_faulty_table_matches_fault_free(self, tmp_path, capsys):
+        base = tmp_path / "base.txt"
+        faulty = tmp_path / "faulty.txt"
+        assert main(ICL_ARGS + ["--output", str(base)]) == 0
+        assert main(ICL_ARGS + [
+            "--output", str(faulty),
+            "--faults", "timeout:0.2,http500:0.1,malformed:0.05",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "injected faults" in captured.err
+        assert base.read_text() == faulty.read_text()
+
+    def test_kill_and_resume_round_trip(self, tmp_path, capsys):
+        base = tmp_path / "base.txt"
+        resumed = tmp_path / "resumed.txt"
+        journal = tmp_path / "icl.journal.jsonl"
+        assert main(ICL_ARGS + ["--output", str(base)]) == 0
+
+        code = main(ICL_ARGS + [
+            "--journal", str(journal), "--max-deliveries", "60",
+        ])
+        assert code == 3
+        captured = capsys.readouterr()
+        assert "rerun with --resume" in captured.err
+
+        assert main(["resume", str(journal)]) == 0
+        out = capsys.readouterr().out
+        assert "progress: 60/" in out
+
+        code = main(ICL_ARGS + [
+            "--journal", str(journal), "--resume", "--output", str(resumed),
+        ])
+        assert code == 0
+        captured = capsys.readouterr()
+        assert "resumed 60 deliveries" in captured.err
+        assert base.read_text() == resumed.read_text()
+
+    def test_journal_without_resume_starts_fresh(self, tmp_path, capsys):
+        journal = tmp_path / "icl.journal.jsonl"
+        assert main(ICL_ARGS + [
+            "--journal", str(journal), "--max-deliveries", "10",
+        ]) == 3
+        # No --resume: the stale journal is wiped and the budget hits again.
+        assert main(ICL_ARGS + [
+            "--journal", str(journal), "--max-deliveries", "10",
+        ]) == 3
+        capsys.readouterr()
+        assert main(["resume", str(journal)]) == 0
+        assert "progress: 10/" in capsys.readouterr().out
+
+
+class TestResumeCommand:
+    def test_missing_journal_is_clean_error(self, tmp_path, capsys):
+        assert main(["resume", str(tmp_path / "absent.jsonl")]) == 1
+        captured = capsys.readouterr()
+        assert "empty or missing" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_summarises_outcomes(self, tmp_path, capsys):
+        from repro.resilience.checkpoint import Journal
+
+        path = tmp_path / "j.jsonl"
+        with Journal(path) as journal:
+            journal.record(
+                "__meta__",
+                {"model": "m", "variant": 1, "queries": 4, "repeats": 2},
+            )
+            journal.record("0:0", "true")
+            journal.record("0:1", "false")
+            journal.record("0:2", "failed")
+        assert main(["resume", str(path)]) == 0
+        out = capsys.readouterr().out
+        assert "progress: 3/8" in out
+        assert "true: 1" in out
+        assert "failed: 1" in out
+        assert "permanent failures" in out
+
+
 class TestTraceCommand:
     def test_missing_manifest_is_clean_error(self, tmp_path, capsys):
         code = main(["trace", str(tmp_path / "absent.manifest.json")])
@@ -115,3 +218,34 @@ class TestTraceCommand:
         out = capsys.readouterr().out
         assert "span tree" in out
         assert "per-stage self time" in out
+
+    def test_resilience_section_rendered(self):
+        from repro.cli import render_manifest
+
+        manifest = {
+            "context": {
+                "resumed": True,
+                "resume_journal": "/tmp/icl.journal.jsonl",
+                "resumed_deliveries": 60,
+            },
+            "counters": {
+                "retry.retries": 7,
+                "faults.injected.timeout": 4,
+                "icl.experiment.deliveries_failed": 2,
+                "unrelated.counter": 99,
+            },
+            "spans": [],
+        }
+        out = render_manifest(manifest)
+        assert "resilience" in out
+        assert "resumed: true (60 deliveries from /tmp/icl.journal.jsonl)" in out
+        assert "retry.retries: 7" in out
+        assert "faults.injected.timeout: 4" in out
+        assert "icl.experiment.deliveries_failed: 2" in out
+        assert "unrelated.counter" not in out
+
+    def test_no_resilience_section_when_uneventful(self):
+        from repro.cli import render_manifest
+
+        out = render_manifest({"counters": {"other": 1}, "spans": []})
+        assert "resilience" not in out

@@ -1,10 +1,34 @@
 """Tests for the chat-client interface (offline paths only)."""
 
 import json
+import urllib.error
 
 import pytest
 
-from repro.llm.client import ChatClient, EchoClient, HTTPChatClient
+from repro.llm.client import (
+    RETRYABLE_STATUSES,
+    ChatClient,
+    ChatClientError,
+    EchoClient,
+    HTTPChatClient,
+    extract_completion,
+)
+from repro.resilience.faults import FaultClock
+from repro.resilience.retry import CircuitBreaker, CircuitOpenError, RetryPolicy
+
+
+class FakeResponse:
+    def __init__(self, payload):
+        self._payload = payload
+
+    def read(self):
+        return self._payload
+
+    def __enter__(self):
+        return self
+
+    def __exit__(self, *args):
+        return False
 
 
 class TestEchoClient:
@@ -81,3 +105,167 @@ class TestHTTPChatClient:
         assert captured["body"]["temperature"] == 0.0
         assert captured["body"]["messages"][0]["content"] == "classify this"
         assert captured["auth"] == "Bearer sk-test"
+
+
+class TestErrorMapping:
+    """Every HTTP failure mode becomes a typed ChatClientError."""
+
+    def client(self):
+        return HTTPChatClient(api_key="sk-test")
+
+    def raise_from_urlopen(self, monkeypatch, error):
+        def fake_urlopen(*args, **kwargs):
+            raise error
+
+        monkeypatch.setattr("urllib.request.urlopen", fake_urlopen)
+
+    def test_http_500_retryable(self, monkeypatch):
+        self.raise_from_urlopen(
+            monkeypatch,
+            urllib.error.HTTPError("url", 500, "boom", {}, None),
+        )
+        with pytest.raises(ChatClientError) as exc:
+            self.client().complete("p")
+        assert exc.value.status == 500
+        assert exc.value.retryable
+        assert exc.value.kind == "http"
+
+    def test_http_429_retryable(self, monkeypatch):
+        self.raise_from_urlopen(
+            monkeypatch,
+            urllib.error.HTTPError("url", 429, "rate limited", {}, None),
+        )
+        with pytest.raises(ChatClientError) as exc:
+            self.client().complete("p")
+        assert exc.value.status == 429
+        assert exc.value.retryable
+
+    def test_http_401_not_retryable(self, monkeypatch):
+        self.raise_from_urlopen(
+            monkeypatch,
+            urllib.error.HTTPError("url", 401, "bad key", {}, None),
+        )
+        with pytest.raises(ChatClientError) as exc:
+            self.client().complete("p")
+        assert exc.value.status == 401
+        assert not exc.value.retryable
+
+    def test_timeout_maps_to_timeout_kind(self, monkeypatch):
+        self.raise_from_urlopen(
+            monkeypatch, urllib.error.URLError(TimeoutError("timed out"))
+        )
+        with pytest.raises(ChatClientError) as exc:
+            self.client().complete("p")
+        assert exc.value.kind == "timeout"
+        assert exc.value.retryable
+
+    def test_network_error_retryable(self, monkeypatch):
+        self.raise_from_urlopen(
+            monkeypatch, urllib.error.URLError(ConnectionRefusedError())
+        )
+        with pytest.raises(ChatClientError) as exc:
+            self.client().complete("p")
+        assert exc.value.kind == "network"
+        assert exc.value.retryable
+
+    def test_non_json_body_retryable(self, monkeypatch):
+        monkeypatch.setattr(
+            "urllib.request.urlopen",
+            lambda *a, **k: FakeResponse(b"<html>502 Bad Gateway</html>"),
+        )
+        with pytest.raises(ChatClientError) as exc:
+            self.client().complete("p")
+        assert exc.value.kind == "malformed"
+        assert exc.value.retryable
+
+    def test_wrong_shape_not_retryable(self, monkeypatch):
+        monkeypatch.setattr(
+            "urllib.request.urlopen",
+            lambda *a, **k: FakeResponse(json.dumps({"choices": []}).encode()),
+        )
+        with pytest.raises(ChatClientError) as exc:
+            self.client().complete("p")
+        assert exc.value.kind == "protocol"
+        assert not exc.value.retryable
+
+    def test_retryable_statuses_constant(self):
+        assert 429 in RETRYABLE_STATUSES
+        assert 404 not in RETRYABLE_STATUSES
+
+
+class TestExtractCompletion:
+    def test_happy_path(self):
+        body = {"choices": [{"message": {"content": "False"}}]}
+        assert extract_completion(body) == "False"
+
+    @pytest.mark.parametrize("body", [
+        None,
+        {},
+        {"choices": []},
+        {"choices": [{}]},
+        {"choices": [{"message": {}}]},
+        {"choices": [{"message": {"content": 42}}]},
+        {"choices": "not-a-list"},
+    ])
+    def test_bad_shapes_raise_protocol_error(self, body):
+        with pytest.raises(ChatClientError) as exc:
+            extract_completion(body)
+        assert exc.value.kind == "protocol"
+
+
+class TestRetryWiring:
+    def test_retry_policy_recovers_transient_failures(self, monkeypatch):
+        attempts = []
+
+        def flaky_urlopen(*args, **kwargs):
+            attempts.append(1)
+            if len(attempts) < 3:
+                raise urllib.error.HTTPError("url", 500, "boom", {}, None)
+            return FakeResponse(
+                json.dumps({"choices": [{"message": {"content": "True"}}]}).encode()
+            )
+
+        monkeypatch.setattr("urllib.request.urlopen", flaky_urlopen)
+        client = HTTPChatClient(
+            api_key="sk-test",
+            retry=RetryPolicy(base_delay=0.01, clock=FaultClock()),
+        )
+        assert client.complete("p") == "True"
+        assert len(attempts) == 3
+
+    def test_non_retryable_fails_fast_despite_policy(self, monkeypatch):
+        attempts = []
+
+        def denied_urlopen(*args, **kwargs):
+            attempts.append(1)
+            raise urllib.error.HTTPError("url", 401, "bad key", {}, None)
+
+        monkeypatch.setattr("urllib.request.urlopen", denied_urlopen)
+        client = HTTPChatClient(
+            api_key="sk-test",
+            retry=RetryPolicy(base_delay=0.01, clock=FaultClock()),
+        )
+        with pytest.raises(ChatClientError):
+            client.complete("p")
+        assert len(attempts) == 1
+
+    def test_breaker_cuts_off_dead_endpoint(self, monkeypatch):
+        attempts = []
+
+        def dead_urlopen(*args, **kwargs):
+            attempts.append(1)
+            raise urllib.error.URLError(ConnectionRefusedError())
+
+        monkeypatch.setattr("urllib.request.urlopen", dead_urlopen)
+        clock = FaultClock()
+        client = HTTPChatClient(
+            api_key="sk-test",
+            breaker=CircuitBreaker(failure_threshold=2, reset_timeout=60.0,
+                                   clock=clock),
+        )
+        for _ in range(2):
+            with pytest.raises(ChatClientError):
+                client.complete("p")
+        with pytest.raises(CircuitOpenError):
+            client.complete("p")
+        assert len(attempts) == 2  # the open circuit never hit the network
