@@ -65,8 +65,11 @@ def lab():
     # benchmark's manifest carries the full stage span tree — ontology,
     # corpora, embedding training, BERT and one classifier fit — and so
     # per-benchmark timings measure the benchmark, not lazy Lab builds.
+    # With $REPRO_ARTIFACTS (or LabConfig.artifact_dir) set, warming fills
+    # the persistent artifact store, so a second benchmark run loads every
+    # substrate instead of rebuilding it.
     if os.environ.get("REPRO_BENCH_NO_WARM", "") not in ("1", "true", "yes"):
-        lab.embeddings  # ontology + corpora + wordpiece + BERT + six models
+        lab.warm()  # ontology + corpora + wordpiece + BERT + embeddings + splits
         lab.trained_forest(1, "W2V-Chem", "naive")
     return lab
 

@@ -8,7 +8,10 @@ Commands:
 * ``evaluate`` — train and score one paradigm on one task;
 * ``icl`` — run the Table 5 prompting protocol with a simulated model;
 * ``trace`` — pretty-print a saved run manifest as a span-time summary;
-* ``resume`` — inspect a checkpoint journal left by an interrupted run.
+* ``resume`` — inspect a checkpoint journal left by an interrupted run;
+* ``cache`` — manage the persistent artifact store (``ls``, ``gc``,
+  ``invalidate``, ``warm``).  The store directory comes from ``--dir`` or
+  the ``$REPRO_ARTIFACTS`` environment variable.
 
 Every command is deterministic given ``--seed``.  The global ``--trace``
 flag enables span tracing and stderr progress for any command (equivalent
@@ -24,7 +27,9 @@ and ``--max-deliveries`` stops a run mid-table to exercise resume.
 from __future__ import annotations
 
 import argparse
+import os
 import sys
+import time
 from typing import List, Optional
 
 from repro.core import Lab, LabConfig, build_task_dataset
@@ -333,6 +338,97 @@ def cmd_icl(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cache_store(args: argparse.Namespace):
+    """The artifact store named by ``--dir`` or ``$REPRO_ARTIFACTS``."""
+    from repro.pipeline.store import ARTIFACTS_ENV_VAR, ArtifactStore
+
+    root = args.dir or os.environ.get(ARTIFACTS_ENV_VAR)
+    if not root:
+        print(
+            f"error: no artifact store (pass --dir or set ${ARTIFACTS_ENV_VAR})",
+            file=sys.stderr,
+        )
+        return None
+    return ArtifactStore(root)
+
+
+def cmd_cache_ls(args: argparse.Namespace) -> int:
+    store = _cache_store(args)
+    if store is None:
+        return 2
+    infos = store.ls()
+    table = Table(
+        f"artifact store {store.root}",
+        ["stage", "key", "files", "KiB", "age (min)"],
+        precision=1,
+    )
+    now = time.time()
+    for info in infos:
+        table.add_row(
+            info.stage,
+            info.key[:16],
+            info.n_files,
+            info.n_bytes / 1024.0,
+            (now - info.created_unix) / 60.0,
+        )
+    table.show()
+    total_bytes = sum(info.n_bytes for info in infos)
+    print(f"{len(infos)} entries, {total_bytes / (1024.0 * 1024.0):.2f} MiB")
+    return 0
+
+
+def cmd_cache_gc(args: argparse.Namespace) -> int:
+    store = _cache_store(args)
+    if store is None:
+        return 2
+    removed = store.gc(max_age_days=args.max_age_days)
+    for path in removed:
+        print(f"removed {path}")
+    print(f"gc: removed {len(removed)} paths from {store.root}")
+    return 0
+
+
+def cmd_cache_invalidate(args: argparse.Namespace) -> int:
+    store = _cache_store(args)
+    if store is None:
+        return 2
+    removed = store.invalidate(args.pattern)
+    for info in removed:
+        print(f"invalidated {info.stage}/{info.key[:16]}")
+    print(
+        f"invalidate: removed {len(removed)} entries matching "
+        f"{args.pattern!r} from {store.root}"
+    )
+    return 0
+
+
+def cmd_cache_warm(args: argparse.Namespace) -> int:
+    from repro.obs.manifest import build_manifest
+    from repro.pipeline.stage import StageError
+
+    store = _cache_store(args)
+    if store is None:
+        return 2
+    overrides = {"artifact_dir": str(store.root)}
+    if args.entities is not None:
+        overrides["n_chemical_entities"] = args.entities
+    lab = Lab(LabConfig(**overrides))
+    try:
+        results = lab.warm(jobs=args.jobs, executor=args.executor)
+    except StageError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 1
+    stages = (build_manifest().get("context") or {}).get("stages", {})
+    statuses = {}
+    for name in sorted(results):
+        status = stages.get(name, {}).get("status", results[name].status)
+        statuses[status] = statuses.get(status, 0) + 1
+        print(f"  {name}: {status}")
+    summary = ", ".join(f"{k}={v}" for k, v in sorted(statuses.items()))
+    print(f"warmed {len(results)} stages into {store.root} ({summary})")
+    return 0
+
+
 def cmd_resume(args: argparse.Namespace) -> int:
     """Summarise a checkpoint journal left by an interrupted run."""
     from repro.llm.icl import FAILED
@@ -449,6 +545,58 @@ def build_parser() -> argparse.ArgumentParser:
     )
     resume.add_argument("journal", help="path to a *.journal.jsonl file")
     resume.set_defaults(func=cmd_resume)
+
+    cache = subparsers.add_parser(
+        "cache", help="manage the persistent artifact store"
+    )
+    cache_sub = cache.add_subparsers(dest="cache_command", required=True)
+
+    def _dir_option(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "--dir", default=None,
+            help="store directory (default: $REPRO_ARTIFACTS)",
+        )
+
+    cache_ls = cache_sub.add_parser("ls", help="list complete store entries")
+    _dir_option(cache_ls)
+    cache_ls.set_defaults(func=cmd_cache_ls)
+
+    cache_gc = cache_sub.add_parser(
+        "gc", help="remove temp dirs, incomplete entries and stale locks"
+    )
+    _dir_option(cache_gc)
+    cache_gc.add_argument(
+        "--max-age-days", type=float, default=None, dest="max_age_days",
+        help="also remove complete entries older than this many days",
+    )
+    cache_gc.set_defaults(func=cmd_cache_gc)
+
+    cache_inv = cache_sub.add_parser(
+        "invalidate", help="remove entries whose stage matches a glob"
+    )
+    cache_inv.add_argument(
+        "pattern", help="stage-name glob, e.g. 'embedding-*' or 'bert'"
+    )
+    _dir_option(cache_inv)
+    cache_inv.set_defaults(func=cmd_cache_invalidate)
+
+    cache_warm = cache_sub.add_parser(
+        "warm", help="build every persistable stage into the store"
+    )
+    _dir_option(cache_warm)
+    cache_warm.add_argument(
+        "--jobs", type=int, default=None,
+        help="parallel stage builds (default: executor's choice)",
+    )
+    cache_warm.add_argument(
+        "--executor", choices=("thread", "process"), default="thread",
+    )
+    cache_warm.add_argument(
+        "--entities", type=int, default=None,
+        help="override n_chemical_entities (default: LabConfig default, "
+        "matching the benchmark suite)",
+    )
+    cache_warm.set_defaults(func=cmd_cache_warm)
 
     return parser
 

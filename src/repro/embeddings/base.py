@@ -40,6 +40,11 @@ class EmbeddingModel(abc.ABC):
         return self._dim
 
     @property
+    def oov_seed(self) -> int:
+        """Seed of the deterministic OOV fallback (persisted with the model)."""
+        return self._oov_seed
+
+    @property
     @abc.abstractmethod
     def vocabulary(self) -> Optional[Vocabulary]:
         """The model's vocabulary, or ``None`` for open-vocabulary models."""

@@ -98,6 +98,12 @@ class FastText(EmbeddingModel):
     def config(self) -> FastTextConfig:
         return self._config
 
+    @property
+    def table(self) -> np.ndarray:
+        """The full ``(vocab + bucket, dim)`` parameter table (read-only by
+        convention); row layout is documented on the class."""
+        return self._table
+
     def contains(self, token: str) -> bool:
         return token in self._vocabulary
 

@@ -26,6 +26,7 @@ from repro.obs.manifest import (
     load_manifest,
     manifest_path_for,
     record_config,
+    record_stage_event,
     set_context,
     write_artefact_manifest,
     write_manifest,
@@ -105,6 +106,7 @@ __all__ = [
     "manifest_path_for",
     "write_artefact_manifest",
     "record_config",
+    "record_stage_event",
     "set_context",
     # progress
     "StageProgress",

@@ -16,6 +16,7 @@ import json
 import os
 import platform
 import sys
+import threading
 import time
 from pathlib import Path
 from typing import Dict, Optional, Union
@@ -58,6 +59,37 @@ def record_config(config: object, key: str = "lab_config") -> None:
 def clear_context() -> None:
     """Drop all recorded run context (used by tests)."""
     _run_context.clear()
+
+
+#: Guards the ``stages`` sub-dict of the run context (stages materialise
+#: concurrently under the scheduler).
+_stage_lock = threading.Lock()
+
+
+def record_stage_event(
+    stage: str,
+    status: str,
+    key: Optional[str] = None,
+    duration_s: Optional[float] = None,
+) -> None:
+    """Record one pipeline-stage materialisation in the run context.
+
+    ``status`` is ``"hit"`` (loaded from the artifact store), ``"miss"``
+    (built and persisted) or ``"built"`` (built in memory, no store).  The
+    run's manifests then show exactly which substrates were rebuilt versus
+    reused — the warm-run assertion CI makes.  Repeat events for one stage
+    (several Labs in one process) keep the latest status and a count.
+    """
+    with _stage_lock:
+        stages = _run_context.setdefault("stages", {})
+        entry = stages.get(stage)
+        record = {
+            "status": status,
+            "key": key,
+            "duration_s": duration_s,
+            "count": (entry["count"] + 1) if entry else 1,
+        }
+        stages[stage] = record
 
 
 def environment_info() -> dict:
@@ -184,6 +216,7 @@ __all__ = [
     "ManifestError",
     "set_context",
     "record_config",
+    "record_stage_event",
     "clear_context",
     "environment_info",
     "build_manifest",

@@ -1,0 +1,38 @@
+"""repro.pipeline: the Lab as an explicit stage graph.
+
+Every substrate of the benchmark apparatus — the synthetic ontology, the
+three corpora, the wordpiece tokenizer, the pretrained mini-BERT, each
+embedding model, each task dataset and split, the adaptation filters and
+the trained classifiers — is a named :class:`~repro.pipeline.stage.Stage`
+with explicit dependencies and a deterministic content-addressed cache key.
+Artifacts persist across runs in an :class:`~repro.pipeline.store.ArtifactStore`
+(``LabConfig.artifact_dir`` or ``$REPRO_ARTIFACTS``), and the
+:class:`~repro.pipeline.scheduler.StageScheduler` builds ready stages in
+parallel.  :class:`~repro.core.experiment.Lab` remains the public facade.
+"""
+
+from repro.pipeline.graph import StageGraph
+from repro.pipeline.scheduler import EXECUTORS, StageResult, StageScheduler
+from repro.pipeline.stage import Stage, StageError
+from repro.pipeline.stages import build_lab_graph, substrate_stage_names
+from repro.pipeline.store import (
+    ARTIFACTS_ENV_VAR,
+    ArtifactInfo,
+    ArtifactStore,
+    ArtifactStoreError,
+)
+
+__all__ = [
+    "ARTIFACTS_ENV_VAR",
+    "ArtifactInfo",
+    "ArtifactStore",
+    "ArtifactStoreError",
+    "EXECUTORS",
+    "Stage",
+    "StageError",
+    "StageGraph",
+    "StageResult",
+    "StageScheduler",
+    "build_lab_graph",
+    "substrate_stage_names",
+]

@@ -1,0 +1,145 @@
+"""The stage graph: registration, dependency closure, topological order,
+and deterministic content-addressed cache keys.
+
+A stage's **key** is a stable digest of
+
+* the stage name and its code version tag,
+* the slice of the Lab configuration it declares it reads, and
+* the keys of its dependencies (recursively).
+
+Changing any configuration field that feeds a stage therefore changes that
+stage's key *and every downstream key*, while changing an unrelated field
+changes nothing — the property the cache-key tests pin down.  Keys are pure
+functions of ``(graph, config)``: they never look at the artifacts, so a
+second process (or a second machine) computes identical keys and can share
+an artifact store.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterable, Iterator, List, Optional, Sequence, Set
+
+from repro.pipeline.stage import Stage
+from repro.utils.rng import stable_digest
+
+
+class StageGraph:
+    """An immutable-after-registration DAG of :class:`Stage` nodes."""
+
+    def __init__(self, stages: Iterable[Stage] = ()):
+        self._stages: Dict[str, Stage] = {}
+        for stage in stages:
+            self.register(stage)
+
+    # -- registration -------------------------------------------------------
+
+    def register(self, stage: Stage) -> Stage:
+        if stage.name in self._stages:
+            raise ValueError(f"stage {stage.name!r} already registered")
+        self._stages[stage.name] = stage
+        return stage
+
+    def stage(self, name: str) -> Stage:
+        try:
+            return self._stages[name]
+        except KeyError:
+            raise KeyError(
+                f"unknown stage {name!r}; have {len(self._stages)} stages"
+            ) from None
+
+    def __contains__(self, name: str) -> bool:
+        return name in self._stages
+
+    def __iter__(self) -> Iterator[Stage]:
+        return iter(self._stages.values())
+
+    def __len__(self) -> int:
+        return len(self._stages)
+
+    def names(self) -> List[str]:
+        return list(self._stages)
+
+    # -- structure ----------------------------------------------------------
+
+    def validate(self) -> None:
+        """Check every declared dependency exists and the graph is acyclic."""
+        for stage in self:
+            for dep in stage.deps:
+                if dep not in self._stages:
+                    raise ValueError(
+                        f"stage {stage.name!r} depends on unknown stage {dep!r}"
+                    )
+        self.topological_order()  # raises on cycles
+
+    def closure(self, targets: Sequence[str]) -> Set[str]:
+        """The targets plus all their transitive dependencies."""
+        seen: Set[str] = set()
+        frontier = list(targets)
+        while frontier:
+            name = frontier.pop()
+            if name in seen:
+                continue
+            seen.add(name)
+            frontier.extend(self.stage(name).deps)
+        return seen
+
+    def dependents(self, name: str) -> List[str]:
+        """Direct dependents of ``name``, in registration order."""
+        return [s.name for s in self if name in s.deps]
+
+    def topological_order(
+        self, targets: Optional[Sequence[str]] = None
+    ) -> List[str]:
+        """Dependencies-first order over ``targets`` (default: all stages).
+
+        The order is deterministic: among simultaneously-ready stages,
+        lexicographic name order wins.  Raises ``ValueError`` on cycles.
+        """
+        wanted = self.closure(targets) if targets is not None else set(self._stages)
+        indegree = {
+            name: sum(1 for dep in self.stage(name).deps if dep in wanted)
+            for name in wanted
+        }
+        ready = sorted(name for name, degree in indegree.items() if degree == 0)
+        order: List[str] = []
+        while ready:
+            name = ready.pop(0)
+            order.append(name)
+            changed = False
+            for dependent in self.dependents(name):
+                if dependent in wanted:
+                    indegree[dependent] -= 1
+                    if indegree[dependent] == 0:
+                        ready.append(dependent)
+                        changed = True
+            if changed:
+                ready.sort()
+        if len(order) != len(wanted):
+            stuck = sorted(set(wanted) - set(order))
+            raise ValueError(f"stage graph contains a cycle through {stuck}")
+        return order
+
+    # -- keys ---------------------------------------------------------------
+
+    def key(self, name: str, config, _memo: Optional[Dict[str, str]] = None) -> str:
+        """Deterministic content-addressed cache key for one stage."""
+        memo = _memo if _memo is not None else {}
+        cached = memo.get(name)
+        if cached is not None:
+            return cached
+        stage = self.stage(name)
+        dep_keys = [self.key(dep, config, memo) for dep in stage.deps]
+        digest = stable_digest(
+            stage.name, stage.version, stage.config_slice(config), tuple(dep_keys)
+        )
+        memo[name] = digest
+        return digest
+
+    def keys(self, config, targets: Optional[Sequence[str]] = None) -> Dict[str, str]:
+        """Keys for ``targets`` (default: every stage), shared-memoised."""
+        memo: Dict[str, str] = {}
+        names = self.closure(targets) if targets is not None else self.names()
+        return {name: self.key(name, config, memo) for name in sorted(names)}
+
+
+__all__ = ["StageGraph"]

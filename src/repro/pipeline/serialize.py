@@ -1,0 +1,197 @@
+"""Exact JSON codecs for pipeline artifacts without an ``.npz`` format.
+
+Unlike the OBO writer (which regroups statements by subject), these codecs
+preserve *construction order* exactly — entity order, statement order,
+triple order and dataset names all feed downstream RNG derivations
+(``derive_rng(seed, "dataset-split", dataset.name, ...)``), so a loaded
+artifact must be indistinguishable from the freshly built one, down to the
+iteration order of every collection.  Each payload carries a format tag so
+a store entry written by a different code version is rejected loudly.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Union
+
+from repro.core.datasets import Dataset, DatasetSplit
+from repro.core.triples import LabeledTriple
+from repro.ontology.model import Entity, Ontology, SubOntology
+from repro.ontology.relations import relation_by_name
+from repro.utils.atomic import atomic_write
+
+PathLike = Union[str, Path]
+
+ONTOLOGY_FORMAT = "repro-ontology-v1"
+CORPUS_FORMAT = "repro-corpus-v1"
+PIECES_FORMAT = "repro-wordpiece-pieces-v1"
+DATASET_FORMAT = "repro-dataset-v1"
+SPLIT_FORMAT = "repro-dataset-split-v1"
+TOKENS_FORMAT = "repro-stop-tokens-v1"
+
+
+def write_json(path: PathLike, payload: dict) -> None:
+    """Atomically write a JSON payload (compact separators, sorted keys)."""
+    with atomic_write(path, "w") as handle:
+        json.dump(payload, handle, separators=(",", ":"), sort_keys=True)
+        handle.write("\n")
+
+
+def read_json(path: PathLike, expected_format: str) -> dict:
+    """Read a payload written by :func:`write_json`, checking its format tag."""
+    with open(path, "r", encoding="utf-8") as handle:
+        payload = json.load(handle)
+    found = payload.get("format") if isinstance(payload, dict) else None
+    if found != expected_format:
+        raise ValueError(
+            f"{path} is not a {expected_format} payload (found {found!r})"
+        )
+    return payload
+
+
+# -- ontology ---------------------------------------------------------------
+
+
+def ontology_to_payload(ontology: Ontology) -> dict:
+    return {
+        "format": ONTOLOGY_FORMAT,
+        "name": ontology.name,
+        "entities": [
+            [
+                entity.identifier,
+                entity.name,
+                entity.sub_ontology.value,
+                entity.definition,
+                list(entity.synonyms),
+            ]
+            for entity in ontology.entities()
+        ],
+        "statements": [
+            [statement.subject, statement.relation.name, statement.object]
+            for statement in ontology.statements()
+        ],
+    }
+
+
+def ontology_from_payload(payload: dict) -> Ontology:
+    ontology = Ontology(name=payload["name"])
+    for identifier, name, sub, definition, synonyms in payload["entities"]:
+        ontology.add_entity(
+            Entity(
+                identifier=identifier,
+                name=name,
+                sub_ontology=SubOntology(sub),
+                definition=definition,
+                synonyms=tuple(synonyms),
+            )
+        )
+    for subject, relation, obj in payload["statements"]:
+        ontology.add_statement(subject, relation_by_name(relation), obj)
+    return ontology
+
+
+# -- corpora ----------------------------------------------------------------
+
+
+def sentences_to_payload(sentences: List[List[str]]) -> dict:
+    return {"format": CORPUS_FORMAT, "sentences": sentences}
+
+
+def sentences_from_payload(payload: dict) -> List[List[str]]:
+    return [list(sentence) for sentence in payload["sentences"]]
+
+
+# -- datasets ---------------------------------------------------------------
+
+
+def _triple_to_row(triple: LabeledTriple) -> list:
+    return [
+        triple.subject_id,
+        triple.subject_name,
+        triple.relation.name,
+        triple.object_id,
+        triple.object_name,
+        triple.label,
+    ]
+
+
+def _triple_from_row(row: list) -> LabeledTriple:
+    subject_id, subject_name, relation, object_id, object_name, label = row
+    return LabeledTriple(
+        subject_id=subject_id,
+        subject_name=subject_name,
+        relation=relation_by_name(relation),
+        object_id=object_id,
+        object_name=object_name,
+        label=int(label),
+    )
+
+
+def dataset_to_payload(dataset: Dataset) -> dict:
+    return {
+        "format": DATASET_FORMAT,
+        "name": dataset.name,
+        "triples": [_triple_to_row(t) for t in dataset],
+    }
+
+
+def dataset_from_payload(payload: dict) -> Dataset:
+    return Dataset(
+        [_triple_from_row(row) for row in payload["triples"]],
+        name=payload["name"],
+    )
+
+
+def split_to_payload(split: DatasetSplit) -> dict:
+    return {
+        "format": SPLIT_FORMAT,
+        "train": dataset_to_payload(split.train),
+        "test": dataset_to_payload(split.test),
+        "validation": (
+            dataset_to_payload(split.validation)
+            if split.validation is not None
+            else None
+        ),
+    }
+
+
+def split_from_payload(payload: dict) -> DatasetSplit:
+    return DatasetSplit(
+        train=dataset_from_payload(payload["train"]),
+        test=dataset_from_payload(payload["test"]),
+        validation=(
+            dataset_from_payload(payload["validation"])
+            if payload["validation"] is not None
+            else None
+        ),
+    )
+
+
+# -- token sets -------------------------------------------------------------
+
+
+def tokens_to_payload(tokens) -> dict:
+    """Stop-token sets; order is irrelevant to the filter, so sort for
+    stable files."""
+    return {"format": TOKENS_FORMAT, "tokens": sorted(tokens)}
+
+
+def tokens_from_payload(payload: dict) -> set:
+    return set(payload["tokens"])
+
+
+__all__ = [
+    "write_json",
+    "read_json",
+    "ontology_to_payload",
+    "ontology_from_payload",
+    "sentences_to_payload",
+    "sentences_from_payload",
+    "dataset_to_payload",
+    "dataset_from_payload",
+    "split_to_payload",
+    "split_from_payload",
+    "tokens_to_payload",
+    "tokens_from_payload",
+]

@@ -1,0 +1,295 @@
+"""The on-disk, content-addressed artifact store.
+
+Layout::
+
+    <root>/<stage-name>/<key>/          one complete entry (a directory)
+        meta.json                       written into the tmp dir last
+        ...                             stage-specific artifact files
+    <root>/<stage-name>/<key>.lock      build lock (pid + timestamp)
+    <root>/<stage-name>/.tmp-*          in-flight entries (renamed on commit)
+
+An entry is **complete** iff its directory exists with a ``meta.json``
+inside.  Writers build into a private ``.tmp-*`` sibling and ``os.rename``
+it over the final name, so readers never observe a partial entry and a
+killed writer leaves only a garbage-collectable temp directory.
+
+Concurrent writers (two benchmark processes warming the same store) are
+serialised per entry by a lockfile created with ``O_CREAT | O_EXCL``: the
+loser waits for the winner and then *loads* instead of double-building.  A
+lock older than ``stale_lock_s`` is presumed abandoned (holder crashed) and
+is broken.  Because keys are content addresses, even a lost race is
+harmless — both writers produce byte-identical entries and the rename picks
+one.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import shutil
+import tempfile
+import time
+import uuid
+from dataclasses import dataclass
+from fnmatch import fnmatch
+from pathlib import Path
+from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
+
+from repro.pipeline.stage import Stage
+from repro.utils.atomic import atomic_write
+
+PathLike = Union[str, Path]
+
+#: Environment variable pointing at a shared artifact store directory.
+ARTIFACTS_ENV_VAR = "REPRO_ARTIFACTS"
+
+META_NAME = "meta.json"
+META_FORMAT = "repro-artifact-v1"
+
+
+@dataclass(frozen=True)
+class ArtifactInfo:
+    """One complete store entry, as reported by :meth:`ArtifactStore.ls`."""
+
+    stage: str
+    key: str
+    path: Path
+    n_files: int
+    n_bytes: int
+    created_unix: float
+
+
+class ArtifactStoreError(RuntimeError):
+    """A store operation failed (corrupt entry, unbreakable lock, ...)."""
+
+
+class ArtifactStore:
+    """Content-addressed persistence for stage artifacts (see module docs)."""
+
+    def __init__(
+        self,
+        root: PathLike,
+        lock_timeout_s: float = 600.0,
+        stale_lock_s: float = 3600.0,
+        poll_interval_s: float = 0.05,
+    ):
+        self.root = Path(root)
+        self.lock_timeout_s = lock_timeout_s
+        self.stale_lock_s = stale_lock_s
+        self.poll_interval_s = poll_interval_s
+
+    @classmethod
+    def from_config(cls, config) -> Optional["ArtifactStore"]:
+        """The store named by ``config.artifact_dir`` or ``$REPRO_ARTIFACTS``.
+
+        Returns ``None`` when neither is set — the Lab then behaves exactly
+        as the pre-pipeline in-process-memo version did.
+        """
+        root = getattr(config, "artifact_dir", None) or os.environ.get(
+            ARTIFACTS_ENV_VAR
+        )
+        return cls(root) if root else None
+
+    # -- paths --------------------------------------------------------------
+
+    def entry_dir(self, stage: str, key: str) -> Path:
+        return self.root / stage / key
+
+    def _lock_path(self, stage: str, key: str) -> Path:
+        return self.root / stage / (key + ".lock")
+
+    def has(self, stage: str, key: str) -> bool:
+        """Whether a complete entry exists for ``(stage, key)``."""
+        return (self.entry_dir(stage, key) / META_NAME).is_file()
+
+    # -- load / save --------------------------------------------------------
+
+    def load(self, stage: Stage, key: str, inputs: Dict[str, object]) -> object:
+        """Load a complete entry through the stage's load hook."""
+        if stage.load is None:
+            raise ArtifactStoreError(f"stage {stage.name!r} is not persistable")
+        return stage.load(self.entry_dir(stage.name, key), inputs)
+
+    def put(self, stage: Stage, key: str, artifact: object) -> Path:
+        """Persist ``artifact`` as a complete entry; returns its directory.
+
+        Committing is atomic: the entry is assembled in a temp directory
+        (meta last) and renamed into place.  If a concurrent writer won the
+        rename race, its identical entry is kept and ours is discarded.
+        """
+        if stage.save is None:
+            raise ArtifactStoreError(f"stage {stage.name!r} is not persistable")
+        final = self.entry_dir(stage.name, key)
+        stage_dir = final.parent
+        stage_dir.mkdir(parents=True, exist_ok=True)
+        tmp = stage_dir / f".tmp-{key}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
+        tmp.mkdir()
+        try:
+            stage.save(artifact, tmp)
+            with atomic_write(tmp / META_NAME, "w") as handle:
+                json.dump(
+                    {
+                        "format": META_FORMAT,
+                        "stage": stage.name,
+                        "key": key,
+                        "version": stage.version,
+                        "created_unix": time.time(),
+                        "pid": os.getpid(),
+                    },
+                    handle,
+                    indent=2,
+                    sort_keys=True,
+                )
+            try:
+                os.rename(tmp, final)
+            except OSError:
+                if not self.has(stage.name, key):  # a real failure, not a race
+                    raise
+        finally:
+            if tmp.exists():
+                shutil.rmtree(tmp, ignore_errors=True)
+        return final
+
+    # -- locked build-or-load ------------------------------------------------
+
+    def _try_acquire(self, lock: Path) -> bool:
+        try:
+            fd = os.open(lock, os.O_CREAT | os.O_EXCL | os.O_WRONLY)
+        except FileExistsError:
+            return False
+        with os.fdopen(fd, "w") as handle:
+            json.dump({"pid": os.getpid(), "acquired_unix": time.time()}, handle)
+        return True
+
+    def _lock_is_stale(self, lock: Path) -> bool:
+        try:
+            age = time.time() - lock.stat().st_mtime
+        except FileNotFoundError:
+            return False
+        return age > self.stale_lock_s
+
+    def _release(self, lock: Path) -> None:
+        try:
+            lock.unlink()
+        except FileNotFoundError:
+            pass
+
+    def build_or_load(
+        self,
+        stage: Stage,
+        key: str,
+        inputs: Dict[str, object],
+        builder: Callable[[], object],
+    ) -> Tuple[object, str]:
+        """Return ``(artifact, status)`` where status is ``"hit"`` or
+        ``"miss"``; at most one process builds a given entry at a time."""
+        if self.has(stage.name, key):
+            return self.load(stage, key, inputs), "hit"
+        lock = self._lock_path(stage.name, key)
+        lock.parent.mkdir(parents=True, exist_ok=True)
+        deadline = time.monotonic() + self.lock_timeout_s
+        while not self._try_acquire(lock):
+            if self.has(stage.name, key):  # the other writer finished
+                return self.load(stage, key, inputs), "hit"
+            if self._lock_is_stale(lock):
+                self._release(lock)  # break an abandoned lock and retry
+                continue
+            if time.monotonic() > deadline:
+                raise ArtifactStoreError(
+                    f"timed out waiting for build lock {lock} "
+                    f"(another process may be stuck building {stage.name!r})"
+                )
+            time.sleep(self.poll_interval_s)
+        try:
+            if self.has(stage.name, key):  # completed while we acquired
+                return self.load(stage, key, inputs), "hit"
+            artifact = builder()
+            self.put(stage, key, artifact)
+            return artifact, "miss"
+        finally:
+            self._release(lock)
+
+    # -- maintenance ---------------------------------------------------------
+
+    def _iter_entries(self) -> Iterator[Tuple[str, str, Path]]:
+        if not self.root.is_dir():
+            return
+        for stage_dir in sorted(p for p in self.root.iterdir() if p.is_dir()):
+            for entry in sorted(p for p in stage_dir.iterdir() if p.is_dir()):
+                if not entry.name.startswith(".tmp-"):
+                    yield stage_dir.name, entry.name, entry
+
+    def ls(self) -> List[ArtifactInfo]:
+        """All complete entries, sorted by (stage, key)."""
+        infos = []
+        for stage, key, path in self._iter_entries():
+            meta_path = path / META_NAME
+            if not meta_path.is_file():
+                continue
+            try:
+                with open(meta_path, "r", encoding="utf-8") as handle:
+                    meta = json.load(handle)
+            except (OSError, json.JSONDecodeError):
+                continue
+            files = [p for p in path.iterdir() if p.is_file()]
+            infos.append(
+                ArtifactInfo(
+                    stage=stage,
+                    key=key,
+                    path=path,
+                    n_files=len(files),
+                    n_bytes=sum(p.stat().st_size for p in files),
+                    created_unix=float(meta.get("created_unix", 0.0)),
+                )
+            )
+        return infos
+
+    def invalidate(self, pattern: str) -> List[ArtifactInfo]:
+        """Remove every complete entry whose stage name matches ``pattern``
+        (``fnmatch`` glob, e.g. ``embedding-*``); returns what was removed."""
+        removed = []
+        for info in self.ls():
+            if fnmatch(info.stage, pattern):
+                shutil.rmtree(info.path, ignore_errors=True)
+                removed.append(info)
+        return removed
+
+    def gc(
+        self, max_age_days: Optional[float] = None, now: Optional[float] = None
+    ) -> List[Path]:
+        """Collect garbage; returns the removed paths.
+
+        Always removes abandoned ``.tmp-*`` directories, incomplete entries
+        (no ``meta.json``) and stale lockfiles.  With ``max_age_days`` set,
+        complete entries older than that are removed as well.
+        """
+        removed: List[Path] = []
+        if not self.root.is_dir():
+            return removed
+        now = time.time() if now is None else now
+        for stage_dir in sorted(p for p in self.root.iterdir() if p.is_dir()):
+            for child in sorted(stage_dir.iterdir()):
+                if child.is_dir() and child.name.startswith(".tmp-"):
+                    shutil.rmtree(child, ignore_errors=True)
+                    removed.append(child)
+                elif child.is_dir() and not (child / META_NAME).is_file():
+                    shutil.rmtree(child, ignore_errors=True)
+                    removed.append(child)
+                elif child.suffix == ".lock" and self._lock_is_stale(child):
+                    self._release(child)
+                    removed.append(child)
+        if max_age_days is not None:
+            cutoff = now - max_age_days * 86_400.0
+            for info in self.ls():
+                if info.created_unix < cutoff:
+                    shutil.rmtree(info.path, ignore_errors=True)
+                    removed.append(info.path)
+        return removed
+
+
+__all__ = [
+    "ARTIFACTS_ENV_VAR",
+    "ArtifactInfo",
+    "ArtifactStore",
+    "ArtifactStoreError",
+]

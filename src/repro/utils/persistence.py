@@ -22,6 +22,7 @@ import numpy as np
 from repro.bert.model import BertConfig, MiniBert
 from repro.bert.wordpiece import WordPieceTokenizer
 from repro.embeddings.base import StaticEmbeddings
+from repro.embeddings.fasttext import FastText, FastTextConfig
 from repro.text.vocab import Vocabulary
 from repro.utils.atomic import atomic_write
 
@@ -29,6 +30,7 @@ PathLike = Union[str, Path]
 
 _EMBEDDING_FORMAT = "repro-static-embeddings-v1"
 _BERT_FORMAT = "repro-minibert-v1"
+_FASTTEXT_FORMAT = "repro-fasttext-v1"
 
 
 def _npz_path(path: PathLike) -> Path:
@@ -51,6 +53,7 @@ def save_embeddings(model: StaticEmbeddings, path: PathLike) -> None:
             matrix=model.matrix,
             tokens=np.array(tokens, dtype=object),
             counts=np.array(counts, dtype=np.int64),
+            oov_seed=np.array(getattr(model, "oov_seed", 0), dtype=np.int64),
         )
 
 
@@ -70,9 +73,70 @@ def load_embeddings(path: PathLike) -> StaticEmbeddings:
         # the file was written with a different ordering convention.
         row_of = {token: row for row, token in enumerate(tokens)}
         order = [row_of[vocabulary.token_of(i)] for i in range(len(vocabulary))]
+        # oov_seed is absent from pre-pipeline archives; those were all
+        # written with the default seed 0.
+        oov_seed = int(data["oov_seed"]) if "oov_seed" in data.files else 0
         return StaticEmbeddings(
-            vocabulary, matrix[order], name=str(data["name"])
+            vocabulary, matrix[order], name=str(data["name"]), oov_seed=oov_seed
         )
+
+
+def save_fasttext(model: FastText, path: PathLike) -> None:
+    """Serialise a :class:`FastText` model (word + n-gram bucket table).
+
+    Unlike plain static embeddings, fastText composes vectors from hashed
+    subword rows, so the full table (vocab + bucket rows) and the training
+    config (n-gram lengths, bucket size) must round-trip exactly.
+    """
+    tokens = list(model.vocabulary)
+    counts = [model.vocabulary.count(t) for t in tokens]
+    config = model.config
+    config_json = json.dumps(
+        {
+            "dim": config.dim,
+            "window": config.window,
+            "negative": config.negative,
+            "epochs": config.epochs,
+            "learning_rate": config.learning_rate,
+            "min_count": config.min_count,
+            "batch_size": config.batch_size,
+            "min_n": config.min_n,
+            "max_n": config.max_n,
+            "bucket": config.bucket,
+            "seed": config.seed,
+        }
+    )
+    with atomic_write(_npz_path(path), "wb") as handle:
+        np.savez_compressed(
+            handle,
+            format=np.array(_FASTTEXT_FORMAT),
+            name=np.array(model.name),
+            config=np.array(config_json),
+            table=model.table,
+            tokens=np.array(tokens, dtype=object),
+            counts=np.array(counts, dtype=np.int64),
+        )
+
+
+def load_fasttext(path: PathLike) -> FastText:
+    """Load a fastText model written by :func:`save_fasttext`."""
+    with np.load(path, allow_pickle=True) as data:
+        if str(data["format"]) != _FASTTEXT_FORMAT:
+            raise ValueError(
+                f"{path} is not a {_FASTTEXT_FORMAT} file "
+                f"(found {data['format']!r})"
+            )
+        tokens = [str(t) for t in data["tokens"]]
+        counts = {t: int(c) for t, c in zip(tokens, data["counts"])}
+        vocabulary = Vocabulary(counts)
+        table = np.asarray(data["table"])
+        config = FastTextConfig(**json.loads(str(data["config"])))
+        # Word rows are indexed by vocabulary id; realign them in case the
+        # archive used a different ordering.  Bucket rows follow unchanged.
+        row_of = {token: row for row, token in enumerate(tokens)}
+        order = [row_of[vocabulary.token_of(i)] for i in range(len(vocabulary))]
+        realigned = np.concatenate([table[order], table[len(vocabulary):]])
+        return FastText(vocabulary, realigned, config, name=str(data["name"]))
 
 
 def save_bert(model: MiniBert, path: PathLike) -> None:
@@ -139,4 +203,11 @@ def load_bert(path: PathLike) -> MiniBert:
         return model
 
 
-__all__ = ["save_embeddings", "load_embeddings", "save_bert", "load_bert"]
+__all__ = [
+    "save_embeddings",
+    "load_embeddings",
+    "save_fasttext",
+    "load_fasttext",
+    "save_bert",
+    "load_bert",
+]

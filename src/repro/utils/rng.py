@@ -36,6 +36,23 @@ def stable_hash(*parts: object) -> int:
     return int.from_bytes(digest, "big") & _HASH_MASK
 
 
+def stable_digest(*parts: object) -> str:
+    """Return a 32-hex-char digest of ``parts``, stable across processes.
+
+    The content-addressed artifact store keys every stage by this digest of
+    its configuration slice, code version and upstream keys; like
+    :func:`stable_hash` it uses blake2b so keys agree between runs and hosts.
+
+    >>> stable_digest("a", 1) == stable_digest("a", 1)
+    True
+    >>> stable_digest("a") != stable_digest("b")
+    True
+    """
+    return hashlib.blake2b(
+        "\x1f".join(repr(p) for p in parts).encode("utf-8"), digest_size=16
+    ).hexdigest()
+
+
 def ensure_rng(seed: SeedLike = None) -> np.random.Generator:
     """Normalise ``seed`` into a :class:`numpy.random.Generator`.
 
@@ -65,4 +82,4 @@ def derive_rng(seed: SeedLike, *labels: object) -> np.random.Generator:
     return np.random.default_rng(stable_hash(base, *labels))
 
 
-__all__ = ["SeedLike", "stable_hash", "ensure_rng", "derive_rng"]
+__all__ = ["SeedLike", "stable_hash", "stable_digest", "ensure_rng", "derive_rng"]

@@ -1,6 +1,13 @@
 """Shared fixtures: small, session-scoped instances of the expensive objects."""
 
+import os
+
 import pytest
+
+# Hygiene: a developer's (or CI job's) shared artifact store must never leak
+# into the unit suite — tests construct Labs with many configs and assert on
+# build behaviour.  Tests that want a store set LabConfig.artifact_dir.
+os.environ.pop("REPRO_ARTIFACTS", None)
 
 from repro.core import Lab, LabConfig, build_task_dataset
 from repro.ontology import SynthesisConfig, synthesize_chebi_like
@@ -30,6 +37,32 @@ SMALL_LAB_CONFIG = LabConfig(
     rf_max_depth=10,
     lstm_epochs=2,
     seed=0,
+)
+
+
+#: Tiny apparatus for pipeline tests that build several fresh Labs; every
+#: stage (including BERT pretraining) completes in a few seconds total.
+MICRO_LAB_CONFIG = LabConfig(
+    n_chemical_entities=120,
+    corpus_documents=12,
+    corpus_sentences=6,
+    wordpiece_vocab=200,
+    bert_d_model=16,
+    bert_layers=1,
+    bert_heads=2,
+    bert_d_ff=32,
+    bert_max_len=24,
+    pretrain_epochs=1,
+    pretrain_sentences=60,
+    embedding_dim=8,
+    embedding_epochs=1,
+    glove_epochs=1,
+    max_train=120,
+    max_test=40,
+    rf_estimators=4,
+    rf_max_depth=4,
+    lstm_epochs=1,
+    ft_epochs=1,
 )
 
 

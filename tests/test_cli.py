@@ -47,6 +47,27 @@ class TestParser:
         with pytest.raises(SystemExit):
             build_parser().parse_args(["resume"])
 
+    def test_cache_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache"])
+
+    def test_cache_warm_defaults(self):
+        args = build_parser().parse_args(["cache", "warm"])
+        assert args.dir is None
+        assert args.jobs is None
+        assert args.executor == "thread"
+        assert args.entities is None
+
+    def test_cache_warm_executor_validated(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(
+                ["cache", "warm", "--executor", "telepathy"]
+            )
+
+    def test_cache_invalidate_requires_pattern(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["cache", "invalidate"])
+
 
 class TestCommands:
     def test_synthesize_and_census_round_trip(self, tmp_path, capsys):
@@ -249,3 +270,67 @@ class TestTraceCommand:
 
         out = render_manifest({"counters": {"other": 1}, "spans": []})
         assert "resilience" not in out
+
+
+def _populate_store(root):
+    """Drop a couple of toy entries into a store at ``root``."""
+    import json
+
+    from repro.pipeline.stage import Stage
+    from repro.pipeline.store import ArtifactStore
+
+    def save(artifact, entry_dir):
+        (entry_dir / "value.json").write_text(json.dumps(artifact))
+
+    def load(entry_dir, inputs):
+        return json.loads((entry_dir / "value.json").read_text())
+
+    store = ArtifactStore(root)
+    for name, key in (("ontology", "aaaa1111"), ("embedding-GloVe", "bbbb2222")):
+        stage = Stage(
+            name=name, build=lambda lab, inputs: None, save=save, load=load
+        )
+        store.put(stage, key, {"value": name})
+    return store
+
+
+class TestCacheCommands:
+    def test_no_store_configured_is_clean_error(self, monkeypatch, capsys):
+        monkeypatch.delenv("REPRO_ARTIFACTS", raising=False)
+        assert main(["cache", "ls"]) == 2
+        captured = capsys.readouterr()
+        assert "no artifact store" in captured.err
+        assert "REPRO_ARTIFACTS" in captured.err
+
+    def test_ls_lists_entries(self, tmp_path, capsys):
+        _populate_store(tmp_path)
+        assert main(["cache", "ls", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert "ontology" in out
+        assert "embedding-GloVe" in out
+        assert "2 entries" in out
+
+    def test_dir_falls_back_to_environment(self, tmp_path, monkeypatch, capsys):
+        _populate_store(tmp_path)
+        monkeypatch.setenv("REPRO_ARTIFACTS", str(tmp_path))
+        assert main(["cache", "ls"]) == 0
+        assert "2 entries" in capsys.readouterr().out
+
+    def test_invalidate_by_pattern(self, tmp_path, capsys):
+        store = _populate_store(tmp_path)
+        assert main([
+            "cache", "invalidate", "embedding-*", "--dir", str(tmp_path),
+        ]) == 0
+        out = capsys.readouterr().out
+        assert "invalidated embedding-GloVe" in out
+        assert "removed 1 entries" in out
+        assert not store.has("embedding-GloVe", "bbbb2222")
+        assert store.has("ontology", "aaaa1111")
+
+    def test_gc_reports_sweep(self, tmp_path, capsys):
+        _populate_store(tmp_path)
+        (tmp_path / "ontology" / ".tmp-abandoned").mkdir()
+        assert main(["cache", "gc", "--dir", str(tmp_path)]) == 0
+        out = capsys.readouterr().out
+        assert ".tmp-abandoned" in out
+        assert "gc: removed 1 paths" in out

@@ -32,6 +32,33 @@ class TestSubsample:
         assert n_pos + n_neg == 30
         assert n_pos == 20  # 2:1 ratio preserved
 
+    def test_default_seed_derives_from_dataset_identity(self):
+        dataset = self.make(60, 30)
+        # deterministic: the same dataset always draws the same subsample
+        assert (
+            subsample(dataset, 30).triples == subsample(dataset, 30).triples
+        )
+        # but the derived seed is a function of the dataset's identity, so
+        # differently-named datasets no longer share one hard-coded draw
+        renamed = Dataset(list(dataset), name="another-name")
+        assert (
+            subsample(dataset, 30).triples != subsample(renamed, 30).triples
+        )
+        # and of the cap
+        assert subsample(dataset, 30).triples != subsample(dataset, 31).triples[:30]
+
+    def test_explicit_seed_overrides_derivation(self):
+        dataset = self.make(60, 30)
+        renamed = Dataset(list(dataset), name=dataset.name)
+        assert (
+            subsample(dataset, 30, seed=1).triples
+            == subsample(renamed, 30, seed=1).triples
+        )
+        assert (
+            subsample(dataset, 30, seed=1).triples
+            != subsample(dataset, 30, seed=2).triples
+        )
+
 
 class TestLab:
     def test_caching_returns_same_objects(self, lab):

@@ -1,0 +1,154 @@
+"""Scheduler tests: parallel == serial, failure isolation, executors."""
+
+import dataclasses
+import threading
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import Lab
+from repro.obs.manifest import build_manifest, clear_context
+from repro.pipeline.graph import StageGraph
+from repro.pipeline.scheduler import StageScheduler
+from repro.pipeline.stage import Stage, StageError
+from tests.conftest import MICRO_LAB_CONFIG
+
+
+class ToyLab:
+    """The minimal Lab surface the scheduler drives, over a toy graph."""
+
+    def __init__(self, graph):
+        self.graph = graph
+        self.store = None
+        self.config = MICRO_LAB_CONFIG
+        self._cache = {}
+        self._lock = threading.Lock()
+        self.build_log = []
+
+    def materialize(self, name):
+        with self._lock:
+            if name in self._cache:
+                return self._cache[name]
+        stage = self.graph.stage(name)
+        inputs = {dep: self.materialize(dep) for dep in stage.deps}
+        artifact = stage.build(self, inputs)
+        with self._lock:
+            self._cache[name] = artifact
+            self.build_log.append(name)
+        return artifact
+
+
+def _toy_graph(failing=()):
+    def build(name):
+        def _build(lab, inputs):
+            if name in failing:
+                raise RuntimeError(f"{name} exploded")
+            return name
+
+        return _build
+
+    graph = StageGraph(
+        [
+            Stage(name="root", build=build("root")),
+            Stage(name="left", build=build("left"), deps=("root",)),
+            Stage(name="right", build=build("right"), deps=("root",)),
+            Stage(name="left-leaf", build=build("left-leaf"), deps=("left",)),
+            Stage(name="right-leaf", build=build("right-leaf"), deps=("right",)),
+        ]
+    )
+    graph.validate()
+    return graph
+
+
+class TestFailureIsolation:
+    def test_failure_surfaces_as_stage_error_naming_the_stage(self):
+        lab = ToyLab(_toy_graph(failing={"left"}))
+        with pytest.raises(StageError, match="stage 'left' failed") as info:
+            StageScheduler(lab).run(["left-leaf", "right-leaf"], jobs=2)
+        assert info.value.stage == "left"
+
+    def test_siblings_survive_and_descendants_skip(self):
+        lab = ToyLab(_toy_graph(failing={"left"}))
+        results = StageScheduler(lab).run(
+            ["left-leaf", "right-leaf"], jobs=2, raise_on_error=False
+        )
+        assert results["left"].status == "failed"
+        assert "exploded" in results["left"].error
+        assert results["left-leaf"].status == "skipped"
+        assert "left" in results["left-leaf"].error
+        # the failure does not poison the sibling branch
+        assert results["right"].status == "ok"
+        assert results["right-leaf"].status == "ok"
+        assert lab._cache["right-leaf"] == "right-leaf"
+        assert "left-leaf" not in lab._cache
+
+    def test_unknown_executor_rejected(self):
+        lab = ToyLab(_toy_graph())
+        with pytest.raises(ValueError, match="unknown executor"):
+            StageScheduler(lab).run(["root"], executor="carrier-pigeon")
+
+    def test_process_executor_requires_store(self):
+        lab = ToyLab(_toy_graph())
+        with pytest.raises(StageError, match="artifact store"):
+            StageScheduler(lab).run(["root"], executor="process")
+
+
+class TestDeterminism:
+    def test_parallel_matches_serial(self, tmp_path):
+        serial_lab = Lab(
+            dataclasses.replace(
+                MICRO_LAB_CONFIG, artifact_dir=str(tmp_path / "serial")
+            )
+        )
+        serial_results = serial_lab.warm(jobs=1)
+        parallel_lab = Lab(
+            dataclasses.replace(
+                MICRO_LAB_CONFIG, artifact_dir=str(tmp_path / "parallel")
+            )
+        )
+        parallel_results = parallel_lab.warm(jobs=4)
+
+        assert set(serial_results) == set(parallel_results)
+        assert all(r.status == "ok" for r in serial_results.values())
+        assert all(r.status == "ok" for r in parallel_results.values())
+
+        # identical artifacts regardless of schedule
+        assert (
+            serial_lab.dataset(1).triples == parallel_lab.dataset(1).triples
+        )
+        assert (
+            serial_lab.chemistry_sentences == parallel_lab.chemistry_sentences
+        )
+        for name in ("GloVe", "W2V-Chem", "GloVe-Chem"):
+            assert np.array_equal(
+                serial_lab.embedding(name).matrix,
+                parallel_lab.embedding(name).matrix,
+            ), name
+        assert np.allclose(
+            serial_lab.bert.pretrain_losses, parallel_lab.bert.pretrain_losses
+        )
+        # identical store contents: same stages, same content-addressed keys
+        serial_entries = [
+            (i.stage, i.key)
+            for i in serial_lab.store.ls()
+        ]
+        parallel_entries = [
+            (i.stage, i.key)
+            for i in parallel_lab.store.ls()
+        ]
+        assert serial_entries == parallel_entries
+
+    def test_manifest_records_stage_statuses(self, tmp_path):
+        clear_context()
+        lab = Lab(
+            dataclasses.replace(
+                MICRO_LAB_CONFIG, artifact_dir=str(tmp_path / "store")
+            )
+        )
+        lab.warm(jobs=2)
+        stages = build_manifest()["context"]["stages"]
+        assert stages["ontology"]["status"] == "miss"
+        assert stages["ontology"]["key"] == lab.stage_key("ontology")
+        assert stages["ontology"]["duration_s"] >= 0
+        # derived stages (no store entry) report as built
+        assert stages["embedding-Random"]["status"] == "built"

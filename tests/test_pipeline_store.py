@@ -1,0 +1,276 @@
+"""Artifact-store tests: round-trip identity, hits, locking, maintenance."""
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.core.experiment import Lab, LabConfig
+from repro.obs.manifest import build_manifest, clear_context
+from repro.pipeline.stage import Stage
+from repro.pipeline.store import (
+    ARTIFACTS_ENV_VAR,
+    ArtifactStore,
+    ArtifactStoreError,
+)
+from tests.conftest import MICRO_LAB_CONFIG
+
+import dataclasses
+
+
+def _micro_config(artifact_dir=None, **overrides):
+    return dataclasses.replace(
+        MICRO_LAB_CONFIG, artifact_dir=artifact_dir, **overrides
+    )
+
+
+@pytest.fixture(scope="module")
+def warm_store(tmp_path_factory):
+    """A store populated by one micro Lab, plus that (cold) Lab."""
+    root = tmp_path_factory.mktemp("artifacts")
+    lab = Lab(LabConfig(**dataclasses.asdict(_micro_config(str(root)))))
+    lab.warm(jobs=1)
+    return root, lab
+
+
+class TestFromConfig:
+    def test_prefers_config_dir(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ARTIFACTS_ENV_VAR, str(tmp_path / "env"))
+        store = ArtifactStore.from_config(
+            LabConfig(artifact_dir=str(tmp_path / "cfg"))
+        )
+        assert store.root == tmp_path / "cfg"
+
+    def test_falls_back_to_environment(self, tmp_path, monkeypatch):
+        monkeypatch.setenv(ARTIFACTS_ENV_VAR, str(tmp_path / "env"))
+        store = ArtifactStore.from_config(LabConfig())
+        assert store.root == tmp_path / "env"
+
+    def test_disabled_without_either(self, monkeypatch):
+        monkeypatch.delenv(ARTIFACTS_ENV_VAR, raising=False)
+        assert ArtifactStore.from_config(LabConfig()) is None
+
+
+class TestWarmRunLoadsEverything:
+    def test_fresh_lab_hits_for_all_persistable_stages(self, warm_store):
+        root, cold_lab = warm_store
+        clear_context()
+        warm_lab = Lab(_micro_config(str(root)))
+        warm_lab.embeddings
+        warm_lab.ml_split(1)
+        warm_lab.ft_split(1)
+        warm_lab.adaptation_filter("task-oriented", "W2V-Chem")
+        stages = build_manifest()["context"]["stages"]
+        persistable = {
+            name
+            for name, status in stages.items()
+            if warm_lab.graph.stage(name).persistable
+        }
+        assert "ontology" in persistable
+        assert "bert" in persistable
+        assert "embedding-GloVe-Chem" in persistable
+        misses = {
+            name for name in persistable if stages[name]["status"] != "hit"
+        }
+        assert not misses, f"substrates rebuilt on warm run: {misses}"
+
+    def test_round_trip_is_byte_identical(self, warm_store):
+        root, cold_lab = warm_store
+        warm_lab = Lab(_micro_config(str(root)))
+        # embeddings: tables, vocabulary order and OOV draws all match
+        for name in ("GloVe", "W2V-Chem", "GloVe-Chem", "BioWordVec"):
+            fresh = cold_lab.embedding(name)
+            loaded = warm_lab.embedding(name)
+            fresh_table = fresh.table if name == "BioWordVec" else fresh.matrix
+            loaded_table = loaded.table if name == "BioWordVec" else loaded.matrix
+            assert np.array_equal(fresh_table, loaded_table), name
+            for token in ("acid", "zz-never-seen-token"):
+                assert np.array_equal(
+                    fresh.vector(token), loaded.vector(token)
+                ), (name, token)
+        # datasets and splits: same triples in the same order, same names
+        assert cold_lab.dataset(1).name == warm_lab.dataset(1).name
+        assert cold_lab.dataset(1).triples == warm_lab.dataset(1).triples
+        assert (
+            cold_lab.ml_split(1).train.triples
+            == warm_lab.ml_split(1).train.triples
+        )
+        # corpora and tokenizer
+        assert cold_lab.chemistry_sentences == warm_lab.chemistry_sentences
+        assert [
+            cold_lab.wordpiece.piece_of(i)
+            for i in range(len(cold_lab.wordpiece))
+        ] == [
+            warm_lab.wordpiece.piece_of(i)
+            for i in range(len(warm_lab.wordpiece))
+        ]
+        # BERT round-trips with its pretraining curve attached
+        assert np.allclose(
+            cold_lab.bert.pretrain_losses, warm_lab.bert.pretrain_losses
+        )
+
+    def test_table_cells_match_cold_run(self, warm_store):
+        root, cold_lab = warm_store
+        warm_lab = Lab(_micro_config(str(root)))
+        cold_report, _ = cold_lab.evaluate_random_forest(1, "W2V-Chem", "naive")
+        warm_report, _ = warm_lab.evaluate_random_forest(1, "W2V-Chem", "naive")
+        assert cold_report == warm_report
+        assert cold_lab.evaluate_fine_tuned(1) == warm_lab.evaluate_fine_tuned(1)
+
+
+def _json_stage(name="toy", deps=(), version="1", build=None):
+    def save(artifact, entry_dir: Path):
+        (entry_dir / "value.json").write_text(json.dumps(artifact))
+
+    def load(entry_dir: Path, inputs):
+        return json.loads((entry_dir / "value.json").read_text())
+
+    return Stage(
+        name=name,
+        build=build or (lambda lab, inputs: {"value": 42}),
+        deps=deps,
+        version=version,
+        save=save,
+        load=load,
+    )
+
+
+class TestPutAndLocking:
+    def test_put_creates_complete_entry(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        stage = _json_stage()
+        store.put(stage, "k1", {"value": 1})
+        assert store.has("toy", "k1")
+        assert (store.entry_dir("toy", "k1") / "meta.json").is_file()
+        loaded = store.load(stage, "k1", {})
+        assert loaded == {"value": 1}
+
+    def test_failed_save_leaves_no_entry_and_no_temp(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+
+        def bad_save(artifact, entry_dir):
+            raise RuntimeError("disk on fire")
+
+        stage = Stage(
+            name="toy",
+            build=lambda lab, inputs: None,
+            save=bad_save,
+            load=lambda entry_dir, inputs: None,
+        )
+        with pytest.raises(RuntimeError, match="disk on fire"):
+            store.put(stage, "k1", object())
+        assert not store.has("toy", "k1")
+        leftovers = [
+            p for p in (tmp_path / "toy").iterdir() if p.name.startswith(".tmp-")
+        ]
+        assert leftovers == []
+
+    def test_unpersistable_stage_is_store_error(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        bare = Stage(name="bare", build=lambda lab, inputs: None)
+        with pytest.raises(ArtifactStoreError, match="not persistable"):
+            store.put(bare, "k", object())
+        with pytest.raises(ArtifactStoreError, match="not persistable"):
+            store.load(bare, "k", {})
+
+    def test_concurrent_build_or_load_builds_once(self, tmp_path):
+        store = ArtifactStore(tmp_path, poll_interval_s=0.005)
+        builds = []
+        gate = threading.Event()
+
+        def build():
+            gate.wait(timeout=5)
+            time.sleep(0.05)  # hold the lock long enough to force a wait
+            builds.append(1)
+            return {"value": 7}
+
+        stage = _json_stage(build=lambda lab, inputs: None)
+        results = []
+
+        def worker():
+            artifact, status = store.build_or_load(stage, "k", {}, build)
+            results.append((artifact, status))
+
+        threads = [threading.Thread(target=worker) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        gate.set()
+        for thread in threads:
+            thread.join()
+        assert len(builds) == 1, "entry was double-built"
+        assert sorted(status for _, status in results) == [
+            "hit", "hit", "hit", "miss",
+        ]
+        assert all(artifact == {"value": 7} for artifact, _ in results)
+
+    def test_stale_lock_is_broken(self, tmp_path):
+        store = ArtifactStore(tmp_path, stale_lock_s=0.01, poll_interval_s=0.005)
+        stage = _json_stage()
+        lock = store._lock_path("toy", "k")
+        lock.parent.mkdir(parents=True)
+        lock.write_text("{}")
+        os.utime(lock, (time.time() - 3600, time.time() - 3600))
+        artifact, status = store.build_or_load(
+            stage, "k", {}, lambda: {"value": 3}
+        )
+        assert (artifact, status) == ({"value": 3}, "miss")
+
+    def test_lock_timeout_raises(self, tmp_path):
+        store = ArtifactStore(
+            tmp_path, lock_timeout_s=0.05, stale_lock_s=3600,
+            poll_interval_s=0.005,
+        )
+        stage = _json_stage()
+        lock = store._lock_path("toy", "k")
+        lock.parent.mkdir(parents=True)
+        lock.write_text("{}")  # held forever by a "live" builder
+        with pytest.raises(ArtifactStoreError, match="timed out"):
+            store.build_or_load(stage, "k", {}, lambda: {"value": 3})
+
+
+class TestMaintenance:
+    def test_ls_reports_entries(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        stage = _json_stage()
+        store.put(stage, "k1", {"value": 1})
+        store.put(stage, "k2", {"value": 2})
+        infos = store.ls()
+        assert [(i.stage, i.key) for i in infos] == [("toy", "k1"), ("toy", "k2")]
+        assert all(i.n_files == 2 and i.n_bytes > 0 for i in infos)
+
+    def test_invalidate_by_glob(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(_json_stage(name="embedding-a"), "k", {"value": 1})
+        store.put(_json_stage(name="embedding-b"), "k", {"value": 2})
+        store.put(_json_stage(name="ontology"), "k", {"value": 3})
+        removed = store.invalidate("embedding-*")
+        assert sorted(i.stage for i in removed) == ["embedding-a", "embedding-b"]
+        assert not store.has("embedding-a", "k")
+        assert store.has("ontology", "k")
+
+    def test_gc_sweeps_debris(self, tmp_path):
+        store = ArtifactStore(tmp_path, stale_lock_s=0.01)
+        stage = _json_stage()
+        store.put(stage, "keep", {"value": 1})
+        stage_dir = tmp_path / "toy"
+        (stage_dir / ".tmp-abandoned").mkdir()
+        (stage_dir / "incomplete").mkdir()  # no meta.json
+        stale = stage_dir / "dead.lock"
+        stale.write_text("{}")
+        os.utime(stale, (time.time() - 3600, time.time() - 3600))
+        removed = store.gc()
+        removed_names = {p.name for p in removed}
+        assert removed_names == {".tmp-abandoned", "incomplete", "dead.lock"}
+        assert store.has("toy", "keep")
+
+    def test_gc_max_age_evicts_old_entries(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        stage = _json_stage()
+        store.put(stage, "old", {"value": 1})
+        removed = store.gc(max_age_days=1, now=time.time() + 2 * 86_400)
+        assert [p.name for p in removed] == ["old"]
+        assert not store.has("toy", "old")
