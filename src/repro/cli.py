@@ -11,7 +11,10 @@ Commands:
 * ``resume`` — inspect a checkpoint journal left by an interrupted run;
 * ``cache`` — manage the persistent artifact store (``ls``, ``gc``,
   ``invalidate``, ``warm``).  The store directory comes from ``--dir`` or
-  the ``$REPRO_ARTIFACTS`` environment variable.
+  the ``$REPRO_ARTIFACTS`` environment variable;
+* ``lint`` — run the ``repro.statcheck`` static analyzer over the package
+  (or given paths).  Exit 0 clean, 1 findings, 2 analyzer error;
+  ``--quick`` runs only the compile/import-cycle smoke check.
 
 Every command is deterministic given ``--seed``.  The global ``--trace``
 flag enables span tracing and stderr progress for any command (equivalent
@@ -362,7 +365,7 @@ def cmd_cache_ls(args: argparse.Namespace) -> int:
         ["stage", "key", "files", "KiB", "age (min)"],
         precision=1,
     )
-    now = time.time()
+    now = time.time()  # statcheck: ignore[DET003] - display-only entry age, never hashed
     for info in infos:
         table.add_row(
             info.stage,
@@ -458,6 +461,51 @@ def cmd_resume(args: argparse.Namespace) -> int:
     if n_failed:
         print(f"degraded deliveries (permanent failures): {n_failed}")
     return 0
+
+
+def cmd_lint(args: argparse.Namespace) -> int:
+    """Run the static analyzer; exit 0 clean / 1 findings / 2 crash."""
+    import json
+
+    from repro import statcheck
+
+    try:
+        paths = args.paths or None
+        if args.quick:
+            started = time.perf_counter()
+            findings = statcheck.quick_check(paths)
+            report = statcheck.LintReport(
+                findings=findings,
+                n_files=len(statcheck.discover_files(paths)),
+                duration_s=time.perf_counter() - started,
+            )
+        else:
+            rules = (
+                statcheck.select_rules(args.rules.split(","))
+                if args.rules
+                else None
+            )
+            report = statcheck.run_lint(paths, rules=rules)
+        statcheck.record_inventory(report)
+        if args.output:
+            with open(args.output, "w", encoding="utf-8") as handle:
+                statcheck.write_json(report, handle)
+        if args.format == "json":
+            print(
+                json.dumps(
+                    statcheck.render_json(report), indent=2, sort_keys=True
+                )
+            )
+        else:
+            print(statcheck.render_text(report, verbose=args.verbose))
+    except statcheck.StatcheckError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    # statcheck: ignore[RES001] - exit code 2 IS the accounting; CI treats it as a crash
+    except Exception as error:
+        print(f"error: statcheck crashed: {error}", file=sys.stderr)
+        return 2
+    return 0 if report.ok else 1
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -597,6 +645,35 @@ def build_parser() -> argparse.ArgumentParser:
         "matching the benchmark suite)",
     )
     cache_warm.set_defaults(func=cmd_cache_warm)
+
+    lint = subparsers.add_parser(
+        "lint",
+        help="static analysis: determinism, stage purity, concurrency, "
+        "resilience/obs contracts",
+    )
+    lint.add_argument(
+        "paths", nargs="*",
+        help="files/dirs to lint (default: the installed repro package)",
+    )
+    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--quick", action="store_true",
+        help="only the compile + import-cycle smoke check",
+    )
+    lint.add_argument(
+        "--rules", default=None,
+        help="comma-separated rule ids or families, "
+        "e.g. 'determinism,CONC001'",
+    )
+    lint.add_argument(
+        "--output", default=None,
+        help="also write the JSON report to this path",
+    )
+    lint.add_argument(
+        "--verbose", action="store_true",
+        help="also list suppressed findings (text format)",
+    )
+    lint.set_defaults(func=cmd_lint)
 
     return parser
 

@@ -26,6 +26,7 @@ from repro.resilience.retry import CircuitOpenError, RetryError, RetryPolicy
 from repro.ml.features import FeatureExtractor, TokenFilter
 from repro.ml.forest import RandomForest, RandomForestConfig
 from repro.ml.lstm import LSTMClassifier, LSTMConfig
+from repro.obs.trace import get_tracer
 from repro.utils.rng import SeedLike, derive_rng
 
 
@@ -261,6 +262,7 @@ class ICLParadigm(Paradigm):
                 else:
                     text = self.retry.call(self.client.complete, prompt)
             except (ChatClientError, RetryError, CircuitOpenError):
+                get_tracer().count("icl.client_failures")
                 results.append(None)
                 continue
             answer = parse_response(text)

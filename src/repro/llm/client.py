@@ -135,7 +135,7 @@ class HTTPChatClient(ChatClient):
             payload["temperature"] = self.temperature
         request = urllib.request.Request(
             self.endpoint,
-            data=json.dumps(payload).encode("utf-8"),
+            data=json.dumps(payload, sort_keys=True).encode("utf-8"),
             headers={
                 "Content-Type": "application/json",
                 "Authorization": f"Bearer {self.api_key}",

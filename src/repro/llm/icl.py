@@ -210,6 +210,7 @@ def _deliver(client: ChatClient, prompt: str, retry: Optional[RetryPolicy]) -> s
         else:
             text = retry.call(client.complete, prompt)
     except (ChatClientError, RetryError, CircuitOpenError):
+        get_tracer().count("icl.client_failures")
         return FAILED
     return parse_response(text)
 

@@ -38,10 +38,16 @@ class ManifestError(Exception):
 #: Process-wide context merged into every manifest (configs, seeds, labels).
 _run_context: Dict[str, object] = {}
 
+#: Guards every mutation of the run context — stage events arrive
+#: concurrently from the scheduler, and configs/labels may be recorded from
+#: worker threads at the same time.
+_context_lock = threading.Lock()
+
 
 def set_context(**fields) -> None:
     """Attach key/value pairs to every subsequently written manifest."""
-    _run_context.update(fields)
+    with _context_lock:
+        _run_context.update(fields)
 
 
 def record_config(config: object, key: str = "lab_config") -> None:
@@ -51,19 +57,17 @@ def record_config(config: object, key: str = "lab_config") -> None:
     the apparatus that produced them; last constructed Lab wins.
     """
     if dataclasses.is_dataclass(config) and not isinstance(config, type):
-        _run_context[key] = dataclasses.asdict(config)
+        payload = dataclasses.asdict(config)
     else:
-        _run_context[key] = config
+        payload = config
+    with _context_lock:
+        _run_context[key] = payload
 
 
 def clear_context() -> None:
     """Drop all recorded run context (used by tests)."""
-    _run_context.clear()
-
-
-#: Guards the ``stages`` sub-dict of the run context (stages materialise
-#: concurrently under the scheduler).
-_stage_lock = threading.Lock()
+    with _context_lock:
+        _run_context.clear()
 
 
 def record_stage_event(
@@ -80,7 +84,7 @@ def record_stage_event(
     reused — the warm-run assertion CI makes.  Repeat events for one stage
     (several Labs in one process) keep the latest status and a count.
     """
-    with _stage_lock:
+    with _context_lock:
         stages = _run_context.setdefault("stages", {})
         entry = stages.get(stage)
         record = {
@@ -120,12 +124,15 @@ def build_manifest(
 ) -> dict:
     """Assemble the manifest dictionary from the tracer's current state."""
     tracer = tracer or get_tracer()
+    with _context_lock:
+        context = dict(_run_context)
     manifest = {
         "format": MANIFEST_FORMAT,
+        # statcheck: ignore[DET003] - manifests record when the run happened by design
         "created_unix": time.time(),
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "environment": environment_info(),
-        "context": dict(_run_context),
+        "context": context,
         "spans": [root.to_dict() for root in tracer.roots()],
         "counters": tracer.counters(),
         "memory": memory_metrics(),

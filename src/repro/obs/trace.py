@@ -140,6 +140,7 @@ class Span:
     # -- context protocol ----------------------------------------------------
 
     def __enter__(self) -> "Span":
+        # statcheck: ignore[DET003] - wall-clock span metadata, never hashed
         self.start_wall = time.time()
         self._start = time.perf_counter()
         self._tracer._push(self)

@@ -244,6 +244,7 @@ def _build_bert(lab, inputs):
         PretrainConfig(epochs=config.pretrain_epochs, seed=config.seed),
     )
     # Canonicalise RNG state via a serialisation round-trip (module docstring).
+    # statcheck: ignore[PUR002] - scratch dir vanishes before return; output depends only on inputs
     with tempfile.TemporaryDirectory(prefix="repro-bert-") as tmp:
         _save_bert_model(model, Path(tmp))
         return _load_bert_model(Path(tmp), inputs)

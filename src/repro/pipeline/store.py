@@ -122,6 +122,7 @@ class ArtifactStore:
         final = self.entry_dir(stage.name, key)
         stage_dir = final.parent
         stage_dir.mkdir(parents=True, exist_ok=True)
+        # statcheck: ignore[DET003] - tmp-dir name needs uniqueness, not determinism
         tmp = stage_dir / f".tmp-{key}-{os.getpid()}-{uuid.uuid4().hex[:8]}"
         tmp.mkdir()
         try:
@@ -133,6 +134,7 @@ class ArtifactStore:
                         "stage": stage.name,
                         "key": key,
                         "version": stage.version,
+                        # statcheck: ignore[DET003] - provenance timestamp, not part of the key
                         "created_unix": time.time(),
                         "pid": os.getpid(),
                     },
@@ -158,11 +160,18 @@ class ArtifactStore:
         except FileExistsError:
             return False
         with os.fdopen(fd, "w") as handle:
-            json.dump({"pid": os.getpid(), "acquired_unix": time.time()}, handle)
+            # statcheck: ignore[DET003] - lock-age bookkeeping for stale-lock detection
+            acquired = time.time()
+            json.dump(
+                {"acquired_unix": acquired, "pid": os.getpid()},
+                handle,
+                sort_keys=True,
+            )
         return True
 
     def _lock_is_stale(self, lock: Path) -> bool:
         try:
+            # statcheck: ignore[DET003] - lock age is inherently wall-clock
             age = time.time() - lock.stat().st_mtime
         except FileNotFoundError:
             return False
@@ -266,7 +275,7 @@ class ArtifactStore:
         removed: List[Path] = []
         if not self.root.is_dir():
             return removed
-        now = time.time() if now is None else now
+        now = time.time() if now is None else now  # statcheck: ignore[DET003] - gc ages entries by wall-clock; tests inject `now`
         for stage_dir in sorted(p for p in self.root.iterdir() if p.is_dir()):
             for child in sorted(stage_dir.iterdir()):
                 if child.is_dir() and child.name.startswith(".tmp-"):

@@ -81,7 +81,11 @@ class Journal:
                 self.path.parent.mkdir(parents=True, exist_ok=True)
             self._handle = open(self.path, "a", encoding="utf-8")
         self._handle.write(
-            json.dumps({"key": key, "value": value}, separators=(",", ":"))
+            json.dumps(
+                {"key": key, "value": value},
+                separators=(",", ":"),
+                sort_keys=True,
+            )
             + "\n"
         )
         self._handle.flush()

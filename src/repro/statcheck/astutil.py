@@ -1,0 +1,122 @@
+"""Shared AST helpers: dotted names, import-alias resolution, lock scopes.
+
+Every rule wants to answer the same two questions about a call site —
+*"what fully-qualified thing is being called?"* (``np.random.seed`` must
+resolve through ``import numpy as np``) and *"where am I?"* (inside which
+function, inside a ``with <lock>:`` block, ...).  The helpers here answer
+them once so the rules stay small.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, Optional
+
+
+def dotted_name(node: ast.AST) -> Optional[str]:
+    """``"np.random.seed"`` for a Name/Attribute chain, else ``None``."""
+    parts = []
+    while isinstance(node, ast.Attribute):
+        parts.append(node.attr)
+        node = node.value
+    if not isinstance(node, ast.Name):
+        return None
+    parts.append(node.id)
+    return ".".join(reversed(parts))
+
+
+def build_alias_map(tree: ast.Module) -> Dict[str, str]:
+    """Local name -> full dotted path, from the module's import statements.
+
+    ``import numpy as np`` maps ``np -> numpy``; ``from numpy import
+    random`` maps ``random -> numpy.random``; relative imports are skipped
+    (rules match on absolute names).  Function-level imports are included
+    too — aliasing is name-based, not scope-exact, which is adequate for a
+    linter and errs on the side of finding things.
+    """
+    aliases: Dict[str, str] = {}
+    for node in ast.walk(tree):
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                local = alias.asname or alias.name.partition(".")[0]
+                target = alias.name if alias.asname else local
+                aliases[local] = target
+        elif isinstance(node, ast.ImportFrom):
+            if node.level or not node.module:
+                continue
+            for alias in node.names:
+                if alias.name == "*":
+                    continue
+                local = alias.asname or alias.name
+                aliases[local] = f"{node.module}.{alias.name}"
+    return aliases
+
+
+def resolve_name(node: ast.AST, aliases: Dict[str, str]) -> Optional[str]:
+    """Fully-qualified dotted name of an expression, alias-resolved."""
+    name = dotted_name(node)
+    if name is None:
+        return None
+    root, _, rest = name.partition(".")
+    full = aliases.get(root, root)
+    return f"{full}.{rest}" if rest else full
+
+
+def resolve_call(node: ast.Call, aliases: Dict[str, str]) -> Optional[str]:
+    """Fully-qualified dotted name of a call's target, alias-resolved."""
+    return resolve_name(node.func, aliases)
+
+
+def last_segment(qualified: Optional[str]) -> str:
+    """The final attribute of a dotted name (``""`` for ``None``)."""
+    return qualified.rsplit(".", 1)[-1] if qualified else ""
+
+
+def is_lock_context(item: ast.withitem) -> bool:
+    """Whether a with-item looks like a lock acquisition.
+
+    Matches ``with self._lock:``, ``with _GRAPH_LOCK:``, and factory calls
+    like ``with self._lock_for(name):`` — anything whose final name segment
+    contains ``lock``.
+    """
+    expr = item.context_expr
+    if isinstance(expr, ast.Call):
+        expr = expr.func
+    name = dotted_name(expr)
+    return bool(name) and "lock" in name.rsplit(".", 1)[-1].lower()
+
+
+def walk_with_lock_depth(node: ast.AST, depth: int = 0) -> Iterator[tuple]:
+    """Yield ``(child, lock_depth)`` for every descendant statement/expr.
+
+    ``lock_depth`` counts enclosing ``with <lock>:`` blocks, so a rule can
+    ask "was this mutation performed while holding a lock?" without
+    re-walking the tree per candidate.
+    """
+    for child in ast.iter_child_nodes(node):
+        child_depth = depth
+        if isinstance(child, (ast.With, ast.AsyncWith)) and any(
+            is_lock_context(item) for item in child.items
+        ):
+            child_depth += 1
+        yield child, child_depth
+        yield from walk_with_lock_depth(child, child_depth)
+
+
+def iter_functions(tree: ast.Module) -> Iterator[ast.FunctionDef]:
+    """Every (sync or async) function definition in the module, any depth."""
+    for node in ast.walk(tree):
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+            yield node
+
+
+__all__ = [
+    "dotted_name",
+    "build_alias_map",
+    "resolve_name",
+    "resolve_call",
+    "last_segment",
+    "is_lock_context",
+    "walk_with_lock_depth",
+    "iter_functions",
+]

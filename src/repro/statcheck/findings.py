@@ -1,0 +1,37 @@
+"""Core datatypes of the statcheck analyzer.
+
+A :class:`Finding` is a problem *in the analyzed code* (non-zero lint exit
+code 1); a :class:`StatcheckError` is a failure *of the analyzer itself*
+(bad target path, internal crash — CLI exit code 2).  Keeping the two
+distinct is what lets CI tell "the tree regressed" apart from "the linter
+broke".
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+
+
+class StatcheckError(RuntimeError):
+    """The analyzer failed to run (missing target, internal error)."""
+
+
+@dataclass(frozen=True, order=True)
+class Finding:
+    """One rule violation, anchored to a source location.
+
+    Ordering is (path, line, col, rule) so reports are stable regardless of
+    rule execution order.
+    """
+
+    path: str
+    line: int
+    col: int
+    rule: str
+    message: str
+
+    def render(self) -> str:
+        return f"{self.path}:{self.line}:{self.col}: {self.rule} {self.message}"
+
+
+__all__ = ["Finding", "StatcheckError"]

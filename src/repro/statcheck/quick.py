@@ -1,0 +1,185 @@
+"""``repro lint --quick``: compile + import-cycle smoke check.
+
+A broken module normally surfaces as a wall of pytest collection errors;
+this check fails in milliseconds instead.  Two probes:
+
+* **CYC-compile** (reported as ``SYN001``): every file must byte-compile
+  (the same check ``py_compile`` performs, run in-process via
+  :func:`compile` so nothing is written to disk);
+* **CYC001**: the *module-level* import graph among first-party modules
+  must be acyclic.  Function-level imports are excluded — deferring an
+  import into a function is the sanctioned way to break a cycle, and the
+  shipped tree uses it (e.g. ``pipeline/stages.py`` importing
+  ``core.experiment`` lazily).
+"""
+
+from __future__ import annotations
+
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Set
+
+from repro.statcheck.engine import (
+    PathLike,
+    SYNTAX_RULE,
+    discover_files,
+    module_name,
+)
+from repro.statcheck.findings import Finding
+
+#: Engine-level rule id for module-level import cycles.
+CYCLE_RULE = "CYC001"
+
+
+def _compile_findings(path: Path, rel: str, source: str) -> List[Finding]:
+    try:
+        compile(source, str(path), "exec")
+    except SyntaxError as error:
+        return [
+            Finding(
+                path=rel,
+                line=error.lineno or 1,
+                col=(error.offset or 0) + 1,
+                rule=SYNTAX_RULE,
+                message=f"file does not compile: {error.msg}",
+            )
+        ]
+    except ValueError as error:  # null bytes and friends
+        return [
+            Finding(
+                path=rel, line=1, col=1, rule=SYNTAX_RULE,
+                message=f"file does not compile: {error}",
+            )
+        ]
+    return []
+
+
+def _module_level_imports(
+    source: str, path: Path, package: str, known: Set[str]
+) -> Set[str]:
+    """First-party modules imported at module level (absolute names).
+
+    ``from X import Y`` depends on module ``X.Y`` when that is itself a
+    module in the analyzed set; only otherwise is it an attribute read of
+    package ``X``.  Without this distinction every submodule import would
+    manufacture an edge onto its parent ``__init__`` and the universal
+    re-export pattern (``__init__`` importing its own submodules) would be
+    reported as a cycle.
+    """
+    import ast
+
+    try:
+        tree = ast.parse(source, filename=str(path))
+    except SyntaxError:
+        return set()
+    imports: Set[str] = set()
+    for node in tree.body:  # module level only — function imports are lazy
+        if isinstance(node, ast.Import):
+            for alias in node.names:
+                if alias.name.split(".")[0] == package and alias.name in known:
+                    imports.add(alias.name)
+        elif isinstance(node, ast.ImportFrom) and node.module:
+            if node.level or node.module.split(".")[0] != package:
+                continue
+            for alias in node.names:
+                candidate = f"{node.module}.{alias.name}"
+                if candidate in known:
+                    imports.add(candidate)
+                elif node.module in known:
+                    imports.add(node.module)
+    return imports
+
+
+def _cycles(edges: Dict[str, Set[str]]) -> List[List[str]]:
+    """Strongly connected components with more than one node (or a self
+    edge), via iterative Tarjan — the cycles of the import graph."""
+    index: Dict[str, int] = {}
+    low: Dict[str, int] = {}
+    on_stack: Set[str] = set()
+    stack: List[str] = []
+    counter = [0]
+    cycles: List[List[str]] = []
+
+    def strongconnect(root: str) -> None:
+        work = [(root, iter(sorted(edges.get(root, ()))))]
+        index[root] = low[root] = counter[0]
+        counter[0] += 1
+        stack.append(root)
+        on_stack.add(root)
+        while work:
+            node, successors = work[-1]
+            advanced = False
+            for succ in successors:
+                if succ not in index:
+                    index[succ] = low[succ] = counter[0]
+                    counter[0] += 1
+                    stack.append(succ)
+                    on_stack.add(succ)
+                    work.append((succ, iter(sorted(edges.get(succ, ())))))
+                    advanced = True
+                    break
+                if succ in on_stack:
+                    low[node] = min(low[node], index[succ])
+            if advanced:
+                continue
+            work.pop()
+            if work:
+                parent = work[-1][0]
+                low[parent] = min(low[parent], low[node])
+            if low[node] == index[node]:
+                component = []
+                while True:
+                    member = stack.pop()
+                    on_stack.discard(member)
+                    component.append(member)
+                    if member == node:
+                        break
+                if len(component) > 1 or node in edges.get(node, ()):
+                    cycles.append(sorted(component))
+
+    for node in sorted(edges):
+        if node not in index:
+            strongconnect(node)
+    return cycles
+
+
+def quick_check(paths: Optional[Sequence[PathLike]] = None) -> List[Finding]:
+    """Compile every file and verify the import graph is acyclic."""
+    files = discover_files(paths)
+    findings: List[Finding] = []
+    modules: Dict[str, Path] = {}
+    sources: Dict[Path, str] = {}
+    rels: Dict[str, str] = {}
+    for path in files:
+        source = path.read_text(encoding="utf-8")
+        sources[path] = source
+        rel = str(path)
+        name = module_name(path)
+        modules[name] = path
+        rels[name] = rel
+        findings.extend(_compile_findings(path, rel, source))
+
+    edges: Dict[str, Set[str]] = {}
+    known = set(modules)
+    for name, path in modules.items():
+        package = name.split(".")[0]
+        imports = _module_level_imports(sources[path], path, package, known)
+        edges[name] = {dep for dep in imports if dep != name}
+    for cycle in _cycles(edges):
+        first = cycle[0]
+        findings.append(
+            Finding(
+                path=rels.get(first, first),
+                line=1,
+                col=1,
+                rule=CYCLE_RULE,
+                message=(
+                    "module-level import cycle: "
+                    + " -> ".join(cycle + [first])
+                    + "; defer one import into a function"
+                ),
+            )
+        )
+    return sorted(findings)
+
+
+__all__ = ["CYCLE_RULE", "quick_check"]

@@ -1,0 +1,79 @@
+"""The statcheck rule registry.
+
+Four families, each its own module:
+
+* ``determinism`` (DET) — no hidden entropy, order-stable hashing/serialising;
+* ``purity`` (PUR) — stage builders are pure functions of (lab, inputs);
+* ``concurrency`` (CONC) — lock coverage, atomic filesystem sequences;
+* ``contracts`` (RES/OBS) — failure accounting and span hygiene.
+
+``SYN001`` (unparsable file) and ``CYC001`` (module import cycle) are
+engine-level checks, documented here so the catalog is complete.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Sequence, Tuple, Type
+
+from repro.statcheck.findings import StatcheckError
+from repro.statcheck.rules import concurrency, contracts, determinism, purity
+from repro.statcheck.rules.base import Rule, rule_catalog
+
+#: Every rule class, in reporting order.
+RULE_CLASSES: Tuple[Type[Rule], ...] = (
+    determinism.RULES + purity.RULES + concurrency.RULES + contracts.RULES
+)
+
+#: Rule family name -> the rule ids it contains.
+FAMILIES: Dict[str, Tuple[str, ...]] = {
+    "determinism": tuple(cls.id for cls in determinism.RULES),
+    "purity": tuple(cls.id for cls in purity.RULES),
+    "concurrency": tuple(cls.id for cls in concurrency.RULES),
+    "contracts": tuple(cls.id for cls in contracts.RULES),
+}
+
+
+def default_rules() -> List[Rule]:
+    """Fresh instances of every registered rule."""
+    return [cls() for cls in RULE_CLASSES]
+
+
+def select_rules(ids: Optional[Sequence[str]] = None) -> List[Rule]:
+    """Rules filtered to ``ids`` (rule ids or family names, any case).
+
+    Raises :class:`StatcheckError` for an unknown selector so a typo in CI
+    configuration fails loudly instead of silently linting nothing.
+    """
+    if not ids:
+        return default_rules()
+    wanted = set()
+    known = {cls.id for cls in RULE_CLASSES}
+    for selector in ids:
+        token = selector.strip()
+        if not token:
+            continue
+        if token.lower() in FAMILIES:
+            wanted.update(FAMILIES[token.lower()])
+        elif token.upper() in known:
+            wanted.add(token.upper())
+        else:
+            raise StatcheckError(
+                f"unknown rule or family {selector!r}; known families: "
+                f"{sorted(FAMILIES)}, rules: {sorted(known)}"
+            )
+    return [cls() for cls in RULE_CLASSES if cls.id in wanted]
+
+
+def catalog() -> Tuple[dict, ...]:
+    """Documentation entries for every rule (id, title, rationale, example)."""
+    return rule_catalog(default_rules())
+
+
+__all__ = [
+    "RULE_CLASSES",
+    "FAMILIES",
+    "Rule",
+    "default_rules",
+    "select_rules",
+    "catalog",
+]

@@ -1,0 +1,60 @@
+"""Rule protocol: one class per invariant, stateless, AST-driven.
+
+A rule sees one :class:`~repro.statcheck.engine.FileContext` at a time and
+yields :class:`~repro.statcheck.findings.Finding` objects.  Rules carry
+their own documentation (``rationale``, ``example``) so the rule reference
+in LINTING.md and the ``--rules`` listing never drift from the code.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterable, Iterator, Tuple
+
+from repro.statcheck.findings import Finding
+
+
+class Rule:
+    """Base class for statcheck rules.
+
+    Subclasses set the class attributes and implement :meth:`check`.
+    ``applies_to`` narrows a rule to part of the tree (e.g. the stage-purity
+    rules only analyze stage-definition modules).
+    """
+
+    id: str = ""
+    title: str = ""
+    rationale: str = ""
+    example: str = ""
+
+    def applies_to(self, ctx) -> bool:
+        return True
+
+    def check(self, ctx) -> Iterator[Finding]:
+        raise NotImplementedError
+
+    def finding(self, ctx, node: ast.AST, message: str) -> Finding:
+        """A finding for this rule anchored at ``node``."""
+        return Finding(
+            path=ctx.rel,
+            line=getattr(node, "lineno", 1),
+            col=getattr(node, "col_offset", 0) + 1,
+            rule=self.id,
+            message=message,
+        )
+
+
+def rule_catalog(rules: Iterable[Rule]) -> Tuple[dict, ...]:
+    """JSON-ready documentation entries for a set of rules."""
+    return tuple(
+        {
+            "id": rule.id,
+            "title": rule.title,
+            "rationale": rule.rationale,
+            "example": rule.example,
+        }
+        for rule in rules
+    )
+
+
+__all__ = ["Rule", "rule_catalog"]

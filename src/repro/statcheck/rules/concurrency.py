@@ -1,0 +1,269 @@
+"""Concurrency rules (CONC): lock coverage and atomic filesystem use.
+
+Code reachable from the :class:`~repro.pipeline.scheduler.StageScheduler`,
+the Lab memo and ``repro.obs`` runs under thread pools.  CONC001 infers
+each class's (and module's) *guarded set* — the attributes and globals that
+are mutated while holding a lock somewhere — and flags any mutation of a
+guarded name performed without the lock: if one code path needs the lock,
+they all do.  CONC002 flags check-then-act filesystem sequences
+(``if path.exists(): <write>``) outside ``repro.utils.atomic``, where the
+gap between check and act is a race against concurrent builders.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.statcheck.astutil import resolve_call, resolve_name, walk_with_lock_depth
+from repro.statcheck.findings import Finding
+from repro.statcheck.rules.base import Rule
+
+#: Method calls that mutate their receiver in place.
+_MUTATORS = frozenset(
+    {
+        "append", "extend", "add", "update", "clear", "pop", "popitem",
+        "remove", "discard", "insert", "setdefault", "sort", "reverse",
+    }
+)
+
+#: Calls whose success depends on prior filesystem state.
+_FS_WRITES = (
+    "os.remove", "os.unlink", "os.rename", "os.replace", "os.mkdir",
+    "os.makedirs", "os.rmdir", "shutil.rmtree", "shutil.move",
+    "shutil.copy", "shutil.copy2", "shutil.copytree",
+)
+
+#: Path-object methods with the same property.
+_FS_WRITE_ATTRS = frozenset(
+    {
+        "unlink", "rename", "replace", "rmdir", "mkdir", "touch",
+        "write_text", "write_bytes", "symlink_to",
+    }
+)
+
+#: Existence probes that start a check-then-act window.
+_FS_CHECKS = ("os.path.exists", "os.path.isfile", "os.path.isdir")
+_FS_CHECK_ATTRS = frozenset({"exists", "is_file", "is_dir"})
+
+
+def _mutated_name(node: ast.AST, owner: Optional[str]) -> Optional[str]:
+    """The attribute (``owner='self'``) or global (``owner=None``) name a
+    statement mutates, if any."""
+
+    def target_name(target: ast.AST) -> Optional[str]:
+        # self.attr = ... / self.attr[k] = ...  |  NAME = ... / NAME[k] = ...
+        if isinstance(target, ast.Subscript):
+            target = target.value
+        if owner is not None:
+            if (
+                isinstance(target, ast.Attribute)
+                and isinstance(target.value, ast.Name)
+                and target.value.id == owner
+            ):
+                return target.attr
+            return None
+        if isinstance(target, ast.Name):
+            return target.id
+        return None
+
+    if isinstance(node, (ast.Assign, ast.AugAssign)):
+        targets = node.targets if isinstance(node, ast.Assign) else [node.target]
+        for target in targets:
+            name = target_name(target)
+            if name is not None:
+                return name
+    elif isinstance(node, ast.Call) and isinstance(node.func, ast.Attribute):
+        if node.func.attr in _MUTATORS:
+            return target_name(node.func.value)
+    return None
+
+
+class UnguardedSharedWriteRule(Rule):
+    id = "CONC001"
+    title = "shared mutable state written without its lock"
+    rationale = (
+        "If an attribute or module global is mutated under `with lock:` "
+        "anywhere, every mutation of it must hold that lock — a single "
+        "unguarded writer races all the guarded ones. __init__ and "
+        "module top level (single-threaded construction) are exempt."
+    )
+    example = "with self._lock: self._cache[k] = v   # elsewhere:\nself._cache.clear()"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        # Classes: infer over `self.<attr>` mutations per class.
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.ClassDef):
+                yield from self._report(ctx, self._class_writes(node), "attribute")
+        # Module level: infer over mutations of module globals in functions.
+        yield from self._report(
+            ctx, self._module_writes(ctx.tree), "module global"
+        )
+
+    def _report(self, ctx, writes, kind: str) -> Iterator[Finding]:
+        guarded = {name for name, _, depth, _ in writes if depth > 0}
+        for name, node, depth, func_name in writes:
+            if name in guarded and depth == 0 and func_name != "__init__":
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{kind} {name!r} is lock-guarded elsewhere but "
+                    f"mutated in {func_name}() without holding the lock",
+                )
+
+    @staticmethod
+    def _class_writes(scope: ast.ClassDef) -> List[Tuple[str, ast.AST, int, str]]:
+        writes: List[Tuple[str, ast.AST, int, str]] = []
+        for func in scope.body:
+            if not isinstance(func, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            for child, lock_depth in walk_with_lock_depth(func):
+                name = _mutated_name(child, "self")
+                if name is not None:
+                    writes.append((name, child, lock_depth, func.name))
+        return writes
+
+    @staticmethod
+    def _module_writes(tree: ast.Module) -> List[Tuple[str, ast.AST, int, str]]:
+        module_names = set()
+        for node in tree.body:
+            targets = []
+            if isinstance(node, ast.Assign):
+                targets = node.targets
+            elif isinstance(node, (ast.AnnAssign, ast.AugAssign)):
+                targets = [node.target]
+            for target in targets:
+                if isinstance(target, ast.Name):
+                    module_names.add(target.id)
+
+        writes: List[Tuple[str, ast.AST, int, str]] = []
+        functions = [
+            node
+            for node in ast.walk(tree)
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+        ]
+        for func in functions:
+            # Names assigned in the function are locals (shadowing any
+            # global of the same name) unless declared `global`.  The scan
+            # over-collects from nested defs, which only errs toward
+            # treating names as locals — fewer false positives.
+            declared_global = set()
+            local_names = {a.arg for a in ast.walk(func) if isinstance(a, ast.arg)}
+            for node in ast.walk(func):
+                if isinstance(node, ast.Global):
+                    declared_global.update(node.names)
+                elif isinstance(node, ast.Name) and isinstance(
+                    node.ctx, ast.Store
+                ):
+                    local_names.add(node.id)
+            local_names -= declared_global
+
+            for child, lock_depth in walk_with_lock_depth(func):
+                name = _mutated_name(child, None)
+                if name is None or name not in module_names:
+                    continue
+                is_rebind = isinstance(child, (ast.Assign, ast.AugAssign)) and any(
+                    isinstance(t, ast.Name)
+                    for t in (
+                        child.targets
+                        if isinstance(child, ast.Assign)
+                        else [child.target]
+                    )
+                )
+                if is_rebind and name not in declared_global:
+                    continue  # plain assignment binds a local, not the global
+                if not is_rebind and name in local_names:
+                    continue  # mutating a local that shadows the global
+                writes.append((name, child, lock_depth, func.name))
+        return writes
+
+
+class CheckThenActRule(Rule):
+    id = "CONC002"
+    title = "non-atomic check-then-act on the filesystem"
+    rationale = (
+        "`if path.exists(): <write>` races concurrent processes — the "
+        "state can change between check and act. Use repro.utils.atomic, "
+        "EAFP (try/except FileNotFoundError), or flags like exist_ok/"
+        "ignore_errors that make the act idempotent."
+    )
+    example = "if tmp.exists():\n    tmp.unlink()"
+
+    def applies_to(self, ctx) -> bool:
+        # utils/atomic.py is the sanctioned implementation of atomicity.
+        return not ctx.module.endswith("utils.atomic")
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.If):
+                continue
+            if not self._has_existence_check(node.test, ctx.aliases):
+                continue
+            for child in node.body:
+                for sub in ast.walk(child):
+                    if isinstance(sub, ast.Call) and self._is_fs_write(
+                        sub, ctx.aliases
+                    ):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            "existence check followed by a filesystem "
+                            "write is not atomic; use utils.atomic or "
+                            "EAFP (try/except FileNotFoundError)",
+                        )
+                        break
+                else:
+                    continue
+                break
+
+    def _has_existence_check(self, test: ast.AST, aliases) -> bool:
+        for node in ast.walk(test):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call(node, aliases)
+            if name in _FS_CHECKS:
+                return True
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _FS_CHECK_ATTRS
+            ):
+                return True
+        return False
+
+    def _is_fs_write(self, node: ast.Call, aliases) -> bool:
+        name = resolve_call(node, aliases)
+        if name in _FS_WRITES:
+            # ignore_errors=True / exist_ok=True make the act idempotent —
+            # the race is then harmless, so don't flag it.
+            return not self._is_idempotent(node)
+        if name == "open":
+            mode = self._open_mode(node)
+            return bool(mode) and any(c in mode for c in "wax")
+        if isinstance(node.func, ast.Attribute) and (
+            node.func.attr in _FS_WRITE_ATTRS
+        ):
+            return not self._is_idempotent(node)
+        return False
+
+    @staticmethod
+    def _is_idempotent(node: ast.Call) -> bool:
+        return any(
+            kw.arg in ("ignore_errors", "exist_ok", "missing_ok")
+            and isinstance(kw.value, ast.Constant)
+            and kw.value.value is True
+            for kw in node.keywords
+        )
+
+    @staticmethod
+    def _open_mode(node: ast.Call) -> Optional[str]:
+        if len(node.args) >= 2 and isinstance(node.args[1], ast.Constant):
+            return str(node.args[1].value)
+        for kw in node.keywords:
+            if kw.arg == "mode" and isinstance(kw.value, ast.Constant):
+                return str(kw.value.value)
+        return None
+
+
+RULES = (UnguardedSharedWriteRule, CheckThenActRule)
+
+__all__ = [cls.__name__ for cls in RULES] + ["RULES"]

@@ -1,0 +1,131 @@
+"""Resilience/observability contract rules (RES, OBS).
+
+The resilience layer (PR 3) established two contracts: client failures are
+never silently swallowed — they are re-raised, retried, or *accounted for*
+(a metric, a degraded outcome) — and every span is opened with ``with`` so
+its duration and parentage are recorded even on the exception path.  These
+rules enforce both statically.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statcheck.astutil import dotted_name, last_segment, resolve_call
+from repro.statcheck.findings import Finding
+from repro.statcheck.rules.base import Rule
+
+#: Exception names whose handlers must re-raise or record a metric.
+_BROAD_NAMES = frozenset({"Exception", "BaseException", "ChatClientError"})
+
+#: Method names that count as "recording the failure" inside a handler.
+_METRIC_ATTRS = frozenset(
+    {"count", "incr", "record_failure", "record_success", "gauge"}
+)
+
+#: Dotted-name fragments that mark a call as metrics/logging machinery.
+_METRIC_ROOTS = ("tracer", "metrics", "logger", "logging", "warnings")
+
+
+def _handler_names(handler: ast.ExceptHandler) -> Iterator[str]:
+    node = handler.type
+    elements = node.elts if isinstance(node, ast.Tuple) else [node]
+    for element in elements:
+        name = dotted_name(element)
+        if name:
+            yield name.rsplit(".", 1)[-1]
+
+
+class SwallowedBroadExceptRule(Rule):
+    id = "RES001"
+    title = "broad except swallows failures unaccounted"
+    rationale = (
+        "`except Exception:` (or a handler catching ChatClientError) that "
+        "neither re-raises nor records a metric erases delivery failures "
+        "from manifests — degraded runs then look healthy. Re-raise, or "
+        "bump a counter before degrading."
+    )
+    example = "except ChatClientError:\n    return None"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.ExceptHandler):
+                continue
+            broad = node.type is None or any(
+                name in _BROAD_NAMES for name in _handler_names(node)
+            )
+            if not broad:
+                continue
+            if self._accounts_for_failure(node, ctx):
+                continue
+            caught = (
+                "bare except"
+                if node.type is None
+                else f"except {ast.unparse(node.type)}"
+            )
+            yield self.finding(
+                ctx,
+                node,
+                f"{caught} neither re-raises nor records a metric; "
+                f"swallowed failures disappear from run manifests",
+            )
+
+    def _accounts_for_failure(self, handler: ast.ExceptHandler, ctx) -> bool:
+        for node in ast.walk(handler):
+            if isinstance(node, ast.Raise):
+                return True
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call(node, ctx.aliases) or ""
+            if last_segment(name) in _METRIC_ATTRS:
+                return True
+            root = name.partition(".")[0].lower()
+            if any(fragment in root for fragment in _METRIC_ROOTS):
+                return True
+            # Metric methods on an unresolvable base, e.g. the canonical
+            # `get_tracer().count(...)`: require the base to *look like*
+            # metrics machinery so `items.count(x)` does not count.
+            if (
+                isinstance(node.func, ast.Attribute)
+                and node.func.attr in _METRIC_ATTRS
+            ):
+                base = ast.unparse(node.func.value).lower()
+                if any(fragment in base for fragment in _METRIC_ROOTS):
+                    return True
+        return False
+
+
+class SpanWithoutWithRule(Rule):
+    id = "OBS001"
+    title = "span opened without `with`"
+    rationale = (
+        "A span started as a bare call or assignment never records its "
+        "exit on the exception path, corrupting the per-thread span stack "
+        "and losing the subtree from manifests. Always `with span(...)`."
+    )
+    example = "sp = span('stage.build')  # never closed on raise"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            value = None
+            if isinstance(node, ast.Expr):
+                value = node.value
+            elif isinstance(node, ast.Assign):
+                value = node.value
+            if not isinstance(value, ast.Call):
+                continue
+            name = resolve_call(value, ctx.aliases)
+            segment = last_segment(name)
+            if segment in ("span", "start_span"):
+                yield self.finding(
+                    ctx,
+                    value,
+                    f"{segment}(...) result must be entered with "
+                    f"`with` so the span closes on every path",
+                )
+
+
+RULES = (SwallowedBroadExceptRule, SpanWithoutWithRule)
+
+__all__ = [cls.__name__ for cls in RULES] + ["RULES"]

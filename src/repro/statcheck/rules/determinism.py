@@ -1,0 +1,272 @@
+"""Determinism rules (DET): no hidden entropy, no unordered hashing.
+
+The benchmark's golden tables are only reproducible because every draw of
+randomness flows from an explicit seed through ``repro.utils.rng`` and
+every serialised byte is order-stable.  These rules make that a checked
+invariant: global RNG state, wall-clock reads, set-order-dependent digests,
+magic seed defaults and unsorted JSON all fail the lint.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statcheck.astutil import last_segment, resolve_call
+from repro.statcheck.findings import Finding
+from repro.statcheck.rules.base import Rule
+
+#: ``random`` module functions that mutate or read the global RNG state.
+_STDLIB_RANDOM_FUNCS = frozenset(
+    {
+        "betavariate", "choice", "choices", "expovariate", "gauss",
+        "getrandbits", "getstate", "lognormvariate", "normalvariate",
+        "paretovariate", "randbytes", "randint", "random", "randrange",
+        "sample", "seed", "setstate", "shuffle", "triangular", "uniform",
+        "vonmisesvariate", "weibullvariate",
+    }
+)
+
+#: ``numpy.random`` attributes that are fine to call: the Generator API.
+_NUMPY_RANDOM_ALLOWED = frozenset(
+    {
+        "default_rng", "Generator", "SeedSequence", "BitGenerator",
+        "PCG64", "PCG64DXSM", "Philox", "SFC64", "MT19937",
+    }
+)
+
+#: Calls that read wall-clock time or OS entropy.
+_WALL_CLOCK = frozenset(
+    {
+        "time.time", "time.time_ns", "os.urandom",
+        "uuid.uuid1", "uuid.uuid4",
+        "secrets.token_bytes", "secrets.token_hex", "secrets.token_urlsafe",
+        "secrets.randbits", "secrets.randbelow", "secrets.choice",
+        "datetime.datetime.now", "datetime.datetime.utcnow",
+        "datetime.datetime.today", "datetime.date.today",
+    }
+)
+
+#: Call targets whose output depends on argument order (digests, joins,
+#: serialisers).  Matched by final name segment for the repro helpers so
+#: ``from repro.utils.rng import stable_hash`` and ``rng.stable_hash`` both
+#: resolve.
+_DIGEST_SINKS = frozenset({"stable_hash", "stable_digest"})
+
+
+def _is_set_valued(node: ast.AST, aliases) -> bool:
+    """Whether an expression is statically known to produce a set."""
+    if isinstance(node, (ast.Set, ast.SetComp)):
+        return True
+    if isinstance(node, ast.Call):
+        return resolve_call(node, aliases) in ("set", "frozenset")
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.BitAnd, ast.BitOr, ast.Sub, ast.BitXor)
+    ):
+        # set algebra: a & b, a | b, a - b — flag only if a side is a set
+        return _is_set_valued(node.left, aliases) or _is_set_valued(
+            node.right, aliases
+        )
+    return False
+
+
+class GlobalRandomRule(Rule):
+    id = "DET001"
+    title = "stdlib global RNG"
+    rationale = (
+        "random.random()/seed()/shuffle() mutate interpreter-global state; "
+        "any new caller reshuffles every other caller's draws. Thread a "
+        "numpy Generator from repro.utils.rng instead."
+    )
+    example = "random.shuffle(examples)"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call(node, ctx.aliases)
+            if name is None:
+                continue
+            module, _, func = name.rpartition(".")
+            if module == "random" and func in _STDLIB_RANDOM_FUNCS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"call to global-state {name}(); pass a seeded "
+                    f"numpy Generator (repro.utils.rng) instead",
+                )
+
+
+class NumpyGlobalRandomRule(Rule):
+    id = "DET002"
+    title = "numpy legacy global RNG"
+    rationale = (
+        "np.random.seed()/np.random.rand() use the legacy process-global "
+        "RandomState; results then depend on import order and thread "
+        "timing. Only np.random.default_rng()/Generator are allowed."
+    )
+    example = "np.random.seed(0); x = np.random.rand(3)"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call(node, ctx.aliases)
+            if name is None:
+                continue
+            module, _, func = name.rpartition(".")
+            if module == "numpy.random" and func not in _NUMPY_RANDOM_ALLOWED:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"call to legacy global-state {name}(); use "
+                    f"np.random.default_rng / a threaded Generator",
+                )
+
+
+class WallClockRule(Rule):
+    id = "DET003"
+    title = "wall clock / OS entropy in library code"
+    rationale = (
+        "time.time(), datetime.now() and os.urandom() make outputs depend "
+        "on when (or where) the code runs. Durations belong on "
+        "time.monotonic()/perf_counter(); anything feeding an artifact "
+        "must be seed-derived."
+    )
+    example = "created = time.time()"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call(node, ctx.aliases)
+            if name in _WALL_CLOCK:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() reads wall-clock/OS entropy; use monotonic "
+                    f"clocks for durations and seeds for randomness",
+                )
+
+
+class UnorderedDigestRule(Rule):
+    id = "DET004"
+    title = "set fed to a digest or serialiser"
+    rationale = (
+        "Set iteration order varies with insertion history and hash "
+        "seeding; hashing or serialising a set directly makes cache keys "
+        "and artifacts run-dependent. Wrap the set in sorted(...) first."
+    )
+    example = "key = stable_hash(set(tokens))"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call(node, ctx.aliases)
+            segment = last_segment(name)
+            is_sink = (
+                segment in _DIGEST_SINKS
+                or name in ("json.dump", "json.dumps", "hash")
+                or (name or "").startswith("hashlib.")
+                or (isinstance(node.func, ast.Attribute)
+                    and node.func.attr == "join")
+            )
+            if not is_sink:
+                continue
+            for arg in node.args:
+                if _is_set_valued(arg, ctx.aliases):
+                    yield self.finding(
+                        ctx,
+                        arg,
+                        f"unordered set passed to {segment or 'digest'}(); "
+                        f"wrap it in sorted(...) to pin iteration order",
+                    )
+
+
+class SeedDefaultRule(Rule):
+    id = "DET005"
+    title = "magic seed default in a function signature"
+    rationale = (
+        "A non-zero literal seed default buried in a function silently "
+        "couples every caller to one stream and hides the knob from "
+        "LabConfig. Zero (the library-wide documented default) and config "
+        "dataclass fields are exempt; everything else must be threaded."
+    )
+    example = "def split(data, seed=42): ..."
+
+    def applies_to(self, ctx) -> bool:
+        # utils/rng.py is the sanctioned home of seed plumbing.
+        return not ctx.module.endswith("utils.rng")
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            args = node.args
+            for arg_list, defaults in (
+                (args.posonlyargs + args.args, args.defaults),
+                (args.kwonlyargs, args.kw_defaults),
+            ):
+                pairs = zip(arg_list[len(arg_list) - len(defaults):], defaults)
+                for arg, default in pairs:
+                    if default is None:
+                        continue
+                    named_seed = arg.arg == "seed" or arg.arg.endswith("_seed")
+                    if (
+                        named_seed
+                        and isinstance(default, ast.Constant)
+                        and type(default.value) is int
+                        and default.value != 0
+                    ):
+                        yield self.finding(
+                            ctx,
+                            default,
+                            f"hard-coded seed default {arg.arg}="
+                            f"{default.value} in {node.name}(); thread the "
+                            f"seed from configuration instead",
+                        )
+
+
+class UnsortedJsonRule(Rule):
+    id = "DET006"
+    title = "json.dump without sort_keys"
+    rationale = (
+        "Serialised artifacts, manifests and cache metadata must be "
+        "byte-stable; json.dump without sort_keys=True leaks dict build "
+        "order into files that get diffed and hashed."
+    )
+    example = "json.dump(payload, handle)"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call(node, ctx.aliases)
+            if name not in ("json.dump", "json.dumps"):
+                continue
+            sorts = any(
+                kw.arg == "sort_keys"
+                and isinstance(kw.value, ast.Constant)
+                and kw.value.value is True
+                for kw in node.keywords
+            )
+            if not sorts:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() without sort_keys=True writes "
+                    f"insertion-ordered keys; sort for byte-stable output",
+                )
+
+
+RULES = (
+    GlobalRandomRule,
+    NumpyGlobalRandomRule,
+    WallClockRule,
+    UnorderedDigestRule,
+    SeedDefaultRule,
+    UnsortedJsonRule,
+)
+
+__all__ = [cls.__name__ for cls in RULES] + ["RULES"]

@@ -1,0 +1,241 @@
+"""Stage-purity rules (PUR): build functions must be pure and declared.
+
+The content-addressed stage graph (PR 4) caches a stage's artifact under a
+key derived from its config slice and upstream keys — which is only sound
+if builders derive *everything* from those inputs.  A builder that reads
+mutable module state, touches the filesystem, or consults the environment
+can produce different artifacts under the same key.  These rules walk the
+``_build_*`` functions of stage-definition modules (and their same-module
+callees) and flag the escape hatches; stage *registrations* are checked for
+a complete serialiser pair.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+import symtable
+from typing import Dict, Iterator, Optional, Set
+
+from repro.statcheck.astutil import last_segment, resolve_call, resolve_name
+from repro.statcheck.findings import Finding
+from repro.statcheck.rules.base import Rule
+
+#: Module-level names styled as constants are legitimate builder inputs.
+_CONSTANT_STYLE = re.compile(r"^_{0,2}[A-Z][A-Z0-9_]*$")
+
+#: Call prefixes that reach outside the artifact-store contract.
+_IO_PREFIXES = (
+    "os.environ", "os.getenv", "os.putenv", "os.remove", "os.unlink",
+    "os.rename", "os.replace", "os.mkdir", "os.makedirs", "os.rmdir",
+    "os.chdir", "shutil.", "tempfile.", "subprocess.", "socket.",
+    "urllib.",
+)
+
+#: Attribute methods that read/write the filesystem on path-like objects.
+_IO_ATTRS = frozenset(
+    {
+        "write_text", "write_bytes", "read_text", "read_bytes", "mkdir",
+        "unlink", "rmdir", "touch", "rename", "replace", "symlink_to",
+    }
+)
+
+
+def _build_roots(tree: ast.Module) -> Dict[str, ast.FunctionDef]:
+    """Module-level functions, keyed by name."""
+    return {
+        node.name: node
+        for node in tree.body
+        if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef))
+    }
+
+
+def _transitive_builders(tree: ast.Module) -> Dict[str, ast.FunctionDef]:
+    """``_build_*`` functions plus their same-module transitive callees."""
+    functions = _build_roots(tree)
+    reached: Set[str] = set()
+    frontier = [name for name in functions if name.startswith("_build_")]
+    while frontier:
+        name = frontier.pop()
+        if name in reached:
+            continue
+        reached.add(name)
+        for node in ast.walk(functions[name]):
+            if isinstance(node, ast.Call) and isinstance(node.func, ast.Name):
+                callee = node.func.id
+                if callee in functions and callee not in reached:
+                    frontier.append(callee)
+    return {name: functions[name] for name in sorted(reached)}
+
+
+def _module_state_names(ctx) -> Set[str]:
+    """Module-global, non-imported, non-namespace, non-constant names.
+
+    Uses ``symtable`` (compiler-grade scoping) rather than a hand-rolled
+    walk, so conditional assignments and ``global`` rebinding resolve
+    exactly as the interpreter sees them.
+    """
+    try:
+        table = symtable.symtable(ctx.source, ctx.rel, "exec")
+    except SyntaxError:  # engine already reports SYN001
+        return set()
+    names = set()
+    for symbol in table.get_symbols():
+        if (
+            symbol.is_assigned()
+            and not symbol.is_imported()
+            and not symbol.is_namespace()
+            and not _CONSTANT_STYLE.match(symbol.get_name())
+        ):
+            names.add(symbol.get_name())
+    return names
+
+
+def _is_stage_module(ctx) -> bool:
+    return ctx.module == "stages" or ctx.module.endswith(".stages")
+
+
+class StageGlobalStateRule(Rule):
+    id = "PUR001"
+    title = "stage builder touches module-level mutable state"
+    rationale = (
+        "A builder that reads or writes a module-level variable produces "
+        "artifacts that depend on process history, breaking the "
+        "content-addressed cache contract: same key, different bytes. "
+        "Builders may only use (lab, inputs) and constant-styled names."
+    )
+    example = "_COUNTER = 0\ndef _build_x(lab, inputs): global _COUNTER; ..."
+
+    def applies_to(self, ctx) -> bool:
+        return _is_stage_module(ctx)
+
+    def check(self, ctx) -> Iterator[Finding]:
+        state = _module_state_names(ctx)
+        for name, func in _transitive_builders(ctx.tree).items():
+            for node in ast.walk(func):
+                if isinstance(node, ast.Global):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"builder {name}() declares "
+                        f"global {', '.join(node.names)}; stage builders "
+                        f"must be pure functions of (lab, inputs)",
+                    )
+                elif (
+                    isinstance(node, ast.Name)
+                    and node.id in state
+                    and name != node.id
+                ):
+                    action = (
+                        "writes"
+                        if isinstance(node.ctx, (ast.Store, ast.Del))
+                        else "reads"
+                    )
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"builder {name}() {action} module-level state "
+                        f"{node.id!r}; derive it from (lab, inputs) or make "
+                        f"it a constant",
+                    )
+
+
+class StageIORule(Rule):
+    id = "PUR002"
+    title = "stage builder performs filesystem or environment access"
+    rationale = (
+        "All stage persistence must flow through the ArtifactStore "
+        "save/load hooks, where writes are atomic and content-addressed. "
+        "A builder that opens files or reads the environment directly "
+        "escapes the cache key and races the scheduler."
+    )
+    example = "def _build_x(lab, inputs): open('/tmp/x', 'w')"
+
+    def applies_to(self, ctx) -> bool:
+        return _is_stage_module(ctx)
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for name, func in _transitive_builders(ctx.tree).items():
+            for node in ast.walk(func):
+                finding = self._check_node(ctx, name, node)
+                if finding is not None:
+                    yield finding
+
+    def _check_node(self, ctx, builder: str, node) -> Optional[Finding]:
+        if isinstance(node, ast.Subscript):
+            if resolve_name(node.value, ctx.aliases) == "os.environ":
+                return self.finding(
+                    ctx,
+                    node,
+                    f"builder {builder}() reads os.environ; environment "
+                    f"must be resolved into LabConfig before the graph runs",
+                )
+            return None
+        if not isinstance(node, ast.Call):
+            return None
+        name = resolve_call(node, ctx.aliases)
+        if name == "open" or (
+            name and name.startswith(_IO_PREFIXES)
+        ):
+            return self.finding(
+                ctx,
+                node,
+                f"builder {builder}() calls {name}(); filesystem and "
+                f"environment access belongs in ArtifactStore save/load "
+                f"hooks",
+            )
+        if (
+            isinstance(node.func, ast.Attribute)
+            and node.func.attr in _IO_ATTRS
+        ):
+            return self.finding(
+                ctx,
+                node,
+                f"builder {builder}() calls .{node.func.attr}(); "
+                f"filesystem access belongs in ArtifactStore save/load "
+                f"hooks",
+            )
+        return None
+
+
+class StageSerializerRule(Rule):
+    id = "PUR003"
+    title = "stage registered with half a serialiser"
+    rationale = (
+        "A Stage with save= but no load= (or vice versa) persists "
+        "artifacts the pipeline can never read back — warm runs silently "
+        "rebuild, or loads crash. Register both hooks or neither."
+    )
+    example = "Stage(name='x', build=f, save=save_x)  # no load="
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            if last_segment(resolve_call(node, ctx.aliases)) != "Stage":
+                continue
+            keywords = {
+                kw.arg: kw.value for kw in node.keywords if kw.arg
+            }
+            has = {
+                side: side in keywords
+                and not (
+                    isinstance(keywords[side], ast.Constant)
+                    and keywords[side].value is None
+                )
+                for side in ("save", "load")
+            }
+            if has["save"] != has["load"]:
+                present = "save" if has["save"] else "load"
+                missing = "load" if has["save"] else "save"
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"Stage registered with {present}= but no {missing}=; "
+                    f"persistence hooks must come in pairs",
+                )
+
+
+RULES = (StageGlobalStateRule, StageIORule, StageSerializerRule)
+
+__all__ = [cls.__name__ for cls in RULES] + ["RULES"]

@@ -1,0 +1,68 @@
+"""Per-rule suppression comments.
+
+A finding is silenced by a comment naming its rule id::
+
+    now = time.time()  # statcheck: ignore[DET003] - display-only age column
+
+or, for statements that do not fit on one line, by a standalone comment on
+the line directly above the flagged statement::
+
+    # statcheck: ignore[PUR002] - canonicalisation round-trip (module docs)
+    with tempfile.TemporaryDirectory(prefix="repro-bert-") as tmp:
+
+Several ids may be listed (``ignore[DET003,CONC002]``).  Suppressions are
+deliberately *narrow*: one line, explicit rule ids, and — by convention,
+enforced in review — a one-line justification after the ``-``.  There is no
+file-level or wildcard form; a module that needs ten suppressions should be
+fixed instead.
+"""
+
+from __future__ import annotations
+
+import io
+import re
+import tokenize
+from typing import Dict, Set
+
+#: ``# statcheck: ignore[DET001]`` / ``# statcheck: ignore[DET001, CONC002]``
+_PATTERN = re.compile(r"#\s*statcheck:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+
+def parse_suppressions(source: str) -> Dict[int, Set[str]]:
+    """Map line number -> rule ids suppressed on that line.
+
+    A suppression comment applies to its own line; a *standalone* comment
+    (nothing but the comment on the line) also applies to the following
+    line, covering multi-line statements whose first line has no room.
+    """
+    suppressed: Dict[int, Set[str]] = {}
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PATTERN.search(token.string)
+            if not match:
+                continue
+            rules = {
+                rule.strip().upper()
+                for rule in match.group(1).split(",")
+                if rule.strip()
+            }
+            line = token.start[0]
+            suppressed.setdefault(line, set()).update(rules)
+            if token.line.strip().startswith("#"):  # standalone comment
+                suppressed.setdefault(line + 1, set()).update(rules)
+    except tokenize.TokenError:
+        pass  # unparsable source is reported as SYN001 by the engine
+    return suppressed
+
+
+def is_suppressed(
+    suppressions: Dict[int, Set[str]], line: int, rule: str
+) -> bool:
+    """Whether ``rule`` is suppressed at ``line``."""
+    return rule.upper() in suppressions.get(line, ())
+
+
+__all__ = ["parse_suppressions", "is_suppressed"]

@@ -104,7 +104,8 @@ def save_fasttext(model: FastText, path: PathLike) -> None:
             "max_n": config.max_n,
             "bucket": config.bucket,
             "seed": config.seed,
-        }
+        },
+        sort_keys=True,
     )
     with atomic_write(_npz_path(path), "wb") as handle:
         np.savez_compressed(
@@ -152,7 +153,8 @@ def save_bert(model: MiniBert, path: PathLike) -> None:
             "dropout": config.dropout,
             "n_classes": config.n_classes,
             "seed": config.seed,
-        }
+        },
+        sort_keys=True,
     )
     pieces = [model.tokenizer.piece_of(i) for i in range(len(model.tokenizer))]
     arrays = {

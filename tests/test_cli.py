@@ -334,3 +334,106 @@ class TestCacheCommands:
         out = capsys.readouterr().out
         assert ".tmp-abandoned" in out
         assert "gc: removed 1 paths" in out
+
+
+class TestLintCommand:
+    """Exit-code contract: 0 clean, 1 findings, 2 analyzer error."""
+
+    def test_parser_defaults(self):
+        args = build_parser().parse_args(["lint"])
+        assert args.paths == []
+        assert args.format == "text"
+        assert args.quick is False
+        assert args.rules is None
+        assert args.output is None
+
+    def test_shipped_tree_exits_zero(self, capsys):
+        assert main(["lint"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_quick_exits_zero_on_shipped_tree(self, capsys):
+        assert main(["lint", "--quick"]) == 0
+        assert "0 finding(s)" in capsys.readouterr().out
+
+    def test_planted_determinism_violation_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        assert main(["lint", str(bad)]) == 1
+        assert "DET001" in capsys.readouterr().out
+
+    def test_planted_purity_violation_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "stages.py"
+        bad.write_text(
+            "def _build_x(lab, inputs):\n"
+            "    return open('/tmp/x').read()\n"
+        )
+        assert main(["lint", str(bad)]) == 1
+        assert "PUR002" in capsys.readouterr().out
+
+    def test_planted_concurrency_violation_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "import threading\n"
+            "class C:\n"
+            "    def __init__(self):\n"
+            "        self._lock = threading.Lock()\n"
+            "        self._items = {}\n"
+            "    def put(self, k, v):\n"
+            "        with self._lock:\n"
+            "            self._items[k] = v\n"
+            "    def reset(self):\n"
+            "        self._items.clear()\n"
+        )
+        assert main(["lint", str(bad)]) == 1
+        assert "CONC001" in capsys.readouterr().out
+
+    def test_planted_contract_violation_exits_one(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text(
+            "def f(client):\n"
+            "    try:\n"
+            "        return client.complete('x')\n"
+            "    except Exception:\n"
+            "        return None\n"
+        )
+        assert main(["lint", str(bad)]) == 1
+        assert "RES001" in capsys.readouterr().out
+
+    def test_missing_target_exits_two(self, capsys):
+        assert main(["lint", "/no/such/statcheck/target"]) == 2
+        assert "no such file" in capsys.readouterr().err
+
+    def test_unknown_rule_exits_two(self, capsys):
+        assert main(["lint", "--rules", "bogus"]) == 2
+        assert "unknown rule" in capsys.readouterr().err
+
+    def test_json_format_and_output_file(self, tmp_path, capsys):
+        import json as json_mod
+
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random\nx = random.random()\n")
+        out_file = tmp_path / "report.json"
+        assert main([
+            "lint", str(bad), "--format", "json", "--output", str(out_file),
+        ]) == 1
+        document = json_mod.loads(capsys.readouterr().out)
+        assert document["format"] == "repro-statcheck-v1"
+        assert document["findings"][0]["rule"] == "DET001"
+        on_disk = json_mod.loads(out_file.read_text())
+        assert on_disk == document
+
+    def test_rules_filter_limits_findings(self, tmp_path, capsys):
+        bad = tmp_path / "bad.py"
+        bad.write_text("import random, time\nx = random.random()\ny = time.time()\n")
+        assert main(["lint", str(bad), "--rules", "DET003"]) == 1
+        out = capsys.readouterr().out
+        assert "DET003" in out and "DET001" not in out
+
+    def test_quick_detects_planted_cycle(self, tmp_path, capsys):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "a.py").write_text("from pkg.b import f\n")
+        (pkg / "b.py").write_text("from pkg.a import g\n")
+        assert main(["lint", "--quick", str(tmp_path)]) == 1
+        assert "CYC001" in capsys.readouterr().out

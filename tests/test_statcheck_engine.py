@@ -1,0 +1,212 @@
+"""Engine, suppression, reporter and quick-check tests — plus the
+self-check: the shipped tree must lint clean, fast."""
+
+import json
+import textwrap
+
+import pytest
+
+from repro.obs import manifest as manifest_mod
+from repro.statcheck import (
+    CYCLE_RULE,
+    FAMILIES,
+    REPORT_FORMAT,
+    StatcheckError,
+    SYNTAX_RULE,
+    catalog,
+    default_rules,
+    default_target,
+    discover_files,
+    lint_source,
+    quick_check,
+    record_inventory,
+    render_json,
+    render_text,
+    run_lint,
+    select_rules,
+)
+
+BAD_SNIPPET = textwrap.dedent(
+    """
+    import random
+
+    def pick(xs):
+        return random.choice(xs)
+    """
+)
+
+
+class TestSuppressions:
+    def test_same_line_comment_suppresses(self):
+        report = lint_source(
+            "import random\n"
+            "x = random.random()  # statcheck: ignore[DET001] - fixture\n"
+        )
+        assert report.ok
+        assert [f.rule for f in report.suppressed] == ["DET001"]
+
+    def test_standalone_comment_above_suppresses(self):
+        report = lint_source(
+            "import random\n"
+            "# statcheck: ignore[DET001] - fixture\n"
+            "x = random.random()\n"
+        )
+        assert report.ok
+        assert [f.rule for f in report.suppressed] == ["DET001"]
+
+    def test_suppression_is_per_rule(self):
+        report = lint_source(
+            "import random, time\n"
+            "x = (random.random(), time.time())"
+            "  # statcheck: ignore[DET001] - only the RNG\n"
+        )
+        assert [f.rule for f in report.findings] == ["DET003"]
+        assert [f.rule for f in report.suppressed] == ["DET001"]
+
+    def test_several_ids_in_one_comment(self):
+        report = lint_source(
+            "import random, time\n"
+            "x = (random.random(), time.time())"
+            "  # statcheck: ignore[DET001, DET003] - fixture\n"
+        )
+        assert report.ok
+        assert sorted(f.rule for f in report.suppressed) == [
+            "DET001", "DET003",
+        ]
+
+    def test_comment_elsewhere_does_not_suppress(self):
+        report = lint_source(
+            "# statcheck: ignore[DET001] - too far away\n"
+            "import random\n"
+            "x = random.random()\n"
+        )
+        assert [f.rule for f in report.findings] == ["DET001"]
+
+
+class TestEngine:
+    def test_syntax_error_reported_as_finding(self):
+        report = lint_source("def broken(:\n")
+        assert [f.rule for f in report.findings] == [SYNTAX_RULE]
+
+    def test_discover_files_rejects_missing_path(self):
+        with pytest.raises(StatcheckError, match="no such file"):
+            discover_files(["/no/such/statcheck/target"])
+
+    def test_run_lint_on_directory(self, tmp_path):
+        (tmp_path / "ok.py").write_text("x = 1\n")
+        (tmp_path / "bad.py").write_text(BAD_SNIPPET)
+        report = run_lint([tmp_path])
+        assert not report.ok
+        assert report.n_files == 2
+        assert report.counts_by_rule() == {"DET001": 1}
+
+    def test_inventory_groups_rule_then_path(self, tmp_path):
+        (tmp_path / "bad.py").write_text(BAD_SNIPPET)
+        report = run_lint([tmp_path])
+        inventory = report.inventory()
+        assert list(inventory) == ["DET001"]
+        (path, count), = inventory["DET001"].items()
+        assert path.endswith("bad.py") and count == 1
+
+    def test_select_rules_by_family_and_id(self):
+        dets = select_rules(["determinism"])
+        assert {r.id for r in dets} == set(FAMILIES["determinism"])
+        mixed = select_rules(["concurrency", "RES001"])
+        assert {r.id for r in mixed} == set(FAMILIES["concurrency"]) | {
+            "RES001"
+        }
+        with pytest.raises(StatcheckError, match="unknown rule"):
+            select_rules(["bogus"])
+
+    def test_catalog_documents_every_rule(self):
+        entries = catalog()
+        assert len(entries) == len(default_rules())
+        for entry in entries:
+            assert entry["id"] and entry["rationale"] and entry["example"]
+
+
+class TestReporters:
+    def make_report(self, tmp_path):
+        (tmp_path / "bad.py").write_text(BAD_SNIPPET)
+        return run_lint([tmp_path])
+
+    def test_render_text_lists_findings_and_summary(self, tmp_path):
+        text = render_text(self.make_report(tmp_path))
+        assert "DET001" in text
+        assert "1 finding(s)" in text
+        assert "[DET001=1]" in text
+
+    def test_render_json_is_stable_and_tagged(self, tmp_path):
+        document = render_json(self.make_report(tmp_path))
+        assert document["format"] == REPORT_FORMAT
+        assert document["ok"] is False
+        assert document["findings"][0]["rule"] == "DET001"
+        assert document["inventory"]["DET001"]
+        json.dumps(document)  # must be JSON-serialisable as-is
+
+    def test_record_inventory_lands_in_manifest_context(self, tmp_path):
+        manifest_mod.clear_context()
+        try:
+            record_inventory(self.make_report(tmp_path), n_quick=0)
+            context = manifest_mod.build_manifest()["context"]
+            assert context["lint"]["n_findings"] == 1
+            assert context["lint"]["per_rule"] == {"DET001": 1}
+            assert context["lint"]["n_quick_findings"] == 0
+        finally:
+            manifest_mod.clear_context()
+
+
+class TestQuickCheck:
+    def test_clean_package_passes(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("from pkg.a import f\n")
+        (pkg / "a.py").write_text("def f():\n    return 1\n")
+        assert quick_check([tmp_path]) == []
+
+    def test_compile_error_reported(self, tmp_path):
+        (tmp_path / "broken.py").write_text("def broken(:\n")
+        findings = quick_check([tmp_path])
+        assert [f.rule for f in findings] == [SYNTAX_RULE]
+
+    def test_module_level_cycle_detected(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "a.py").write_text("from pkg.b import f\n\ndef g():\n    return f()\n")
+        (pkg / "b.py").write_text("from pkg.a import g\n\ndef f():\n    return g()\n")
+        findings = quick_check([tmp_path])
+        assert [f.rule for f in findings] == [CYCLE_RULE]
+        assert "pkg.a -> pkg.b" in findings[0].message
+
+    def test_function_level_import_breaks_cycle(self, tmp_path):
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("")
+        (pkg / "a.py").write_text("from pkg.b import f\n")
+        (pkg / "b.py").write_text(
+            "def f():\n    from pkg.a import g\n    return g\n"
+        )
+        assert quick_check([tmp_path]) == []
+
+    def test_submodule_import_is_not_a_package_cycle(self, tmp_path):
+        # `__init__` re-exporting submodules that themselves import sibling
+        # submodules via `from pkg import sibling` is the shipped layout —
+        # it must not read as a cycle through the package __init__.
+        pkg = tmp_path / "pkg"
+        pkg.mkdir()
+        (pkg / "__init__.py").write_text("from pkg.a import f\n")
+        (pkg / "a.py").write_text("from pkg import b\n\ndef f():\n    return b\n")
+        (pkg / "b.py").write_text("x = 1\n")
+        assert quick_check([tmp_path]) == []
+
+
+class TestSelfCheck:
+    def test_shipped_tree_lints_clean_and_fast(self):
+        report = run_lint()
+        assert report.findings == []
+        assert report.n_files > 80
+        assert report.duration_s < 10.0
+
+    def test_shipped_tree_quick_checks_clean(self):
+        assert quick_check([default_target()]) == []

@@ -1,0 +1,503 @@
+"""Fixture tests for every statcheck rule.
+
+Each rule gets (at least) one malicious snippet proving it fires and one
+clean snippet proving it stays quiet — the false-positive budget of the
+linter is zero by construction, so every clean fixture here is load-bearing.
+"""
+
+import textwrap
+
+from repro.statcheck import lint_source
+
+
+def rules_found(source, filename="/fx/mod.py"):
+    report = lint_source(textwrap.dedent(source), filename)
+    return [finding.rule for finding in report.findings]
+
+
+class TestDeterminismRules:
+    def test_det001_flags_stdlib_global_rng(self):
+        found = rules_found(
+            """
+            import random
+
+            def pick(xs):
+                random.shuffle(xs)
+                return random.choice(xs)
+            """
+        )
+        assert found.count("DET001") == 2
+
+    def test_det001_clean_on_threaded_generator(self):
+        found = rules_found(
+            """
+            from repro.utils.rng import ensure_rng
+
+            def pick(xs, seed=0):
+                rng = ensure_rng(seed)
+                return xs[rng.integers(len(xs))]
+            """
+        )
+        assert "DET001" not in found
+
+    def test_det001_resolves_import_alias(self):
+        found = rules_found(
+            """
+            import random as rnd
+
+            def f():
+                return rnd.random()
+            """
+        )
+        assert "DET001" in found
+
+    def test_det002_flags_numpy_legacy_global(self):
+        found = rules_found(
+            """
+            import numpy as np
+
+            def f():
+                np.random.seed(0)
+                return np.random.rand(3)
+            """
+        )
+        assert found.count("DET002") == 2
+
+    def test_det002_clean_on_generator_api(self):
+        found = rules_found(
+            """
+            import numpy as np
+
+            def f(seed=0):
+                rng = np.random.default_rng(seed)
+                return rng.normal(size=3)
+            """
+        )
+        assert "DET002" not in found
+
+    def test_det003_flags_wall_clock_and_entropy(self):
+        found = rules_found(
+            """
+            import os
+            import time
+            from datetime import datetime
+
+            def stamp():
+                return time.time(), datetime.now(), os.urandom(8)
+            """
+        )
+        assert found.count("DET003") == 3
+
+    def test_det003_clean_on_monotonic_clocks(self):
+        found = rules_found(
+            """
+            import time
+
+            def measure():
+                return time.perf_counter(), time.monotonic()
+            """
+        )
+        assert "DET003" not in found
+
+    def test_det004_flags_set_fed_to_digest(self):
+        found = rules_found(
+            """
+            from repro.utils.rng import stable_hash
+
+            def key(tokens):
+                return stable_hash(set(tokens))
+            """
+        )
+        assert "DET004" in found
+
+    def test_det004_flags_set_literal_to_json(self):
+        found = rules_found(
+            """
+            import json
+
+            def f(a, b):
+                return json.dumps({a, b} | {1}, sort_keys=True)
+            """
+        )
+        assert "DET004" in found
+
+    def test_det004_clean_when_sorted_first(self):
+        found = rules_found(
+            """
+            from repro.utils.rng import stable_hash
+
+            def key(tokens):
+                return stable_hash(sorted(set(tokens)))
+            """
+        )
+        assert "DET004" not in found
+
+    def test_det005_flags_magic_seed_default(self):
+        found = rules_found(
+            """
+            def split(data, seed=42):
+                return data
+
+            def faulty(*, fault_seed=7):
+                return fault_seed
+            """
+        )
+        assert found.count("DET005") == 2
+
+    def test_det005_clean_on_zero_default_and_dataclass_field(self):
+        found = rules_found(
+            """
+            import dataclasses
+
+            @dataclasses.dataclass
+            class Config:
+                seed: int = 42  # config knob, documented and diffable
+
+            def split(data, seed=0):
+                return data
+            """
+        )
+        assert "DET005" not in found
+
+    def test_det006_flags_unsorted_json(self):
+        found = rules_found(
+            """
+            import json
+
+            def save(payload):
+                return json.dumps(payload)
+            """
+        )
+        assert "DET006" in found
+
+    def test_det006_clean_with_sort_keys(self):
+        found = rules_found(
+            """
+            import json
+
+            def save(payload, handle):
+                json.dump(payload, handle, sort_keys=True)
+            """
+        )
+        assert "DET006" not in found
+
+
+class TestPurityRules:
+    STAGES = "/fx/stages.py"
+
+    def test_pur001_flags_module_state_in_builder(self):
+        found = rules_found(
+            """
+            _cache = {}
+
+            def _build_corpus(lab, inputs):
+                _cache["corpus"] = inputs
+                return _cache["corpus"]
+            """,
+            filename=self.STAGES,
+        )
+        assert "PUR001" in found
+
+    def test_pur001_flags_global_declaration(self):
+        found = rules_found(
+            """
+            counter = 0
+
+            def _build_counted(lab, inputs):
+                global counter
+                counter += 1
+                return counter
+            """,
+            filename=self.STAGES,
+        )
+        assert "PUR001" in found
+
+    def test_pur001_clean_on_constants_and_locals(self):
+        found = rules_found(
+            """
+            TASKS = (1, 2, 3)
+            _SIMPLE_NAMES = ("a", "b")
+
+            def _build_tasks(lab, inputs):
+                local = {}
+                for task in TASKS:
+                    local[task] = _SIMPLE_NAMES
+                return local
+            """,
+            filename=self.STAGES,
+        )
+        assert "PUR001" not in found
+
+    def test_pur001_only_applies_to_stage_modules(self):
+        found = rules_found(
+            """
+            _cache = {}
+
+            def _build_thing(lab, inputs):
+                _cache["x"] = 1
+            """,
+            filename="/fx/helpers.py",
+        )
+        assert "PUR001" not in found
+
+    def test_pur002_flags_direct_io_in_builder(self):
+        found = rules_found(
+            """
+            def _build_corpus(lab, inputs):
+                with open("/tmp/corpus.txt") as handle:
+                    return handle.read()
+            """,
+            filename=self.STAGES,
+        )
+        assert "PUR002" in found
+
+    def test_pur002_flags_env_read_in_transitive_callee(self):
+        found = rules_found(
+            """
+            import os
+
+            def _resolve_root():
+                return os.environ["DATA_ROOT"]
+
+            def _build_corpus(lab, inputs):
+                return _resolve_root()
+            """,
+            filename=self.STAGES,
+        )
+        assert "PUR002" in found
+
+    def test_pur002_clean_on_pure_builder(self):
+        found = rules_found(
+            """
+            def _tokenise(inputs):
+                return [s.split() for s in inputs["sentences"]]
+
+            def _build_vocab(lab, inputs):
+                return sorted({t for s in _tokenise(inputs) for t in s})
+            """,
+            filename=self.STAGES,
+        )
+        assert "PUR002" not in found
+
+    def test_pur003_flags_half_serializer_pair(self):
+        found = rules_found(
+            """
+            from repro.pipeline.stage import Stage
+
+            def build(lab, inputs):
+                return inputs
+
+            def save(value, path):
+                pass
+
+            STAGE = Stage(name="x", build=build, save=save)
+            """
+        )
+        assert "PUR003" in found
+
+    def test_pur003_clean_on_full_pair_or_neither(self):
+        found = rules_found(
+            """
+            from repro.pipeline.stage import Stage
+
+            A = Stage(name="a", build=print, save=print, load=print)
+            B = Stage(name="b", build=print)
+            """
+        )
+        assert "PUR003" not in found
+
+
+class TestConcurrencyRules:
+    def test_conc001_flags_unguarded_attribute_write(self):
+        found = rules_found(
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._items[key] = value
+
+                def reset(self):
+                    self._items.clear()
+            """
+        )
+        assert "CONC001" in found
+
+    def test_conc001_clean_when_every_write_is_guarded(self):
+        found = rules_found(
+            """
+            import threading
+
+            class Cache:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._items = {}
+
+                def put(self, key, value):
+                    with self._lock:
+                        self._items[key] = value
+
+                def reset(self):
+                    with self._lock:
+                        self._items.clear()
+            """
+        )
+        assert "CONC001" not in found
+
+    def test_conc001_flags_unguarded_module_global(self):
+        found = rules_found(
+            """
+            import threading
+
+            _lock = threading.Lock()
+            _registry = {}
+
+            def register(key, value):
+                with _lock:
+                    _registry[key] = value
+
+            def reset():
+                _registry.clear()
+            """
+        )
+        assert "CONC001" in found
+
+    def test_conc001_clean_on_local_shadowing_global(self):
+        found = rules_found(
+            """
+            import threading
+
+            _lock = threading.Lock()
+            _registry = {}
+
+            def register(key, value):
+                with _lock:
+                    _registry[key] = value
+
+            def snapshot():
+                _registry_copy = {}
+                _registry_copy.update({"a": 1})
+                return _registry_copy
+            """
+        )
+        assert "CONC001" not in found
+
+    def test_conc002_flags_check_then_act(self):
+        found = rules_found(
+            """
+            def clean(path):
+                if path.exists():
+                    path.unlink()
+            """
+        )
+        assert "CONC002" in found
+
+    def test_conc002_clean_on_idempotent_flags_and_reads(self):
+        found = rules_found(
+            """
+            import shutil
+
+            def clean(path):
+                path.unlink(missing_ok=True)
+                if path.exists():
+                    return path.read_text()
+                shutil.rmtree(path, ignore_errors=True)
+            """
+        )
+        assert "CONC002" not in found
+
+
+class TestContractRules:
+    def test_res001_flags_swallowed_broad_except(self):
+        found = rules_found(
+            """
+            def deliver(client, prompt):
+                try:
+                    return client.complete(prompt)
+                except Exception:
+                    return None
+            """
+        )
+        assert "RES001" in found
+
+    def test_res001_flags_swallowed_chat_client_error(self):
+        found = rules_found(
+            """
+            from repro.llm.client import ChatClientError
+
+            def deliver(client, prompt):
+                try:
+                    return client.complete(prompt)
+                except (ChatClientError, ValueError):
+                    return "failed"
+            """
+        )
+        assert "RES001" in found
+
+    def test_res001_clean_when_reraised(self):
+        found = rules_found(
+            """
+            def deliver(client, prompt):
+                try:
+                    return client.complete(prompt)
+                except Exception:
+                    raise
+            """
+        )
+        assert "RES001" not in found
+
+    def test_res001_clean_when_metric_recorded(self):
+        found = rules_found(
+            """
+            from repro.obs.trace import get_tracer
+
+            def deliver(client, prompt):
+                try:
+                    return client.complete(prompt)
+                except Exception:
+                    get_tracer().count("client_failures")
+                    return None
+            """
+        )
+        assert "RES001" not in found
+
+    def test_res001_narrow_handlers_are_fine(self):
+        found = rules_found(
+            """
+            def load(path):
+                try:
+                    return path.read_text()
+                except FileNotFoundError:
+                    return None
+            """
+        )
+        assert "RES001" not in found
+
+    def test_obs001_flags_span_without_with(self):
+        found = rules_found(
+            """
+            from repro.obs.trace import span
+
+            def run():
+                sp = span("stage.build")
+                return sp
+            """
+        )
+        assert "OBS001" in found
+
+    def test_obs001_clean_with_context_manager(self):
+        found = rules_found(
+            """
+            from repro.obs.trace import span
+
+            def run():
+                with span("stage.build"):
+                    return 1
+            """
+        )
+        assert "OBS001" not in found
