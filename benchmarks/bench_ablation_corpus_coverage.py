@@ -9,7 +9,7 @@ is available at embedding-training time.
 
 import os
 
-from conftest import run_once
+from conftest import instrumented, run_once
 
 from repro.core.comparison import evaluate_paradigm
 from repro.core.paradigms import RandomForestParadigm
@@ -21,6 +21,7 @@ from repro.text.corpus import CorpusConfig, corpus_sentences, generate_chemistry
 COVERAGES = (0.15, 0.5, 1.0)
 
 
+@instrumented("ablation_corpus_coverage")
 def compute(lab):
     split = lab.ml_split(1)
     train = list(split.train)[:1_500]

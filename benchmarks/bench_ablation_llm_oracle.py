@@ -8,7 +8,7 @@ metrics) neither adds nor hides systematic error.
 
 import os
 
-from conftest import icl_resilience, run_once
+from conftest import icl_resilience, instrumented, run_once
 
 from repro.core.datasets import train_test_split_9_1
 from repro.core.reporting import Table
@@ -19,6 +19,7 @@ from repro.llm.simulated import BehaviourProfile, SimulatedChatModel, TaskAbilit
 ABILITIES = (0.5, 0.7, 0.9, 1.0)
 
 
+@instrumented("ablation_llm_oracle")
 def compute(lab):
     dataset = lab.dataset(1)
     split = train_test_split_9_1(dataset, seed=lab.config.seed)

@@ -13,7 +13,7 @@ saturated.
 
 import os
 
-from conftest import run_once
+from conftest import instrumented, run_once
 
 from repro.core.paradigms import RandomForestParadigm
 from repro.core.comparison import evaluate_paradigm
@@ -24,6 +24,7 @@ from repro.ml.forest import RandomForestConfig
 TRAIN_SIZES = (300, 1_000, 3_000)
 
 
+@instrumented("ablation_random_vs_semantic")
 def compute(lab):
     split = lab.ml_split(1)
     test = list(split.test)

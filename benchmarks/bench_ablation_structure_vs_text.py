@@ -13,7 +13,7 @@ import os
 
 import numpy as np
 
-from conftest import run_once
+from conftest import instrumented, run_once
 
 from repro.core.comparison import evaluate_paradigm
 from repro.core.paradigms import RandomForestParadigm
@@ -22,6 +22,7 @@ from repro.kg.transe import TransE, TransEConfig
 from repro.ml.forest import RandomForestConfig
 
 
+@instrumented("ablation_structure_vs_text")
 def compute(lab):
     rows = {}
     for task in (1, 2, 3):

@@ -17,7 +17,7 @@ plot would skip them.
 
 import os
 
-from conftest import run_once
+from conftest import instrumented, run_once
 
 from repro.core.reporting import Table
 from repro.metrics.roc import roc_auc_score
@@ -26,6 +26,7 @@ EMBEDDINGS = ("Random", "GloVe", "W2V-Chem", "GloVe-Chem", "BioWordVec", "Pubmed
 MIN_TRIPLES = 12
 
 
+@instrumented("figure2_roc_by_relation")
 def compute(lab):
     grid = {}
     for task in (1, 2, 3):

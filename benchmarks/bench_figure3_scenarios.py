@@ -16,7 +16,7 @@ the reference line.  Reported shape:
 
 import os
 
-from conftest import run_once
+from conftest import instrumented, run_once
 
 from repro.core.comparison import evaluate_paradigm
 from repro.core.paradigms import FineTuneParadigm, ICLParadigm, RandomForestParadigm
@@ -38,6 +38,7 @@ ML_MODELS = (
 )
 
 
+@instrumented("figure3_scenarios")
 def compute(lab):
     results = {}
     rf_config = RandomForestConfig(

@@ -10,7 +10,7 @@ regenerates the subject/relation/object importance shares for every
 
 import os
 
-from conftest import run_once
+from conftest import instrumented, run_once
 
 from repro.adaptation.analysis import component_attention
 from repro.core.reporting import Table
@@ -33,6 +33,7 @@ CELLS = [
 ]
 
 
+@instrumented("figureA1_feature_importance")
 def compute(lab):
     attention = {}
     for embedding_name, adaptation in CELLS:

@@ -14,7 +14,7 @@ siblings).  Splits are stratified 9:1.
 
 import os
 
-from conftest import run_once
+from conftest import instrumented, run_once
 
 from repro.core.datasets import train_test_split_9_1
 from repro.core.reporting import Table
@@ -26,6 +26,7 @@ PAPER = {
 }
 
 
+@instrumented("table2_datasets")
 def compute(lab):
     rows = []
     for task in (1, 2, 3):

@@ -20,7 +20,7 @@ this scale.
 
 import os
 
-from conftest import run_once
+from conftest import instrumented, run_once
 
 from repro.core.reporting import Table
 
@@ -47,6 +47,7 @@ PAPER_F1 = {
 CELLS = list(PAPER_F1)
 
 
+@instrumented("table3a_rf_task1")
 def compute(lab):
     results = {}
     for embedding_name, adaptation in CELLS:

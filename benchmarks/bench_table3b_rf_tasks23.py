@@ -16,7 +16,7 @@ paradigm and task 3 the hardest (paper Section 3.3).
 
 import os
 
-from conftest import run_once
+from conftest import instrumented, run_once
 
 from repro.core.reporting import Table
 from repro.embeddings.registry import MODEL_NAMES
@@ -36,6 +36,7 @@ def adaptation_for(embedding_name):
     return "none" if embedding_name == "PubmedBERT" else "naive"
 
 
+@instrumented("table3b_rf_tasks23")
 def compute(lab):
     results = {}
     for task in (2, 3):

@@ -14,7 +14,7 @@ strongest Random-Forest cells.
 
 import os
 
-from conftest import run_once
+from conftest import instrumented, run_once
 
 from repro.core.reporting import Table
 
@@ -25,6 +25,7 @@ PAPER = {
 }
 
 
+@instrumented("table4_finetune")
 def compute(lab):
     return {task: lab.evaluate_fine_tuned(task) for task in (1, 2, 3)}
 

@@ -15,7 +15,7 @@ high, BioGPT's near zero.
 
 import os
 
-from conftest import icl_resilience, run_once
+from conftest import icl_resilience, instrumented, run_once
 
 from repro.core.datasets import train_test_split_9_1
 from repro.core.reporting import Table
@@ -45,6 +45,7 @@ PAPER_V1 = {
 }
 
 
+@instrumented("table5_icl")
 def compute(lab):
     config = ICLConfig(seed=lab.config.seed)
     results = {}

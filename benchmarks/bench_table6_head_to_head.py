@@ -12,7 +12,7 @@ on every task (paper: by 11/15/17 accuracy points).
 
 import os
 
-from conftest import run_once
+from conftest import instrumented, run_once
 
 from repro.core.comparison import evaluate_paradigm
 from repro.core.paradigms import ICLParadigm, RandomForestParadigm
@@ -31,6 +31,7 @@ PAPER_ACCURACY = {
 RF_EMBEDDINGS = ("GloVe-Chem", "W2V-Chem", "PubmedBERT")
 
 
+@instrumented("table6_head_to_head")
 def compute(lab):
     rows = {}
     for task in (1, 2, 3):

@@ -8,7 +8,7 @@ has_functional_parent 5.7%.  The synthetic generator must reproduce the
 
 import os
 
-from conftest import run_once
+from conftest import instrumented, run_once
 
 from repro.core.reporting import Table
 from repro.ontology.statistics import (
@@ -18,6 +18,7 @@ from repro.ontology.statistics import (
 )
 
 
+@instrumented("tableA3_ontology_stats")
 def compute(lab):
     return census(lab.ontology)
 

@@ -15,7 +15,7 @@ tokens, the domain/joined models progressively lower ones.
 
 import os
 
-from conftest import run_once
+from conftest import instrumented, run_once
 
 from repro.core.reporting import Table
 from repro.core.tasks import positive_triples
@@ -29,6 +29,7 @@ PAPER = {
 }
 
 
+@instrumented("tableA4_oov")
 def compute(lab):
     tokenizer = ChemTokenizer()
     tokens = set()

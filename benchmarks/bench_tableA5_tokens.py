@@ -9,7 +9,7 @@ asymmetry.
 
 import os
 
-from conftest import run_once
+from conftest import instrumented, run_once
 
 from repro.adaptation.analysis import short_token_share, token_frequency_census
 from repro.core.reporting import Table
@@ -20,6 +20,7 @@ PAPER_HEAD_TOP = "2 3 4 1 5 6 yl n d methyl hydroxymethyl 6r 2s 2r 3r beta".spli
 PAPER_TAIL_TOP = "acid 1 metabolite 3 d 2 compound 4 beta amino".split()
 
 
+@instrumented("tableA5_tokens")
 def compute(lab):
     positives = positive_triples(lab.ontology)
     census = token_frequency_census(positives, top_k=50)

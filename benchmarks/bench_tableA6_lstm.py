@@ -12,7 +12,7 @@ LSTM beats chance clearly and lands within a band of the corresponding RF.
 
 import os
 
-from conftest import run_once
+from conftest import instrumented, run_once
 
 from repro.core.reporting import Table
 
@@ -25,6 +25,7 @@ PAPER_F1 = {
 }
 
 
+@instrumented("tableA6_lstm")
 def compute(lab):
     results = {}
     for embedding_name in PAPER_F1:

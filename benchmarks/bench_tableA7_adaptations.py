@@ -15,7 +15,7 @@ most cells (the paper's Section 4 observation).
 
 import os
 
-from conftest import run_once
+from conftest import instrumented, run_once
 
 from repro.core.reporting import Table
 
@@ -31,6 +31,7 @@ PAPER_F1 = {
 }
 
 
+@instrumented("tableA7_adaptations")
 def compute(lab):
     results = {}
     for embedding_name, task, adaptation in PAPER_F1:

@@ -11,6 +11,7 @@ benchmark prints the paper's reported value next to the measured one — the
 reproduction target is the *shape* (orderings, gaps, crossovers).
 """
 
+import functools
 import os
 
 import pytest
@@ -18,6 +19,7 @@ import pytest
 from repro import obs
 from repro.core import Lab, LabConfig
 from repro.obs.trace import env_enables_trace
+from repro.perf import profiler
 
 RESULTS_DIR = os.path.join(os.path.dirname(__file__), "results")
 
@@ -53,9 +55,34 @@ BENCH_LAB_CONFIG = LabConfig(
 @pytest.fixture(scope="session", autouse=True)
 def _observability():
     """Collect spans for every benchmark run so each saved table ships with
-    a ``*.manifest.json`` (stderr progress only when ``REPRO_TRACE`` asks)."""
+    a ``*.manifest.json`` (stderr progress only when ``REPRO_TRACE`` asks).
+
+    With ``REPRO_PROFILE=1`` the span profiler is installed too, so every
+    manifest additionally carries ``hotspots.functions`` /
+    ``hotspots.allocations`` next to the always-present
+    ``hotspots.slowest_stages`` ranking."""
     obs.enable(verbose=env_enables_trace())
+    profiler.configure_from_env()
     yield
+
+
+def instrumented(label):
+    """Decorate a benchmark ``compute`` so it runs inside a ``bench.<label>``
+    span.
+
+    The span makes the benchmark's own work a first-class stage in its
+    manifest — ranked by ``repro trace --slowest``, and profiled
+    (cProfile + tracemalloc) whenever ``REPRO_PROFILE=1``."""
+
+    def decorate(fn):
+        @functools.wraps(fn)
+        def wrapper(*args, **kwargs):
+            with profiler.profiled_span(f"bench.{label}", benchmark=label):
+                return fn(*args, **kwargs)
+
+        return wrapper
+
+    return decorate
 
 
 @pytest.fixture(scope="session")

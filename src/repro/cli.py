@@ -14,11 +14,18 @@ Commands:
   the ``$REPRO_ARTIFACTS`` environment variable;
 * ``lint`` — run the ``repro.statcheck`` static analyzer over the package
   (or given paths).  Exit 0 clean, 1 findings, 2 analyzer error;
-  ``--quick`` runs only the compile/import-cycle smoke check.
+  ``--quick`` runs only the compile/import-cycle smoke check;
+* ``perf`` — the benchmark subsystem: ``perf run`` measures the registered
+  perf areas, ``perf compare`` diffs against the committed
+  ``BENCH_<area>.json`` baselines (exit 0 ok, 1 regression/drift, 2
+  harness error), ``perf update`` rewrites them, ``perf report`` renders
+  them.
 
 Every command is deterministic given ``--seed``.  The global ``--trace``
 flag enables span tracing and stderr progress for any command (equivalent
-to ``REPRO_TRACE=1``); ``--version`` prints the package version.
+to ``REPRO_TRACE=1``); ``--profile`` additionally installs the span
+profiler so manifests gain hotspot function/allocation tables (equivalent
+to ``REPRO_PROFILE=1``); ``--version`` prints the package version.
 
 The ``icl`` command demos the resilience layer: ``--faults
 timeout:0.1,http500:0.05`` injects deterministic faults (retried on a
@@ -255,6 +262,71 @@ def render_manifest(manifest: dict) -> str:
         )
     lines.append("")
     lines.append(table.render())
+    lines.extend(_hotspot_lines(manifest))
+    return "\n".join(lines)
+
+
+def _hotspot_lines(manifest: dict, top_n: int = 10) -> List[str]:
+    """Render the manifest's ``hotspots`` section (profiler extras)."""
+    hotspots = manifest.get("hotspots") or {}
+    lines: List[str] = []
+    functions = hotspots.get("functions") or []
+    if functions:
+        table = Table(
+            "hottest functions (profiled, by self time)",
+            ["function", "ncalls", "self ms", "cumulative ms"],
+            precision=2,
+        )
+        for row in functions[:top_n]:
+            table.add_row(
+                row.get("function", "?"),
+                row.get("ncalls", 0),
+                float(row.get("tottime_s", 0.0)) * 1000,
+                float(row.get("cumtime_s", 0.0)) * 1000,
+            )
+        lines.append("")
+        lines.append(table.render())
+    allocations = hotspots.get("allocations") or []
+    if allocations:
+        table = Table(
+            "top allocating spans (tracemalloc)",
+            ["span", "KiB"],
+            precision=1,
+        )
+        for row in allocations[:top_n]:
+            table.add_row(
+                row.get("span", "?"),
+                float(row.get("alloc_bytes", 0)) / 1024.0,
+            )
+        lines.append("")
+        lines.append(table.render())
+    return lines
+
+
+def render_slowest(manifest: dict, top_n: int) -> str:
+    """The ``repro trace --slowest N`` view: ranked per-stage durations."""
+    from repro.obs.manifest import slowest_stages
+
+    hotspots = manifest.get("hotspots") or {}
+    ranked = hotspots.get("slowest_stages")
+    if ranked is None:  # pre-hotspots manifest: aggregate from the span tree
+        ranked = slowest_stages(list(manifest.get("spans") or []), top_n)
+    table = Table(
+        f"slowest stages (top {top_n}, by aggregate self time)",
+        ["stage", "self ms", "total ms", "max ms", "spans"],
+        precision=2,
+    )
+    for row in ranked[:top_n]:
+        table.add_row(
+            row.get("name", "?"),
+            float(row.get("self_s", 0.0)) * 1000,
+            float(row.get("total_s", 0.0)) * 1000,
+            float(row.get("max_s", 0.0)) * 1000,
+            row.get("count", 0),
+        )
+    lines = [f"manifest: {manifest.get('artefact', manifest.get('title', '?'))}"]
+    lines.append(table.render())
+    lines.extend(_hotspot_lines(manifest))
     return "\n".join(lines)
 
 
@@ -266,6 +338,12 @@ def cmd_trace(args: argparse.Namespace) -> int:
     except ManifestError as error:
         print(f"error: {error}", file=sys.stderr)
         return 1
+    if args.slowest is not None:
+        if args.slowest < 1:
+            print("error: --slowest needs a positive count", file=sys.stderr)
+            return 2
+        print(render_slowest(manifest, args.slowest))
+        return 0
     print(render_manifest(manifest))
     return 0
 
@@ -463,6 +541,139 @@ def cmd_resume(args: argparse.Namespace) -> int:
     return 0
 
 
+def _perf_protocol(args: argparse.Namespace):
+    """The timing protocol selected by ``--quick``/``--repeats``/``--warmup``."""
+    from repro.perf import FULL, QUICK, Protocol
+
+    protocol = QUICK if args.quick else FULL
+    if args.repeats is not None or args.warmup is not None:
+        protocol = Protocol(
+            warmup=protocol.warmup if args.warmup is None else args.warmup,
+            repeats=protocol.repeats if args.repeats is None else args.repeats,
+        )
+    return protocol
+
+
+def _measure_areas(names, protocol) -> List[dict]:
+    """Measure the selected perf areas; returns one payload per area."""
+    from repro.perf import result_payload, select_areas
+
+    payloads = []
+    for area in select_areas(names):
+        print(f"measuring {area.name} ({area.title}) ...", file=sys.stderr)
+        benchmark, workload = area.build()
+        result = benchmark.measure(protocol)
+        payloads.append(result_payload(result, workload))
+    return payloads
+
+
+def cmd_perf_run(args: argparse.Namespace) -> int:
+    from repro.perf import PerfError, render_results, write_results
+
+    try:
+        payloads = _measure_areas(args.areas, _perf_protocol(args))
+        print(render_results(payloads))
+        if args.output:
+            path = write_results(payloads, args.output)
+            print(f"wrote {path}")
+    except PerfError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_perf_compare(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        PerfError,
+        compare_exit_code,
+        compare_result,
+        load_baseline,
+        load_results,
+        parse_tolerance,
+        render_comparison,
+    )
+
+    try:
+        tolerance = parse_tolerance(args.tolerance)
+        if args.from_file:
+            payloads = load_results(args.from_file)
+        else:
+            payloads = _measure_areas(args.areas, _perf_protocol(args))
+        comparisons = []
+        for payload in payloads:
+            try:
+                baseline = load_baseline(payload["area"], args.dir)
+            except PerfError:
+                baseline = None
+            comparisons.append(
+                compare_result(payload, baseline, tolerance=tolerance)
+            )
+    except PerfError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    print(render_comparison(comparisons, tolerance))
+    code = compare_exit_code(comparisons)
+    if code == 0:
+        print("perf: all areas within tolerance")
+    elif code == 1:
+        print("perf: regression detected", file=sys.stderr)
+    else:
+        print("perf: missing baselines (run `repro perf update`)",
+              file=sys.stderr)
+    return code
+
+
+def cmd_perf_update(args: argparse.Namespace) -> int:
+    from repro.perf import PerfError, write_baseline
+
+    try:
+        payloads = _measure_areas(args.areas, _perf_protocol(args))
+        for payload in payloads:
+            path = write_baseline(payload, args.dir)
+            print(f"wrote {path}")
+    except PerfError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    return 0
+
+
+def cmd_perf_report(args: argparse.Namespace) -> int:
+    from repro.perf import (
+        PerfError,
+        area_names,
+        load_baseline,
+        load_results,
+        render_results,
+    )
+
+    try:
+        if args.from_file:
+            payloads = load_results(args.from_file)
+            title = f"perf results ({args.from_file})"
+        else:
+            payloads = []
+            for name in args.areas or area_names():
+                try:
+                    payloads.append(load_baseline(name, args.dir))
+                except PerfError:
+                    print(f"(no baseline for {name})", file=sys.stderr)
+            title = f"committed baselines ({args.dir})"
+    except PerfError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    if not payloads:
+        print("error: nothing to report", file=sys.stderr)
+        return 2
+    print(render_results(payloads, title=title))
+    environment = payloads[0].get("environment") or {}
+    print(
+        f"environment: python {environment.get('python_version', '?')} | "
+        f"numpy {environment.get('numpy_version', '?')} | "
+        f"{environment.get('platform', '?')}"
+    )
+    return 0
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
     """Run the static analyzer; exit 0 clean / 1 findings / 2 crash."""
     import json
@@ -522,6 +733,11 @@ def build_parser() -> argparse.ArgumentParser:
     parser.add_argument(
         "--trace", action="store_true",
         help="enable span tracing and stderr progress (like REPRO_TRACE=1)",
+    )
+    parser.add_argument(
+        "--profile", action="store_true",
+        help="enable span profiling — implies --trace; manifests gain "
+        "hotspots.functions/allocations (like REPRO_PROFILE=1)",
     )
     subparsers = parser.add_subparsers(dest="command", required=True)
 
@@ -586,7 +802,77 @@ def build_parser() -> argparse.ArgumentParser:
         "trace", help="pretty-print a saved run manifest"
     )
     trace.add_argument("manifest", help="path to a *.manifest.json file")
+    trace.add_argument(
+        "--slowest", type=int, default=None, metavar="N",
+        help="show only the top-N stages ranked by aggregate self time",
+    )
     trace.set_defaults(func=cmd_trace)
+
+    perf = subparsers.add_parser(
+        "perf", help="run, compare and refresh the perf-area benchmarks"
+    )
+    perf_sub = perf.add_subparsers(dest="perf_command", required=True)
+
+    def _perf_common(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument(
+            "areas", nargs="*",
+            help="perf areas to include (default: all registered areas)",
+        )
+        sub.add_argument(
+            "--quick", action="store_true",
+            help="abbreviated protocol (fewer warmup/repeats, same workload)",
+        )
+        sub.add_argument("--repeats", type=int, default=None,
+                         help="override timed repeats")
+        sub.add_argument("--warmup", type=int, default=None,
+                         help="override warmup executions")
+        sub.add_argument(
+            "--dir", default=".",
+            help="directory holding BENCH_<area>.json baselines (default: .)",
+        )
+
+    perf_run = perf_sub.add_parser(
+        "run", help="measure perf areas and print robust stats"
+    )
+    _perf_common(perf_run)
+    perf_run.add_argument(
+        "--output", default=None,
+        help="also write a results JSON document to this path",
+    )
+    perf_run.set_defaults(func=cmd_perf_run)
+
+    perf_cmp = perf_sub.add_parser(
+        "compare",
+        help="diff current (or --from) numbers against committed baselines; "
+        "exit 0 ok, 1 regression, 2 harness/baseline error",
+    )
+    _perf_common(perf_cmp)
+    perf_cmp.add_argument(
+        "--tolerance", default="25%",
+        help="relative slowdown allowed before flagging (e.g. '25%%' or 0.25)",
+    )
+    perf_cmp.add_argument(
+        "--from", dest="from_file", default=None, metavar="RESULTS",
+        help="compare a results JSON from `perf run --output` instead of "
+        "re-measuring",
+    )
+    perf_cmp.set_defaults(func=cmd_perf_compare)
+
+    perf_upd = perf_sub.add_parser(
+        "update", help="re-measure and rewrite the BENCH_<area>.json baselines"
+    )
+    _perf_common(perf_upd)
+    perf_upd.set_defaults(func=cmd_perf_update)
+
+    perf_rep = perf_sub.add_parser(
+        "report", help="render committed baselines (or a results JSON)"
+    )
+    _perf_common(perf_rep)
+    perf_rep.add_argument(
+        "--from", dest="from_file", default=None, metavar="RESULTS",
+        help="render a results JSON instead of the committed baselines",
+    )
+    perf_rep.set_defaults(func=cmd_perf_report)
 
     resume = subparsers.add_parser(
         "resume", help="inspect a checkpoint journal"
@@ -681,10 +967,14 @@ def build_parser() -> argparse.ArgumentParser:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    if getattr(args, "trace", False):
+    if getattr(args, "trace", False) or getattr(args, "profile", False):
         from repro import obs
 
         obs.enable()
+    if getattr(args, "profile", False):
+        from repro.perf import profiler
+
+        profiler.install()
     return args.func(args)
 
 

@@ -22,12 +22,16 @@ from repro.obs import manifest, metrics, progress, trace
 from repro.obs.manifest import (
     MANIFEST_FORMAT,
     ManifestError,
+    build_hotspots,
     build_manifest,
     load_manifest,
     manifest_path_for,
     record_config,
     record_stage_event,
+    register_section_provider,
     set_context,
+    slowest_stages,
+    unregister_section_provider,
     write_artefact_manifest,
     write_manifest,
 )
@@ -39,6 +43,7 @@ from repro.obs.metrics import (
     peak_rss_bytes,
     peak_rss_mb,
     tracemalloc_delta,
+    tracemalloc_metrics,
 )
 from repro.obs.progress import (
     StageProgress,
@@ -51,6 +56,7 @@ from repro.obs.trace import (
     TRACE_ENV_VAR,
     Span,
     Tracer,
+    adopt,
     configure_from_env,
     enabled,
     get_tracer,
@@ -83,6 +89,7 @@ __all__ = [
     "Span",
     "Tracer",
     "span",
+    "adopt",
     "get_tracer",
     "enabled",
     "enable",
@@ -97,9 +104,14 @@ __all__ = [
     "peak_rss_mb",
     "memory_metrics",
     "tracemalloc_delta",
+    "tracemalloc_metrics",
     # manifest
     "MANIFEST_FORMAT",
     "ManifestError",
+    "build_hotspots",
+    "slowest_stages",
+    "register_section_provider",
+    "unregister_section_provider",
     "build_manifest",
     "write_manifest",
     "load_manifest",

@@ -19,7 +19,7 @@ import sys
 import threading
 import time
 from pathlib import Path
-from typing import Dict, Optional, Union
+from typing import Callable, Dict, List, Optional, Union
 
 from repro.obs.metrics import memory_metrics
 from repro.obs.trace import Tracer, get_tracer
@@ -96,6 +96,108 @@ def record_stage_event(
         stages[stage] = record
 
 
+#: Named callables contributing extra hotspot sub-sections (e.g. the
+#: profiler's function/allocation tables).  Keyed by provider name so
+#: re-registering replaces rather than duplicates.
+_section_providers: Dict[str, Callable[[], dict]] = {}
+
+#: Guards provider registration/snapshotting against concurrent installs.
+_providers_lock = threading.Lock()
+
+
+def register_section_provider(name: str, provider: Callable[[], dict]) -> None:
+    """Register a callable whose dict output merges into the hotspots section.
+
+    The provider runs at manifest-build time; each key of its return value
+    becomes a key of the manifest's ``hotspots`` section.  This lets
+    :mod:`repro.perf` contribute profiler output without the observability
+    layer importing it (no obs → perf dependency).
+    """
+    with _providers_lock:
+        _section_providers[name] = provider
+
+
+def unregister_section_provider(name: str) -> None:
+    """Remove a previously registered provider (no-op if absent)."""
+    with _providers_lock:
+        _section_providers.pop(name, None)
+
+
+def _walk_spans(span_dicts: List[dict]):
+    todo = list(span_dicts)
+    while todo:
+        node = todo.pop()
+        yield node
+        todo.extend(node.get("children", ()))
+
+
+def aggregate_span_times(span_dicts: List[dict]) -> Dict[str, dict]:
+    """Aggregate a serialised span forest into per-name timing rows.
+
+    Returns ``{name: {"count", "total_s", "self_s", "max_s"}}`` where
+    ``self_s`` is duration minus direct-children time — the basis of the
+    slowest-stages ranking.
+    """
+    rows: Dict[str, dict] = {}
+    for node in _walk_spans(span_dicts):
+        name = node.get("name", "<unnamed>")
+        duration = float(node.get("duration_s", 0.0) or 0.0)
+        self_time = float(node.get("self_time_s", duration) or 0.0)
+        row = rows.setdefault(
+            name, {"count": 0, "total_s": 0.0, "self_s": 0.0, "max_s": 0.0}
+        )
+        row["count"] += 1
+        row["total_s"] += duration
+        row["self_s"] += self_time
+        row["max_s"] = max(row["max_s"], duration)
+    return rows
+
+
+def slowest_stages(span_dicts: List[dict], top_n: int = 15) -> List[dict]:
+    """The top-``top_n`` span names ranked by aggregate self time."""
+    rows = aggregate_span_times(span_dicts)
+    ranked = sorted(
+        (
+            {
+                "name": name,
+                "count": row["count"],
+                "total_s": round(row["total_s"], 6),
+                "self_s": round(row["self_s"], 6),
+                "max_s": round(row["max_s"], 6),
+            }
+            for name, row in rows.items()
+        ),
+        key=lambda row: (-row["self_s"], row["name"]),
+    )
+    return ranked[: max(0, top_n)]
+
+
+def build_hotspots(span_dicts: List[dict], top_n: int = 15) -> dict:
+    """The manifest ``hotspots`` section: stage ranking + provider extras.
+
+    Always contains ``slowest_stages``; providers registered via
+    :func:`register_section_provider` (the profiler adds ``functions`` and
+    ``allocations``) merge their keys in.  A failing provider is recorded
+    in-place and accounted via the ``manifest.provider_errors`` counter —
+    one broken profiler must not lose the whole manifest.
+    """
+    hotspots: dict = {"slowest_stages": slowest_stages(span_dicts, top_n)}
+    with _providers_lock:
+        providers = dict(_section_providers)
+    for name in sorted(providers):
+        try:
+            payload = providers[name]()
+        except Exception as error:
+            get_tracer().count("manifest.provider_errors")
+            hotspots[name] = {
+                "error": f"{type(error).__name__}: {error}",
+            }
+            continue
+        if payload:
+            hotspots.update(payload)
+    return hotspots
+
+
 def environment_info() -> dict:
     """Interpreter / library / platform facts for reproducibility."""
     try:
@@ -126,6 +228,7 @@ def build_manifest(
     tracer = tracer or get_tracer()
     with _context_lock:
         context = dict(_run_context)
+    spans = [root.to_dict() for root in tracer.roots()]
     manifest = {
         "format": MANIFEST_FORMAT,
         # statcheck: ignore[DET003] - manifests record when the run happened by design
@@ -133,9 +236,10 @@ def build_manifest(
         "created": time.strftime("%Y-%m-%dT%H:%M:%S%z"),
         "environment": environment_info(),
         "context": context,
-        "spans": [root.to_dict() for root in tracer.roots()],
+        "spans": spans,
         "counters": tracer.counters(),
         "memory": memory_metrics(),
+        "hotspots": build_hotspots(spans),
     }
     if extra:
         manifest.update(extra)
@@ -226,6 +330,11 @@ __all__ = [
     "record_stage_event",
     "clear_context",
     "environment_info",
+    "register_section_provider",
+    "unregister_section_provider",
+    "aggregate_span_times",
+    "slowest_stages",
+    "build_hotspots",
     "build_manifest",
     "write_manifest",
     "load_manifest",

@@ -118,11 +118,48 @@ def peak_rss_mb() -> Optional[float]:
     return None if peak is None else peak / (1024.0 * 1024.0)
 
 
-def memory_metrics() -> Dict[str, Optional[float]]:
-    """The standard memory snapshot attached to run manifests."""
+def tracemalloc_metrics() -> Dict[str, object]:
+    """Python-allocation snapshot with an *explicit* unavailable state.
+
+    When ``tracemalloc`` is not tracing (the default — tracing is costly)
+    the byte fields are ``None`` and ``tracing`` is ``False``, so manifest
+    readers can distinguish "not measured" from "measured zero" instead of
+    the field silently disappearing.
+    """
+    if tracemalloc is None:  # pragma: no cover - always present on CPython
+        return {
+            "available": False,
+            "tracing": False,
+            "current_bytes": None,
+            "peak_bytes": None,
+        }
+    if not tracemalloc.is_tracing():
+        return {
+            "available": True,
+            "tracing": False,
+            "current_bytes": None,
+            "peak_bytes": None,
+        }
+    current, peak = tracemalloc.get_traced_memory()
+    return {
+        "available": True,
+        "tracing": True,
+        "current_bytes": int(current),
+        "peak_bytes": int(peak),
+    }
+
+
+def memory_metrics() -> Dict[str, object]:
+    """The standard memory snapshot attached to run manifests.
+
+    Always reports both the OS-level peak RSS and the python-allocator
+    view (:func:`tracemalloc_metrics`); the latter carries an explicit
+    ``tracing: False`` fallback rather than omitting the key.
+    """
     return {
         "peak_rss_bytes": peak_rss_bytes(),
         "peak_rss_mb": peak_rss_mb(),
+        "tracemalloc": tracemalloc_metrics(),
     }
 
 
@@ -171,6 +208,7 @@ __all__ = [
     "Timer",
     "peak_rss_bytes",
     "peak_rss_mb",
+    "tracemalloc_metrics",
     "memory_metrics",
     "TracemallocDelta",
     "tracemalloc_delta",

@@ -24,10 +24,11 @@ builders nest correctly without cross-talk.
 
 from __future__ import annotations
 
+import contextlib
 import os
 import threading
 import time
-from typing import Dict, List, Optional
+from typing import Dict, Iterator, List, Optional, Tuple
 
 #: Environment variable that switches tracing (and progress output) on.
 TRACE_ENV_VAR = "REPRO_TRACE"
@@ -142,12 +143,18 @@ class Span:
     def __enter__(self) -> "Span":
         # statcheck: ignore[DET003] - wall-clock span metadata, never hashed
         self.start_wall = time.time()
-        self._start = time.perf_counter()
         self._tracer._push(self)
+        # Notify listeners *before* the monotonic clock starts so listener
+        # setup cost (e.g. enabling a profiler) is excluded from duration.
+        self._tracer._notify("start", self)
+        self._start = time.perf_counter()
         return self
 
     def __exit__(self, *exc) -> bool:
         self.duration = time.perf_counter() - self._start
+        # Listeners run after the clock stops (teardown cost excluded) but
+        # before _pop, so the span is still the top of its thread's stack.
+        self._tracer._notify("end", self)
         self._tracer._pop(self)
         return False
 
@@ -171,6 +178,7 @@ class Tracer:
         self._local = threading.local()
         self._roots: List[Span] = []
         self._counters: Dict[str, float] = {}
+        self._listeners: Tuple[object, ...] = ()
 
     # -- span lifecycle ------------------------------------------------------
 
@@ -209,6 +217,64 @@ class Tracer:
         """The innermost open span of the calling thread, if any."""
         stack = self._stack()
         return stack[-1] if stack else None
+
+    @contextlib.contextmanager
+    def adopt(self, parent: Optional[Span]) -> Iterator[None]:
+        """Attribute spans opened in this thread to ``parent``.
+
+        Span parentage normally follows the per-thread stack, so a span
+        opened inside a worker thread becomes a *root* even when the work
+        was submitted from inside an open span.  Wrapping the worker body
+        in ``with tracer.adopt(parent):`` pushes ``parent`` onto the
+        calling thread's stack (without re-timing it), so spans opened
+        here nest under it.  Child appends go through the tracer lock, so
+        many workers may adopt the same parent concurrently.
+        """
+        if parent is None or not isinstance(parent, Span) or not self.enabled:
+            yield
+            return
+        stack = self._stack()
+        stack.append(parent)
+        try:
+            yield
+        finally:
+            if stack and stack[-1] is parent:
+                stack.pop()
+            elif parent in stack:  # tolerate unbalanced exits
+                stack.remove(parent)
+
+    # -- listeners -----------------------------------------------------------
+
+    def add_listener(self, listener: object) -> None:
+        """Register a span lifecycle listener.
+
+        Listeners may implement ``on_span_start(span)`` and/or
+        ``on_span_end(span)``; either hook may be absent.  ``on_span_end``
+        fires after the span's duration is final but while the span is
+        still on its thread's stack.  Listener exceptions are swallowed
+        and accounted under the ``trace.listener_errors`` counter so a
+        broken profiler can never corrupt instrumented code.
+        """
+        with self._lock:
+            if listener not in self._listeners:
+                self._listeners = self._listeners + (listener,)
+
+    def remove_listener(self, listener: object) -> None:
+        """Unregister a listener (no-op if absent)."""
+        with self._lock:
+            self._listeners = tuple(
+                item for item in self._listeners if item is not listener
+            )
+
+    def _notify(self, event: str, span: Span) -> None:
+        for listener in self._listeners:
+            hook = getattr(listener, "on_span_" + event, None)
+            if hook is None:
+                continue
+            try:
+                hook(span)
+            except Exception:
+                self.count("trace.listener_errors")
 
     # -- aggregate counters --------------------------------------------------
 
@@ -251,6 +317,11 @@ def span(name: str, **attrs):
     return _TRACER.start_span(name, **attrs)
 
 
+def adopt(parent: Optional[Span]):
+    """Adopt ``parent`` as this thread's span parent (see :meth:`Tracer.adopt`)."""
+    return _TRACER.adopt(parent)
+
+
 def enabled() -> bool:
     """Whether tracing is currently collecting spans."""
     return _TRACER.enabled
@@ -286,6 +357,7 @@ __all__ = [
     "Tracer",
     "get_tracer",
     "span",
+    "adopt",
     "enabled",
     "enable",
     "disable",

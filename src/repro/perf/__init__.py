@@ -1,0 +1,102 @@
+"""repro.perf — deterministic benchmarking and span profiling.
+
+Four layers:
+
+* :mod:`repro.perf.harness` — the warmup/repeat timing protocol with robust
+  stats and built-in workload-determinism checksums;
+* :mod:`repro.perf.areas` — the registry of ~8 named hot-path workloads
+  (``obo_parse`` ... ``store_roundtrip``), each a seeded
+  :class:`~repro.perf.harness.Benchmark`;
+* :mod:`repro.perf.baseline` — committed ``BENCH_<area>.json`` baselines and
+  the noise-tolerant regression comparison behind ``repro perf compare``;
+* :mod:`repro.perf.profiler` — opt-in (``REPRO_PROFILE=1``) per-span
+  cProfile + tracemalloc capture feeding the manifest ``hotspots`` section.
+
+CLI: ``repro perf run|compare|report|update``.
+"""
+
+from repro.perf.areas import AREAS, PerfArea, area_names, get_area, select_areas
+from repro.perf.baseline import (
+    BENCH_FORMAT,
+    DEFAULT_MIN_DELTA_S,
+    DEFAULT_TOLERANCE,
+    RESULTS_FORMAT,
+    Comparison,
+    baseline_path,
+    compare_exit_code,
+    compare_result,
+    environment_fingerprint,
+    load_baseline,
+    load_results,
+    parse_tolerance,
+    result_payload,
+    write_baseline,
+    write_results,
+)
+from repro.perf.harness import (
+    FULL,
+    QUICK,
+    Benchmark,
+    BenchResult,
+    PerfError,
+    Protocol,
+    Stats,
+    percentile,
+)
+from repro.perf.profiler import (
+    PROFILE_ENV_VAR,
+    SpanProfiler,
+    configure_from_env,
+    env_enables_profile,
+    install,
+    installed,
+    profiled_span,
+    uninstall,
+)
+from repro.perf.report import render_comparison, render_results
+
+__all__ = [
+    # harness
+    "PerfError",
+    "Protocol",
+    "FULL",
+    "QUICK",
+    "percentile",
+    "Stats",
+    "BenchResult",
+    "Benchmark",
+    # areas
+    "PerfArea",
+    "AREAS",
+    "area_names",
+    "get_area",
+    "select_areas",
+    # baseline
+    "BENCH_FORMAT",
+    "RESULTS_FORMAT",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_MIN_DELTA_S",
+    "environment_fingerprint",
+    "baseline_path",
+    "result_payload",
+    "write_baseline",
+    "load_baseline",
+    "write_results",
+    "load_results",
+    "parse_tolerance",
+    "Comparison",
+    "compare_result",
+    "compare_exit_code",
+    # profiler
+    "PROFILE_ENV_VAR",
+    "env_enables_profile",
+    "SpanProfiler",
+    "install",
+    "installed",
+    "uninstall",
+    "configure_from_env",
+    "profiled_span",
+    # report
+    "render_results",
+    "render_comparison",
+]

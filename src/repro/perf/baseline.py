@@ -1,0 +1,291 @@
+"""Perf baselines: ``BENCH_<area>.json`` files and regression comparison.
+
+A baseline is the committed record of how fast one perf area ran on a known
+good revision: schema-versioned, carrying the protocol, the robust stats,
+the workload checksum and an environment fingerprint.  ``repro perf
+compare`` measures the same areas and diffs medians against these files
+with a *noise-tolerant* threshold: a regression is flagged only when the
+median grew by more than ``tolerance`` (relative) **and** more than
+``min_delta_s`` (absolute) — micro-benchmarks in the hundreds of
+microseconds would otherwise trip the relative gate on scheduler noise.
+
+Statuses:
+
+``ok`` / ``faster``
+    Within tolerance (or better).  Exit code 0.
+``regression``
+    Median slower than tolerance allows.  Exit code 1.
+``drift``
+    The workload checksum changed — the code under test produces different
+    results, so the numbers are not comparable; refresh with ``repro perf
+    update``.  Exit code 1.
+``missing``
+    No committed baseline for a measured area.  Exit code 2 (harness/config
+    error): CI must fail loudly until the baseline is committed.
+"""
+
+from __future__ import annotations
+
+import json
+import os
+import platform
+from dataclasses import dataclass
+from pathlib import Path
+from typing import Dict, List, Optional, Union
+
+from repro.perf.harness import BenchResult, PerfError
+from repro.utils.atomic import atomic_write
+
+PathLike = Union[str, Path]
+
+#: Format tag written into (and required of) every baseline file.
+BENCH_FORMAT = "repro-bench-v1"
+
+#: Format tag of a multi-area results file (``repro perf run --output``).
+RESULTS_FORMAT = "repro-bench-results-v1"
+
+#: Default relative tolerance for :func:`compare_result` (25%).
+DEFAULT_TOLERANCE = 0.25
+
+#: Absolute noise floor: median deltas below this never count as regressions.
+DEFAULT_MIN_DELTA_S = 0.002
+
+
+def environment_fingerprint() -> dict:
+    """Machine/interpreter facts stored with every baseline.
+
+    Comparisons are only physically meaningful on similar hardware; the
+    fingerprint lets readers (and CI logs) judge how comparable two runs
+    are without blocking the comparison.
+    """
+    try:
+        import numpy
+        numpy_version = numpy.__version__
+    except ImportError:  # pragma: no cover - numpy is a hard dependency
+        numpy_version = None
+    return {
+        "python_version": platform.python_version(),
+        "python_implementation": platform.python_implementation(),
+        "numpy_version": numpy_version,
+        "platform": platform.platform(),
+        "machine": platform.machine(),
+        "cpu_count": os.cpu_count(),
+    }
+
+
+def baseline_path(area_name: str, directory: PathLike = ".") -> Path:
+    """Where the committed baseline for ``area_name`` lives."""
+    return Path(directory) / f"BENCH_{area_name}.json"
+
+
+def result_payload(result: BenchResult, workload: dict) -> dict:
+    """The JSON payload for one measured area (baseline or results entry)."""
+    return {
+        "format": BENCH_FORMAT,
+        "area": result.name,
+        "workload": dict(workload),
+        "environment": environment_fingerprint(),
+        **result.to_dict(),
+    }
+
+
+def write_baseline(payload: dict, directory: PathLike = ".") -> Path:
+    """Atomically write one area's baseline file; returns its path."""
+    path = baseline_path(payload["area"], directory)
+    with atomic_write(path, "w") as handle:
+        json.dump(payload, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_baseline(area_name: str, directory: PathLike = ".") -> dict:
+    """Load and validate one committed baseline.
+
+    Raises :class:`PerfError` when the file is missing, corrupt, or not a
+    ``repro-bench-v1`` document.
+    """
+    path = baseline_path(area_name, directory)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        raise PerfError(f"no baseline for {area_name!r}: {path} not found") from None
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise PerfError(f"corrupt baseline {path}: {error}") from None
+    except OSError as error:
+        raise PerfError(f"cannot read baseline {path}: {error}") from None
+    if not isinstance(data, dict) or data.get("format") != BENCH_FORMAT:
+        raise PerfError(
+            f"{path} is not a {BENCH_FORMAT} file "
+            f"(found format={data.get('format')!r})"
+            if isinstance(data, dict)
+            else f"{path} is not a {BENCH_FORMAT} file"
+        )
+    return data
+
+
+def write_results(payloads: List[dict], path: PathLike) -> Path:
+    """Write a multi-area results document (``repro perf run --output``)."""
+    document = {
+        "format": RESULTS_FORMAT,
+        "results": {payload["area"]: payload for payload in payloads},
+    }
+    path = Path(path)
+    with atomic_write(path, "w") as handle:
+        json.dump(document, handle, indent=2, sort_keys=True)
+        handle.write("\n")
+    return path
+
+
+def load_results(path: PathLike) -> List[dict]:
+    """Load a results document back into a list of area payloads."""
+    path = Path(path)
+    try:
+        with open(path, "r", encoding="utf-8") as handle:
+            data = json.load(handle)
+    except FileNotFoundError:
+        raise PerfError(f"results file not found: {path}") from None
+    except (json.JSONDecodeError, UnicodeDecodeError) as error:
+        raise PerfError(f"corrupt results file {path}: {error}") from None
+    if not isinstance(data, dict) or data.get("format") != RESULTS_FORMAT:
+        raise PerfError(f"{path} is not a {RESULTS_FORMAT} file")
+    results = data.get("results", {})
+    return [results[name] for name in sorted(results)]
+
+
+def parse_tolerance(text: Union[str, float]) -> float:
+    """Parse ``"25%"`` or ``"0.25"`` (or a float) into a fraction."""
+    if isinstance(text, (int, float)):
+        value = float(text)
+    else:
+        raw = str(text).strip()
+        try:
+            value = (
+                float(raw[:-1]) / 100.0 if raw.endswith("%") else float(raw)
+            )
+        except ValueError:
+            raise PerfError(f"cannot parse tolerance {text!r}") from None
+    if value < 0:
+        raise PerfError(f"tolerance must be non-negative, got {value}")
+    return value
+
+
+@dataclass(frozen=True)
+class Comparison:
+    """Outcome of diffing one measured area against its baseline."""
+
+    area: str
+    status: str  # "ok" | "faster" | "regression" | "drift" | "missing"
+    current_median_s: Optional[float] = None
+    baseline_median_s: Optional[float] = None
+    ratio: Optional[float] = None
+    message: str = ""
+
+    @property
+    def is_regression(self) -> bool:
+        return self.status in ("regression", "drift")
+
+    @property
+    def is_error(self) -> bool:
+        return self.status == "missing"
+
+    def to_dict(self) -> dict:
+        return {
+            "area": self.area,
+            "status": self.status,
+            "current_median_s": self.current_median_s,
+            "baseline_median_s": self.baseline_median_s,
+            "ratio": self.ratio,
+            "message": self.message,
+        }
+
+
+def compare_result(
+    payload: dict,
+    baseline: Optional[dict],
+    tolerance: float = DEFAULT_TOLERANCE,
+    min_delta_s: float = DEFAULT_MIN_DELTA_S,
+) -> Comparison:
+    """Diff one measured payload against its committed baseline."""
+    area = payload["area"]
+    if baseline is None:
+        return Comparison(
+            area=area,
+            status="missing",
+            current_median_s=payload["stats"]["median_s"],
+            message="no committed baseline; run `repro perf update`",
+        )
+    current = float(payload["stats"]["median_s"])
+    base = float(baseline["stats"]["median_s"])
+    ratio = current / base if base > 0 else float("inf")
+    current_checksum = payload.get("checksum")
+    baseline_checksum = baseline.get("checksum")
+    if (
+        current_checksum
+        and baseline_checksum
+        and current_checksum != baseline_checksum
+    ):
+        return Comparison(
+            area=area,
+            status="drift",
+            current_median_s=current,
+            baseline_median_s=base,
+            ratio=round(ratio, 3),
+            message=(
+                "workload checksum changed — results are not comparable; "
+                "refresh the baseline with `repro perf update`"
+            ),
+        )
+    delta = current - base
+    if delta > base * tolerance and delta > min_delta_s:
+        return Comparison(
+            area=area,
+            status="regression",
+            current_median_s=current,
+            baseline_median_s=base,
+            ratio=round(ratio, 3),
+            message=(
+                f"median {current * 1e3:.2f} ms vs baseline "
+                f"{base * 1e3:.2f} ms (+{(ratio - 1) * 100:.0f}%, "
+                f"tolerance {tolerance * 100:.0f}%)"
+            ),
+        )
+    status = "faster" if (-delta > base * tolerance and -delta > min_delta_s) else "ok"
+    return Comparison(
+        area=area,
+        status=status,
+        current_median_s=current,
+        baseline_median_s=base,
+        ratio=round(ratio, 3),
+        message=(
+            f"median {current * 1e3:.2f} ms vs baseline {base * 1e3:.2f} ms"
+        ),
+    )
+
+
+def compare_exit_code(comparisons: List[Comparison]) -> int:
+    """The CLI exit code for a set of comparisons (0 ok, 1 slow, 2 error)."""
+    if any(c.is_error for c in comparisons):
+        return 2
+    if any(c.is_regression for c in comparisons):
+        return 1
+    return 0
+
+
+__all__ = [
+    "BENCH_FORMAT",
+    "RESULTS_FORMAT",
+    "DEFAULT_TOLERANCE",
+    "DEFAULT_MIN_DELTA_S",
+    "environment_fingerprint",
+    "baseline_path",
+    "result_payload",
+    "write_baseline",
+    "load_baseline",
+    "write_results",
+    "load_results",
+    "parse_tolerance",
+    "Comparison",
+    "compare_result",
+    "compare_exit_code",
+]

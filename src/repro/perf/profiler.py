@@ -1,0 +1,293 @@
+"""Opt-in span profiling: per-span cProfile capture and allocation deltas.
+
+The profiler is a :class:`~repro.obs.trace.Tracer` listener.  While
+installed (``REPRO_PROFILE=1``, the CLI ``--profile`` flag, or
+:func:`install`), every *outermost* span of each thread runs under its own
+``cProfile.Profile``; on span exit the profile is folded into a
+process-wide function table.  When ``tracemalloc`` is tracing (the
+profiler starts it by default), every span additionally records its net
+allocation delta — and outermost spans their traced peak — as span gauges
+(``mem.alloc_delta_bytes`` / ``mem.peak_bytes``), so the numbers travel
+inside the ordinary span tree.
+
+Installing also registers a manifest *section provider*
+(:func:`repro.obs.manifest.register_section_provider`), so every manifest
+built while profiling gains ``hotspots.functions`` (top self-time
+functions) and ``hotspots.allocations`` (top allocating spans) next to the
+always-present ``hotspots.slowest_stages`` ranking.
+
+Profiling costs real time (2-5x on tight python loops) — it is a
+diagnosis tool, never on by default, and its overhead never leaks into
+span durations (listeners run outside the timed window).
+"""
+
+from __future__ import annotations
+
+import cProfile
+import contextlib
+import os
+import pstats
+import threading
+from typing import Dict, Iterator, List, Optional, Tuple
+
+from repro.obs import manifest as obs_manifest
+from repro.obs.trace import Span, get_tracer, span
+
+try:
+    import tracemalloc
+except ImportError:  # pragma: no cover - always present on CPython
+    tracemalloc = None  # type: ignore[assignment]
+
+#: Environment variable that switches span profiling on.
+PROFILE_ENV_VAR = "REPRO_PROFILE"
+
+_FALSY = ("", "0", "false", "no", "off")
+
+#: Name under which the profiler registers its manifest section provider.
+_PROVIDER_NAME = "perf.profiler"
+
+
+def env_enables_profile(env: Optional[Dict[str, str]] = None) -> bool:
+    """Whether the environment asks for profiling (``REPRO_PROFILE`` truthy)."""
+    value = (env if env is not None else os.environ).get(PROFILE_ENV_VAR, "")
+    return value.strip().lower() not in _FALSY
+
+
+def _function_key(entry: Tuple[str, int, str]) -> str:
+    """A compact ``path:line:function`` label for a pstats entry."""
+    filename, lineno, funcname = entry
+    if filename in ("~", ""):
+        return f"<builtin>:{funcname}"
+    parts = filename.replace("\\", "/").split("/")
+    short = "/".join(parts[-2:])
+    return f"{short}:{lineno}:{funcname}"
+
+
+class SpanProfiler:
+    """The tracer listener aggregating per-span CPU and allocation profiles."""
+
+    def __init__(
+        self,
+        capture_cpu: bool = True,
+        capture_memory: bool = True,
+        top_n: int = 25,
+    ):
+        self.capture_cpu = capture_cpu
+        self.capture_memory = capture_memory
+        self.top_n = top_n
+        self._lock = threading.Lock()
+        self._local = threading.local()
+        # function key -> [ncalls, tottime_s, cumtime_s]
+        self._functions: Dict[str, List[float]] = {}
+        # span name -> peak/delta alloc bytes (max over occurrences)
+        self._allocations: Dict[str, int] = {}
+
+    # -- per-thread bookkeeping ----------------------------------------------
+
+    def _depth(self) -> int:
+        return getattr(self._local, "depth", 0)
+
+    # -- listener hooks -------------------------------------------------------
+
+    def on_span_start(self, sp: Span) -> None:
+        depth = self._depth()
+        self._local.depth = depth + 1
+        starts = getattr(self._local, "alloc_starts", None)
+        if starts is None:
+            starts = self._local.alloc_starts = {}
+        if (
+            self.capture_memory
+            and tracemalloc is not None
+            and tracemalloc.is_tracing()
+        ):
+            current, _ = tracemalloc.get_traced_memory()
+            starts[id(sp)] = current
+            if depth == 0:
+                # Peak tracking is process-global, so only outermost spans
+                # may reset it without clobbering an enclosing measurement.
+                tracemalloc.reset_peak()
+        if self.capture_cpu and depth == 0:
+            profile = cProfile.Profile()
+            try:
+                profile.enable()
+            except (ValueError, RuntimeError):
+                # Another profiler (coverage, a nested tool) owns the hook.
+                get_tracer().count("perf.profiler_conflicts")
+                profile = None
+            self._local.profile = profile
+
+    def on_span_end(self, sp: Span) -> None:
+        depth = max(0, self._depth() - 1)
+        self._local.depth = depth
+        starts = getattr(self._local, "alloc_starts", {})
+        start = starts.pop(id(sp), None)
+        if (
+            start is not None
+            and tracemalloc is not None
+            and tracemalloc.is_tracing()
+        ):
+            current, peak = tracemalloc.get_traced_memory()
+            delta = int(current - start)
+            sp.gauge("mem.alloc_delta_bytes", delta)
+            observed = delta
+            if depth == 0:
+                sp.gauge("mem.peak_bytes", int(peak))
+                # Rank by peak *above the span's starting level* — the
+                # absolute peak would charge this span for allocations
+                # that predate it and happen to still be alive.
+                observed = max(observed, int(peak) - start)
+            with self._lock:
+                previous = self._allocations.get(sp.name, 0)
+                self._allocations[sp.name] = max(previous, observed)
+        if self.capture_cpu and depth == 0:
+            profile = getattr(self._local, "profile", None)
+            self._local.profile = None
+            if profile is not None:
+                profile.disable()
+                self._fold(profile)
+
+    # -- aggregation ----------------------------------------------------------
+
+    def _fold(self, profile: cProfile.Profile) -> None:
+        stats = pstats.Stats(profile)
+        with self._lock:
+            for entry, row in stats.stats.items():  # type: ignore[attr-defined]
+                _, ncalls, tottime, cumtime, _ = row
+                key = _function_key(entry)
+                record = self._functions.setdefault(key, [0.0, 0.0, 0.0])
+                record[0] += ncalls
+                record[1] += tottime
+                record[2] += cumtime
+
+    def snapshot(self) -> dict:
+        """The profiler's manifest contribution (functions + allocations)."""
+        with self._lock:
+            functions = [
+                {
+                    "function": key,
+                    "ncalls": int(record[0]),
+                    "tottime_s": round(record[1], 6),
+                    "cumtime_s": round(record[2], 6),
+                }
+                for key, record in self._functions.items()
+            ]
+            allocations = [
+                {"span": name, "alloc_bytes": size}
+                for name, size in self._allocations.items()
+            ]
+        functions.sort(key=lambda row: (-row["tottime_s"], row["function"]))
+        allocations.sort(key=lambda row: (-row["alloc_bytes"], row["span"]))
+        return {
+            "functions": functions[: self.top_n],
+            "allocations": allocations[: self.top_n],
+        }
+
+    def reset(self) -> None:
+        """Drop all aggregated profile data."""
+        with self._lock:
+            self._functions.clear()
+            self._allocations.clear()
+
+
+#: The installed profiler, if any (module-level singleton).
+_PROFILER: Optional[SpanProfiler] = None
+
+#: Whether :func:`install` started tracemalloc (and must stop it again).
+_STARTED_TRACEMALLOC = False
+
+_INSTALL_LOCK = threading.Lock()
+
+
+def install(
+    capture_cpu: bool = True,
+    capture_memory: bool = True,
+    top_n: int = 25,
+) -> SpanProfiler:
+    """Install the span profiler (idempotent); returns the instance.
+
+    Attaches the listener to the global tracer, registers the manifest
+    section provider, and starts ``tracemalloc`` when memory capture is
+    requested and nothing else is tracing yet.
+    """
+    global _PROFILER, _STARTED_TRACEMALLOC
+    with _INSTALL_LOCK:
+        if _PROFILER is not None:
+            return _PROFILER
+        profiler = SpanProfiler(
+            capture_cpu=capture_cpu,
+            capture_memory=capture_memory,
+            top_n=top_n,
+        )
+        if (
+            capture_memory
+            and tracemalloc is not None
+            and not tracemalloc.is_tracing()
+        ):
+            tracemalloc.start()
+            _STARTED_TRACEMALLOC = True
+        get_tracer().add_listener(profiler)
+        obs_manifest.register_section_provider(_PROVIDER_NAME, profiler.snapshot)
+        _PROFILER = profiler
+        return profiler
+
+
+def uninstall() -> None:
+    """Remove the profiler and undo everything :func:`install` did."""
+    global _PROFILER, _STARTED_TRACEMALLOC
+    with _INSTALL_LOCK:
+        if _PROFILER is None:
+            return
+        get_tracer().remove_listener(_PROFILER)
+        obs_manifest.unregister_section_provider(_PROVIDER_NAME)
+        if (
+            _STARTED_TRACEMALLOC
+            and tracemalloc is not None
+            and tracemalloc.is_tracing()
+        ):
+            tracemalloc.stop()
+        _STARTED_TRACEMALLOC = False
+        _PROFILER = None
+
+
+def installed() -> Optional[SpanProfiler]:
+    """The active profiler, or ``None``."""
+    return _PROFILER
+
+
+def configure_from_env(env: Optional[Dict[str, str]] = None) -> bool:
+    """Install the profiler when ``REPRO_PROFILE`` asks for it.
+
+    Profiling needs spans to exist, so this also enables tracing — setting
+    ``REPRO_PROFILE=1`` alone is enough to get profiled manifests.
+    """
+    if not env_enables_profile(env):
+        return False
+    from repro.obs import trace
+
+    trace.enable()
+    install()
+    return True
+
+
+@contextlib.contextmanager
+def profiled_span(name: str, **attrs) -> Iterator[object]:
+    """A span that is guaranteed to be profiled while a profiler is installed.
+
+    Sugar for ``with span(name, ...)`` — the listener machinery does the
+    rest — provided so call sites (benchmark computes) read as explicitly
+    profiled.
+    """
+    with span(name, **attrs) as sp:
+        yield sp
+
+
+__all__ = [
+    "PROFILE_ENV_VAR",
+    "env_enables_profile",
+    "SpanProfiler",
+    "install",
+    "uninstall",
+    "installed",
+    "configure_from_env",
+    "profiled_span",
+]

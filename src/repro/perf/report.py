@@ -1,0 +1,78 @@
+"""Text rendering for perf results and baseline comparisons."""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+from repro.core.reporting import Table
+from repro.perf.baseline import Comparison
+
+#: Glyph per comparison status, chosen to scan well in CI logs.
+_STATUS_MARKS = {
+    "ok": "ok",
+    "faster": "FASTER",
+    "regression": "REGRESSION",
+    "drift": "DRIFT",
+    "missing": "MISSING",
+}
+
+
+def _ms(seconds: Optional[float]) -> str:
+    return "-" if seconds is None else f"{seconds * 1e3:.2f}"
+
+
+def render_results(payloads: List[dict], title: str = "perf results") -> str:
+    """One row per measured area: the protocol and the robust stats."""
+    table = Table(
+        title,
+        [
+            "area",
+            "median_ms",
+            "min_ms",
+            "p99_ms",
+            "mad_ms",
+            "repeats",
+            "warmup",
+            "deterministic",
+        ],
+    )
+    for payload in payloads:
+        stats = payload["stats"]
+        protocol = payload["protocol"]
+        table.add_row(
+            payload["area"],
+            _ms(stats["median_s"]),
+            _ms(stats["min_s"]),
+            _ms(stats["p99_s"]),
+            _ms(stats["mad_s"]),
+            protocol["repeats"],
+            protocol["warmup"],
+            "yes" if payload.get("deterministic") else "NO",
+        )
+    return table.render()
+
+
+def render_comparison(
+    comparisons: List[Comparison], tolerance: float
+) -> str:
+    """One row per compared area, worst statuses first."""
+    order = {"missing": 0, "drift": 1, "regression": 2, "faster": 3, "ok": 4}
+    table = Table(
+        f"perf comparison (tolerance {tolerance * 100:.0f}%)",
+        ["area", "status", "median_ms", "baseline_ms", "ratio", "note"],
+    )
+    for comparison in sorted(
+        comparisons, key=lambda c: (order.get(c.status, 9), c.area)
+    ):
+        table.add_row(
+            comparison.area,
+            _STATUS_MARKS.get(comparison.status, comparison.status),
+            _ms(comparison.current_median_s),
+            _ms(comparison.baseline_median_s),
+            "-" if comparison.ratio is None else f"{comparison.ratio:.3f}",
+            comparison.message,
+        )
+    return table.render()
+
+
+__all__ = ["render_results", "render_comparison"]

@@ -37,10 +37,12 @@ failed stage, with the original exception chained.
 from __future__ import annotations
 
 import dataclasses
+import time
 from concurrent.futures import FIRST_COMPLETED, Executor, wait
 from dataclasses import dataclass
 from typing import Dict, List, Optional, Sequence, Set
 
+from repro.obs.trace import get_tracer, span
 from repro.pipeline.stage import StageError
 
 #: Execution backends accepted by :meth:`StageScheduler.run`.
@@ -102,9 +104,16 @@ class StageScheduler:
         if targets is None:
             targets = [s.name for s in self.graph if s.persistable]
         wanted = self.graph.closure(targets)
-        if executor == "process":
-            return self._run_process(wanted, jobs, raise_on_error)
-        return self._run_thread(wanted, jobs, raise_on_error)
+        with span(
+            "scheduler.run", executor=executor, targets=len(wanted)
+        ) as run_span:
+            if executor == "process":
+                results = self._run_process(wanted, jobs, raise_on_error)
+            else:
+                results = self._run_thread(wanted, jobs, raise_on_error)
+            for result in results.values():
+                run_span.incr(f"stages.{result.status}")
+            return results
 
     # -- shared wave machinery ----------------------------------------------
 
@@ -122,8 +131,6 @@ class StageScheduler:
         not ``runnable`` are treated as satisfied dependencies (the caller
         materialises them separately).
         """
-        import time
-
         results: Dict[str, StageResult] = {}
         done: Set[str] = set(wanted) - set(runnable)
         failed_or_skipped: Set[str] = set()
@@ -164,14 +171,14 @@ class StageScheduler:
         while True:
             for name in ready_stages():
                 submitted.add(name)
-                started[name] = time.monotonic()
+                started[name] = time.perf_counter()
                 pending[submit(pool, name)] = name
             if not pending:
                 break
             finished, _ = wait(pending, return_when=FIRST_COMPLETED)
             for future in finished:
                 name = pending.pop(future)
-                duration = time.monotonic() - started[name]
+                duration = time.perf_counter() - started[name]
                 error = future.exception()
                 if error is None:
                     done.add(name)
@@ -201,17 +208,30 @@ class StageScheduler:
 
     # -- executors ----------------------------------------------------------
 
+    def _materialize_adopted(self, parent, name: str):
+        """Worker-thread body: materialise under the scheduler's span.
+
+        Spans follow per-thread stacks, so without adoption a worker's
+        ``lab.<stage>`` span would surface as an unrelated root.  Adopting
+        the scheduler-run span re-attaches it to the right parent.
+        """
+        with get_tracer().adopt(parent):
+            return self.lab.materialize(name)
+
     def _run_thread(
         self, wanted: Set[str], jobs: Optional[int], raise_on_error: bool
     ) -> Dict[str, StageResult]:
         from concurrent.futures import ThreadPoolExecutor
 
+        parent = get_tracer().current_span()
         with ThreadPoolExecutor(max_workers=jobs) as pool:
             return self._wave_run(
                 wanted,
                 set(wanted),
                 pool,
-                lambda p, name: p.submit(self.lab.materialize, name),
+                lambda p, name: p.submit(
+                    self._materialize_adopted, parent, name
+                ),
                 raise_on_error,
             )
 

@@ -35,6 +35,7 @@ from fnmatch import fnmatch
 from pathlib import Path
 from typing import Callable, Dict, Iterator, List, Optional, Tuple, Union
 
+from repro.obs.trace import get_tracer
 from repro.pipeline.stage import Stage
 from repro.utils.atomic import atomic_write
 
@@ -101,6 +102,37 @@ class ArtifactStore:
     def has(self, stage: str, key: str) -> bool:
         """Whether a complete entry exists for ``(stage, key)``."""
         return (self.entry_dir(stage, key) / META_NAME).is_file()
+
+    def entry_bytes(self, stage: str, key: str) -> int:
+        """Total file bytes of one entry (0 if absent or unreadable)."""
+        try:
+            return sum(
+                p.stat().st_size
+                for p in self.entry_dir(stage, key).iterdir()
+                if p.is_file()
+            )
+        except OSError:
+            return 0
+
+    @staticmethod
+    def _attribute(
+        verb: str, seconds: float, n_bytes: Optional[int] = None
+    ) -> None:
+        """Attach store I/O cost to the enclosing span, if any.
+
+        Stage materialisation runs inside a ``lab.<stage>`` span; gauging
+        there makes load/build/save time visible per-stage in manifests
+        without the store needing to know stage identities.
+        """
+        tracer = get_tracer()
+        current = tracer.current_span()
+        if current is not None:
+            current.gauge(f"store.{verb}_s", round(seconds, 6))
+            if n_bytes is not None:
+                current.gauge("store.entry_bytes", n_bytes)
+        tracer.count(f"store.{verb}s")
+        if n_bytes is not None:
+            tracer.count(f"store.{verb}_bytes", n_bytes)
 
     # -- load / save --------------------------------------------------------
 
@@ -183,6 +215,18 @@ class ArtifactStore:
         except FileNotFoundError:
             pass
 
+    def _timed_load(
+        self, stage: Stage, key: str, inputs: Dict[str, object]
+    ) -> object:
+        started = time.perf_counter()
+        artifact = self.load(stage, key, inputs)
+        self._attribute(
+            "load",
+            time.perf_counter() - started,
+            self.entry_bytes(stage.name, key),
+        )
+        return artifact
+
     def build_or_load(
         self,
         stage: Stage,
@@ -193,13 +237,13 @@ class ArtifactStore:
         """Return ``(artifact, status)`` where status is ``"hit"`` or
         ``"miss"``; at most one process builds a given entry at a time."""
         if self.has(stage.name, key):
-            return self.load(stage, key, inputs), "hit"
+            return self._timed_load(stage, key, inputs), "hit"
         lock = self._lock_path(stage.name, key)
         lock.parent.mkdir(parents=True, exist_ok=True)
         deadline = time.monotonic() + self.lock_timeout_s
         while not self._try_acquire(lock):
             if self.has(stage.name, key):  # the other writer finished
-                return self.load(stage, key, inputs), "hit"
+                return self._timed_load(stage, key, inputs), "hit"
             if self._lock_is_stale(lock):
                 self._release(lock)  # break an abandoned lock and retry
                 continue
@@ -211,9 +255,17 @@ class ArtifactStore:
             time.sleep(self.poll_interval_s)
         try:
             if self.has(stage.name, key):  # completed while we acquired
-                return self.load(stage, key, inputs), "hit"
+                return self._timed_load(stage, key, inputs), "hit"
+            started = time.perf_counter()
             artifact = builder()
+            self._attribute("build", time.perf_counter() - started)
+            started = time.perf_counter()
             self.put(stage, key, artifact)
+            self._attribute(
+                "save",
+                time.perf_counter() - started,
+                self.entry_bytes(stage.name, key),
+            )
             return artifact, "miss"
         finally:
             self._release(lock)

@@ -126,6 +126,96 @@ class SpanWithoutWithRule(Rule):
                 )
 
 
-RULES = (SwallowedBroadExceptRule, SpanWithoutWithRule)
+#: Wall-clock reads whose differences are *not* valid durations: the system
+#: clock can step (NTP slew, suspend/resume, DST on naive datetimes), so a
+#: difference of two reads can be negative or wildly wrong.
+_WALL_READS = frozenset(
+    {
+        "time.time",
+        "time.time_ns",
+        "datetime.datetime.now",
+        "datetime.datetime.utcnow",
+    }
+)
+
+
+class WallClockDurationRule(Rule):
+    id = "OBS002"
+    title = "duration measured with time.time()"
+    rationale = (
+        "Subtracting two wall-clock reads (time.time(), datetime.now()) "
+        "measures the system clock, not elapsed time — NTP steps and "
+        "suspend/resume make such durations wrong or negative. Durations "
+        "belong on time.perf_counter() (or monotonic())."
+    )
+    example = "start = time.time(); elapsed = time.time() - start"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for scope in self._scopes(ctx.tree):
+            yield from self._check_scope(scope, ctx)
+
+    # -- scope machinery ------------------------------------------------------
+
+    @staticmethod
+    def _scopes(tree: ast.AST) -> Iterator[ast.AST]:
+        yield tree
+        for node in ast.walk(tree):
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                yield node
+
+    @staticmethod
+    def _walk_scope(scope: ast.AST) -> Iterator[ast.AST]:
+        """Walk a scope's nodes without descending into nested functions
+        (each nested function is analysed as its own scope)."""
+        stack = list(ast.iter_child_nodes(scope))
+        while stack:
+            node = stack.pop()
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue
+            yield node
+            stack.extend(ast.iter_child_nodes(node))
+
+    # -- the actual check -----------------------------------------------------
+
+    def _check_scope(self, scope: ast.AST, ctx) -> Iterator[Finding]:
+        # Pass 1: names bound (anywhere in the scope) from a wall-clock read.
+        wall_names = set()
+        for node in self._walk_scope(scope):
+            if not isinstance(node, ast.Assign):
+                continue
+            if not self._is_wall_read(node.value, ctx):
+                continue
+            for target in node.targets:
+                if isinstance(target, ast.Name):
+                    wall_names.add(target.id)
+        # Pass 2: subtractions where *every* operand is a wall-clock value.
+        # Requiring both sides keeps mixed arithmetic — e.g. comparing a
+        # wall timestamp against a file's st_mtime — out of scope.
+        for node in self._walk_scope(scope):
+            if not (isinstance(node, ast.BinOp) and isinstance(node.op, ast.Sub)):
+                continue
+            if self._is_wallish(node.left, wall_names, ctx) and self._is_wallish(
+                node.right, wall_names, ctx
+            ):
+                yield self.finding(
+                    ctx,
+                    node,
+                    "difference of two wall-clock reads used as a duration; "
+                    "use time.perf_counter() instead of time.time()",
+                )
+
+    def _is_wall_read(self, node: ast.AST, ctx) -> bool:
+        return (
+            isinstance(node, ast.Call)
+            and resolve_call(node, ctx.aliases) in _WALL_READS
+        )
+
+    def _is_wallish(self, node: ast.AST, wall_names, ctx) -> bool:
+        if self._is_wall_read(node, ctx):
+            return True
+        return isinstance(node, ast.Name) and node.id in wall_names
+
+
+RULES = (SwallowedBroadExceptRule, SpanWithoutWithRule, WallClockDurationRule)
 
 __all__ = [cls.__name__ for cls in RULES] + ["RULES"]

@@ -437,3 +437,90 @@ class TestLintCommand:
         (pkg / "b.py").write_text("from pkg.a import g\n")
         assert main(["lint", "--quick", str(tmp_path)]) == 1
         assert "CYC001" in capsys.readouterr().out
+
+
+class TestPerfParser:
+    def test_perf_requires_subcommand(self):
+        with pytest.raises(SystemExit):
+            build_parser().parse_args(["perf"])
+
+    def test_perf_run_defaults(self):
+        args = build_parser().parse_args(["perf", "run"])
+        assert args.areas == []
+        assert args.quick is False
+        assert args.repeats is None
+        assert args.warmup is None
+        assert args.dir == "."
+        assert args.output is None
+
+    def test_perf_compare_defaults(self):
+        args = build_parser().parse_args(["perf", "compare"])
+        assert args.tolerance == "25%"
+        assert args.from_file is None
+
+    def test_perf_update_takes_areas(self):
+        args = build_parser().parse_args(
+            ["perf", "update", "obo_parse", "rf_fit", "--quick"]
+        )
+        assert args.areas == ["obo_parse", "rf_fit"]
+        assert args.quick is True
+
+    def test_profile_flag_exists(self):
+        args = build_parser().parse_args(["--profile", "perf", "run"])
+        assert args.profile is True
+
+    def test_unknown_area_exits_two(self, capsys):
+        assert main(["perf", "run", "--quick", "warp_drive"]) == 2
+        assert "unknown perf area" in capsys.readouterr().err
+
+
+class TestTraceSlowest:
+    @pytest.fixture()
+    def manifest_path(self, tmp_path):
+        from repro.obs import trace
+        from repro.obs.manifest import write_manifest
+        from repro.obs.trace import get_tracer, span
+
+        tracer = get_tracer()
+        was_enabled = tracer.enabled
+        trace.reset()
+        tracer.enabled = True
+        try:
+            with span("pipeline"):
+                with span("fit"):
+                    sum(i * i for i in range(50_000))
+                with span("load"):
+                    pass
+            path = tmp_path / "run.manifest.json"
+            write_manifest(path)
+        finally:
+            tracer.enabled = was_enabled
+            trace.reset()
+        return str(path)
+
+    def test_slowest_renders_ranking(self, manifest_path, capsys):
+        assert main(["trace", manifest_path, "--slowest", "2"]) == 0
+        out = capsys.readouterr().out
+        assert "slowest stages (top 2" in out
+        assert "fit" in out
+
+    def test_slowest_rejects_nonpositive(self, manifest_path, capsys):
+        assert main(["trace", manifest_path, "--slowest", "0"]) == 2
+        assert "positive" in capsys.readouterr().err
+
+    def test_plain_trace_still_renders(self, manifest_path, capsys):
+        assert main(["trace", manifest_path]) == 0
+        assert "span tree" in capsys.readouterr().out
+
+    def test_slowest_handles_manifest_without_hotspots(
+        self, manifest_path, tmp_path, capsys
+    ):
+        # simulate a manifest written before the hotspots section existed
+        import json as json_mod
+
+        manifest = json_mod.loads(open(manifest_path).read())
+        manifest.pop("hotspots")
+        legacy = tmp_path / "legacy.manifest.json"
+        legacy.write_text(json_mod.dumps(manifest, sort_keys=True))
+        assert main(["trace", str(legacy), "--slowest", "3"]) == 0
+        assert "fit" in capsys.readouterr().out

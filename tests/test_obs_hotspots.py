@@ -1,0 +1,115 @@
+"""Tests for the manifest hotspots section (repro.obs.manifest)."""
+
+import pytest
+
+from repro.obs import trace
+from repro.obs.manifest import (
+    aggregate_span_times,
+    build_hotspots,
+    build_manifest,
+    register_section_provider,
+    slowest_stages,
+    unregister_section_provider,
+)
+from repro.obs.trace import get_tracer, span
+
+
+@pytest.fixture(autouse=True)
+def clean_tracer():
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    trace.reset()
+    tracer.enabled = True
+    yield
+    tracer.enabled = was_enabled
+    trace.reset()
+
+
+def _forest():
+    """A serialised span forest: two trees, repeated stage names."""
+    return [
+        {
+            "name": "pipeline",
+            "duration_s": 1.0,
+            "self_time_s": 0.1,
+            "children": [
+                {"name": "fit", "duration_s": 0.6, "self_time_s": 0.6},
+                {"name": "load", "duration_s": 0.3, "self_time_s": 0.3},
+            ],
+        },
+        {"name": "fit", "duration_s": 0.2, "self_time_s": 0.2},
+    ]
+
+
+class TestAggregation:
+    def test_aggregates_across_trees(self):
+        rows = aggregate_span_times(_forest())
+        assert rows["fit"] == {
+            "count": 2, "total_s": 0.8, "self_s": 0.8, "max_s": 0.6,
+        }
+        assert rows["pipeline"]["self_s"] == pytest.approx(0.1)
+        assert rows["load"]["count"] == 1
+
+    def test_slowest_stages_ranked_by_self_time(self):
+        ranked = slowest_stages(_forest())
+        assert [row["name"] for row in ranked] == ["fit", "load", "pipeline"]
+
+    def test_slowest_stages_top_n(self):
+        assert len(slowest_stages(_forest(), top_n=1)) == 1
+        assert slowest_stages(_forest(), top_n=0) == []
+
+    def test_empty_forest(self):
+        assert slowest_stages([]) == []
+        assert build_hotspots([]) == {"slowest_stages": []}
+
+
+class TestSectionProviders:
+    def test_provider_keys_merge_into_hotspots(self):
+        register_section_provider("test.extra", lambda: {"extra": [1, 2]})
+        try:
+            hotspots = build_hotspots(_forest())
+            assert hotspots["extra"] == [1, 2]
+            assert hotspots["slowest_stages"]
+        finally:
+            unregister_section_provider("test.extra")
+
+    def test_reregistering_replaces(self):
+        register_section_provider("test.extra", lambda: {"extra": "old"})
+        register_section_provider("test.extra", lambda: {"extra": "new"})
+        try:
+            assert build_hotspots([])["extra"] == "new"
+        finally:
+            unregister_section_provider("test.extra")
+
+    def test_failing_provider_recorded_not_raised(self):
+        def boom():
+            raise RuntimeError("provider broke")
+
+        register_section_provider("test.broken", boom)
+        try:
+            hotspots = build_hotspots([])
+            assert hotspots["test.broken"] == {
+                "error": "RuntimeError: provider broke"
+            }
+            assert "slowest_stages" in hotspots
+            counters = get_tracer().counters()
+            assert counters.get("manifest.provider_errors", 0) >= 1
+        finally:
+            unregister_section_provider("test.broken")
+
+    def test_unregister_unknown_is_noop(self):
+        unregister_section_provider("never.registered")
+
+
+class TestManifestIntegration:
+    def test_manifest_always_has_hotspots(self):
+        with span("stage.alpha"):
+            with span("stage.beta"):
+                pass
+        manifest = build_manifest()
+        hotspots = manifest["hotspots"]
+        names = [row["name"] for row in hotspots["slowest_stages"]]
+        assert "stage.alpha" in names and "stage.beta" in names
+
+    def test_hotspots_present_even_without_spans(self):
+        assert build_manifest()["hotspots"]["slowest_stages"] == []

@@ -82,7 +82,51 @@ class TestMemory:
 
     def test_memory_metrics_keys(self):
         metrics = memory_metrics()
-        assert set(metrics) == {"peak_rss_bytes", "peak_rss_mb"}
+        assert set(metrics) == {"peak_rss_bytes", "peak_rss_mb", "tracemalloc"}
+
+    def test_memory_metrics_tracemalloc_section(self):
+        section = memory_metrics()["tracemalloc"]
+        assert set(section) == {
+            "available", "tracing", "current_bytes", "peak_bytes",
+        }
+        assert section["available"] is True
+
+    def test_tracemalloc_metrics_fallback_when_not_tracing(self):
+        import tracemalloc as tm
+
+        from repro.obs.metrics import tracemalloc_metrics
+
+        was_tracing = tm.is_tracing()
+        if was_tracing:
+            tm.stop()
+        try:
+            section = tracemalloc_metrics()
+            assert section["available"] is True
+            assert section["tracing"] is False
+            assert section["current_bytes"] is None
+            assert section["peak_bytes"] is None
+        finally:
+            if was_tracing:
+                tm.start()
+
+    def test_tracemalloc_metrics_reports_while_tracing(self):
+        import tracemalloc as tm
+
+        from repro.obs.metrics import tracemalloc_metrics
+
+        was_tracing = tm.is_tracing()
+        if not was_tracing:
+            tm.start()
+        try:
+            keep = bytearray(256 * 1024)
+            section = tracemalloc_metrics()
+            assert section["tracing"] is True
+            assert section["current_bytes"] is not None
+            assert section["peak_bytes"] >= section["current_bytes"] > 0
+            assert keep is not None
+        finally:
+            if not was_tracing:
+                tm.stop()
 
     def test_tracemalloc_delta_sees_allocation(self):
         keep = None

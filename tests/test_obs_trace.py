@@ -189,3 +189,173 @@ class TestReset:
         assert get_tracer().roots() == []
         assert get_tracer().counters() == {}
         assert trace.enabled() is True
+
+
+class TestListeners:
+    def test_listener_sees_start_and_end(self):
+        trace.enable()
+        events = []
+
+        class Recorder:
+            def on_span_start(self, sp):
+                events.append(("start", sp.name))
+
+            def on_span_end(self, sp):
+                events.append(("end", sp.name, sp.duration))
+
+        recorder = Recorder()
+        get_tracer().add_listener(recorder)
+        try:
+            with span("observed"):
+                pass
+        finally:
+            get_tracer().remove_listener(recorder)
+        assert events[0] == ("start", "observed")
+        assert events[1][:2] == ("end", "observed")
+        assert events[1][2] > 0  # duration already final at on_span_end
+
+    def test_end_fires_while_span_still_on_stack(self):
+        trace.enable()
+        seen = []
+
+        class StackChecker:
+            def on_span_end(self, sp):
+                seen.append(get_tracer().current_span() is sp)
+
+        checker = StackChecker()
+        get_tracer().add_listener(checker)
+        try:
+            with span("gaugeable"):
+                pass
+        finally:
+            get_tracer().remove_listener(checker)
+        assert seen == [True]
+
+    def test_partial_listeners_allowed(self):
+        trace.enable()
+        ends = []
+
+        class EndOnly:
+            def on_span_end(self, sp):
+                ends.append(sp.name)
+
+        listener = EndOnly()
+        get_tracer().add_listener(listener)
+        try:
+            with span("half"):
+                pass
+        finally:
+            get_tracer().remove_listener(listener)
+        assert ends == ["half"]
+
+    def test_broken_listener_swallowed_and_counted(self):
+        trace.enable()
+
+        class Broken:
+            def on_span_start(self, sp):
+                raise RuntimeError("listener exploded")
+
+        listener = Broken()
+        get_tracer().add_listener(listener)
+        try:
+            with span("sturdy"):
+                pass  # must not raise
+        finally:
+            get_tracer().remove_listener(listener)
+        assert get_tracer().counters()["trace.listener_errors"] >= 1
+
+    def test_add_listener_idempotent(self):
+        trace.enable()
+        calls = []
+
+        class Counterer:
+            def on_span_start(self, sp):
+                calls.append(sp.name)
+
+        listener = Counterer()
+        get_tracer().add_listener(listener)
+        get_tracer().add_listener(listener)  # second add is a no-op
+        try:
+            with span("once"):
+                pass
+        finally:
+            get_tracer().remove_listener(listener)
+        assert calls == ["once"]
+
+
+class TestAdopt:
+    def test_adopt_attributes_worker_spans_to_parent(self):
+        trace.enable()
+
+        with span("parent") as parent:
+            def work():
+                with trace.adopt(parent):
+                    with span("worker.child"):
+                        pass
+
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+        roots = get_tracer().roots()
+        assert [r.name for r in roots] == ["parent"]
+        assert [c.name for c in roots[0].children] == ["worker.child"]
+
+    def test_without_adopt_worker_spans_become_roots(self):
+        trace.enable()
+
+        with span("parent"):
+            def work():
+                with span("worker.orphan"):
+                    pass
+
+            thread = threading.Thread(target=work)
+            thread.start()
+            thread.join()
+        assert sorted(r.name for r in get_tracer().roots()) == [
+            "parent", "worker.orphan",
+        ]
+
+    def test_adopt_does_not_retime_parent(self):
+        trace.enable()
+        with span("parent") as parent:
+            pass
+        duration = parent.duration
+        with trace.adopt(parent):
+            with span("late.child"):
+                pass
+        assert parent.duration == duration
+
+    def test_adopt_none_is_noop(self):
+        trace.enable()
+        with trace.adopt(None):
+            with span("free"):
+                pass
+        assert [r.name for r in get_tracer().roots()] == ["free"]
+
+    def test_adopt_null_span_is_noop(self):
+        trace.enable()
+        with trace.adopt(NULL_SPAN):
+            with span("free"):
+                pass
+        assert [r.name for r in get_tracer().roots()] == ["free"]
+
+    def test_many_workers_adopt_one_parent(self):
+        trace.enable()
+        with span("parent") as parent:
+            def work(i):
+                with trace.adopt(parent):
+                    with span(f"child.{i}"):
+                        pass
+
+            threads = [
+                threading.Thread(target=work, args=(i,)) for i in range(8)
+            ]
+            for t in threads:
+                t.start()
+            for t in threads:
+                t.join()
+        roots = get_tracer().roots()
+        assert [r.name for r in roots] == ["parent"]
+        assert sorted(c.name for c in roots[0].children) == [
+            f"child.{i}" for i in range(8)
+        ]

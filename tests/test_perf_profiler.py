@@ -1,0 +1,161 @@
+"""Tests for the span profiler (repro.perf.profiler)."""
+
+import pytest
+
+from repro.obs import manifest as obs_manifest
+from repro.obs import trace
+from repro.obs.trace import get_tracer, span
+from repro.perf import profiler
+from repro.perf.profiler import SpanProfiler, env_enables_profile
+
+
+@pytest.fixture(autouse=True)
+def clean_state():
+    """Isolate each test from the process-wide tracer/profiler state."""
+    tracer = get_tracer()
+    was_enabled = tracer.enabled
+    profiler.uninstall()
+    trace.reset()
+    tracer.enabled = True
+    yield
+    profiler.uninstall()
+    tracer.enabled = was_enabled
+    trace.reset()
+
+
+def _busy(n=20_000):
+    return sum(i * i for i in range(n))
+
+
+class TestEnvGate:
+    def test_disabled_by_default(self):
+        assert env_enables_profile({}) is False
+        assert env_enables_profile({"REPRO_PROFILE": "0"}) is False
+        assert env_enables_profile({"REPRO_PROFILE": "off"}) is False
+
+    def test_enabled_by_truthy_values(self):
+        assert env_enables_profile({"REPRO_PROFILE": "1"}) is True
+        assert env_enables_profile({"REPRO_PROFILE": "yes"}) is True
+
+    def test_configure_from_env_noop_when_unset(self):
+        assert profiler.configure_from_env({}) is False
+        assert profiler.installed() is None
+
+    def test_configure_from_env_installs(self):
+        assert profiler.configure_from_env({"REPRO_PROFILE": "1"}) is True
+        assert profiler.installed() is not None
+        assert trace.enabled() is True
+
+
+class TestInstall:
+    def test_install_is_idempotent(self):
+        first = profiler.install()
+        second = profiler.install()
+        assert first is second
+        assert profiler.installed() is first
+
+    def test_uninstall_detaches_listener_and_provider(self):
+        profiler.install()
+        profiler.uninstall()
+        assert profiler.installed() is None
+        with span("quiet"):
+            _busy(1_000)
+        snapshot = obs_manifest.build_hotspots(
+            [root.to_dict() for root in get_tracer().roots()]
+        )
+        assert "functions" not in snapshot  # provider gone
+
+
+class TestCapture:
+    def test_spans_gain_memory_gauges(self):
+        profiler.install()
+        with span("outer") as outer:
+            keep = bytearray(256 * 1024)
+            with span("inner") as inner:
+                also = bytearray(64 * 1024)
+        assert "mem.alloc_delta_bytes" in outer.gauges
+        assert "mem.peak_bytes" in outer.gauges  # outermost only
+        assert "mem.alloc_delta_bytes" in inner.gauges
+        assert "mem.peak_bytes" not in inner.gauges
+        assert outer.gauges["mem.peak_bytes"] > 200_000
+        assert keep is not None and also is not None
+
+    def test_functions_profiled_on_outermost_span(self):
+        profiled = profiler.install()
+        with span("outer"):
+            _busy()
+        snapshot = profiled.snapshot()
+        assert snapshot["functions"], "cProfile captured nothing"
+        names = " ".join(row["function"] for row in snapshot["functions"])
+        assert "_busy" in names or "genexpr" in names
+        assert all(
+            row["tottime_s"] >= 0 and row["ncalls"] >= 1
+            for row in snapshot["functions"]
+        )
+
+    def test_allocations_ranked_per_span(self):
+        profiled = profiler.install()
+        with span("hungry"):
+            keep = bytearray(512 * 1024)
+        with span("modest"):
+            small = bytearray(1024)
+        rows = profiled.snapshot()["allocations"]
+        by_span = {row["span"]: row["alloc_bytes"] for row in rows}
+        assert by_span["hungry"] > by_span.get("modest", 0)
+        assert keep is not None and small is not None
+
+    def test_manifest_gains_hotspot_sections(self):
+        profiler.install()
+        with span("work"):
+            _busy()
+        manifest = obs_manifest.build_manifest()
+        hotspots = manifest["hotspots"]
+        assert hotspots["slowest_stages"]
+        assert hotspots["functions"]
+        assert hotspots["allocations"]
+
+    def test_profiler_overhead_outside_span_clock(self):
+        # A listener that burns time on start/end must not inflate the
+        # measured duration (notification happens outside the clock).
+        class SlowListener:
+            def on_span_start(self, sp):
+                _busy(200_000)
+
+            def on_span_end(self, sp):
+                _busy(200_000)
+
+        listener = SlowListener()
+        get_tracer().add_listener(listener)
+        try:
+            with span("cheap") as sp:
+                pass
+            assert sp.duration < 0.05
+        finally:
+            get_tracer().remove_listener(listener)
+
+    def test_reset_clears_aggregates(self):
+        profiled = profiler.install()
+        with span("work"):
+            _busy()
+        profiled.reset()
+        snapshot = profiled.snapshot()
+        assert snapshot["functions"] == []
+        assert snapshot["allocations"] == []
+
+
+class TestConflicts:
+    def test_nested_spans_do_not_double_profile(self):
+        profiled = profiler.install()
+        with span("outer"):
+            with span("inner"):
+                _busy()
+        # no conflict counter: the inner span never tried to enable
+        assert "perf.profiler_conflicts" not in get_tracer().counters()
+        assert profiled.snapshot()["functions"]
+
+    def test_profiled_span_sugar(self):
+        profiler.install()
+        with profiler.profiled_span("bench.toy", benchmark="toy") as sp:
+            _busy(1_000)
+        assert sp.attrs["benchmark"] == "toy"
+        assert "mem.alloc_delta_bytes" in sp.gauges

@@ -274,3 +274,64 @@ class TestMaintenance:
         removed = store.gc(max_age_days=1, now=time.time() + 2 * 86_400)
         assert [p.name for p in removed] == ["old"]
         assert not store.has("toy", "old")
+
+
+class TestSpanAttribution:
+    """Store I/O attributes timing/size gauges to the enclosing span."""
+
+    @pytest.fixture(autouse=True)
+    def clean_tracer(self):
+        from repro.obs import trace
+
+        tracer = trace.get_tracer()
+        was_enabled = tracer.enabled
+        trace.reset()
+        tracer.enabled = True
+        yield
+        tracer.enabled = was_enabled
+        trace.reset()
+
+    def test_build_and_save_attributed_on_miss(self, tmp_path):
+        from repro.obs.trace import span
+
+        store = ArtifactStore(tmp_path)
+        stage = _json_stage()
+        with span("stage.toy") as sp:
+            artifact, status = store.build_or_load(
+                stage, "k1", {}, lambda: {"value": 42}
+            )
+        assert status == "miss" and artifact == {"value": 42}
+        assert sp.gauges["store.build_s"] >= 0
+        assert sp.gauges["store.save_s"] >= 0
+        assert sp.gauges["store.entry_bytes"] > 0
+
+    def test_load_attributed_on_hit(self, tmp_path):
+        from repro.obs.trace import get_tracer, span
+
+        store = ArtifactStore(tmp_path)
+        stage = _json_stage()
+        store.put(stage, "k1", {"value": 7})
+        with span("stage.toy") as sp:
+            value, status = store.build_or_load(
+                stage, "k1", {}, lambda: {"value": 7}
+            )
+        assert status == "hit" and value == {"value": 7}
+        assert sp.gauges["store.load_s"] >= 0
+        assert sp.gauges["store.entry_bytes"] > 0
+        assert "store.build_s" not in sp.gauges
+        counters = get_tracer().counters()
+        assert counters.get("store.loads") == 1
+        assert counters.get("store.load_bytes", 0) > 0
+
+    def test_entry_bytes_sums_files(self, tmp_path):
+        store = ArtifactStore(tmp_path)
+        store.put(_json_stage(), "k1", {"value": list(range(100))})
+        n_bytes = store.entry_bytes("toy", "k1")
+        assert n_bytes > 100  # value.json + meta.json
+        assert store.entry_bytes("toy", "missing") == 0
+
+    def test_no_span_no_crash(self, tmp_path):
+        # attribution degrades to counters-only when no span is open
+        store = ArtifactStore(tmp_path)
+        store.build_or_load(_json_stage(), "k1", {}, lambda: {"value": 1})
+        assert store.has("toy", "k1")

@@ -501,3 +501,94 @@ class TestContractRules:
             """
         )
         assert "OBS001" not in found
+
+    def test_obs002_flags_wall_clock_duration(self):
+        found = rules_found(
+            """
+            import time
+
+            def timed(work):
+                start = time.time()
+                work()
+                return time.time() - start
+            """
+        )
+        assert found.count("OBS002") == 1
+
+    def test_obs002_flags_two_saved_wall_reads(self):
+        found = rules_found(
+            """
+            import time
+
+            def timed(work):
+                t0 = time.time()
+                work()
+                t1 = time.time()
+                return t1 - t0
+            """
+        )
+        assert found.count("OBS002") == 1
+
+    def test_obs002_flags_datetime_now_duration(self):
+        found = rules_found(
+            """
+            import datetime
+
+            def timed(work):
+                start = datetime.datetime.now()
+                work()
+                return datetime.datetime.now() - start
+            """
+        )
+        assert found.count("OBS002") == 1
+
+    def test_obs002_clean_on_perf_counter(self):
+        found = rules_found(
+            """
+            import time
+
+            def timed(work):
+                start = time.perf_counter()
+                work()
+                return time.perf_counter() - start
+            """
+        )
+        assert "OBS002" not in found
+
+    def test_obs002_clean_on_epoch_comparisons(self):
+        # Comparing a wall timestamp against a *stored* epoch (file mtime,
+        # an entry's created time) is the wall clock's legitimate job.
+        found = rules_found(
+            """
+            import time
+            from pathlib import Path
+
+            def lock_age(path):
+                return time.time() - Path(path).stat().st_mtime
+
+            def entry_age(info):
+                now = time.time()
+                return now - info.created_unix
+            """
+        )
+        assert "OBS002" not in found
+
+    def test_obs002_scope_local_name_tracking(self):
+        # `start` is wall-clock in f() but a perf_counter in g(); only
+        # f()'s subtraction may fire.
+        found = rules_found(
+            """
+            import time
+
+            def f(work):
+                start = time.time()
+                work()
+                return time.time() - start
+
+            def g(work):
+                start = time.perf_counter()
+                work()
+                return time.perf_counter() - start
+            """
+        )
+        assert found.count("OBS002") == 1
