@@ -1,0 +1,81 @@
+#!/usr/bin/env python
+"""Serving quickstart — train a curator offline, serve it over HTTP.
+
+Walks the full curation-as-a-service loop in-process:
+
+1. build a micro lab and train a Random Forest curator (supervised
+   paradigm, W2V-Chem embeddings + naive adaptation);
+2. stand the curator up behind the stdlib HTTP server with micro-batching
+   and load-shedding enabled;
+3. act as a client: POST a batch of candidate triples to
+   ``/v1/classify`` and read the plausibility labels back;
+4. show the server-side accounting from ``/statz``.
+
+Runs in a few seconds:
+
+    python examples/serve_quickstart.py
+"""
+
+import http.client
+import json
+
+from repro.core import Lab
+from repro.serve.bench import bench_lab_config
+from repro.serve.curator import build_pool
+from repro.serve.schemas import triple_payload
+from repro.serve.server import start_server, stop_server
+from repro.serve.service import CurationService
+
+
+def main():
+    # 1. Train a small RF backend offline (micro lab: seconds, not minutes).
+    lab = Lab(bench_lab_config(entities=120))
+    print(f"ontology: {lab.ontology.num_entities} entities")
+    curators = build_pool(lab, ["rf"], task=1)
+    print(f"warm backends: {sorted(curators)}")
+
+    # 2. Serve it: batching coalesces concurrent requests, the bounded
+    #    queue sheds overload with 503 + Retry-After.
+    service = CurationService.from_curators(
+        curators, max_batch=32, max_wait_s=0.002, max_queue=256
+    ).start()
+    server, thread, port = start_server(service)
+    print(f"serving on http://127.0.0.1:{port}")
+
+    try:
+        # 3. Classify a batch of held-out candidate triples as a client.
+        candidates = list(lab.ml_split(1).test)[:6]
+        body = json.dumps(
+            {"backend": "rf",
+             "triples": [triple_payload(t) for t in candidates]},
+            sort_keys=True,
+        )
+        connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+        try:
+            connection.request(
+                "POST", "/v1/classify", body=body,
+                headers={"Content-Type": "application/json"},
+            )
+            response = json.loads(
+                connection.getresponse().read().decode("utf-8")
+            )
+            print(f"labels (1 = plausible): {response['labels']} "
+                  f"(coalesced batch of {response['batched_with']})")
+
+            # 4. The server accounts for every request it saw.
+            connection.request("GET", "/statz")
+            statz = json.loads(connection.getresponse().read().decode("utf-8"))
+            totals = statz["totals"]
+            print(f"served {totals['requests']} request(s), "
+                  f"{totals['triples']} triples, "
+                  f"p50 {totals['latency_p50_ms']} ms, "
+                  f"shed rate {totals['shed_rate']}")
+        finally:
+            connection.close()
+    finally:
+        stop_server(server, thread)
+    print("server stopped cleanly")
+
+
+if __name__ == "__main__":
+    main()

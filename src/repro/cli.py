@@ -719,6 +719,172 @@ def cmd_lint(args: argparse.Namespace) -> int:
     return 0 if report.ok else 1
 
 
+def _serve_service(args: argparse.Namespace):
+    """Warm the requested backends and assemble the curation service."""
+    from repro.serve.bench import bench_lab_config
+    from repro.serve.curator import build_pool
+    from repro.serve.service import CurationService
+
+    lab = Lab(bench_lab_config(entities=args.entities, seed=args.seed))
+    backends = [name.strip() for name in args.backends.split(",") if name.strip()]
+    print(f"warming backends: {', '.join(backends)} ...", file=sys.stderr)
+    curators = build_pool(
+        lab, backends, task=args.task, seed=args.seed, icl_model=args.model
+    )
+    return CurationService.from_curators(
+        curators,
+        max_batch=args.max_batch,
+        max_wait_s=args.max_wait_ms / 1000.0,
+        max_queue=args.queue_size,
+    )
+
+
+def _serve_smoke(port: int) -> int:
+    """One healthz + one classify round-trip over real HTTP; 0 on success."""
+    import http.client
+    import json
+
+    from repro.serve.schemas import SERVE_FORMAT
+
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.request("GET", "/healthz")
+        health = json.loads(connection.getresponse().read().decode("utf-8"))
+        if health.get("status") != "ok":
+            print(f"smoke: unhealthy: {health}", file=sys.stderr)
+            return 1
+        body = json.dumps(
+            {
+                "triples": [
+                    {
+                        "subject": "smoke acid",
+                        "relation": "has_role",
+                        "object": "smoke inhibitor",
+                    }
+                ]
+            },
+            sort_keys=True,
+        )
+        connection.request(
+            "POST", "/v1/classify", body=body,
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        payload = json.loads(response.read().decode("utf-8"))
+        if response.status != 200 or payload.get("format") != SERVE_FORMAT:
+            print(f"smoke: bad response {response.status}: {payload}",
+                  file=sys.stderr)
+            return 1
+        print(f"smoke: ok (backend={payload['backend']}, "
+              f"labels={payload['labels']})")
+        return 0
+    finally:
+        connection.close()
+
+
+def cmd_serve(args: argparse.Namespace) -> int:
+    from repro.serve.server import start_server, stop_server
+
+    service = _serve_service(args).start()
+    # Smoke runs always bind an ephemeral port so they never collide with a
+    # real server (or another CI job) on the default port.
+    listen_port = 0 if args.smoke else args.port
+    server, thread, port = start_server(service, host=args.host, port=listen_port)
+    print(f"serving on http://{args.host}:{port} "
+          f"(backends: {', '.join(sorted(service.pool))})")
+    if args.smoke:
+        try:
+            return _serve_smoke(port)
+        finally:
+            stop_server(server, thread)
+    try:
+        while thread.is_alive():
+            thread.join(timeout=1.0)
+    except KeyboardInterrupt:
+        print("shutting down ...", file=sys.stderr)
+    finally:
+        stop_server(server, thread)
+    return 0
+
+
+def cmd_bench_serve(args: argparse.Namespace) -> int:
+    import json
+
+    from repro.perf import (
+        PerfError,
+        compare_exit_code,
+        compare_result,
+        load_baseline,
+        parse_tolerance,
+        render_comparison,
+        write_baseline,
+    )
+    from repro.serve.bench import (
+        SERVE_AREA,
+        ServeWorkload,
+        measure_serve,
+        serve_payload,
+    )
+
+    workload = ServeWorkload(
+        clients=args.clients,
+        requests=args.requests,
+        batch=args.batch,
+        backend=args.backend,
+        task=args.task,
+        entities=args.entities,
+        seed=args.seed,
+        max_batch=args.max_batch,
+        max_wait_ms=args.max_wait_ms,
+        queue_size=args.queue_size,
+    )
+    print(
+        f"bench serve: {workload.clients} clients x {workload.requests} "
+        f"requests x {workload.batch} triples against backend "
+        f"{workload.backend!r} ...",
+        file=sys.stderr,
+    )
+    try:
+        result, serving = measure_serve(workload, _perf_protocol(args))
+    except PerfError as error:
+        print(f"error: {error}", file=sys.stderr)
+        return 2
+    payload = serve_payload(result, workload, serving)
+    print(
+        f"wave median {result.stats.median * 1e3:.1f} ms | "
+        f"p50 {serving['latency_p50_ms']} ms | p99 {serving['latency_p99_ms']} ms | "
+        f"{serving['throughput_rps']} req/s | shed rate {serving['shed_rate']} | "
+        f"deterministic: {result.deterministic}"
+    )
+    if args.output:
+        from repro.utils.atomic import atomic_write
+
+        with atomic_write(args.output, "w") as handle:
+            json.dump(payload, handle, indent=2, sort_keys=True)
+            handle.write("\n")
+        print(f"wrote {args.output}")
+    if args.manifest:
+        from repro.obs.manifest import write_manifest
+
+        write_manifest(args.manifest, extra={"serve_bench": payload})
+        print(f"wrote {args.manifest}")
+    if args.update:
+        path = write_baseline(payload, args.dir)
+        print(f"wrote {path}")
+        return 0
+    if args.compare:
+        try:
+            tolerance = parse_tolerance(args.tolerance)
+            baseline = load_baseline(SERVE_AREA, args.dir)
+        except PerfError as error:
+            print(f"error: {error}", file=sys.stderr)
+            return 2
+        comparison = compare_result(payload, baseline, tolerance=tolerance)
+        print(render_comparison([comparison], tolerance))
+        return compare_exit_code([comparison])
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     from repro import __version__
 
@@ -873,6 +1039,105 @@ def build_parser() -> argparse.ArgumentParser:
         help="render a results JSON instead of the committed baselines",
     )
     perf_rep.set_defaults(func=cmd_perf_report)
+
+    def _serve_knobs(sub: argparse.ArgumentParser) -> None:
+        sub.add_argument("--task", type=int, choices=(1, 2, 3), default=1)
+        sub.add_argument(
+            "--entities", type=int, default=120,
+            help="ontology size the backends are trained on",
+        )
+        sub.add_argument(
+            "--max-batch", type=int, default=32,
+            help="flush a coalesced batch at this many triples",
+        )
+        sub.add_argument(
+            "--max-wait-ms", type=float, default=2.0,
+            help="flush once the oldest request waited this long "
+            "(0 disables coalescing)",
+        )
+        sub.add_argument(
+            "--queue-size", type=int, default=1024,
+            help="bounded queue per backend; overflow is shed with 503",
+        )
+
+    serve = subparsers.add_parser(
+        "serve", help="run the triple-classification HTTP server"
+    )
+    serve.add_argument("--host", default="127.0.0.1")
+    serve.add_argument(
+        "--port", type=int, default=8077,
+        help="listen port (0 binds an ephemeral port)",
+    )
+    serve.add_argument(
+        "--backends", default="rf,lstm,ft,icl",
+        help="comma-separated backends to warm (rf, lstm, ft, icl)",
+    )
+    serve.add_argument(
+        "--model", default="gpt-4",
+        help="simulated chat model behind the icl backend",
+    )
+    _serve_knobs(serve)
+    serve.add_argument(
+        "--smoke", action="store_true",
+        help="bind an ephemeral port, run one healthz + classify "
+        "round-trip over HTTP, shut down, exit 0 on success",
+    )
+    serve.set_defaults(func=cmd_serve)
+
+    bench = subparsers.add_parser(
+        "bench", help="traffic-driven benchmarks for the serving layer"
+    )
+    bench_sub = bench.add_subparsers(dest="bench_command", required=True)
+    bench_serve = bench_sub.add_parser(
+        "serve", help="drive concurrent synthetic clients at an "
+        "in-process server; optionally update/compare BENCH_serve.json",
+    )
+    bench_serve.add_argument(
+        "--clients", type=int, default=200,
+        help="concurrent client threads per wave",
+    )
+    bench_serve.add_argument(
+        "--requests", type=int, default=3,
+        help="sequential requests per client per wave",
+    )
+    bench_serve.add_argument(
+        "--batch", type=int, default=4, help="triples per request"
+    )
+    bench_serve.add_argument(
+        "--backend", default="rf", choices=("rf", "lstm", "ft", "icl"),
+        help="backend the traffic targets",
+    )
+    _serve_knobs(bench_serve)
+    bench_serve.add_argument(
+        "--quick", action="store_true",
+        help="abbreviated timing protocol (1 warmup / 3 waves)",
+    )
+    bench_serve.add_argument("--warmup", type=int, default=None)
+    bench_serve.add_argument("--repeats", type=int, default=None)
+    bench_serve.add_argument(
+        "--update", action="store_true",
+        help="write BENCH_serve.json in --dir",
+    )
+    bench_serve.add_argument(
+        "--compare", action="store_true",
+        help="diff against the committed BENCH_serve.json "
+        "(exit 0 ok, 1 regression/drift, 2 harness error)",
+    )
+    bench_serve.add_argument(
+        "--tolerance", default="25%",
+        help="relative regression tolerance for --compare",
+    )
+    bench_serve.add_argument(
+        "--dir", default=".", help="directory holding BENCH_serve.json"
+    )
+    bench_serve.add_argument(
+        "--output", default=None, help="also write the full results JSON here"
+    )
+    bench_serve.add_argument(
+        "--manifest", default=None,
+        help="write an obs manifest (with the bench payload) here",
+    )
+    bench_serve.set_defaults(func=cmd_bench_serve)
 
     resume = subparsers.add_parser(
         "resume", help="inspect a checkpoint journal"

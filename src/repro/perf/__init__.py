@@ -18,6 +18,7 @@ CLI: ``repro perf run|compare|report|update``.
 from repro.perf.areas import AREAS, PerfArea, area_names, get_area, select_areas
 from repro.perf.baseline import (
     BENCH_FORMAT,
+    FINGERPRINT_FIELDS,
     DEFAULT_MIN_DELTA_S,
     DEFAULT_TOLERANCE,
     RESULTS_FORMAT,
@@ -26,6 +27,7 @@ from repro.perf.baseline import (
     compare_exit_code,
     compare_result,
     environment_fingerprint,
+    fingerprint_diff,
     load_baseline,
     load_results,
     parse_tolerance,
@@ -77,6 +79,8 @@ __all__ = [
     "DEFAULT_TOLERANCE",
     "DEFAULT_MIN_DELTA_S",
     "environment_fingerprint",
+    "fingerprint_diff",
+    "FINGERPRINT_FIELDS",
     "baseline_path",
     "result_payload",
     "write_baseline",

@@ -73,6 +73,38 @@ def environment_fingerprint() -> dict:
     }
 
 
+#: Fingerprint fields compared (and reported) when two runs' environments
+#: are diffed; order is the report order.
+FINGERPRINT_FIELDS = (
+    "python_version",
+    "python_implementation",
+    "numpy_version",
+    "platform",
+    "machine",
+    "cpu_count",
+)
+
+
+def fingerprint_diff(
+    current: Optional[dict], baseline: Optional[dict]
+) -> Dict[str, Dict[str, object]]:
+    """Which fingerprint fields differ, and how.
+
+    Returns ``{field: {"current": ..., "baseline": ...}}`` for every field
+    of :data:`FINGERPRINT_FIELDS` whose values disagree — so ``repro perf
+    compare`` can say *what* changed (python 3.11 -> 3.12, another numpy,
+    different machine) instead of just that something did.  Empty dict
+    means the environments match.
+    """
+    diffs: Dict[str, Dict[str, object]] = {}
+    for name in FINGERPRINT_FIELDS:
+        current_value = (current or {}).get(name)
+        baseline_value = (baseline or {}).get(name)
+        if current_value != baseline_value:
+            diffs[name] = {"current": current_value, "baseline": baseline_value}
+    return diffs
+
+
 def baseline_path(area_name: str, directory: PathLike = ".") -> Path:
     """Where the committed baseline for ``area_name`` lives."""
     return Path(directory) / f"BENCH_{area_name}.json"
@@ -180,6 +212,9 @@ class Comparison:
     baseline_median_s: Optional[float] = None
     ratio: Optional[float] = None
     message: str = ""
+    #: Environment-fingerprint fields that differ from the baseline
+    #: (:func:`fingerprint_diff` output); None when nothing to compare.
+    fingerprint: Optional[Dict[str, Dict[str, object]]] = None
 
     @property
     def is_regression(self) -> bool:
@@ -197,6 +232,7 @@ class Comparison:
             "baseline_median_s": self.baseline_median_s,
             "ratio": self.ratio,
             "message": self.message,
+            "fingerprint": self.fingerprint,
         }
 
 
@@ -218,6 +254,10 @@ def compare_result(
     current = float(payload["stats"]["median_s"])
     base = float(baseline["stats"]["median_s"])
     ratio = current / base if base > 0 else float("inf")
+    fingerprint = (
+        fingerprint_diff(payload.get("environment"), baseline.get("environment"))
+        or None
+    )
     current_checksum = payload.get("checksum")
     baseline_checksum = baseline.get("checksum")
     if (
@@ -235,6 +275,7 @@ def compare_result(
                 "workload checksum changed — results are not comparable; "
                 "refresh the baseline with `repro perf update`"
             ),
+            fingerprint=fingerprint,
         )
     delta = current - base
     if delta > base * tolerance and delta > min_delta_s:
@@ -249,6 +290,7 @@ def compare_result(
                 f"{base * 1e3:.2f} ms (+{(ratio - 1) * 100:.0f}%, "
                 f"tolerance {tolerance * 100:.0f}%)"
             ),
+            fingerprint=fingerprint,
         )
     status = "faster" if (-delta > base * tolerance and -delta > min_delta_s) else "ok"
     return Comparison(
@@ -260,6 +302,7 @@ def compare_result(
         message=(
             f"median {current * 1e3:.2f} ms vs baseline {base * 1e3:.2f} ms"
         ),
+        fingerprint=fingerprint,
     )
 
 
@@ -278,6 +321,8 @@ __all__ = [
     "DEFAULT_TOLERANCE",
     "DEFAULT_MIN_DELTA_S",
     "environment_fingerprint",
+    "FINGERPRINT_FIELDS",
+    "fingerprint_diff",
     "baseline_path",
     "result_payload",
     "write_baseline",

@@ -72,7 +72,31 @@ def render_comparison(
             "-" if comparison.ratio is None else f"{comparison.ratio:.3f}",
             comparison.message,
         )
-    return table.render()
+    rendered = table.render()
+    warnings = [
+        line
+        for comparison in sorted(comparisons, key=lambda c: c.area)
+        for line in _fingerprint_warning(comparison)
+    ]
+    if warnings:
+        rendered += "\n" + "\n".join(warnings)
+    return rendered
+
+
+def _fingerprint_warning(comparison: Comparison) -> List[str]:
+    """Per-field environment mismatch lines for one comparison."""
+    if not comparison.fingerprint:
+        return []
+    lines = [
+        f"warning: {comparison.area}: environment fingerprint differs from "
+        f"the baseline — timings may not be comparable:"
+    ]
+    for name, values in comparison.fingerprint.items():
+        lines.append(
+            f"  {name}: {values['current']!r} (current) vs "
+            f"{values['baseline']!r} (baseline)"
+        )
+    return lines
 
 
 __all__ = ["render_results", "render_comparison"]

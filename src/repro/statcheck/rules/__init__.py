@@ -5,7 +5,8 @@ Four families, each its own module:
 * ``determinism`` (DET) — no hidden entropy, order-stable hashing/serialising;
 * ``purity`` (PUR) — stage builders are pure functions of (lab, inputs);
 * ``concurrency`` (CONC) — lock coverage, atomic filesystem sequences;
-* ``contracts`` (RES/OBS) — failure accounting and span hygiene.
+* ``contracts`` (RES/OBS) — failure accounting and span hygiene;
+* ``serving`` (SRV) — network transport stays quarantined in repro.serve.
 
 ``SYN001`` (unparsable file) and ``CYC001`` (module import cycle) are
 engine-level checks, documented here so the catalog is complete.
@@ -16,12 +17,22 @@ from __future__ import annotations
 from typing import Dict, List, Optional, Sequence, Tuple, Type
 
 from repro.statcheck.findings import StatcheckError
-from repro.statcheck.rules import concurrency, contracts, determinism, purity
+from repro.statcheck.rules import (
+    concurrency,
+    contracts,
+    determinism,
+    purity,
+    serving,
+)
 from repro.statcheck.rules.base import Rule, rule_catalog
 
 #: Every rule class, in reporting order.
 RULE_CLASSES: Tuple[Type[Rule], ...] = (
-    determinism.RULES + purity.RULES + concurrency.RULES + contracts.RULES
+    determinism.RULES
+    + purity.RULES
+    + concurrency.RULES
+    + contracts.RULES
+    + serving.RULES
 )
 
 #: Rule family name -> the rule ids it contains.
@@ -30,6 +41,7 @@ FAMILIES: Dict[str, Tuple[str, ...]] = {
     "purity": tuple(cls.id for cls in purity.RULES),
     "concurrency": tuple(cls.id for cls in concurrency.RULES),
     "contracts": tuple(cls.id for cls in contracts.RULES),
+    "serving": tuple(cls.id for cls in serving.RULES),
 }
 
 

@@ -1,0 +1,81 @@
+"""Serving-boundary rules (SRV).
+
+The serving layer (PR 7) put sockets and an HTTP server into the codebase
+for the first time.  That machinery is deliberately quarantined in
+``repro.serve``: stage builders, paradigms, and the perf areas must stay
+network-free so they remain pure, deterministic functions of their inputs
+— a stage that opens a socket can neither be content-addressed nor
+replayed from the artifact store.  SRV001 enforces the quarantine.
+"""
+
+from __future__ import annotations
+
+import ast
+from typing import Iterator
+
+from repro.statcheck.astutil import resolve_call
+from repro.statcheck.findings import Finding
+from repro.statcheck.rules.base import Rule
+
+#: Modules whose use marks code as network-serving machinery.
+_SERVING_MODULES = ("socket", "socketserver", "http.server")
+
+
+def _is_serving_name(name: str) -> bool:
+    return any(
+        name == module or name.startswith(module + ".")
+        for module in _SERVING_MODULES
+    )
+
+
+class ServingOutsideServeRule(Rule):
+    id = "SRV001"
+    title = "socket/HTTP-server machinery outside repro.serve"
+    rationale = (
+        "Sockets and HTTP servers (`socket`, `socketserver`, `http.server`) "
+        "belong in the quarantined serving layer. Anywhere else — stage "
+        "builders, paradigms, perf areas — they make results depend on the "
+        "network, which breaks content-addressed caching and determinism. "
+        "Put transport code in repro.serve and call it through a service "
+        "interface."
+    )
+    example = "from http.server import HTTPServer  # in a stage module"
+
+    def applies_to(self, ctx) -> bool:
+        # Any `serve` component in the dotted module path marks the
+        # quarantine zone (repro.serve.*, a test's serve fixtures, ...).
+        return "serve" not in ctx.module.split(".")
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if isinstance(node, ast.Import):
+                for alias in node.names:
+                    if _is_serving_name(alias.name):
+                        yield self.finding(
+                            ctx,
+                            node,
+                            f"import of {alias.name!r} outside repro.serve; "
+                            f"serving transport is quarantined there",
+                        )
+            elif isinstance(node, ast.ImportFrom):
+                if node.module and _is_serving_name(node.module):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"import from {node.module!r} outside repro.serve; "
+                        f"serving transport is quarantined there",
+                    )
+            elif isinstance(node, ast.Call):
+                name = resolve_call(node, ctx.aliases) or ""
+                if _is_serving_name(name):
+                    yield self.finding(
+                        ctx,
+                        node,
+                        f"{name}(...) outside repro.serve; serving "
+                        f"transport is quarantined there",
+                    )
+
+
+RULES = (ServingOutsideServeRule,)
+
+__all__ = [cls.__name__ for cls in RULES] + ["RULES"]

@@ -1,0 +1,31 @@
+"""Smoke test: the serving quickstart example runs, fast.
+
+The example is documentation that executes; this test keeps it honest —
+it must complete a real train → serve → classify → shutdown loop well
+under the 30 s budget the README promises.
+"""
+
+import pathlib
+import subprocess
+import sys
+import time
+
+EXAMPLE = pathlib.Path(__file__).resolve().parent.parent / "examples" / "serve_quickstart.py"
+SRC = pathlib.Path(__file__).resolve().parent.parent / "src"
+
+
+class TestServeQuickstart:
+    def test_runs_cleanly_under_30s(self):
+        started = time.perf_counter()
+        completed = subprocess.run(
+            [sys.executable, str(EXAMPLE)],
+            capture_output=True,
+            text=True,
+            timeout=30,
+            env={"PYTHONPATH": str(SRC), "PATH": "/usr/bin:/bin"},
+        )
+        elapsed = time.perf_counter() - started
+        assert completed.returncode == 0, completed.stderr
+        assert elapsed < 30, f"quickstart took {elapsed:.1f}s"
+        assert "labels (1 = plausible):" in completed.stdout
+        assert "server stopped cleanly" in completed.stdout

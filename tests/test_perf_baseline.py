@@ -13,11 +13,13 @@ import pytest
 from repro.cli import main
 from repro.perf.baseline import (
     BENCH_FORMAT,
+    FINGERPRINT_FIELDS,
     Comparison,
     baseline_path,
     compare_exit_code,
     compare_result,
     environment_fingerprint,
+    fingerprint_diff,
     load_baseline,
     load_results,
     parse_tolerance,
@@ -26,6 +28,7 @@ from repro.perf.baseline import (
     write_results,
 )
 from repro.perf.harness import Benchmark, PerfError, Protocol
+from repro.perf.report import render_comparison
 
 
 def _measured_payload(median_s=0.05, name="toy", checksum=None):
@@ -170,6 +173,68 @@ class TestCompareResult:
         assert compare_exit_code([ok, slow, gone]) == 2  # errors dominate
 
 
+class TestFingerprintDiff:
+    def test_identical_environments_diff_empty(self):
+        env = environment_fingerprint()
+        assert fingerprint_diff(env, dict(env)) == {}
+
+    def test_reports_each_differing_field_with_both_values(self):
+        current = environment_fingerprint()
+        baseline = dict(current)
+        baseline["python_version"] = "3.8.0"
+        baseline["numpy_version"] = "1.19.0"
+        diffs = fingerprint_diff(current, baseline)
+        assert set(diffs) == {"python_version", "numpy_version"}
+        assert diffs["python_version"] == {
+            "current": current["python_version"],
+            "baseline": "3.8.0",
+        }
+        assert diffs["numpy_version"]["baseline"] == "1.19.0"
+
+    def test_missing_environments_diff_against_none(self):
+        env = environment_fingerprint()
+        diffs = fingerprint_diff(env, None)
+        assert set(diffs) == set(FINGERPRINT_FIELDS)
+        assert all(v["baseline"] is None for v in diffs.values())
+
+    def test_compare_result_carries_the_diff(self):
+        current = _measured_payload(0.050)
+        baseline = _measured_payload(0.050)
+        baseline["environment"] = dict(baseline["environment"])
+        baseline["environment"]["platform"] = "Windows-10"
+        comparison = compare_result(current, baseline)
+        assert comparison.status == "ok"
+        assert comparison.fingerprint is not None
+        assert set(comparison.fingerprint) == {"platform"}
+        assert comparison.fingerprint["platform"]["baseline"] == "Windows-10"
+
+    def test_matching_environment_leaves_fingerprint_none(self):
+        comparison = compare_result(
+            _measured_payload(0.050), _measured_payload(0.050)
+        )
+        assert comparison.fingerprint is None
+
+    def test_render_comparison_names_the_differing_fields(self):
+        baseline = _measured_payload(0.050)
+        baseline["environment"] = dict(baseline["environment"])
+        baseline["environment"]["python_version"] = "3.8.0"
+        baseline["environment"]["machine"] = "armv7l"
+        comparison = compare_result(_measured_payload(0.050), baseline)
+        rendered = render_comparison([comparison], tolerance=0.25)
+        assert "environment fingerprint differs" in rendered
+        assert "python_version" in rendered
+        assert "'3.8.0' (baseline)" in rendered
+        assert "machine" in rendered
+        assert "'armv7l' (baseline)" in rendered
+
+    def test_render_comparison_quiet_when_environments_match(self):
+        comparison = compare_result(
+            _measured_payload(0.050), _measured_payload(0.050)
+        )
+        rendered = render_comparison([comparison], tolerance=0.25)
+        assert "fingerprint" not in rendered
+
+
 class TestCompareCli:
     """End-to-end exit-code proof through the real CLI and a real area."""
 
@@ -217,6 +282,19 @@ class TestCompareCli:
         out = capsys.readouterr().out
         assert code == 1, out
         assert "DRIFT" in out
+
+    def test_environment_mismatch_names_differing_fields(self, measured, capsys):
+        d, results = measured
+        path = baseline_path("obo_parse", d)
+        baseline = json.loads(path.read_text())
+        baseline["environment"]["python_version"] = "2.7.18"
+        path.write_text(json.dumps(baseline, sort_keys=True))
+        code = main(["perf", "compare", "--from", results, "--dir", d])
+        out = capsys.readouterr().out
+        assert code == 0, out  # a fingerprint mismatch warns, never blocks
+        assert "environment fingerprint differs" in out
+        assert "python_version" in out
+        assert "'2.7.18' (baseline)" in out
 
     def test_missing_baseline_exits_two(self, measured, capsys):
         d, results = measured

@@ -1,0 +1,138 @@
+"""Golden round-trip and validation tests for the serve wire format."""
+
+import json
+
+import pytest
+
+from repro.ontology.relations import HAS_ROLE
+from repro.serve.schemas import (
+    MAX_TRIPLES_PER_REQUEST,
+    SERVE_FORMAT,
+    SchemaError,
+    classify_response,
+    error_response,
+    parse_classify_request,
+    parse_triple,
+    render_json,
+    triple_payload,
+)
+
+TRIPLE = {
+    "subject": "ammonium chloride",
+    "relation": "has_role",
+    "object": "ferroptosis inhibitor",
+}
+
+
+class TestParseTriple:
+    def test_names_only_gets_placeholder_ids(self):
+        triple = parse_triple(TRIPLE)
+        assert triple.subject_name == "ammonium chloride"
+        assert triple.relation is HAS_ROLE
+        assert triple.object_name == "ferroptosis inhibitor"
+        assert triple.subject_id == "req:ammonium chloride"
+        assert triple.object_id == "req:ferroptosis inhibitor"
+
+    def test_explicit_ids_kept(self):
+        triple = parse_triple(
+            {**TRIPLE, "subject_id": "CHEBI:1", "object_id": "CHEBI:2"}
+        )
+        assert triple.subject_id == "CHEBI:1"
+        assert triple.object_id == "CHEBI:2"
+
+    def test_relation_label_spelling_accepted(self):
+        triple = parse_triple({**TRIPLE, "relation": "has role"})
+        assert triple.relation is HAS_ROLE
+
+    def test_unknown_relation_is_schema_error(self):
+        with pytest.raises(SchemaError):
+            parse_triple({**TRIPLE, "relation": "is_best_friends_with"})
+
+    @pytest.mark.parametrize("missing", ["subject", "relation", "object"])
+    def test_missing_field_is_schema_error(self, missing):
+        broken = {k: v for k, v in TRIPLE.items() if k != missing}
+        with pytest.raises(SchemaError):
+            parse_triple(broken)
+
+    def test_non_object_is_schema_error(self):
+        with pytest.raises(SchemaError):
+            parse_triple(["not", "a", "dict"])
+
+    def test_payload_round_trip(self):
+        triple = parse_triple(TRIPLE)
+        again = parse_triple(triple_payload(triple))
+        assert again == triple
+
+
+class TestParseClassifyRequest:
+    def test_single_triple_spelling(self):
+        request = parse_classify_request({"triple": TRIPLE, "backend": "rf"})
+        assert request.batch is False
+        assert request.backend == "rf"
+        assert len(request.triples) == 1
+
+    def test_batch_spelling(self):
+        request = parse_classify_request({"triples": [TRIPLE, TRIPLE]})
+        assert request.batch is True
+        assert request.backend is None
+        assert len(request.triples) == 2
+
+    def test_accepts_bytes_and_str_bodies(self):
+        document = json.dumps({"triple": TRIPLE})
+        assert parse_classify_request(document).triples
+        assert parse_classify_request(document.encode("utf-8")).triples
+
+    def test_request_round_trips_through_its_payload(self):
+        request = parse_classify_request({"triples": [TRIPLE], "backend": "ft"})
+        again = parse_classify_request(render_json(request.to_payload()))
+        assert again == request
+
+    @pytest.mark.parametrize(
+        "body",
+        [
+            "not json {{{",
+            b"\xff\xfe",
+            ["a", "list"],
+            {},  # neither spelling
+            {"triple": TRIPLE, "triples": [TRIPLE]},  # both spellings
+            {"triples": []},
+            {"triples": "nope"},
+            {"triple": TRIPLE, "backend": 7},
+        ],
+    )
+    def test_malformed_bodies_are_schema_errors(self, body):
+        with pytest.raises(SchemaError):
+            parse_classify_request(body)
+
+    def test_oversized_batch_rejected(self):
+        body = {"triples": [TRIPLE] * (MAX_TRIPLES_PER_REQUEST + 1)}
+        with pytest.raises(SchemaError, match="cap"):
+            parse_classify_request(body)
+
+
+class TestResponses:
+    def test_batch_response_golden(self):
+        payload = classify_response("rf", [1, 0, None], batched_with=12)
+        assert render_json(payload) == (
+            '{"backend":"rf","batched_with":12,'
+            f'"format":"{SERVE_FORMAT}","labels":[1,0,null],"n":3}}'
+        )
+
+    def test_single_response_golden(self):
+        payload = classify_response("icl", [None], batch=False)
+        assert render_json(payload) == (
+            f'{{"backend":"icl","format":"{SERVE_FORMAT}","label":null,"n":1}}'
+        )
+
+    def test_error_response_golden(self):
+        payload = error_response(503, "shed", retry_after_s=0.25)
+        assert render_json(payload) == (
+            f'{{"error":"shed","format":"{SERVE_FORMAT}",'
+            '"retry_after_s":0.25,"status":503}'
+        )
+
+    def test_render_json_is_canonical(self):
+        # Same dict, different insertion order -> identical bytes.
+        a = render_json({"b": 1, "a": 2})
+        b = render_json({"a": 2, "b": 1})
+        assert a == b == '{"a":2,"b":1}'

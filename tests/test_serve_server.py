@@ -1,0 +1,167 @@
+"""The acceptance test: served answers == offline answers, all paradigms.
+
+A micro lab trains all four paradigm adapters once per module; concurrent
+HTTP clients then hammer the in-process server and every response must be
+identical to what the same ``Curator`` computes offline — proving the
+micro-batcher's coalescing and the ICL re-anchoring never change a label.
+"""
+
+import http.client
+import json
+import threading
+
+import pytest
+
+from repro.core import Lab
+from repro.serve.bench import bench_lab_config
+from repro.serve.curator import DEFAULT_BACKENDS, build_pool
+from repro.serve.schemas import SERVE_FORMAT, triple_payload
+from repro.serve.server import start_server, stop_server
+from repro.serve.service import CurationService
+
+CLIENT_THREADS = 8
+
+
+@pytest.fixture(scope="module")
+def serve_world():
+    """Micro lab, warm four-backend pool, offline truth, live server."""
+    lab = Lab(bench_lab_config(entities=120, seed=0))
+    pool = build_pool(lab, DEFAULT_BACKENDS, task=1, seed=0)
+    candidates = list(lab.ml_split(1).test)[:12]
+    offline = {
+        name: curator.classify_batch(candidates)
+        for name, curator in pool.items()
+    }
+    service = CurationService.from_curators(
+        pool, max_batch=16, max_wait_s=0.002, max_queue=512
+    ).start()
+    server, thread, port = start_server(service)
+    try:
+        yield {
+            "candidates": candidates,
+            "offline": offline,
+            "service": service,
+            "port": port,
+        }
+    finally:
+        stop_server(server, thread)
+
+
+def post_classify(port, payload):
+    connection = http.client.HTTPConnection("127.0.0.1", port, timeout=30)
+    try:
+        connection.request(
+            "POST",
+            "/v1/classify",
+            body=json.dumps(payload, sort_keys=True),
+            headers={"Content-Type": "application/json"},
+        )
+        response = connection.getresponse()
+        return response.status, json.loads(response.read().decode("utf-8"))
+    finally:
+        connection.close()
+
+
+@pytest.mark.parametrize("backend", DEFAULT_BACKENDS)
+class TestServedEqualsOffline:
+    def test_batch_request_matches_offline_classify_batch(
+        self, serve_world, backend
+    ):
+        body = {
+            "backend": backend,
+            "triples": [triple_payload(t) for t in serve_world["candidates"]],
+        }
+        status, payload = post_classify(serve_world["port"], body)
+        assert status == 200, payload
+        assert payload["format"] == SERVE_FORMAT
+        assert payload["backend"] == backend
+        assert payload["labels"] == serve_world["offline"][backend]
+
+    def test_single_triple_matches_offline_label(self, serve_world, backend):
+        triple = serve_world["candidates"][0]
+        status, payload = post_classify(
+            serve_world["port"],
+            {"backend": backend, "triple": triple_payload(triple)},
+        )
+        assert status == 200, payload
+        assert payload["n"] == 1
+        assert payload["label"] == serve_world["offline"][backend][0]
+
+    def test_concurrent_clients_all_match_offline(self, serve_world, backend):
+        """N threads, overlapping slices, coalesced batches — same labels."""
+        candidates = serve_world["candidates"]
+        expected = serve_world["offline"][backend]
+        results = [None] * CLIENT_THREADS
+        barrier = threading.Barrier(CLIENT_THREADS)
+
+        def client(i):
+            # Each client asks for a different rotation of the candidate
+            # list, so coalesced batches mix differently-ordered requests.
+            order = [(i + j) % len(candidates) for j in range(4)]
+            barrier.wait(timeout=30)
+            status, payload = post_classify(
+                serve_world["port"],
+                {
+                    "backend": backend,
+                    "triples": [triple_payload(candidates[k]) for k in order],
+                },
+            )
+            results[i] = (status, payload, order)
+
+        threads = [
+            threading.Thread(target=client, args=(i,))
+            for i in range(CLIENT_THREADS)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        assert all(result is not None for result in results)
+        for status, payload, order in results:
+            assert status == 200, payload
+            assert payload["labels"] == [expected[k] for k in order]
+
+
+class TestCrossBackendTraffic:
+    def test_interleaved_backends_never_cross_wires(self, serve_world):
+        """Concurrent traffic to all four backends routes correctly."""
+        jobs = [
+            (backend, i)
+            for backend in DEFAULT_BACKENDS
+            for i in range(3)
+        ]
+        results = [None] * len(jobs)
+        barrier = threading.Barrier(len(jobs))
+
+        def client(slot, backend, offset):
+            triple = serve_world["candidates"][offset]
+            barrier.wait(timeout=30)
+            status, payload = post_classify(
+                serve_world["port"],
+                {"backend": backend, "triple": triple_payload(triple)},
+            )
+            results[slot] = (backend, offset, status, payload)
+
+        threads = [
+            threading.Thread(target=client, args=(slot, backend, offset))
+            for slot, (backend, offset) in enumerate(jobs)
+        ]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join(timeout=60)
+        for backend, offset, status, payload in results:
+            assert status == 200, payload
+            assert payload["backend"] == backend
+            assert payload["label"] == serve_world["offline"][backend][offset]
+
+    def test_statz_accounts_for_every_request(self, serve_world):
+        before = serve_world["service"].stats.snapshot()["requests"]
+        post_classify(
+            serve_world["port"],
+            {"triples": [triple_payload(serve_world["candidates"][0])]},
+        )
+        after = serve_world["service"].stats.snapshot()
+        assert after["requests"] == before + 1
+        assert after["shed"] == 0
+        assert after["errors"] == 0

@@ -1,0 +1,305 @@
+"""Shedding and accounting on the transport-free service core, then the
+same contract observed through HTTP: 503 + Retry-After, never silence."""
+
+import http.client
+import json
+
+import pytest
+
+from repro.core.triples import LabeledTriple
+from repro.ontology.relations import HAS_ROLE
+from repro.resilience.faults import FaultClock
+from repro.serve.curator import Curator
+from repro.serve.server import start_server, stop_server
+from repro.serve.service import Backend, CurationService, ServeStats, ShedError
+
+
+class StubCurator(Curator):
+    """Controllable backend: labels everything 1 until told to fail."""
+
+    def __init__(self, name="stub"):
+        super().__init__(name)
+        self.fail = False
+        self.calls = 0
+
+    def classify_batch(self, triples):
+        self.calls += 1
+        if self.fail:
+            raise RuntimeError("backend down")
+        return [1] * len(triples)
+
+
+def make_triples(n, tag="t"):
+    return [
+        LabeledTriple(
+            subject_id=f"s:{tag}{i}",
+            subject_name=f"subject {tag}{i}",
+            relation=HAS_ROLE,
+            object_id=f"o:{tag}{i}",
+            object_name=f"object {tag}{i}",
+            label=0,
+        )
+        for i in range(n)
+    ]
+
+
+def make_backend(curator=None, **kwargs):
+    kwargs.setdefault("max_wait_s", 0.0)  # no coalescing window in tests
+    return Backend(curator or StubCurator(), **kwargs)
+
+
+class TestBackendShedding:
+    def test_breaker_opens_after_consecutive_failures(self):
+        clock = FaultClock()
+        curator = StubCurator()
+        backend = make_backend(
+            curator, failure_threshold=2, reset_timeout=5.0, clock=clock
+        ).start()
+        try:
+            curator.fail = True
+            for _ in range(2):
+                with pytest.raises(RuntimeError, match="backend down"):
+                    backend.classify(make_triples(1))
+            # Third request never reaches the curator: shed at the door.
+            calls_before = curator.calls
+            with pytest.raises(ShedError) as shed:
+                backend.classify(make_triples(1))
+            assert shed.value.reason == "breaker-open"
+            assert shed.value.retry_after_s == 5.0
+            assert curator.calls == calls_before
+            assert backend.breaker.state == "open"
+        finally:
+            backend.stop()
+
+    def test_breaker_recovers_after_reset_timeout(self):
+        clock = FaultClock()
+        curator = StubCurator()
+        backend = make_backend(
+            curator, failure_threshold=1, reset_timeout=5.0, clock=clock
+        ).start()
+        try:
+            curator.fail = True
+            with pytest.raises(RuntimeError):
+                backend.classify(make_triples(1))
+            with pytest.raises(ShedError):
+                backend.classify(make_triples(1))
+            # Cool down, fix the backend: the half-open probe closes it.
+            clock.advance(5.1)
+            curator.fail = False
+            labels, batch_size = backend.classify(make_triples(2))
+            assert labels == [1, 1]
+            assert batch_size == 2
+            assert backend.breaker.state == "closed"
+        finally:
+            backend.stop()
+
+    def test_full_queue_sheds_with_retry_after(self):
+        # No worker thread: submissions pile up until the bound trips.
+        backend = make_backend(max_queue=1, max_wait_s=0.004)
+        backend.batcher.submit(make_triples(1))
+        with pytest.raises(ShedError) as shed:
+            backend.classify(make_triples(1))
+        assert shed.value.reason == "queue-full"
+        assert shed.value.retry_after_s == pytest.approx(0.05)  # floor wins
+
+    def test_successful_classify_reports_coalesced_size(self):
+        backend = make_backend().start()
+        try:
+            labels, batch_size = backend.classify(make_triples(3))
+            assert labels == [1, 1, 1]
+            assert batch_size >= 3
+        finally:
+            backend.stop()
+
+
+class TestServeStats:
+    def test_counters_and_shed_rate(self):
+        stats = ServeStats()
+        stats.record("ok", triples=4, latency_s=0.010)
+        stats.record("ok", triples=2, latency_s=0.020)
+        stats.record("shed")
+        stats.record("error")
+        snapshot = stats.snapshot()
+        assert snapshot["requests"] == 4
+        assert snapshot["ok"] == 2
+        assert snapshot["shed"] == 1
+        assert snapshot["errors"] == 1
+        assert snapshot["triples"] == 6
+        assert snapshot["shed_rate"] == 0.25
+        assert snapshot["latency_p50_ms"] == pytest.approx(15.0)
+
+    def test_empty_snapshot_has_no_percentiles(self):
+        snapshot = ServeStats().snapshot()
+        assert snapshot["requests"] == 0
+        assert snapshot["shed_rate"] == 0.0
+        assert snapshot["latency_p50_ms"] is None
+        assert snapshot["latency_p99_ms"] is None
+
+
+class TestCurationService:
+    def test_routes_to_default_backend(self):
+        service = CurationService.from_curators(
+            {"stub": StubCurator()}, max_wait_s=0.0
+        ).start()
+        try:
+            name, labels, _ = service.classify(None, make_triples(2))
+            assert name == "stub"
+            assert labels == [1, 1]
+        finally:
+            service.stop()
+
+    def test_unknown_backend_is_a_key_error(self):
+        service = CurationService.from_curators(
+            {"stub": StubCurator()}, max_wait_s=0.0
+        ).start()
+        try:
+            with pytest.raises(KeyError, match="unknown backend"):
+                service.classify("bert-9000", make_triples(1))
+        finally:
+            service.stop()
+
+    def test_shed_requests_are_counted_not_silent(self):
+        clock = FaultClock()
+        curator = StubCurator()
+        service = CurationService.from_curators(
+            {"stub": curator},
+            max_wait_s=0.0,
+            failure_threshold=1,
+            reset_timeout=60.0,
+            clock=clock,
+        ).start()
+        try:
+            curator.fail = True
+            with pytest.raises(RuntimeError):
+                service.classify("stub", make_triples(1))
+            with pytest.raises(ShedError):
+                service.classify("stub", make_triples(1))
+            totals = service.statz_payload()["totals"]
+            assert totals["requests"] == 2
+            assert totals["errors"] == 1
+            assert totals["shed"] == 1
+            assert totals["shed_rate"] == 0.5
+            backend_view = service.statz_payload()["backends"]["stub"]
+            assert backend_view["breaker"] == "open"
+        finally:
+            service.stop()
+
+    def test_healthz_payload(self):
+        service = CurationService.from_curators(
+            {"stub": StubCurator()}, max_wait_s=0.0
+        )
+        assert service.healthz_payload()["status"] == "stopped"
+        with service:
+            payload = service.healthz_payload()
+            assert payload == {
+                "status": "ok",
+                "backends": ["stub"],
+                "default_backend": "stub",
+            }
+
+
+class HttpFixture:
+    """One stub-backed server per test, torn down reliably."""
+
+    def __init__(self, **backend_kwargs):
+        backend_kwargs.setdefault("max_wait_s", 0.0)
+        self.curator = StubCurator()
+        self.service = CurationService.from_curators(
+            {"stub": self.curator}, **backend_kwargs
+        ).start()
+        self.server, self.thread, self.port = start_server(self.service)
+
+    def close(self):
+        stop_server(self.server, self.thread)
+
+    def request(self, method, path, body=None):
+        connection = http.client.HTTPConnection("127.0.0.1", self.port, timeout=10)
+        try:
+            connection.request(
+                method,
+                path,
+                body=None if body is None else json.dumps(body, sort_keys=True),
+                headers={"Content-Type": "application/json"},
+            )
+            response = connection.getresponse()
+            payload = json.loads(response.read().decode("utf-8"))
+            return response.status, dict(response.getheaders()), payload
+        finally:
+            connection.close()
+
+
+TRIPLE = {"subject": "caffeine", "relation": "has_role", "object": "stimulant"}
+
+
+class TestHttpContract:
+    def test_shed_is_503_with_retry_after(self):
+        fixture = HttpFixture(failure_threshold=1, reset_timeout=2.5)
+        try:
+            # Trip the breaker directly; the next HTTP request is shed.
+            fixture.service.pool["stub"].breaker.record_failure()
+            status, headers, payload = fixture.request(
+                "POST", "/v1/classify", {"triple": TRIPLE}
+            )
+            assert status == 503
+            assert headers["Retry-After"] == "2.500"
+            assert payload["status"] == 503
+            assert payload["retry_after_s"] == 2.5
+        finally:
+            fixture.close()
+
+    def test_backend_failure_is_500_not_a_hang(self):
+        fixture = HttpFixture()
+        try:
+            fixture.curator.fail = True
+            status, _, payload = fixture.request(
+                "POST", "/v1/classify", {"triple": TRIPLE}
+            )
+            assert status == 500
+            assert payload["error"] == "backend down"
+        finally:
+            fixture.close()
+
+    def test_schema_error_is_400(self):
+        fixture = HttpFixture()
+        try:
+            status, _, payload = fixture.request("POST", "/v1/classify", {})
+            assert status == 400
+            assert payload["status"] == 400
+        finally:
+            fixture.close()
+
+    def test_unknown_backend_is_404(self):
+        fixture = HttpFixture()
+        try:
+            status, _, payload = fixture.request(
+                "POST", "/v1/classify", {"triple": TRIPLE, "backend": "nope"}
+            )
+            assert status == 404
+            assert "unknown backend" in payload["error"]
+        finally:
+            fixture.close()
+
+    def test_unknown_route_is_404(self):
+        fixture = HttpFixture()
+        try:
+            status, _, _ = fixture.request("GET", "/metrics")
+            assert status == 404
+            status, _, _ = fixture.request("POST", "/v2/classify", {})
+            assert status == 404
+        finally:
+            fixture.close()
+
+    def test_healthz_and_statz_over_http(self):
+        fixture = HttpFixture()
+        try:
+            fixture.request("POST", "/v1/classify", {"triple": TRIPLE})
+            status, _, health = fixture.request("GET", "/healthz")
+            assert status == 200
+            assert health["status"] == "ok"
+            status, _, statz = fixture.request("GET", "/statz")
+            assert status == 200
+            assert statz["totals"]["requests"] == 1
+            assert statz["backends"]["stub"]["breaker"] == "closed"
+            assert statz["backends"]["stub"]["batcher"]["triples"] == 1
+        finally:
+            fixture.close()

@@ -592,3 +592,61 @@ class TestContractRules:
             """
         )
         assert found.count("OBS002") == 1
+
+
+class TestServingRules:
+    def test_srv001_flags_http_server_import_outside_serve(self):
+        found = rules_found(
+            """
+            from http.server import HTTPServer
+
+            def run():
+                return HTTPServer(("", 0), None)
+            """
+        )
+        assert "SRV001" in found
+
+    def test_srv001_flags_socket_call_via_alias(self):
+        found = rules_found(
+            """
+            import socket as sk
+
+            def connect(host):
+                return sk.create_connection((host, 80))
+            """
+        )
+        assert "SRV001" in found
+
+    def test_srv001_flags_socketserver_import(self):
+        found = rules_found(
+            """
+            import socketserver
+            """
+        )
+        assert "SRV001" in found
+
+    def test_srv001_clean_inside_a_serve_module(self):
+        found = rules_found(
+            """
+            from http.server import ThreadingHTTPServer
+            import socket
+
+            def bind():
+                return socket.socket()
+            """,
+            filename="/fx/serve.py",
+        )
+        assert "SRV001" not in found
+
+    def test_srv001_clean_on_http_client(self):
+        # Being a *client* of a server (bench traffic, smoke tests) is
+        # fine anywhere; only server-side transport is quarantined.
+        found = rules_found(
+            """
+            import http.client
+
+            def probe(port):
+                return http.client.HTTPConnection("127.0.0.1", port)
+            """
+        )
+        assert "SRV001" not in found
