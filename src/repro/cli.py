@@ -362,13 +362,57 @@ def cmd_icl(args: argparse.Namespace) -> int:
         SIMULATED_MODELS[args.model], truth_table(dataset), args.task,
         seed=args.seed,
     )
-    retry = None
     if args.faults:
         try:
-            plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
+            FaultPlan.parse(args.faults, seed=args.fault_seed)
         except ValueError as error:
             print(f"error: {error}", file=sys.stderr)
             return 2
+    use_engine = (
+        args.jobs > 1
+        or args.n_backends > 1
+        or args.cache is not None
+        or args.hedge_ms is not None
+        or args.deadline_ms is not None
+    )
+    retry = None
+    engine = None
+    if use_engine:
+        from repro.delivery import (
+            DeliveryConfig,
+            DeliveryEngine,
+            ResponseCache,
+            simulated_backends,
+        )
+
+        if args.faults:
+            # Demo mode: back off on a virtual clock so the run stays instant.
+            retry = RetryPolicy(seed=args.seed, clock=FaultClock())
+        backends = simulated_backends(
+            SIMULATED_MODELS[args.model], truth_table(dataset), args.task,
+            n_backends=args.n_backends, seed=args.seed,
+            fault_plan_text=args.faults, fault_seed=args.fault_seed,
+            retry=retry,
+        )
+        cache = ResponseCache(args.cache) if args.cache else None
+        engine = DeliveryEngine(
+            backends,
+            DeliveryConfig(
+                jobs=args.jobs,
+                hedge_s=(
+                    args.hedge_ms / 1000.0 if args.hedge_ms is not None else None
+                ),
+                deadline_s=(
+                    args.deadline_ms / 1000.0
+                    if args.deadline_ms is not None
+                    else None
+                ),
+                seed=args.seed,
+            ),
+            cache=cache,
+        )
+    elif args.faults:
+        plan = FaultPlan.parse(args.faults, seed=args.fault_seed)
         client = FaultyClient(client, plan)
         # Demo mode: back off on a virtual clock so the run stays instant.
         retry = RetryPolicy(seed=args.seed, clock=FaultClock())
@@ -380,6 +424,7 @@ def cmd_icl(args: argparse.Namespace) -> int:
         result = run_icl_experiment(
             client, list(split.train), queries, variant, config,
             retry=retry, journal=journal, max_deliveries=args.max_deliveries,
+            engine=engine,
         )
     except CheckpointAbort as abort:
         print(f"stopped: {abort}", file=sys.stderr)
@@ -390,6 +435,9 @@ def cmd_icl(args: argparse.Namespace) -> int:
                 file=sys.stderr,
             )
         return 3
+    finally:
+        if engine is not None:
+            engine.close()
     table = Table(
         f"ICL protocol: {args.model}, variant #{args.variant}, task {args.task}",
         ["accuracy", "unclassified", "failed", "precision", "recall", "F1",
@@ -411,6 +459,35 @@ def cmd_icl(args: argparse.Namespace) -> int:
             f"injected faults over {client.calls} calls: {injected}",
             file=sys.stderr,
         )
+    if engine is not None:
+        counters = engine.counters()
+        summary = ", ".join(
+            f"{name}={count}" for name, count in sorted(counters.items())
+        ) or "no deliveries"
+        print(
+            f"delivery engine ({args.n_backends} backends, "
+            f"{args.jobs} jobs): {summary}",
+            file=sys.stderr,
+        )
+        injected: dict = {}
+        calls = 0
+        for backend in engine.backends:
+            faulty = backend.client
+            while faulty is not None and not isinstance(faulty, FaultyClient):
+                faulty = getattr(faulty, "inner", None)
+            if faulty is None:
+                continue
+            calls += faulty.calls
+            for kind, count in faulty.injected.items():
+                injected[kind] = injected.get(kind, 0) + count
+        if calls:
+            summary = ", ".join(
+                f"{kind}={count}" for kind, count in sorted(injected.items())
+            ) or "none"
+            print(
+                f"injected faults over {calls} backend calls: {summary}",
+                file=sys.stderr,
+            )
     if result.n_resumed:
         print(
             f"resumed {result.n_resumed} deliveries from {journal}",
@@ -960,6 +1037,30 @@ def build_parser() -> argparse.ArgumentParser:
         "--max-deliveries", type=int, default=None, dest="max_deliveries",
         help="stop (exit 3) after this many fresh deliveries; use with "
         "--journal to exercise resume",
+    )
+    icl.add_argument(
+        "--jobs", type=int, default=1,
+        help="concurrent delivery workers (>1 routes through the delivery "
+        "engine; the table stays byte-identical to --jobs 1)",
+    )
+    icl.add_argument(
+        "--backends", type=int, default=1, dest="n_backends",
+        help="simulated backend replicas the engine dispatches over",
+    )
+    icl.add_argument(
+        "--hedge-ms", type=float, default=None, dest="hedge_ms",
+        help="hedge a delivery to a second backend after this many ms "
+        "without a response",
+    )
+    icl.add_argument(
+        "--deadline-ms", type=float, default=None, dest="deadline_ms",
+        help="per-delivery deadline budget in ms (expired deliveries count "
+        "as failed)",
+    )
+    icl.add_argument(
+        "--cache", metavar="DIR",
+        help="content-addressed response cache directory (an ArtifactStore); "
+        "warm reruns rebuild zero completions",
     )
     icl.add_argument("--output", help="also save the table to this path")
     icl.set_defaults(func=cmd_icl)

@@ -11,7 +11,7 @@ excludes them from precision/recall/F1).
 from __future__ import annotations
 
 import abc
-from typing import Callable, List, Optional, Sequence
+from typing import TYPE_CHECKING, Callable, List, Optional, Sequence
 
 import numpy as np
 
@@ -28,6 +28,9 @@ from repro.ml.forest import RandomForest, RandomForestConfig
 from repro.ml.lstm import LSTMClassifier, LSTMConfig
 from repro.obs.trace import get_tracer
 from repro.utils.rng import SeedLike, derive_rng
+
+if TYPE_CHECKING:  # pragma: no cover - annotation only
+    from repro.delivery.engine import DeliveryEngine
 
 
 class Paradigm(abc.ABC):
@@ -195,6 +198,13 @@ class ICLParadigm(Paradigm):
     unparseable or abstaining completions come back as ``None``, as do
     deliveries whose client failed permanently (transient failures are
     retried when a ``retry`` policy is supplied).
+
+    When an ``engine`` (:class:`repro.delivery.DeliveryEngine`) is supplied,
+    completions route through it instead of the raw client — gaining the
+    engine's retries, rate limits, hedging, and response cache.  Each query
+    is delivered at repeat index 0, so the answer is a pure function of the
+    prompt regardless of what else the engine is serving (the serving
+    batch-invariance contract).
     """
 
     def __init__(
@@ -205,6 +215,7 @@ class ICLParadigm(Paradigm):
         seed: SeedLike = 0,
         name: Optional[str] = None,
         retry: Optional[RetryPolicy] = None,
+        engine: Optional["DeliveryEngine"] = None,
     ):
         super().__init__(name or f"ICL({client.name})")
         self.client = client
@@ -212,6 +223,7 @@ class ICLParadigm(Paradigm):
         self.n_examples_per_class = n_examples_per_class
         self.seed = seed
         self.retry = retry
+        self.engine = engine
         self._pool_pos: List[LabeledTriple] = []
         self._pool_neg: List[LabeledTriple] = []
 
@@ -243,6 +255,28 @@ class ICLParadigm(Paradigm):
             chosen.append(candidate)
         return chosen
 
+    def _deliver(self, prompt: str) -> str:
+        """One completion via the engine when present, the client otherwise.
+
+        Engine failures surface as a non-retryable
+        :class:`~repro.llm.client.ChatClientError` so ``classify`` handles
+        both paths through one except clause.
+        """
+        if self.engine is not None:
+            from repro.delivery.engine import DeliveryError
+
+            try:
+                return self.engine.complete(prompt, repeat=0)
+            except DeliveryError as error:
+                raise ChatClientError(
+                    f"delivery failed: {error.outcome.status}",
+                    retryable=False,
+                    kind="delivery",
+                ) from error
+        if self.retry is None:
+            return self.client.complete(prompt)
+        return self.retry.call(self.client.complete, prompt)
+
     def classify(self, triples: Sequence[LabeledTriple]) -> List[Optional[int]]:
         if not self._pool_pos:
             raise RuntimeError(f"{self.name} is not fitted")
@@ -257,10 +291,7 @@ class ICLParadigm(Paradigm):
                 seed=derive_rng(self.seed, "icl-paradigm-order", index),
             )
             try:
-                if self.retry is None:
-                    text = self.client.complete(prompt)
-                else:
-                    text = self.retry.call(self.client.complete, prompt)
+                text = self._deliver(prompt)
             except (ChatClientError, RetryError, CircuitOpenError):
                 get_tracer().count("icl.client_failures")
                 results.append(None)

@@ -1,0 +1,105 @@
+"""Per-backend token-bucket rate limiting.
+
+A real chat endpoint enforces requests-per-minute quotas; hammering past
+them converts a healthy backend into a wall of 429s.  The
+:class:`TokenBucket` shapes traffic *before* it leaves: a bucket holds up to
+``burst`` tokens, refills at ``rate`` tokens/second, and every delivery
+takes one.  When the bucket is empty the caller either backs off
+(:meth:`next_ready_s` says how long) or blocks (:meth:`acquire`).
+
+Like the micro-batcher's coalescing policy, the refill arithmetic is a pure
+function of the injectable :class:`~repro.resilience.retry.Clock`, so tests
+drive the policy on a virtual clock deterministically; only
+:meth:`acquire`'s wait goes through ``clock.sleep``.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Optional
+
+from repro.resilience.retry import Clock, SYSTEM_CLOCK
+
+
+class TokenBucket:
+    """Classic token bucket: ``burst`` capacity refilled at ``rate``/s.
+
+    ``rate=None`` (or ``0``) disables limiting — every acquire succeeds
+    immediately — so an unlimited backend costs no branching at call sites.
+    Thread-safe: concurrent deliveries draw from one shared bucket.
+    """
+
+    def __init__(
+        self,
+        rate: Optional[float],
+        burst: float = 1.0,
+        clock: Optional[Clock] = None,
+    ):
+        if rate is not None and rate < 0:
+            raise ValueError("rate must be >= 0 (or None to disable)")
+        if burst <= 0:
+            raise ValueError("burst must be positive")
+        self.rate = None if not rate else float(rate)
+        self.burst = float(burst)
+        self.clock = clock or SYSTEM_CLOCK
+        self._lock = threading.Lock()
+        self._tokens = self.burst  # start full: the first burst is free
+        self._updated = self.clock.monotonic()
+
+    def _refill_locked(self, now: float) -> None:
+        if self.rate is None:
+            return
+        elapsed = max(0.0, now - self._updated)
+        # statcheck: ignore[CONC001] - every caller holds self._lock (the _locked suffix contract)
+        self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
+        self._updated = now
+
+    def available(self) -> float:
+        """Tokens available right now (after refill)."""
+        with self._lock:
+            self._refill_locked(self.clock.monotonic())
+            return self._tokens if self.rate is not None else self.burst
+
+    def try_acquire(self, tokens: float = 1.0) -> bool:
+        """Take ``tokens`` if available; never blocks."""
+        if self.rate is None:
+            return True
+        with self._lock:
+            self._refill_locked(self.clock.monotonic())
+            if self._tokens >= tokens:
+                self._tokens -= tokens
+                return True
+            return False
+
+    def next_ready_s(self, tokens: float = 1.0) -> float:
+        """Seconds until ``tokens`` will be available (0 when they are now)."""
+        if self.rate is None:
+            return 0.0
+        with self._lock:
+            self._refill_locked(self.clock.monotonic())
+            deficit = tokens - self._tokens
+            if deficit <= 0:
+                return 0.0
+            return deficit / self.rate
+
+    def acquire(
+        self, tokens: float = 1.0, max_wait_s: Optional[float] = None
+    ) -> bool:
+        """Block (via ``clock.sleep``) until ``tokens`` are taken.
+
+        Returns ``False`` without taking anything when the wait would
+        exceed ``max_wait_s`` — the caller's deadline budget decides what
+        shedding means.
+        """
+        waited = 0.0
+        while True:
+            if self.try_acquire(tokens):
+                return True
+            wait = self.next_ready_s(tokens)
+            if max_wait_s is not None and waited + wait > max_wait_s:
+                return False
+            self.clock.sleep(wait)
+            waited += wait
+
+
+__all__ = ["TokenBucket"]

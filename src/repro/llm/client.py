@@ -23,7 +23,7 @@ from typing import TYPE_CHECKING, Optional
 from repro.obs.trace import get_tracer, span
 
 if TYPE_CHECKING:  # avoid a runtime cycle: resilience.faults subclasses ChatClient
-    from repro.resilience.retry import CircuitBreaker, RetryPolicy
+    from repro.resilience.retry import CircuitBreaker, Clock, RetryPolicy
 
 
 class ChatClientError(RuntimeError):
@@ -59,6 +59,21 @@ class ChatClient(abc.ABC):
     @abc.abstractmethod
     def complete(self, prompt: str) -> str:
         """Return the model's completion for ``prompt``."""
+
+    def complete_indexed(
+        self, prompt: str, repeat: int, *, timeout_s: Optional[float] = None
+    ) -> str:
+        """One delivery with the repeat index made explicit.
+
+        The concurrent delivery engine calls this instead of
+        :meth:`complete` so a completion is a pure function of ``(prompt,
+        repeat)`` regardless of thread schedule.  ``timeout_s`` is the
+        remaining deadline budget for this attempt; clients without a
+        network ignore it.  The default delegates to :meth:`complete` —
+        correct only for clients whose answer does not depend on delivery
+        history (stateful simulators override it).
+        """
+        return self.complete(prompt)
 
     @property
     def name(self) -> str:
@@ -102,6 +117,7 @@ class HTTPChatClient(ChatClient):
         timeout: float = 60.0,
         retry: Optional["RetryPolicy"] = None,
         breaker: Optional["CircuitBreaker"] = None,
+        clock: Optional["Clock"] = None,
     ):
         if not api_key:
             raise ValueError("api_key must be provided")
@@ -112,21 +128,73 @@ class HTTPChatClient(ChatClient):
         self.timeout = timeout
         self.retry = retry
         self.breaker = breaker
+        if clock is None:
+            from repro.resilience.retry import SYSTEM_CLOCK
+
+            clock = SYSTEM_CLOCK
+        self.clock = clock
 
     @property
     def name(self) -> str:
         return self.model
 
-    def complete(self, prompt: str) -> str:
-        if self.retry is not None:
-            return self.retry.call(
-                self._complete_once, prompt, breaker=self.breaker
-            )
-        if self.breaker is not None:
-            return self.breaker.call(self._complete_once, prompt)
-        return self._complete_once(prompt)
+    def complete(self, prompt: str, *, deadline_s: Optional[float] = None) -> str:
+        """One completion, honouring a per-request deadline end to end.
 
-    def _complete_once(self, prompt: str) -> str:
+        ``deadline_s`` bounds the *whole* delivery — every attempt's socket
+        timeout is the remaining budget, and once the budget is spent no
+        further retry is attempted (a late transient error would otherwise
+        burn the full backoff schedule to no purpose).
+        """
+        expires = (
+            self.clock.monotonic() + deadline_s if deadline_s is not None else None
+        )
+
+        def attempt() -> str:
+            return self._complete_once(prompt, timeout_s=self._remaining(expires))
+
+        if self.retry is not None:
+
+            def classify(error: BaseException) -> bool:
+                from repro.resilience.retry import is_retryable
+
+                if expires is not None and self.clock.monotonic() >= expires:
+                    return False  # budget spent: every error is final
+                return is_retryable(error)
+
+            return self.retry.call(attempt, classify=classify, breaker=self.breaker)
+        if self.breaker is not None:
+            return self.breaker.call(attempt)
+        return attempt()
+
+    def complete_indexed(
+        self, prompt: str, repeat: int, *, timeout_s: Optional[float] = None
+    ) -> str:
+        """Engine entry point: a single stateless attempt.
+
+        The delivery engine owns retries, breakers, and deadlines at the
+        backend layer, so this deliberately bypasses the client's own
+        ``retry``/``breaker`` — stacking two retry schedules would multiply
+        attempts.  The HTTP API is stateless in the repeat index.
+        """
+        return self._complete_once(prompt, timeout_s=timeout_s)
+
+    def _remaining(self, expires: Optional[float]) -> Optional[float]:
+        """Seconds left until ``expires``; raises once the budget is gone."""
+        if expires is None:
+            return None
+        remaining = expires - self.clock.monotonic()
+        if remaining <= 0:
+            raise ChatClientError(
+                "deadline exhausted before the request was issued",
+                retryable=False,
+                kind="timeout",
+            )
+        return remaining
+
+    def _complete_once(
+        self, prompt: str, timeout_s: Optional[float] = None
+    ) -> str:
         payload = {
             "model": self.model,
             "messages": [{"role": "user", "content": prompt}],
@@ -141,11 +209,20 @@ class HTTPChatClient(ChatClient):
                 "Authorization": f"Bearer {self.api_key}",
             },
         )
+        if timeout_s is not None and timeout_s <= 0:
+            raise ChatClientError(
+                "deadline exhausted before the request was issued",
+                retryable=False,
+                kind="timeout",
+            )
+        timeout = (
+            self.timeout if timeout_s is None else min(self.timeout, timeout_s)
+        )
         get_tracer().count("llm.http.requests")
         with span("llm.http.request", model=self.model):
             try:
                 with urllib.request.urlopen(
-                    request, timeout=self.timeout
+                    request, timeout=timeout
                 ) as response:
                     raw = response.read()
             except urllib.error.HTTPError as error:

@@ -25,7 +25,7 @@ from __future__ import annotations
 import re
 from dataclasses import dataclass
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Tuple, Union
+from typing import TYPE_CHECKING, Dict, List, Optional, Sequence, Tuple, Union
 
 import numpy as np
 
@@ -41,6 +41,9 @@ from repro.resilience.checkpoint import CheckpointAbort, Journal
 from repro.resilience.retry import CircuitOpenError, RetryError, RetryPolicy
 from repro.text.tokenizer import ChemTokenizer
 from repro.utils.rng import SeedLike, derive_rng
+
+if TYPE_CHECKING:  # imported lazily at run time to keep the module light
+    from repro.delivery.engine import DeliveryEngine
 
 #: Parse outcomes.
 TRUE, FALSE, UNCLASSIFIED = "true", "false", "unclassified"
@@ -215,6 +218,88 @@ def _deliver(client: ChatClient, prompt: str, retry: Optional[RetryPolicy]) -> s
     return parse_response(text)
 
 
+def _run_with_engine(
+    engine: "DeliveryEngine",
+    prompts: Sequence[str],
+    completed: Dict[str, object],
+    config: ICLConfig,
+    journal_obj: Optional[Journal],
+    max_deliveries: Optional[int],
+    sp,
+    progress,
+) -> Tuple[List[List[str]], int, int, int]:
+    """The concurrent delivery path: fan out, journal per worker, merge.
+
+    Returns ``(responses, n_failed, n_resumed, delivered)`` with exactly the
+    same semantics as the sequential loop; requests the engine skipped for
+    the ``max_deliveries`` budget raise
+    :class:`~repro.resilience.checkpoint.CheckpointAbort` after in-flight
+    deliveries drained (and were journaled).
+    """
+    from repro.delivery.engine import DeliveryOutcome, DeliveryRequest
+
+    n_queries = len(prompts)
+    pending: List[DeliveryRequest] = []
+    n_resumed = 0
+    for repeat in range(config.n_repeats):
+        for q_index in range(n_queries):
+            key = f"{repeat}:{q_index}"
+            if key in completed:
+                n_resumed += 1
+            else:
+                pending.append(
+                    DeliveryRequest(
+                        key=key,
+                        prompt=prompts[q_index],
+                        repeat=repeat,
+                        index=repeat * n_queries + q_index,
+                    )
+                )
+    if n_resumed:
+        sp.incr("deliveries_resumed", n_resumed)
+
+    def value_of(outcome: DeliveryOutcome) -> str:
+        return parse_response(outcome.text) if outcome.ok else FAILED
+
+    def on_outcome(request: DeliveryRequest, outcome: DeliveryOutcome) -> None:
+        # Runs on the engine's worker threads: Journal.record is
+        # thread-safe and progress display tolerates racy increments.
+        if journal_obj is not None:
+            journal_obj.record(request.key, value_of(outcome))
+        progress.advance(1)
+
+    report = engine.run(
+        pending, on_outcome=on_outcome, max_deliveries=max_deliveries
+    )
+    if report.skipped:
+        raise CheckpointAbort(
+            f"delivery budget of {max_deliveries} reached "
+            f"({n_resumed} resumed, {report.delivered} delivered, "
+            f"{report.skipped} skipped)",
+            delivered=report.delivered,
+            journal_path=journal_obj.path if journal_obj else None,
+        )
+    sp.incr("deliveries", report.delivered + report.cache_hits)
+
+    responses: List[List[str]] = []
+    n_failed = 0
+    for repeat in range(config.n_repeats):
+        passes: List[str] = []
+        for q_index in range(n_queries):
+            key = f"{repeat}:{q_index}"
+            if key in completed:
+                value = completed[key]
+            else:
+                value = value_of(report.outcomes[key])
+            if value == FAILED:
+                n_failed += 1
+                sp.incr("deliveries_failed")
+                value = UNCLASSIFIED
+            passes.append(value)
+        responses.append(passes)
+    return responses, n_failed, n_resumed, report.delivered
+
+
 def run_icl_experiment(
     client: ChatClient,
     example_pool: Sequence[LabeledTriple],
@@ -225,6 +310,7 @@ def run_icl_experiment(
     retry: Optional[RetryPolicy] = None,
     journal: Optional[Union[Journal, str, Path]] = None,
     max_deliveries: Optional[int] = None,
+    engine: Optional["DeliveryEngine"] = None,
 ) -> ICLResult:
     """Deliver every prompt ``n_repeats`` times and aggregate Table 5 metrics.
 
@@ -240,6 +326,16 @@ def run_icl_experiment(
     manifest.  ``max_deliveries`` stops the run with
     :class:`~repro.resilience.checkpoint.CheckpointAbort` after that many
     *new* deliveries — the controlled kill used to exercise resume.
+
+    ``engine`` (a :class:`~repro.delivery.engine.DeliveryEngine`) routes the
+    deliveries through the concurrent dispatch path instead of the
+    sequential loop: prompts fan out over the engine's worker pool and
+    backends, each finished delivery is journaled from its worker thread,
+    and typed failures (``failed`` / ``deadline`` / ``shed``) degrade into
+    the same ``failed`` outcome the sequential path records.  Because
+    backend completions are pure in ``(prompt, repeat)``, the resulting
+    table is byte-identical to the sequential one.  ``retry`` is ignored
+    with an engine — each backend carries its own policy.
     """
     config = config or ICLConfig()
     if not queries:
@@ -312,40 +408,53 @@ def run_icl_experiment(
         ) as sp, StageProgress("icl.experiment", unit="deliveries") as progress:
             if completed:
                 sp.annotate(resumed=True)
-            for repeat in range(config.n_repeats):
-                passes = []
-                for q_index, prompt in enumerate(prompts):
-                    key = f"{repeat}:{q_index}"
-                    outcome = completed.get(key)
-                    if outcome is not None:
-                        client.skip_delivery(prompt)
-                        n_resumed += 1
-                        sp.incr("deliveries_resumed")
-                    else:
-                        if (
-                            max_deliveries is not None
-                            and delivered >= max_deliveries
-                        ):
-                            raise CheckpointAbort(
-                                f"delivery budget of {max_deliveries} reached "
-                                f"({n_resumed} resumed, {delivered} delivered)",
-                                delivered=delivered,
-                                journal_path=(
-                                    journal_obj.path if journal_obj else None
-                                ),
-                            )
-                        outcome = _deliver(client, prompt, retry)
-                        delivered += 1
-                        if journal_obj is not None:
-                            journal_obj.record(key, outcome)
-                        sp.incr("deliveries")
-                        progress.advance(1)
-                    if outcome == FAILED:
-                        n_failed += 1
-                        sp.incr("deliveries_failed")
-                        outcome = UNCLASSIFIED
-                    passes.append(outcome)
-                responses.append(passes)
+            if engine is not None:
+                responses, n_failed, n_resumed, delivered = _run_with_engine(
+                    engine,
+                    prompts,
+                    completed,
+                    config,
+                    journal_obj,
+                    max_deliveries,
+                    sp,
+                    progress,
+                )
+            else:
+                for repeat in range(config.n_repeats):
+                    passes = []
+                    for q_index, prompt in enumerate(prompts):
+                        key = f"{repeat}:{q_index}"
+                        outcome = completed.get(key)
+                        if outcome is not None:
+                            client.skip_delivery(prompt)
+                            n_resumed += 1
+                            sp.incr("deliveries_resumed")
+                        else:
+                            if (
+                                max_deliveries is not None
+                                and delivered >= max_deliveries
+                            ):
+                                raise CheckpointAbort(
+                                    f"delivery budget of {max_deliveries} "
+                                    f"reached ({n_resumed} resumed, "
+                                    f"{delivered} delivered)",
+                                    delivered=delivered,
+                                    journal_path=(
+                                        journal_obj.path if journal_obj else None
+                                    ),
+                                )
+                            outcome = _deliver(client, prompt, retry)
+                            delivered += 1
+                            if journal_obj is not None:
+                                journal_obj.record(key, outcome)
+                            sp.incr("deliveries")
+                            progress.advance(1)
+                        if outcome == FAILED:
+                            n_failed += 1
+                            sp.incr("deliveries_failed")
+                            outcome = UNCLASSIFIED
+                        passes.append(outcome)
+                    responses.append(passes)
     finally:
         if owns_journal and journal_obj is not None:
             journal_obj.close()

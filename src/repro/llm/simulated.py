@@ -261,7 +261,18 @@ class SimulatedChatModel(ChatClient):
     def complete(self, prompt: str) -> str:
         repeat = self._deliveries.get(prompt, 0)
         self._deliveries[prompt] = repeat + 1
+        return self.complete_indexed(prompt, repeat)
 
+    def complete_indexed(
+        self, prompt: str, repeat: int, *, timeout_s: Optional[float] = None
+    ) -> str:
+        """The completion for delivery ``repeat`` of ``prompt``.
+
+        Pure in ``(prompt, repeat)`` — no delivery history is consulted or
+        mutated — which is what lets the concurrent delivery engine produce
+        byte-identical tables whatever the thread schedule.  ``timeout_s``
+        is ignored: there is no network to time out.
+        """
         query = extract_query_text(prompt)
         label = self.truth.get(query)
         signature = example_order_signature(prompt)

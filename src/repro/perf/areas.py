@@ -274,7 +274,22 @@ def _rf_fit() -> Tuple[Benchmark, dict]:
 
 
 def _icl_delivery() -> Tuple[Benchmark, dict]:
+    """ICL prompt delivery through the concurrent delivery engine.
+
+    Each simulated completion carries ~2 ms of injected latency (the
+    regime where dispatch concurrency matters; the pure-CPU simulators
+    alone finish in microseconds, which the GIL would serialise anyway).
+    ``setup`` first measures one *sequential* run of the same latency-laden
+    workload and records it as ``sequential_reference_s`` in the workload
+    section, so the committed baseline documents the engine's speedup:
+    ``sequential_reference_s / stats.median_s`` is the throughput multiple.
+    The checksum covers (accuracy, unclassified), which the engine must
+    reproduce byte-identically to the sequential path.
+    """
+    import time
+
     from repro.core.datasets import build_task_dataset
+    from repro.delivery import DeliveryConfig, DeliveryEngine, simulated_backends
     from repro.llm.icl import ICLConfig, build_icl_queries, run_icl_experiment
     from repro.llm.prompts import PromptVariant
     from repro.llm.simulated import GPT35_PROFILE, SimulatedChatModel, truth_table
@@ -286,6 +301,10 @@ def _icl_delivery() -> Tuple[Benchmark, dict]:
         "n_repeats": 2,
         "task": 1,
         "seed": WORKLOAD_SEED,
+        "backends": 4,
+        "jobs": 8,
+        "latency_ms": 2.0,
+        "sequential_reference_s": None,  # measured in setup
     }
 
     def setup() -> dict:
@@ -302,30 +321,72 @@ def _icl_delivery() -> Tuple[Benchmark, dict]:
             n_repeats=params["n_repeats"],
             seed=params["seed"],
         )
+        truth = truth_table(dataset)
+        pool = list(dataset)[:300]
+        queries = build_icl_queries(dataset, config)
+        latency_s = params["latency_ms"] / 1000.0
+
+        def build_backends():
+            return simulated_backends(
+                GPT35_PROFILE,
+                truth,
+                params["task"],
+                n_backends=params["backends"],
+                seed=params["seed"],
+                latency_s=latency_s,
+            )
+
+        # Sequential reference: the same latency-laden deliveries, one at a
+        # time through a single backend.  Documented in the workload so the
+        # committed baseline shows before/after.
+        reference = DeliveryEngine(
+            build_backends()[:1], DeliveryConfig(jobs=1, seed=params["seed"])
+        )
+        started = time.perf_counter()
+        run_icl_experiment(
+            SimulatedChatModel(
+                GPT35_PROFILE, truth, params["task"], seed=params["seed"]
+            ),
+            pool,
+            queries,
+            PromptVariant.BASE,
+            config,
+            engine=reference,
+        )
+        params["sequential_reference_s"] = round(
+            time.perf_counter() - started, 6
+        )
+        reference.close()
+
+        engine = DeliveryEngine(
+            build_backends(),
+            DeliveryConfig(jobs=params["jobs"], seed=params["seed"]),
+        )
         return {
-            "pool": list(dataset)[:300],
-            "queries": build_icl_queries(dataset, config),
+            "pool": pool,
+            "queries": queries,
             "config": config,
             "client": SimulatedChatModel(
-                GPT35_PROFILE,
-                truth_table(dataset),
-                params["task"],
-                seed=params["seed"],
+                GPT35_PROFILE, truth, params["task"], seed=params["seed"]
             ),
+            "engine": engine,
         }
 
     def run(state: object) -> object:
-        state["client"].reset()
         result = run_icl_experiment(
             state["client"],
             state["pool"],
             state["queries"],
             PromptVariant.BASE,
             state["config"],
+            engine=state["engine"],
         )
         return (round(result.accuracy_mean, 4), result.n_unclassified)
 
-    return Benchmark("icl_delivery", run, setup=setup), params
+    def teardown(state: object) -> None:
+        state["engine"].close()
+
+    return Benchmark("icl_delivery", run, setup=setup, teardown=teardown), params
 
 
 def _store_roundtrip() -> Tuple[Benchmark, dict]:

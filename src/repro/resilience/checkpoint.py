@@ -18,6 +18,7 @@ from __future__ import annotations
 
 import json
 import os
+import threading
 from pathlib import Path
 from typing import Dict, Optional, Union
 
@@ -52,6 +53,10 @@ class Journal:
         self.path = Path(path)
         self.sync = sync
         self._handle = None
+        # The concurrent delivery engine journals from worker threads; each
+        # append (write + flush + fsync) must be one atomic unit so records
+        # never interleave mid-line.
+        self._lock = threading.Lock()
 
     def load(self) -> Dict[str, object]:
         """Completed entries on disk; ``{}`` when the journal doesn't exist."""
@@ -75,27 +80,34 @@ class Journal:
         return entries
 
     def record(self, key: str, value: object) -> None:
-        """Append one completed entry (flushed, and fsynced when ``sync``)."""
-        if self._handle is None:
-            if str(self.path.parent):
-                self.path.parent.mkdir(parents=True, exist_ok=True)
-            self._handle = open(self.path, "a", encoding="utf-8")
-        self._handle.write(
-            json.dumps(
-                {"key": key, "value": value},
-                separators=(",", ":"),
-                sort_keys=True,
+        """Append one completed entry (flushed, and fsynced when ``sync``).
+
+        Thread-safe: concurrent delivery workers append whole records in
+        some order; :meth:`load` replays them into a key-value map, so the
+        append order never affects a resumed run's results.
+        """
+        with self._lock:
+            if self._handle is None:
+                if str(self.path.parent):
+                    self.path.parent.mkdir(parents=True, exist_ok=True)
+                self._handle = open(self.path, "a", encoding="utf-8")
+            self._handle.write(
+                json.dumps(
+                    {"key": key, "value": value},
+                    separators=(",", ":"),
+                    sort_keys=True,
+                )
+                + "\n"
             )
-            + "\n"
-        )
-        self._handle.flush()
-        if self.sync:
-            os.fsync(self._handle.fileno())
+            self._handle.flush()
+            if self.sync:
+                os.fsync(self._handle.fileno())
 
     def close(self) -> None:
-        if self._handle is not None:
-            self._handle.close()
-            self._handle = None
+        with self._lock:
+            if self._handle is not None:
+                self._handle.close()
+                self._handle = None
 
     def wipe(self) -> None:
         """Delete the journal file (start the work from scratch)."""

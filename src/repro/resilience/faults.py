@@ -22,12 +22,13 @@ fault-heavy test runs finish in milliseconds.
 
 from __future__ import annotations
 
+import threading
 from dataclasses import dataclass
-from typing import Dict, List, Optional, Sequence
+from typing import Dict, List, Optional, Sequence, Tuple
 
 from repro.llm.client import ChatClient, ChatClientError
 from repro.obs.trace import get_tracer
-from repro.utils.rng import derive_rng
+from repro.utils.rng import derive_rng, stable_digest
 
 #: Fault kinds accepted by the spec grammar, in documentation order.
 FAULT_KINDS = ("timeout", "http429", "http500", "malformed", "garbage", "truncated")
@@ -111,7 +112,20 @@ class FaultPlan:
 
     def draw(self, index: int) -> Optional[str]:
         """The fault kind injected at call ``index``, or ``None``."""
-        rng = derive_rng(self.seed, "fault-plan", index)
+        return self._draw(derive_rng(self.seed, "fault-plan", index))
+
+    def draw_for(self, *labels: object) -> Optional[str]:
+        """A fault draw keyed by content labels instead of call order.
+
+        The concurrent delivery engine interleaves calls unpredictably, so
+        a global call index would make the fault schedule depend on the
+        thread schedule.  Keying each draw on ``(prompt-digest, repeat,
+        attempt)`` keeps injection deterministic per *delivery*, whatever
+        order deliveries run in.
+        """
+        return self._draw(derive_rng(self.seed, "fault-plan-delivery", *labels))
+
+    def _draw(self, rng) -> Optional[str]:
         for spec in self.specs:
             if rng.random() < spec.rate:
                 return spec.kind
@@ -139,6 +153,9 @@ class FaultyClient(ChatClient):
         self.calls = 0
         self.injected: Dict[str, int] = {}
         self._consecutive = 0
+        self._lock = threading.Lock()
+        #: Per-(prompt-digest, repeat) attempt counters for the indexed path.
+        self._attempts: Dict[Tuple[str, int], int] = {}
 
     @property
     def name(self) -> str:
@@ -148,16 +165,52 @@ class FaultyClient(ChatClient):
         self.inner.skip_delivery(prompt)
 
     def complete(self, prompt: str) -> str:
-        index = self.calls
-        self.calls += 1
-        kind = None
-        if self._consecutive < self.plan.max_consecutive:
-            kind = self.plan.draw(index)
+        with self._lock:
+            index = self.calls
+            self.calls += 1
+            kind = None
+            if self._consecutive < self.plan.max_consecutive:
+                kind = self.plan.draw(index)
+            if kind is None:
+                self._consecutive = 0
+            else:
+                self._consecutive += 1
         if kind is None:
-            self._consecutive = 0
             return self.inner.complete(prompt)
-        self._consecutive += 1
-        self.injected[kind] = self.injected.get(kind, 0) + 1
+        return self._inject(kind, prompt, self.inner.complete)
+
+    def complete_indexed(
+        self, prompt: str, repeat: int, *, timeout_s: Optional[float] = None
+    ) -> str:
+        """Fault injection keyed per delivery, safe under concurrency.
+
+        Draws come from ``(prompt-digest, repeat, attempt)`` — not the
+        global call counter — so the schedule is a pure function of the
+        delivery, whatever thread interleaving ran it; ``max_consecutive``
+        bounds faults *per delivery*, preserving the guarantee that a retry
+        policy with more attempts always gets through.
+        """
+        delivery = (stable_digest(prompt), int(repeat))
+        with self._lock:
+            self.calls += 1
+            attempt = self._attempts.get(delivery, 0)
+            self._attempts[delivery] = attempt + 1
+        kind = None
+        if attempt < self.plan.max_consecutive:
+            kind = self.plan.draw_for(delivery[0], delivery[1], attempt)
+        if kind is None:
+            return self.inner.complete_indexed(
+                prompt, repeat, timeout_s=timeout_s
+            )
+        return self._inject(
+            kind,
+            prompt,
+            lambda p: self.inner.complete_indexed(p, repeat, timeout_s=timeout_s),
+        )
+
+    def _inject(self, kind: str, prompt: str, deliver) -> str:
+        with self._lock:
+            self.injected[kind] = self.injected.get(kind, 0) + 1
         get_tracer().count(f"faults.injected.{kind}")
         if kind == "timeout":
             raise ChatClientError(
@@ -178,8 +231,9 @@ class FaultyClient(ChatClient):
                 kind="malformed",
             )
         # Corruption faults consume a real completion and end the error run.
-        self._consecutive = 0
-        text = self.inner.complete(prompt)
+        with self._lock:
+            self._consecutive = 0
+        text = deliver(prompt)
         if kind == "truncated":
             return text[: max(1, len(text) // 2)]
         return _GARBAGE_COMPLETION

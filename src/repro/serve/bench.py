@@ -26,6 +26,8 @@ import time
 from dataclasses import dataclass, field
 from typing import Dict, List, Optional, Sequence, Tuple
 
+from repro.resilience.retry import SYSTEM_CLOCK, Clock
+
 from repro.core.experiment import Lab, LabConfig
 from repro.core.triples import LabeledTriple
 from repro.obs.trace import get_tracer
@@ -116,6 +118,7 @@ class _ClientOutcome:
     latencies_s: List[float] = field(default_factory=list)
     labels: List[Optional[int]] = field(default_factory=list)
     sheds: int = 0
+    retries: int = 0
     failures: int = 0
 
 
@@ -138,13 +141,14 @@ def _run_client(
     port: int,
     barrier: threading.Barrier,
     outcome: _ClientOutcome,
+    clock: Clock,
 ) -> None:
     connection = http.client.HTTPConnection("127.0.0.1", port, timeout=60)
     try:
         barrier.wait(timeout=60)
         for triples in _client_requests(workload, candidates, client):
             try:
-                _run_request(workload, connection, triples, outcome)
+                _run_request(workload, connection, triples, outcome, clock)
             except Exception:
                 # A dead client must surface as an accounted failure, not a
                 # silently shorter wave.
@@ -160,8 +164,16 @@ def _run_request(
     connection: http.client.HTTPConnection,
     triples: Sequence[LabeledTriple],
     outcome: _ClientOutcome,
+    clock: Clock,
 ) -> None:
-    """Send one request, retrying shed (503) responses with Retry-After."""
+    """Send one request, retrying shed (503) responses with Retry-After.
+
+    The shed-retry wait honours the server's ``Retry-After`` hint through
+    the injected ``clock``, so tests drive the backoff with a virtual clock
+    and the production path sleeps for real.  Every retried attempt is
+    tallied in ``outcome.retries`` (reported, but outside the determinism
+    checksum — retry counts depend on scheduler timing).
+    """
     body = render_json(
         {
             "backend": workload.backend,
@@ -185,12 +197,13 @@ def _run_request(
             return
         if response.status == 503:
             outcome.sheds += 1
+            outcome.retries += 1
             retry_after = float(
                 response.getheader("Retry-After")
                 or payload.get("retry_after_s")
                 or 0.01
             )
-            time.sleep(min(retry_after, RETRY_AFTER_CAP_S))
+            clock.sleep(min(retry_after, RETRY_AFTER_CAP_S))
             continue
         raise RuntimeError(f"unexpected status {response.status}: {payload}")
     outcome.failures += 1
@@ -200,6 +213,7 @@ def run_wave(
     service: CurationService,
     workload: ServeWorkload,
     candidates: Sequence[LabeledTriple],
+    clock: Optional[Clock] = None,
 ) -> dict:
     """One traffic wave: boot HTTP, release all clients at once, aggregate.
 
@@ -207,13 +221,22 @@ def run_wave(
     counts) becomes the benchmark checksum, plus the raw latencies that
     :func:`measure_serve` folds into the serving section.
     """
+    clock = clock or SYSTEM_CLOCK
     server, thread, port = start_server(service)
     outcomes = [_ClientOutcome() for _ in range(workload.clients)]
     barrier = threading.Barrier(workload.clients)
     threads = [
         threading.Thread(
             target=_run_client,
-            args=(workload, candidates, client, port, barrier, outcomes[client]),
+            args=(
+                workload,
+                candidates,
+                client,
+                port,
+                barrier,
+                outcomes[client],
+                clock,
+            ),
             name=f"serve-bench-client-{client}",
             daemon=True,
         )
@@ -230,18 +253,20 @@ def run_wave(
         thread.join(timeout=5)
     histogram: Dict[str, int] = {"0": 0, "1": 0, "null": 0}
     latencies: List[float] = []
-    sheds = failures = 0
+    sheds = retries = failures = 0
     for outcome in outcomes:
         for label in outcome.labels:
             histogram["null" if label is None else str(label)] += 1
         latencies.extend(outcome.latencies_s)
         sheds += outcome.sheds
+        retries += outcome.retries
         failures += outcome.failures
     return {
         "labels": histogram,
         "requests": workload.clients * workload.requests,
         "failures": failures,
         "sheds": sheds,
+        "retries": retries,
         "latencies_s": latencies,
     }
 
@@ -259,7 +284,7 @@ def measure_serve(
     """
     serving: Dict[str, object] = {}
     all_latencies: List[float] = []
-    totals = {"requests": 0, "sheds": 0, "failures": 0}
+    totals = {"requests": 0, "sheds": 0, "retries": 0, "failures": 0}
 
     def setup():
         bench_lab = lab or Lab(bench_lab_config(workload.entities, workload.seed))
@@ -281,6 +306,7 @@ def measure_serve(
         all_latencies.extend(wave["latencies_s"])
         totals["requests"] += wave["requests"]
         totals["sheds"] += wave["sheds"]
+        totals["retries"] += wave["retries"]
         totals["failures"] += wave["failures"]
         # Only the deterministic core feeds the checksum.
         return {
@@ -309,6 +335,7 @@ def measure_serve(
         "requests_per_wave": wave_requests,
         "requests": totals["requests"],
         "sheds": totals["sheds"],
+        "retries": totals["retries"],
         "failures": totals["failures"],
         "shed_rate": (
             round(totals["sheds"] / (totals["requests"] + totals["sheds"]), 4)

@@ -36,6 +36,7 @@ from repro.core.paradigms import (
     RandomForestParadigm,
 )
 from repro.core.triples import LabeledTriple
+from repro.delivery import DeliveryBackend, DeliveryConfig, DeliveryEngine
 from repro.llm.simulated import (
     BIOGPT_PROFILE,
     GPT4_PROFILE,
@@ -160,7 +161,18 @@ def build_curator(
             client = SimulatedChatModel(
                 profile, truth_table(lab.dataset(task)), task, seed=seed
             )
-            paradigm = ICLParadigm(client, seed=seed).fit(lab.ml_split(task).train)
+            # Served completions ride the delivery engine (single backend,
+            # no hedging): every delivery lands at repeat index 0 through
+            # ``complete_indexed``, which pins batch invariance exactly as
+            # the per-triple client reset used to, while picking up the
+            # engine's typed failure accounting.
+            engine = DeliveryEngine(
+                [DeliveryBackend(f"{backend}-0", client)],
+                DeliveryConfig(jobs=1, seed=seed),
+            )
+            paradigm = ICLParadigm(client, seed=seed, engine=engine).fit(
+                lab.ml_split(task).train
+            )
             return ICLCurator(backend, paradigm)
         raise ValueError(
             f"unknown backend {backend!r}; valid: {DEFAULT_BACKENDS}"

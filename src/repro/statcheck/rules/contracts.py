@@ -96,6 +96,46 @@ class SwallowedBroadExceptRule(Rule):
         return False
 
 
+#: Direct clock calls that defeat the delivery layer's injectable Clock.
+_DIRECT_CLOCK_CALLS = frozenset(
+    {"time.sleep", "time.monotonic", "time.time", "time.perf_counter"}
+)
+
+
+class DirectClockInDeliveryRule(Rule):
+    id = "RES002"
+    title = "direct time call inside repro.delivery"
+    rationale = (
+        "The delivery engine's rate limits, deadlines, and hedge delays "
+        "are pure functions of an injectable Clock; a direct time.sleep() "
+        "or time.monotonic() bypasses the injection, so fake-clock tests "
+        "silently run on the wall clock and backoff schedules stop being "
+        "assertable. Route every wait and read through the backend's "
+        "clock (a sanctioned `shell` module is the only exemption)."
+    )
+    example = "time.sleep(self.hedge_s)  # in repro/delivery/engine.py"
+
+    def applies_to(self, ctx) -> bool:
+        # Only the delivery layer is under the injectable-clock contract,
+        # and a module literally named `shell` is the sanctioned place for
+        # wall-clock plumbing (mirroring the serve quarantine).
+        parts = ctx.module.split(".")
+        return "delivery" in parts and parts[-1] != "shell"
+
+    def check(self, ctx) -> Iterator[Finding]:
+        for node in ast.walk(ctx.tree):
+            if not isinstance(node, ast.Call):
+                continue
+            name = resolve_call(node, ctx.aliases)
+            if name in _DIRECT_CLOCK_CALLS:
+                yield self.finding(
+                    ctx,
+                    node,
+                    f"{name}() bypasses the injectable Clock; use the "
+                    f"backend/engine clock so fake-clock tests stay honest",
+                )
+
+
 class SpanWithoutWithRule(Rule):
     id = "OBS001"
     title = "span opened without `with`"
@@ -216,6 +256,11 @@ class WallClockDurationRule(Rule):
         return isinstance(node, ast.Name) and node.id in wall_names
 
 
-RULES = (SwallowedBroadExceptRule, SpanWithoutWithRule, WallClockDurationRule)
+RULES = (
+    SwallowedBroadExceptRule,
+    DirectClockInDeliveryRule,
+    SpanWithoutWithRule,
+    WallClockDurationRule,
+)
 
 __all__ = [cls.__name__ for cls in RULES] + ["RULES"]

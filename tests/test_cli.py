@@ -524,3 +524,55 @@ class TestTraceSlowest:
         legacy.write_text(json_mod.dumps(manifest, sort_keys=True))
         assert main(["trace", str(legacy), "--slowest", "3"]) == 0
         assert "fit" in capsys.readouterr().out
+
+
+class TestICLDeliveryEngine:
+    def test_engine_flags_have_safe_defaults(self):
+        args = build_parser().parse_args(["icl"])
+        assert args.jobs == 1
+        assert args.n_backends == 1
+        assert args.hedge_ms is None
+        assert args.deadline_ms is None
+        assert args.cache is None
+
+    def test_concurrent_table_matches_sequential(self, tmp_path, capsys):
+        base = tmp_path / "base.txt"
+        engine = tmp_path / "engine.txt"
+        assert main(ICL_ARGS + ["--output", str(base)]) == 0
+        assert main(ICL_ARGS + [
+            "--output", str(engine), "--jobs", "8", "--backends", "4",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "delivery engine (4 backends, 8 jobs)" in captured.err
+        assert base.read_text() == engine.read_text()
+
+    def test_chaos_run_matches_sequential(self, tmp_path, capsys):
+        base = tmp_path / "base.txt"
+        chaos = tmp_path / "chaos.txt"
+        assert main(ICL_ARGS + ["--output", str(base)]) == 0
+        assert main(ICL_ARGS + [
+            "--output", str(chaos), "--jobs", "8", "--backends", "4",
+            "--hedge-ms", "50",
+            "--faults", "timeout:0.1,http500:0.05,malformed:0.05",
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "injected faults" in captured.err
+        assert base.read_text() == chaos.read_text()
+
+    def test_warm_cache_rerun_rebuilds_nothing(self, tmp_path, capsys):
+        cold = tmp_path / "cold.txt"
+        warm = tmp_path / "warm.txt"
+        cache = tmp_path / "responses"
+        assert main(ICL_ARGS + [
+            "--output", str(cold), "--jobs", "4", "--backends", "2",
+            "--cache", str(cache),
+        ]) == 0
+        capsys.readouterr()
+        assert main(ICL_ARGS + [
+            "--output", str(warm), "--jobs", "4", "--backends", "2",
+            "--cache", str(cache),
+        ]) == 0
+        captured = capsys.readouterr()
+        assert "cache_hit" in captured.err
+        assert "completions" not in captured.err
+        assert cold.read_text() == warm.read_text()

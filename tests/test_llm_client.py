@@ -269,3 +269,113 @@ class TestRetryWiring:
         with pytest.raises(CircuitOpenError):
             client.complete("p")
         assert len(attempts) == 2  # the open circuit never hit the network
+
+
+class TestDeadlineBudgets:
+    """The per-request deadline flows end to end through the HTTP client."""
+
+    def ok_response(self):
+        return FakeResponse(
+            json.dumps({"choices": [{"message": {"content": "True"}}]}).encode()
+        )
+
+    def test_remaining_budget_becomes_the_socket_timeout(self, monkeypatch):
+        captured = {}
+
+        def fake_urlopen(request, timeout):
+            captured["timeout"] = timeout
+            return self.ok_response()
+
+        monkeypatch.setattr("urllib.request.urlopen", fake_urlopen)
+        clock = FaultClock()
+        client = HTTPChatClient(api_key="sk-test", timeout=60.0, clock=clock)
+        client.complete("p", deadline_s=2.5)
+        assert captured["timeout"] == pytest.approx(2.5)
+
+    def test_client_timeout_still_caps_the_budget(self, monkeypatch):
+        captured = {}
+
+        def fake_urlopen(request, timeout):
+            captured["timeout"] = timeout
+            return self.ok_response()
+
+        monkeypatch.setattr("urllib.request.urlopen", fake_urlopen)
+        client = HTTPChatClient(
+            api_key="sk-test", timeout=5.0, clock=FaultClock()
+        )
+        client.complete("p", deadline_s=120.0)
+        assert captured["timeout"] == pytest.approx(5.0)
+
+    def test_expired_budget_is_a_typed_timeout_error(self, monkeypatch):
+        monkeypatch.setattr(
+            "urllib.request.urlopen",
+            lambda *a, **k: pytest.fail("must not touch the network"),
+        )
+        clock = FaultClock()
+        client = HTTPChatClient(api_key="sk-test", clock=clock)
+        # Time leaps past the deadline between computing `expires` and the
+        # remaining-budget check of the first attempt.
+        real_monotonic = clock.monotonic
+
+        def stepping_monotonic():
+            value = real_monotonic()
+            clock.advance(3.0)
+            return value
+
+        clock.monotonic = stepping_monotonic
+        with pytest.raises(ChatClientError) as exc:
+            client.complete("p", deadline_s=1.0)
+        assert exc.value.kind == "timeout"
+        assert exc.value.retryable is False
+
+    def test_no_retries_once_the_budget_is_spent(self, monkeypatch):
+        attempts = []
+        clock = FaultClock()
+
+        def slow_failing_urlopen(*args, **kwargs):
+            attempts.append(1)
+            clock.advance(2.0)  # each attempt burns 2s of virtual time
+            raise urllib.error.URLError(TimeoutError("socket timed out"))
+
+        monkeypatch.setattr("urllib.request.urlopen", slow_failing_urlopen)
+        client = HTTPChatClient(
+            api_key="sk-test",
+            clock=clock,
+            retry=RetryPolicy(max_attempts=5, base_delay=0.01, clock=clock),
+        )
+        with pytest.raises(ChatClientError) as exc:
+            client.complete("p", deadline_s=1.5)
+        # The first attempt consumed the whole budget; the timeout error
+        # must surface immediately instead of burning four more attempts.
+        assert len(attempts) == 1
+        assert exc.value.kind == "timeout"
+
+    def test_socket_timeout_is_a_retryable_timeout_error(self, monkeypatch):
+        def timing_out_urlopen(*args, **kwargs):
+            raise urllib.error.URLError(TimeoutError("timed out"))
+
+        monkeypatch.setattr("urllib.request.urlopen", timing_out_urlopen)
+        client = HTTPChatClient(api_key="sk-test")
+        with pytest.raises(ChatClientError) as exc:
+            client.complete_indexed("p", 0, timeout_s=0.5)
+        assert exc.value.kind == "timeout"
+        assert exc.value.retryable is True
+
+    def test_complete_indexed_bypasses_client_retry(self, monkeypatch):
+        attempts = []
+
+        def failing_urlopen(*args, **kwargs):
+            attempts.append(1)
+            raise urllib.error.URLError(ConnectionRefusedError())
+
+        monkeypatch.setattr("urllib.request.urlopen", failing_urlopen)
+        client = HTTPChatClient(
+            api_key="sk-test",
+            retry=RetryPolicy(max_attempts=5, base_delay=0.01,
+                              clock=FaultClock()),
+        )
+        with pytest.raises(ChatClientError):
+            client.complete_indexed("p", 0)
+        # The engine owns retries at the backend layer; the stateless entry
+        # point must not stack the client's own schedule on top.
+        assert len(attempts) == 1

@@ -156,3 +156,43 @@ class TestParseResponse:
     )
     def test_parsing(self, text, expected):
         assert parse_response(text) == expected
+
+
+class TestCompleteIndexed:
+    """The engine entry point is pure in (prompt, repeat)."""
+
+    def client(self, profile=GPT35_PROFILE, seed=0):
+        return SimulatedChatModel(profile, {}, 1, seed=seed)
+
+    def test_matches_the_stateful_repeat_sequence(self):
+        stateful = self.client()
+        indexed = self.client()
+        prompt = "<triple>: (a, is_a, b)\n<classification>:"
+        stateful_texts = [stateful.complete(prompt) for _ in range(5)]
+        indexed_texts = [
+            indexed.complete_indexed(prompt, repeat) for repeat in range(5)
+        ]
+        assert indexed_texts == stateful_texts
+
+    def test_pure_under_any_call_order(self):
+        client = self.client(seed=3)
+        prompt = "<triple>: (x, is_a, y)\n<classification>:"
+        forward = [client.complete_indexed(prompt, r) for r in range(4)]
+        backward = [client.complete_indexed(prompt, r) for r in (3, 2, 1, 0)]
+        assert backward == list(reversed(forward)) == forward[::-1]
+        # Interleaving unrelated prompts changes nothing either.
+        client.complete_indexed("<triple>: (p, is_a, q)\n<classification>:", 0)
+        assert client.complete_indexed(prompt, 2) == forward[2]
+
+    def test_does_not_touch_delivery_history(self):
+        client = self.client()
+        prompt = "<triple>: (a, is_a, b)\n<classification>:"
+        client.complete_indexed(prompt, 3)
+        # The stateful counter is untouched: the next complete() is repeat 0.
+        assert client.complete(prompt) == client.complete_indexed(prompt, 0)
+
+    def test_replicas_answer_identically(self):
+        prompt = "<triple>: (m, is_a, n)\n<classification>:"
+        replicas = [self.client(seed=7) for _ in range(3)]
+        answers = {r.complete_indexed(prompt, 2) for r in replicas}
+        assert len(answers) == 1

@@ -187,3 +187,67 @@ class TestFaultClock:
         clock.advance(5.0)
         assert clock.monotonic() == 5.0
         assert clock.sleeps == []
+
+
+class TestCompleteIndexedFaults:
+    """Content-keyed fault draws: deterministic whatever the call order."""
+
+    def plan(self, seed=0):
+        return FaultPlan.parse("timeout:0.3,http500:0.2", seed=seed)
+
+    def test_fault_schedule_is_thread_order_independent(self):
+        prompts = [f"Q: Is the triple (e{i}, is_a, c) correct?" for i in range(8)]
+
+        def outcomes(order):
+            client = FaultyClient(EchoClient(), self.plan())
+            seen = {}
+            for index in order:
+                prompt = prompts[index]
+                try:
+                    seen[index] = client.complete_indexed(prompt, 0)
+                except ChatClientError as error:
+                    seen[index] = f"error:{error.kind}"
+            return seen
+
+        forward = outcomes(range(8))
+        backward = outcomes(reversed(range(8)))
+        assert forward == backward
+
+    def test_attempts_are_counted_per_delivery(self):
+        client = FaultyClient(EchoClient(), self.plan())
+        prompt = "Q: Is the triple (a, is_a, b) correct?"
+        results = []
+        for _ in range(client.plan.max_consecutive + 1):
+            try:
+                results.append(client.complete_indexed(prompt, 0))
+            except ChatClientError as error:
+                results.append(f"error:{error.kind}")
+        # Faults are bounded per delivery: by max_consecutive+1 attempts the
+        # delivery must have gotten a clean completion through.
+        assert "True" in results
+
+    def test_repeats_draw_independent_schedules(self):
+        prompt = "Q: Is the triple (a, is_a, b) correct?"
+
+        def first_attempt_outcome(repeat):
+            client = FaultyClient(EchoClient(), self.plan(seed=5))
+            try:
+                client.complete_indexed(prompt, repeat)
+                return "clean"
+            except ChatClientError as error:
+                return error.kind
+
+        outcomes = {r: first_attempt_outcome(r) for r in range(12)}
+        # Deterministic per repeat...
+        assert outcomes == {r: first_attempt_outcome(r) for r in range(12)}
+        # ...and not one global coin: with a 44% combined rate over 12
+        # repeats, both clean and faulted first attempts must appear.
+        assert len(set(outcomes.values())) > 1
+
+    def test_corruption_faults_still_consume_a_completion(self):
+        plan = FaultPlan.parse("garbage:1.0", seed=0)
+        inner = EchoClient("a perfectly good completion")
+        client = FaultyClient(inner, plan)
+        text = client.complete_indexed("Q: anything", 0)
+        assert text != "a perfectly good completion"
+        assert client.injected.get("garbage", 0) >= 1

@@ -106,3 +106,87 @@ class TestBaselineRoundTrip:
         )
         assert comparison.status == "regression"
         assert compare_exit_code([comparison]) == 1
+
+
+class TestRetryAccounting:
+    """503 retries honour Retry-After through the injected clock and are
+    counted in the payload (outside the determinism checksum)."""
+
+    def test_serving_section_reports_retries(self, bench_outcome):
+        _, serving, payload = bench_outcome
+        assert "retries" in serving
+        assert serving["retries"] >= 0
+        assert payload["serving"]["retries"] == serving["retries"]
+
+    def test_run_request_counts_retries_and_sleeps_on_the_clock(self):
+        from repro.resilience.faults import FaultClock
+        from repro.serve.bench import _ClientOutcome, _run_request
+
+        responses = []
+
+        class FakeResponse:
+            def __init__(self, status, payload, headers=None):
+                self.status = status
+                self._payload = payload
+                self._headers = headers or {}
+
+            def read(self):
+                return json.dumps(self._payload).encode("utf-8")
+
+            def getheader(self, name):
+                return self._headers.get(name)
+
+        class FakeConnection:
+            def request(self, *args, **kwargs):
+                pass
+
+            def getresponse(self):
+                return responses.pop(0)
+
+        responses.extend(
+            [
+                FakeResponse(
+                    503, {"error": "shed"}, headers={"Retry-After": "0.05"}
+                ),
+                FakeResponse(
+                    503, {"error": "shed", "retry_after_s": 0.02}, headers={}
+                ),
+                FakeResponse(200, {"labels": [1, None]}),
+            ]
+        )
+        clock = FaultClock()
+        outcome = _ClientOutcome()
+        _run_request(SMALL, FakeConnection(), [], outcome, clock)
+        assert outcome.retries == 2
+        assert outcome.sheds == 2
+        assert outcome.failures == 0
+        assert outcome.labels == [1, None]
+        # Both waits went through the injected clock, honouring Retry-After.
+        assert clock.sleeps == [pytest.approx(0.05), pytest.approx(0.02)]
+
+    def test_retries_cap_out_as_a_failure(self):
+        from repro.resilience.faults import FaultClock
+        from repro.serve.bench import MAX_RETRIES, _ClientOutcome, _run_request
+
+        class Always503Connection:
+            class _Response:
+                status = 503
+
+                def read(self):
+                    return b'{"error": "shed"}'
+
+                def getheader(self, name):
+                    return "0.01"
+
+            def request(self, *args, **kwargs):
+                pass
+
+            def getresponse(self):
+                return self._Response()
+
+        clock = FaultClock()
+        outcome = _ClientOutcome()
+        _run_request(SMALL, Always503Connection(), [], outcome, clock)
+        assert outcome.failures == 1
+        assert outcome.retries == MAX_RETRIES
+        assert len(clock.sleeps) == MAX_RETRIES

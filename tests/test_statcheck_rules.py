@@ -650,3 +650,75 @@ class TestServingRules:
             """
         )
         assert "SRV001" not in found
+
+
+class TestDirectClockRule:
+    def test_res002_flags_time_sleep_in_delivery(self):
+        found = rules_found(
+            """
+            import time
+
+            def hedge_wait(delay):
+                time.sleep(delay)
+            """,
+            filename="/fx/delivery.py",
+        )
+        assert "RES002" in found
+
+    def test_res002_flags_monotonic_via_alias(self):
+        found = rules_found(
+            """
+            from time import monotonic as now
+
+            def elapsed(start):
+                return now() - start
+            """,
+            filename="/fx/delivery.py",
+        )
+        assert "RES002" in found
+
+    def test_res002_clean_outside_delivery(self):
+        found = rules_found(
+            """
+            import time
+
+            def wait():
+                time.sleep(0.1)
+            """
+        )
+        assert "RES002" not in found
+
+    def test_res002_clean_on_injected_clock(self):
+        found = rules_found(
+            """
+            def wait(clock, delay):
+                clock.sleep(delay)
+                return clock.monotonic()
+            """,
+            filename="/fx/delivery.py",
+        )
+        assert "RES002" not in found
+
+    def test_res002_exempts_the_sanctioned_shell_module(self, tmp_path):
+        package = tmp_path / "delivery"
+        package.mkdir()
+        (package / "__init__.py").write_text("", encoding="utf-8")
+        shell = package / "shell.py"
+        shell.write_text(
+            "import time\n\n\ndef wall_sleep(s):\n    time.sleep(s)\n",
+            encoding="utf-8",
+        )
+        report = lint_source(
+            shell.read_text(encoding="utf-8"), str(shell)
+        )
+        assert "RES002" not in [f.rule for f in report.findings]
+        # ...while a sibling non-shell module in the same package is flagged.
+        engine = package / "engine.py"
+        engine.write_text(
+            "import time\n\n\ndef nap(s):\n    time.sleep(s)\n",
+            encoding="utf-8",
+        )
+        report = lint_source(
+            engine.read_text(encoding="utf-8"), str(engine)
+        )
+        assert "RES002" in [f.rule for f in report.findings]
