@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.bert.model import MiniBert
+from repro.bert.model import MiniBert, pad_all
 from repro.core.triples import LabeledTriple
 from repro.nn.losses import softmax_cross_entropy
 from repro.nn.optim import Adam, clip_gradients
@@ -94,10 +94,16 @@ class FineTunedClassifier:
         if not triples:
             raise ValueError("no triples to classify")
         sequences = self._encode(triples)
+        all_ids, all_mask, lengths = pad_all(
+            sequences, self.model.tokenizer.pad_id, self.model.config.max_len
+        )
         self.model.set_training(False)
         probs: List[np.ndarray] = []
         for start in range(0, len(sequences), batch_size):
-            ids, mask = self.model.pad_batch(sequences[start : start + batch_size])
+            stop = start + batch_size
+            width = int(lengths[start:stop].max())
+            ids = all_ids[start:stop, :width]
+            mask = all_mask[start:stop, :width]
             logits = self.model.forward_classify(ids, mask)
             shifted = logits - logits.max(axis=1, keepdims=True)
             exp = np.exp(shifted)
@@ -128,10 +134,16 @@ def fine_tune(
     model = copy.deepcopy(pretrained)
     classifier = FineTunedClassifier(model)
     rng = derive_rng(config.seed, "fine-tune")
-    optimizer = Adam(model.parameters(), lr=config.learning_rate)
+    parameters = model.parameters()  # hoisted: traversal is per-call work
+    optimizer = Adam(parameters, lr=config.learning_rate)
 
     sequences = classifier._encode(train_triples)
     labels = np.array([t.label for t in train_triples], dtype=np.int64)
+    # Pad once; batches are row windows sliced to their own max length,
+    # matching the rectangles per-batch pad_batch used to build.
+    all_ids, all_mask, lengths = pad_all(
+        sequences, model.tokenizer.pad_id, model.config.max_len
+    )
 
     with span(
         "bert.finetune", epochs=config.epochs, triples=len(train_triples)
@@ -142,12 +154,15 @@ def fine_tune(
             epoch_losses: List[float] = []
             for start in range(0, len(sequences), config.batch_size):
                 chosen = order[start : start + config.batch_size]
-                ids, mask = model.pad_batch([sequences[int(i)] for i in chosen])
+                width = int(lengths[chosen].max())
+                ids = all_ids[chosen, :width]
+                mask = all_mask[chosen, :width]
                 logits = model.forward_classify(ids, mask)
                 loss, grad = softmax_cross_entropy(logits, labels[chosen])
-                model.zero_grad()
+                for parameter in parameters:
+                    parameter.zero_grad()
                 model.backward_classify(grad)
-                clip_gradients(model.parameters(), config.max_grad_norm)
+                clip_gradients(parameters, config.max_grad_norm)
                 optimizer.step()
                 epoch_losses.append(loss)
                 sp.incr("steps")

@@ -46,6 +46,34 @@ class BertConfig:
         )
 
 
+def pad_all(
+    sequences: Sequence[Sequence[int]], pad_id: int, max_len: int
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Pad every id sequence into one ``(n, width)`` rectangle.
+
+    Returns ``(ids, mask, lengths)`` where ``width`` is the longest (clipped)
+    sequence.  Training loops build this once and slice per-batch row/column
+    windows out of it, instead of re-padding Python lists every batch; a
+    batch sliced to its own max length is identical to what
+    :meth:`MiniBert.pad_batch` would have produced for the same rows.
+    """
+    if not sequences:
+        raise ValueError("cannot pad an empty batch")
+    lengths = np.minimum(
+        np.fromiter((len(s) for s in sequences), dtype=np.int64, count=len(sequences)),
+        max_len,
+    )
+    width = int(lengths.max())
+    ids = np.full((len(sequences), width), pad_id, dtype=np.int64)
+    inside = np.arange(width)[None, :] < lengths[:, None]
+    ids[inside] = np.fromiter(
+        (piece for s in sequences for piece in list(s)[:max_len]),
+        dtype=np.int64,
+        count=int(lengths.sum()),
+    )
+    return ids, inside.astype(np.float64), lengths
+
+
 class MiniBert(Module):
     """Encoder with MLM and classification heads sharing one body."""
 
@@ -68,6 +96,7 @@ class MiniBert(Module):
         )
         self._cls_cache = None
         self._hidden_shape: Optional[Tuple[int, ...]] = None
+        self._mlm_positions: Optional[Tuple[np.ndarray, np.ndarray]] = None
 
     # -- batching ----------------------------------------------------------
 
@@ -75,15 +104,7 @@ class MiniBert(Module):
         self, sequences: Sequence[Sequence[int]]
     ) -> Tuple[np.ndarray, np.ndarray]:
         """Pad id sequences to a rectangle; returns ``(ids, mask)``."""
-        if not sequences:
-            raise ValueError("cannot pad an empty batch")
-        max_len = min(self.config.max_len, max(len(s) for s in sequences))
-        ids = np.full((len(sequences), max_len), self.tokenizer.pad_id, dtype=np.int64)
-        mask = np.zeros((len(sequences), max_len), dtype=np.float64)
-        for row, sequence in enumerate(sequences):
-            clipped = list(sequence)[:max_len]
-            ids[row, : len(clipped)] = clipped
-            mask[row, : len(clipped)] = 1.0
+        ids, mask, _ = pad_all(sequences, self.tokenizer.pad_id, self.config.max_len)
         return ids, mask
 
     # -- MLM path ------------------------------------------------------------
@@ -92,10 +113,32 @@ class MiniBert(Module):
         """Vocabulary logits for every position: ``(batch, seq, vocab)``."""
         final, _ = self.encoder.forward(ids, mask)
         self._hidden_shape = final.shape
+        self._mlm_positions = None
         return self.mlm_head.forward(final)
 
+    def forward_mlm_at(
+        self, ids: np.ndarray, mask: np.ndarray, positions: Tuple[np.ndarray, np.ndarray]
+    ) -> np.ndarray:
+        """Vocabulary logits only at ``positions`` (``(rows, cols)`` arrays).
+
+        MLM loss touches ~15% of positions; projecting just those through
+        the vocabulary head computes the identical loss and gradients (the
+        other positions contribute zero to both) at a fraction of the cost.
+        The encoder still sees the full batch, so dropout draws are
+        unchanged relative to :meth:`forward_mlm`.
+        """
+        final, _ = self.encoder.forward(ids, mask)
+        self._hidden_shape = final.shape
+        self._mlm_positions = positions
+        return self.mlm_head.forward(final[positions])
+
     def backward_mlm(self, grad_logits: np.ndarray) -> None:
-        grad_hidden = self.mlm_head.backward(grad_logits)
+        grad_selected = self.mlm_head.backward(grad_logits)
+        if self._mlm_positions is None:
+            self.encoder.backward(grad_selected)
+            return
+        grad_hidden = np.zeros(self._hidden_shape)
+        grad_hidden[self._mlm_positions] = grad_selected
         self.encoder.backward(grad_hidden)
 
     # -- classification path ---------------------------------------------------
@@ -141,4 +184,4 @@ class MiniBert(Module):
         return sum(layer[0, 0, :] for layer in layers[-take:])
 
 
-__all__ = ["BertConfig", "MiniBert"]
+__all__ = ["BertConfig", "MiniBert", "pad_all"]

@@ -14,7 +14,7 @@ from typing import List, Optional, Sequence
 
 import numpy as np
 
-from repro.bert.model import BertConfig, MiniBert
+from repro.bert.model import BertConfig, MiniBert, pad_all
 from repro.bert.wordpiece import WordPieceTokenizer
 from repro.nn.losses import softmax_cross_entropy
 from repro.nn.optim import Adam, clip_gradients
@@ -51,12 +51,19 @@ def _apply_masking(
     tokenizer: WordPieceTokenizer,
     mask_probability: float,
     rng: np.random.Generator,
+    maskable: Optional[np.ndarray] = None,
 ):
-    """BERT's 80/10/10 masking.  Returns ``(masked_ids, labels)``."""
+    """BERT's 80/10/10 masking.  Returns ``(masked_ids, labels)``.
+
+    ``maskable`` (real, non-special positions) may be precomputed once for
+    the whole corpus and sliced per batch; recomputing it here draws the
+    same RNG stream either way, so both call styles produce identical
+    maskings.
+    """
     labels = np.full(ids.shape, _IGNORE, dtype=np.int64)
     masked = ids.copy()
-    special = set(tokenizer.special_ids())
-    maskable = (mask > 0) & ~np.isin(ids, list(special))
+    if maskable is None:
+        maskable = (mask > 0) & ~np.isin(ids, tokenizer.special_ids())
     selected = maskable & (rng.random(ids.shape) < mask_probability)
     labels[selected] = ids[selected]
 
@@ -87,7 +94,8 @@ def pretrain_mlm(
     config = config or PretrainConfig()
     model = MiniBert(tokenizer, bert_config)
     rng = derive_rng(config.seed, "mlm-pretrain")
-    optimizer = Adam(model.parameters(), lr=config.learning_rate)
+    parameters = model.parameters()  # hoisted: traversal is per-call work
+    optimizer = Adam(parameters, lr=config.learning_rate)
 
     encoded = [
         tokenizer.encode(sentence, max_len=model.config.max_len)
@@ -98,6 +106,14 @@ def pretrain_mlm(
     if not encoded:
         raise ValueError("no usable sentences for pretraining")
 
+    # Pad the whole corpus once; every batch is a row window sliced to its
+    # own max length, which matches what per-batch pad_batch produced (and
+    # therefore keeps the masking RNG draw shapes, hence the stream, intact).
+    all_ids, all_mask, lengths = pad_all(
+        encoded, tokenizer.pad_id, model.config.max_len
+    )
+    all_maskable = (all_mask > 0) & ~np.isin(all_ids, tokenizer.special_ids())
+
     losses: List[float] = []
     model.set_training(True)
     with span(
@@ -107,24 +123,30 @@ def pretrain_mlm(
             order = rng.permutation(len(encoded))
             epoch_losses: List[float] = []
             for start in range(0, len(encoded), config.batch_size):
-                batch = [
-                    encoded[int(i)] for i in order[start : start + config.batch_size]
-                ]
-                ids, mask = model.pad_batch(batch)
+                rows = order[start : start + config.batch_size]
+                width = int(lengths[rows].max())
+                ids = all_ids[rows, :width]
+                mask = all_mask[rows, :width]
                 masked_ids, labels = _apply_masking(
-                    ids, mask, tokenizer, config.mask_probability, rng
+                    ids, mask, tokenizer, config.mask_probability, rng,
+                    maskable=all_maskable[rows, :width],
                 )
-                logits = model.forward_mlm(masked_ids, mask)
-                loss, grad = softmax_cross_entropy(
-                    logits, labels, ignore_index=_IGNORE
-                )
+                # Only ~15% of positions carry MLM loss; push just those
+                # through the vocabulary head.  Loss and gradients match the
+                # dense forward_mlm + ignore_index path exactly (row-major
+                # gather order equals the flat active order), at a fraction
+                # of the vocab-projection cost.
+                positions = np.nonzero(labels != _IGNORE)
+                logits = model.forward_mlm_at(masked_ids, mask, positions)
                 sp.incr("steps")
                 progress.advance(1)
-                if loss == 0.0:
+                if positions[0].size == 0:
                     continue  # no position was selected in this batch
-                model.zero_grad()
+                loss, grad = softmax_cross_entropy(logits, labels[positions])
+                for parameter in parameters:
+                    parameter.zero_grad()
                 model.backward_mlm(grad)
-                clip_gradients(model.parameters(), config.max_grad_norm)
+                clip_gradients(parameters, config.max_grad_norm)
                 optimizer.step()
                 epoch_losses.append(loss)
             losses.append(

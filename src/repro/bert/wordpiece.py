@@ -39,6 +39,9 @@ class WordPieceTokenizer:
         self._ids: Dict[str, int] = {p: i for i, p in enumerate(self._pieces)}
         if len(self._ids) != len(self._pieces):
             raise ValueError("vocabulary contains duplicate pieces")
+        # Greedy encoding is deterministic per word; corpora repeat words
+        # heavily, so memoising keeps encode() off the pretraining profile.
+        self._word_cache: Dict[str, List[int]] = {}
 
     # -- vocabulary access ---------------------------------------------------
 
@@ -86,6 +89,9 @@ class WordPieceTokenizer:
         """Greedy longest-match WordPiece encoding of one word."""
         if not word:
             return []
+        cached = self._word_cache.get(word)
+        if cached is not None:
+            return list(cached)
         pieces: List[int] = []
         start = 0
         while start < len(word):
@@ -100,10 +106,12 @@ class WordPieceTokenizer:
                     break
                 end -= 1
             if found is None:
-                return [self.unk_id]
+                pieces = [self.unk_id]
+                break
             pieces.append(found)
             start = end
-        return pieces
+        self._word_cache[word] = pieces
+        return list(pieces)
 
     def encode(self, words: Sequence[str], add_special: bool = True,
                max_len: Optional[int] = None) -> List[int]:

@@ -8,7 +8,8 @@ fewer effective OOV failures than GloVe on chemical names (Table A4).
 
 Training is skip-gram with negative sampling where the centre representation
 is the subword average and gradients are distributed over the constituent
-subword rows.
+subword rows.  Pair generation and the scatter updates share the vectorised
+kernels in :mod:`repro.embeddings.base` with word2vec.
 """
 
 from __future__ import annotations
@@ -18,8 +19,14 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.embeddings.base import EmbeddingModel
-from repro.embeddings.word2vec import _negative_table, _pair_stream, _sigmoid
+from repro.embeddings.base import (
+    EmbeddingModel,
+    build_pairs,
+    negative_table,
+    scatter_outer_add,
+    sentences_to_ids,
+    sigmoid,
+)
 from repro.text.vocab import Vocabulary, build_vocabulary
 from repro.utils.rng import derive_rng, stable_hash
 
@@ -69,6 +76,34 @@ def character_ngrams(word: str, min_n: int, max_n: int) -> List[str]:
     return grams
 
 
+def ngram_bucket_rows(
+    grams: Sequence[str],
+    base: int,
+    bucket: int,
+    cache: Optional[Dict[str, int]] = None,
+) -> np.ndarray:
+    """Hashed table rows for n-grams: ``base + stable_hash % bucket``.
+
+    Grams repeat heavily across a vocabulary (and across calls for the same
+    word), so hashes are memoised in ``cache`` when one is supplied; the
+    hash itself is unchanged, so cached and uncached lookups agree.
+    """
+    if cache is None:
+        return np.fromiter(
+            (base + stable_hash("ngram", gram) % bucket for gram in grams),
+            dtype=np.int64,
+            count=len(grams),
+        )
+    rows = np.empty(len(grams), dtype=np.int64)
+    for i, gram in enumerate(grams):
+        row = cache.get(gram)
+        if row is None:
+            row = base + stable_hash("ngram", gram) % bucket
+            cache[gram] = row
+        rows[i] = row
+    return rows
+
+
 class FastText(EmbeddingModel):
     """Subword-aware embeddings with hashed n-gram buckets.
 
@@ -89,6 +124,8 @@ class FastText(EmbeddingModel):
         self._vocabulary = vocabulary
         self._table = table
         self._config = config
+        self._gram_cache: Dict[str, int] = {}
+        self._row_cache: Dict[str, np.ndarray] = {}
 
     @property
     def vocabulary(self) -> Vocabulary:
@@ -110,17 +147,19 @@ class FastText(EmbeddingModel):
     def _ngram_rows(self, token: str) -> np.ndarray:
         config = self._config
         grams = character_ngrams(token, config.min_n, config.max_n)
-        base = len(self._vocabulary)
-        return np.array(
-            [base + stable_hash("ngram", g) % config.bucket for g in grams],
-            dtype=np.int64,
+        return ngram_bucket_rows(
+            grams, len(self._vocabulary), config.bucket, cache=self._gram_cache
         )
 
     def _subword_rows(self, token: str) -> np.ndarray:
+        rows = self._row_cache.get(token)
+        if rows is not None:
+            return rows
         rows = self._ngram_rows(token)
         word_id = self._vocabulary.get_id(token)
         if word_id is not None:
             rows = np.concatenate([[word_id], rows])
+        self._row_cache[token] = rows
         return rows
 
     def _in_vocab_vector(self, token: str) -> np.ndarray:
@@ -142,6 +181,8 @@ class FastText(EmbeddingModel):
         sentences: Sequence[Sequence[str]],
         config: Optional[FastTextConfig] = None,
         name: str = "FastText",
+        pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        shards: int = 1,
     ) -> "FastText":
         """Train subword SGNS embeddings on tokenised ``sentences``."""
         config = config or FastTextConfig()
@@ -149,16 +190,20 @@ class FastText(EmbeddingModel):
         rng = derive_rng(config.seed, "fasttext", name)
         vocab_size = len(vocabulary)
 
-        # Precompute padded subword-row matrices per vocabulary word.
+        # Precompute padded subword-row matrices per vocabulary word; gram
+        # hashes are shared through one memo across the whole vocabulary.
+        gram_cache: Dict[str, int] = {}
         row_lists: List[np.ndarray] = []
         for word_id in range(vocab_size):
             token = vocabulary.token_of(word_id)
             grams = character_ngrams(token, config.min_n, config.max_n)
-            rows = [word_id] + [
-                vocab_size + stable_hash("ngram", g) % config.bucket for g in grams
-            ]
-            row_lists.append(np.array(rows, dtype=np.int64))
-        max_rows = max(len(rows) for rows in row_lists)
+            gram_rows = ngram_bucket_rows(
+                grams, vocab_size, config.bucket, cache=gram_cache
+            )
+            row_lists.append(
+                np.concatenate([[word_id], gram_rows]).astype(np.int64)
+            )
+        max_rows = max(rows.size for rows in row_lists)
         sub_rows = np.zeros((vocab_size, max_rows), dtype=np.int64)
         sub_mask = np.zeros((vocab_size, max_rows), dtype=np.float64)
         for word_id, rows in enumerate(row_lists):
@@ -168,30 +213,33 @@ class FastText(EmbeddingModel):
 
         table = (rng.random((vocab_size + config.bucket, config.dim)) - 0.5) / config.dim
         w_out = np.zeros((vocab_size, config.dim))
-        cumulative = _negative_table(vocabulary)
+        cumulative = negative_table(vocabulary)
 
-        sentence_ids = []
-        for sentence in sentences:
-            ids = [vocabulary.get_id(t) for t in sentence]
-            kept = np.array([i for i in ids if i is not None], dtype=np.int64)
-            if kept.size:
-                sentence_ids.append(kept)
-        centers, contexts = _pair_stream(sentence_ids, config.window, rng)
+        if pairs is None:
+            sentence_ids = sentences_to_ids(sentences, vocabulary)
+            pairs = build_pairs(
+                sentence_ids, config.window, config.seed, n_shards=shards
+            )
+        centers, contexts = pairs
         n_pairs = centers.size
+        if n_pairs == 0:
+            raise ValueError("corpus produced no training pairs; sentences too short")
         total_steps = config.epochs * n_pairs
 
         step = 0
         for _ in range(config.epochs):
             order = rng.permutation(n_pairs)
+            # One negative draw + searchsorted per epoch; batches slice views.
+            epoch_negs = np.searchsorted(
+                cumulative, rng.random((n_pairs, config.negative))
+            ).astype(np.int64)
             for start in range(0, n_pairs, config.batch_size):
                 batch = order[start : start + config.batch_size]
                 lr = config.learning_rate * max(0.1, 1.0 - step / max(1, total_steps))
                 step += batch.size
                 c_ids = centers[batch]
                 o_ids = contexts[batch]
-                neg_ids = np.searchsorted(
-                    cumulative, rng.random((batch.size, config.negative))
-                ).astype(np.int64)
+                neg_ids = epoch_negs[start : start + batch.size]
 
                 rows = sub_rows[c_ids]  # (B, L)
                 mask = sub_mask[c_ids]  # (B, L)
@@ -202,32 +250,22 @@ class FastText(EmbeddingModel):
                 pos_vecs = w_out[o_ids]
                 neg_vecs = w_out[neg_ids]
 
-                pos_grad = _sigmoid(np.sum(center_vecs * pos_vecs, axis=1)) - 1.0
-                neg_grad = _sigmoid(np.einsum("bd,bkd->bk", center_vecs, neg_vecs))
+                pos_grad = sigmoid(np.einsum("bd,bd->b", center_vecs, pos_vecs))
+                pos_grad -= 1.0
+                neg_grad = sigmoid(np.einsum("bd,bkd->bk", center_vecs, neg_vecs))
 
-                grad_center = (
-                    pos_grad[:, None] * pos_vecs
-                    + np.einsum("bk,bkd->bd", neg_grad, neg_vecs)
-                )
-                grad_rows = (
-                    (grad_center / counts)[:, None, :] * mask[..., None]
-                )  # (B, L, d)
+                grad_center = pos_grad[:, None] * pos_vecs
+                grad_center += (neg_grad[:, None, :] @ neg_vecs)[:, 0, :]
 
-                np.add.at(
-                    table,
-                    rows.reshape(-1),
-                    -lr * grad_rows.reshape(-1, config.dim),
-                )
-                np.add.at(w_out, o_ids, -lr * pos_grad[:, None] * center_vecs)
-                np.add.at(
-                    w_out,
-                    neg_ids.reshape(-1),
-                    -lr * (neg_grad[..., None] * center_vecs[:, None, :]).reshape(
-                        -1, config.dim
-                    ),
-                )
+                # Every scattered subword row is (mask / count) * the batch
+                # element's grad_center; every output row is coeff * the
+                # centre vector — both rank-structured.
+                scatter_outer_add(table, rows, mask / counts, grad_center, -lr)
+                out_ids = np.concatenate([o_ids[:, None], neg_ids], axis=1)
+                out_coeffs = np.concatenate([pos_grad[:, None], neg_grad], axis=1)
+                scatter_outer_add(w_out, out_ids, out_coeffs, center_vecs, -lr)
 
         return cls(vocabulary, table, config, name=name)
 
 
-__all__ = ["FastText", "FastTextConfig", "character_ngrams"]
+__all__ = ["FastText", "FastTextConfig", "character_ngrams", "ngram_bucket_rows"]

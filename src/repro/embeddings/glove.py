@@ -9,6 +9,12 @@ chemistry tokens with GloVe's own (Section 2.3).  Both paths are supported:
 * ``GloVe.train(sentences, config, init_from=base_model)`` joins vocabularies
   and initialises the input layer from ``base_model`` — the paper's
   continued-pretraining recipe for GloVe-Chem.
+
+Co-occurrence accumulation is sharded: each shard covers a fixed
+sentence-index slice and reduces its distance-weighted pair counts to
+sorted ``(row * vocab + col)`` code/weight arrays; shards merge by another
+sorted reduction, so the merged table is identical whether shards were
+built sequentially or across a process pool.
 """
 
 from __future__ import annotations
@@ -18,7 +24,13 @@ from typing import Dict, List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.embeddings.base import StaticEmbeddings
+from repro.embeddings.base import (
+    StaticEmbeddings,
+    _flatten_sentences,
+    scatter_add,
+    sentences_to_ids,
+    shard_bounds,
+)
 from repro.obs.progress import StageProgress
 from repro.obs.trace import span
 from repro.text.vocab import Vocabulary, build_vocabulary
@@ -61,24 +73,122 @@ class GloVeConfig:
             raise ValueError("learning_rate and x_max must be positive")
 
 
+#: Use a dense (vocab^2,) accumulation buffer for co-occurrence when it fits
+#: in this many float64 elements (2^22 = 32 MB); larger vocabularies fall
+#: back to the sorted sparse reduction.  The gate depends only on the
+#: vocabulary size, so shard outputs stay deterministic per configuration.
+_DENSE_COOCCUR_MAX = 1 << 22
+
+
+def _reduce_codes(
+    codes: np.ndarray, weights: np.ndarray
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Sum ``weights`` per unique code; returns sorted unique codes + sums."""
+    if codes.size == 0:
+        return codes, weights
+    order = np.argsort(codes, kind="stable")
+    sorted_codes = codes[order]
+    starts = np.concatenate([[0], np.nonzero(np.diff(sorted_codes))[0] + 1])
+    return sorted_codes[starts], np.add.reduceat(weights[order], starts)
+
+
+def cooccur_shard(
+    sentence_ids: Sequence[np.ndarray], window: int, vocab_size: int
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Distance-weighted co-occurrence for a slice of the corpus.
+
+    Returns sorted-unique pair codes (``row * vocab_size + col``) and their
+    summed weights.  Vectorised per distance: tokens at offset ``d`` apart
+    contribute ``1/d`` in both directions.
+    """
+    usable = [ids for ids in sentence_ids if ids.size >= 2]
+    if not usable:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.empty(0, dtype=np.float64)
+    flat, position, length = _flatten_sentences(usable)
+    if vocab_size * vocab_size <= _DENSE_COOCCUR_MAX:
+        # Small vocabularies accumulate straight into a dense (vocab^2,)
+        # buffer: one integer bincount per distance replaces the argsort
+        # reduction, and the nonzero scan yields codes already sorted.
+        dense = np.zeros(vocab_size * vocab_size)
+        for distance in range(1, window + 1):
+            left = np.nonzero(position + distance < length)[0]
+            if left.size == 0:
+                break
+            a = flat[left]
+            b = flat[left + distance]
+            pair_codes = np.concatenate([a * vocab_size + b, b * vocab_size + a])
+            dense += np.bincount(pair_codes, minlength=dense.size) * (
+                1.0 / distance
+            )
+        codes = np.nonzero(dense)[0]
+        return codes, dense[codes]
+    codes: List[np.ndarray] = []
+    weights: List[np.ndarray] = []
+    for distance in range(1, window + 1):
+        left = np.nonzero(position + distance < length)[0]
+        if left.size == 0:
+            break
+        a = flat[left]
+        b = flat[left + distance]
+        codes.append(a * vocab_size + b)
+        codes.append(b * vocab_size + a)
+        weight = np.full(left.size, 1.0 / distance)
+        weights.append(weight)
+        weights.append(weight)
+    if not codes:
+        empty = np.empty(0, dtype=np.int64)
+        return empty, np.empty(0, dtype=np.float64)
+    return _reduce_codes(np.concatenate(codes), np.concatenate(weights))
+
+
+def merge_cooccurrence(
+    shards: Sequence[Tuple[np.ndarray, np.ndarray]]
+) -> Tuple[np.ndarray, np.ndarray]:
+    """Merge per-shard ``(codes, weights)`` by sorted-key reduction.
+
+    Summation happens per unique code over shard-ordered contributions, so
+    the merged array is independent of which process built each shard.
+    """
+    codes = np.concatenate([shard[0] for shard in shards])
+    weights = np.concatenate([shard[1] for shard in shards])
+    return _reduce_codes(codes, weights)
+
+
+def cooccurrence_arrays(
+    sentences: Sequence[Sequence[str]],
+    vocabulary: Vocabulary,
+    window: int,
+    n_shards: int = 1,
+) -> Tuple[np.ndarray, np.ndarray, np.ndarray]:
+    """Full co-occurrence as ``(row_ids, col_ids, values)`` COO arrays,
+    sorted by ``(row, col)``.  Built from ``n_shards`` fixed sentence-index
+    shards and merged in shard order."""
+    sentence_ids = sentences_to_ids(sentences, vocabulary)
+    vocab_size = len(vocabulary)
+    shards = [
+        cooccur_shard(sentence_ids[start:stop], window, vocab_size)
+        for start, stop in shard_bounds(len(sentence_ids), n_shards)
+    ]
+    codes, values = merge_cooccurrence(shards)
+    if codes.size == 0:
+        raise ValueError("no co-occurrences found; corpus too small")
+    return codes // vocab_size, codes % vocab_size, values
+
+
 def cooccurrence_counts(
     sentences: Sequence[Sequence[str]], vocabulary: Vocabulary, window: int
 ) -> Dict[Tuple[int, int], float]:
-    """Distance-weighted co-occurrence counts over in-vocabulary tokens."""
-    counts: Dict[Tuple[int, int], float] = {}
-    for sentence in sentences:
-        ids = [vocabulary.get_id(t) for t in sentence]
-        ids = [i for i in ids if i is not None]
-        for position, center in enumerate(ids):
-            hi = min(len(ids), position + window + 1)
-            for other in range(position + 1, hi):
-                weight = 1.0 / (other - position)
-                a, b = center, ids[other]
-                counts[(a, b)] = counts.get((a, b), 0.0) + weight
-                counts[(b, a)] = counts.get((b, a), 0.0) + weight
-    if not counts:
-        raise ValueError("no co-occurrences found; corpus too small")
-    return counts
+    """Distance-weighted co-occurrence counts over in-vocabulary tokens.
+
+    Kept as the dict-returning public API; entries are ordered by
+    ``(row, col)`` (the sorted-reduction order) rather than by first
+    encounter as the historical Python loop produced.
+    """
+    row_ids, col_ids, values = cooccurrence_arrays(sentences, vocabulary, window)
+    return dict(
+        zip(zip(row_ids.tolist(), col_ids.tolist()), values.tolist())
+    )
 
 
 def _joined_vocabulary(
@@ -103,6 +213,8 @@ class GloVe(StaticEmbeddings):
         config: Optional[GloVeConfig] = None,
         name: str = "GloVe",
         init_from: Optional[StaticEmbeddings] = None,
+        cooccurrence: Optional[Tuple[np.ndarray, np.ndarray, np.ndarray]] = None,
+        shards: int = 1,
     ) -> "GloVe":
         """Train GloVe on tokenised ``sentences``.
 
@@ -110,6 +222,10 @@ class GloVe(StaticEmbeddings):
         and the base model's vocabulary, and rows for shared tokens start
         from the base model's vectors (the GloVe-Chem recipe).  The base
         model must have the same dimensionality.
+
+        ``cooccurrence`` may supply precomputed ``(rows, cols, values)``
+        COO arrays (e.g. merged shard artifacts); otherwise the table is
+        built here across ``shards`` deterministic sentence-index shards.
         """
         config = config or GloVeConfig()
         rng = derive_rng(config.seed, "glove", name)
@@ -123,10 +239,13 @@ class GloVe(StaticEmbeddings):
         else:
             vocabulary = build_vocabulary(sentences, min_count=config.min_count)
 
-        counts = cooccurrence_counts(sentences, vocabulary, config.window)
-        keys = np.array(list(counts.keys()), dtype=np.int64)
-        row_ids, col_ids = keys[:, 0], keys[:, 1]
-        values = np.array(list(counts.values()), dtype=np.float64)
+        if cooccurrence is None:
+            cooccurrence = cooccurrence_arrays(
+                sentences, vocabulary, config.window, n_shards=shards
+            )
+        row_ids, col_ids, values = cooccurrence
+        if values.size == 0:
+            raise ValueError("no co-occurrences found; corpus too small")
         log_values = np.log(values)
         weights = np.minimum(1.0, (values / config.x_max) ** config.alpha)
 
@@ -136,14 +255,29 @@ class GloVe(StaticEmbeddings):
         w_ctx = rng.uniform(-scale, scale, size=(vocab_size, config.dim))
         b_main = np.zeros(vocab_size)
         b_ctx = np.zeros(vocab_size)
-        if init_from is not None:
-            for token in init_from.vocabulary:
-                row = vocabulary.get_id(token)
-                if row is not None:
-                    # Split the pretrained vector across both layers so the
-                    # exported sum (w_main + w_ctx) starts at the base vector.
-                    w_main[row] = init_from.vector(token) * 0.5
-                    w_ctx[row] = init_from.vector(token) * 0.5
+        if init_from is not None and init_from.vocabulary is not None:
+            # Split pretrained vectors across both layers so the exported
+            # sum (w_main + w_ctx) starts at the base vectors; one gather
+            # replaces the per-token Python loop.
+            base_tokens = list(init_from.vocabulary)
+            new_ids = np.fromiter(
+                (
+                    -1 if token_id is None else token_id
+                    for token_id in map(vocabulary.get_id, base_tokens)
+                ),
+                dtype=np.int64,
+                count=len(base_tokens),
+            )
+            shared = np.nonzero(new_ids >= 0)[0]
+            if shared.size:
+                base_ids = np.fromiter(
+                    (init_from.vocabulary.id_of(base_tokens[i]) for i in shared),
+                    dtype=np.int64,
+                    count=shared.size,
+                )
+                halved = init_from.matrix[base_ids] * 0.5
+                w_main[new_ids[shared]] = halved
+                w_ctx[new_ids[shared]] = halved
 
         grad_sq = {
             "w_main": np.ones_like(w_main),
@@ -175,26 +309,35 @@ class GloVe(StaticEmbeddings):
                     grad_main = weighted[:, None] * ctx_vecs
                     grad_ctx = weighted[:, None] * main_vecs
 
+                    # AdaGrad: steps use the accumulator as of the batch
+                    # start; the squared grads land afterwards.
                     for table, accum_key, ids, grad in (
                         (w_main, "w_main", rows, grad_main),
                         (w_ctx, "w_ctx", cols, grad_ctx),
                     ):
                         accum = grad_sq[accum_key]
                         step = config.learning_rate * grad / np.sqrt(accum[ids])
-                        np.add.at(table, ids, -step)
-                        np.add.at(accum, ids, grad**2)
+                        scatter_add(table, ids, -step)
+                        scatter_add(accum, ids, grad * grad)
                     for bias, accum_key, ids in (
                         (b_main, "b_main", rows),
                         (b_ctx, "b_ctx", cols),
                     ):
                         accum = grad_sq[accum_key]
                         step = config.learning_rate * weighted / np.sqrt(accum[ids])
-                        np.add.at(bias, ids, -step)
-                        np.add.at(accum, ids, weighted**2)
+                        scatter_add(bias, ids, -step)
+                        scatter_add(accum, ids, weighted * weighted)
                     sp.incr("entries", int(batch.size))
                     progress.advance(int(batch.size))
 
         return cls(vocabulary, w_main + w_ctx, name=name, oov_seed=config.seed)
 
 
-__all__ = ["GloVe", "GloVeConfig", "cooccurrence_counts"]
+__all__ = [
+    "GloVe",
+    "GloVeConfig",
+    "cooccurrence_counts",
+    "cooccurrence_arrays",
+    "cooccur_shard",
+    "merge_cooccurrence",
+]

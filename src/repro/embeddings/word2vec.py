@@ -6,6 +6,11 @@ papers, initialised from random vectors).  The implementation follows
 Mikolov et al. (2013): dynamic context windows, unigram^0.75 negative
 sampling, and linearly decaying learning rate, with mini-batched numpy
 updates instead of per-pair loops.
+
+Pair generation is sharded (see :mod:`repro.embeddings.base`): the corpus is
+split into fixed sentence-index shards whose pairs come from shard-local
+RNGs, so shards can be built concurrently by the stage scheduler and merged
+in shard order with byte-identical results regardless of job count.
 """
 
 from __future__ import annotations
@@ -15,9 +20,22 @@ from typing import List, Optional, Sequence, Tuple
 
 import numpy as np
 
-from repro.embeddings.base import StaticEmbeddings
+from repro.embeddings.base import (
+    StaticEmbeddings,
+    build_pairs,
+    negative_table,
+    scatter_add,
+    scatter_outer_add,
+    sentences_to_ids,
+    sigmoid,
+)
 from repro.text.vocab import Vocabulary, build_vocabulary
 from repro.utils.rng import SeedLike, derive_rng
+
+# Backwards-compatible aliases: these lived here before the shared kernels
+# moved to embeddings.base.
+_sigmoid = sigmoid
+_negative_table = negative_table
 
 
 @dataclass(frozen=True)
@@ -55,45 +73,6 @@ class Word2VecConfig:
             raise ValueError("learning_rate must be positive")
 
 
-def _sigmoid(x: np.ndarray) -> np.ndarray:
-    return 1.0 / (1.0 + np.exp(-np.clip(x, -30.0, 30.0)))
-
-
-def _pair_stream(
-    sentence_ids: List[np.ndarray], window: int, rng: np.random.Generator
-) -> Tuple[np.ndarray, np.ndarray]:
-    """All (center, context) id pairs with dynamic windows."""
-    centers: List[int] = []
-    contexts: List[int] = []
-    for ids in sentence_ids:
-        length = len(ids)
-        if length < 2:
-            continue
-        spans = rng.integers(1, window + 1, size=length)
-        for position in range(length):
-            span = int(spans[position])
-            lo = max(0, position - span)
-            hi = min(length, position + span + 1)
-            for other in range(lo, hi):
-                if other == position:
-                    continue
-                centers.append(int(ids[position]))
-                contexts.append(int(ids[other]))
-    if not centers:
-        raise ValueError("corpus produced no training pairs; sentences too short")
-    return np.array(centers, dtype=np.int64), np.array(contexts, dtype=np.int64)
-
-
-def _negative_table(vocabulary: Vocabulary) -> np.ndarray:
-    """Cumulative unigram^0.75 distribution for negative sampling."""
-    counts = np.array(
-        [vocabulary.count(vocabulary.token_of(i)) for i in range(len(vocabulary))],
-        dtype=np.float64,
-    )
-    weights = counts**0.75
-    return np.cumsum(weights / weights.sum())
-
-
 class Word2Vec(StaticEmbeddings):
     """A trained SGNS embedding table."""
 
@@ -103,8 +82,16 @@ class Word2Vec(StaticEmbeddings):
         sentences: Sequence[Sequence[str]],
         config: Optional[Word2VecConfig] = None,
         name: str = "Word2Vec",
+        pairs: Optional[Tuple[np.ndarray, np.ndarray]] = None,
+        shards: int = 1,
     ) -> "Word2Vec":
         """Train SGNS embeddings on tokenised ``sentences``.
+
+        ``pairs`` may supply a precomputed ``(centers, contexts)`` stream
+        (e.g. merged shard artifacts from the pipeline); otherwise the
+        stream is built here across ``shards`` deterministic sentence-index
+        shards.  The result depends on the shard *count*, never on how many
+        processes built the shards.
 
         >>> model = Word2Vec.train([["acid", "base"] * 4] * 8,
         ...                        Word2VecConfig(dim=8, min_count=1, epochs=1))
@@ -115,25 +102,29 @@ class Word2Vec(StaticEmbeddings):
         vocabulary = build_vocabulary(sentences, min_count=config.min_count)
         rng = derive_rng(config.seed, "word2vec", name)
 
-        sentence_ids = []
-        for sentence in sentences:
-            ids = [vocabulary.get_id(t) for t in sentence]
-            kept = np.array([i for i in ids if i is not None], dtype=np.int64)
-            if kept.size:
-                sentence_ids.append(kept)
-
         vocab_size = len(vocabulary)
         w_in = (rng.random((vocab_size, config.dim)) - 0.5) / config.dim
         w_out = np.zeros((vocab_size, config.dim))
-        cumulative = _negative_table(vocabulary)
+        cumulative = negative_table(vocabulary)
 
-        centers, contexts = _pair_stream(sentence_ids, config.window, rng)
+        if pairs is None:
+            sentence_ids = sentences_to_ids(sentences, vocabulary)
+            pairs = build_pairs(
+                sentence_ids, config.window, config.seed, n_shards=shards
+            )
+        centers, contexts = pairs
         n_pairs = centers.size
+        if n_pairs == 0:
+            raise ValueError("corpus produced no training pairs; sentences too short")
         total_steps = config.epochs * n_pairs
 
         step = 0
         for _ in range(config.epochs):
             order = rng.permutation(n_pairs)
+            # One negative draw + searchsorted per epoch; batches slice views.
+            epoch_negs = np.searchsorted(
+                cumulative, rng.random((n_pairs, config.negative))
+            ).astype(np.int64)
             for start in range(0, n_pairs, config.batch_size):
                 batch = order[start : start + config.batch_size]
                 lr = config.learning_rate * max(
@@ -142,33 +133,29 @@ class Word2Vec(StaticEmbeddings):
                 step += batch.size
                 c_ids = centers[batch]
                 o_ids = contexts[batch]
-                neg_ids = np.searchsorted(
-                    cumulative, rng.random((batch.size, config.negative))
-                ).astype(np.int64)
+                neg_ids = epoch_negs[start : start + batch.size]
 
                 center_vecs = w_in[c_ids]  # (B, d)
                 pos_vecs = w_out[o_ids]  # (B, d)
                 neg_vecs = w_out[neg_ids]  # (B, k, d)
 
-                pos_grad = _sigmoid(np.sum(center_vecs * pos_vecs, axis=1)) - 1.0
-                neg_grad = _sigmoid(
+                pos_grad = sigmoid(np.einsum("bd,bd->b", center_vecs, pos_vecs))
+                pos_grad -= 1.0
+                neg_grad = sigmoid(
                     np.einsum("bd,bkd->bk", center_vecs, neg_vecs)
                 )
 
-                grad_center = (
-                    pos_grad[:, None] * pos_vecs
-                    + np.einsum("bk,bkd->bd", neg_grad, neg_vecs)
-                )
-                grad_pos = pos_grad[:, None] * center_vecs
-                grad_neg = neg_grad[..., None] * center_vecs[:, None, :]
+                grad_center = pos_grad[:, None] * pos_vecs
+                grad_center += (neg_grad[:, None, :] @ neg_vecs)[:, 0, :]
+                grad_center *= -lr
+                scatter_add(w_in, c_ids, grad_center)
 
-                np.add.at(w_in, c_ids, -lr * grad_center)
-                np.add.at(w_out, o_ids, -lr * grad_pos)
-                np.add.at(
-                    w_out,
-                    neg_ids.reshape(-1),
-                    -lr * grad_neg.reshape(-1, config.dim),
-                )
+                # Output-side updates are coeff * center_vec per scattered
+                # row; fold the positive and negative halves into one
+                # rank-structured scatter.
+                out_ids = np.concatenate([o_ids[:, None], neg_ids], axis=1)
+                out_coeffs = np.concatenate([pos_grad[:, None], neg_grad], axis=1)
+                scatter_outer_add(w_out, out_ids, out_coeffs, center_vecs, -lr)
 
         return cls(vocabulary, w_in, name=name, oov_seed=config.seed)
 

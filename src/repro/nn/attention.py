@@ -50,18 +50,19 @@ class MultiHeadSelfAttention(Module):
     def forward(self, x: np.ndarray, mask: Optional[np.ndarray] = None) -> np.ndarray:
         batch, seq, _ = x.shape
         qkv = self.qkv.forward(x)  # (B, T, 3d)
-        q, k, v = np.split(qkv, 3, axis=-1)
-        q = self._split_heads(q)  # (B, H, T, dh)
-        k = self._split_heads(k)
-        v = self._split_heads(v)
+        # One reshape exposes the fused projection as (3, B, H, T, dh); the
+        # three slices are views into one buffer instead of np.split copies.
+        heads = qkv.reshape(batch, seq, 3, self.n_heads, self.d_head)
+        heads = heads.transpose(2, 0, 3, 1, 4)
+        q, k, v = heads[0], heads[1], heads[2]  # each (B, H, T, dh)
 
         scale = 1.0 / np.sqrt(self.d_head)
-        scores = np.einsum("bhqd,bhkd->bhqk", q, k) * scale
+        scores = (q @ k.swapaxes(-1, -2)) * scale
         if mask is not None:
             key_mask = mask[:, None, None, :]  # (B, 1, 1, T)
             scores = np.where(key_mask > 0, scores, -1e9)
         attn = _softmax(scores, axis=-1)  # (B, H, Tq, Tk)
-        context = np.einsum("bhqk,bhkd->bhqd", attn, v)
+        context = attn @ v
         merged = self._merge_heads(context)
         self._cache = (q, k, v, attn, scale)
         return self.out.forward(merged)
@@ -76,26 +77,24 @@ class MultiHeadSelfAttention(Module):
             batch, seq, self.n_heads, self.d_head
         ).transpose(0, 2, 1, 3)
 
-        grad_attn = np.einsum("bhqd,bhkd->bhqk", grad_context, v)
-        grad_v = np.einsum("bhqk,bhqd->bhkd", attn, grad_context)
+        grad_attn = grad_context @ v.swapaxes(-1, -2)
+        grad_v = attn.swapaxes(-1, -2) @ grad_context
 
         # Softmax backward: dL/ds = attn * (dL/da - sum(dL/da * attn)).
         dot = (grad_attn * attn).sum(axis=-1, keepdims=True)
         grad_scores = attn * (grad_attn - dot)
         # Masked (-1e9) positions have attn ~ 0, so their gradient vanishes.
 
-        grad_q = np.einsum("bhqk,bhkd->bhqd", grad_scores, k) * scale
-        grad_k = np.einsum("bhqk,bhqd->bhkd", grad_scores, q) * scale
+        grad_q = (grad_scores @ k) * scale
+        grad_k = (grad_scores.swapaxes(-1, -2) @ q) * scale
 
-        grad_qkv = np.concatenate(
-            [
-                self._merge_heads(grad_q),
-                self._merge_heads(grad_k),
-                self._merge_heads(grad_v),
-            ],
-            axis=-1,
-        )
-        return self.qkv.backward(grad_qkv)
+        # Scatter the three head gradients into one preallocated (B, T, 3d)
+        # buffer rather than concatenating three merge_heads copies.
+        grad_qkv = np.empty((batch, seq, 3, self.n_heads, self.d_head))
+        grad_qkv[:, :, 0] = grad_q.transpose(0, 2, 1, 3)
+        grad_qkv[:, :, 1] = grad_k.transpose(0, 2, 1, 3)
+        grad_qkv[:, :, 2] = grad_v.transpose(0, 2, 1, 3)
+        return self.qkv.backward(grad_qkv.reshape(batch, seq, 3 * self.d_model))
 
 
 __all__ = ["MultiHeadSelfAttention"]

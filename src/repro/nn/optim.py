@@ -87,10 +87,15 @@ class Adam:
             m *= self.beta1
             m += (1.0 - self.beta1) * grad
             v *= self.beta2
-            v += (1.0 - self.beta2) * grad**2
-            m_hat = m / bias1
-            v_hat = v / bias2
-            parameter.value -= self.lr * m_hat / (np.sqrt(v_hat) + self.eps)
+            v += (1.0 - self.beta2) * (grad * grad)
+            # In-place refactor of lr * (m/bias1) / (sqrt(v/bias2) + eps);
+            # multiplication commutes bitwise, so the update is unchanged.
+            denom = np.sqrt(v / bias2)
+            denom += self.eps
+            update = m / bias1
+            update *= self.lr
+            update /= denom
+            parameter.value -= update
 
     def zero_grad(self):
         for parameter in self.parameters:

@@ -14,9 +14,12 @@ Stage lineup (deps in parentheses)::
     wordpiece                                               (corpus-chemistry)
     bert                                 (corpus-chemistry, wordpiece)
     embedding-Random
-    embedding-GloVe                                         (corpus-generic)
-    embedding-W2V-Chem                                      (corpus-chemistry)
-    embedding-GloVe-Chem                 (corpus-chemistry, embedding-GloVe)
+    glove-cooccur-{s}                                       (corpus-generic)
+    w2v-pairs-{s}                                           (corpus-chemistry)
+    glove-chem-cooccur-{s}               (corpus-chemistry, embedding-GloVe)
+    embedding-GloVe                    (corpus-generic, glove-cooccur-{s}*)
+    embedding-W2V-Chem                (corpus-chemistry, w2v-pairs-{s}*)
+    embedding-GloVe-Chem  (corpus-chemistry, embedding-GloVe, glove-chem-cooccur-{s}*)
     embedding-BioWordVec                                    (corpus-biomedical)
     embedding-PubmedBERT                                    (bert)      [derived]
     dataset-{1,2,3}                                         (ontology)
@@ -62,9 +65,21 @@ from repro.core.datasets import (
     train_val_test_split_8_1_1,
 )
 from repro.core.tasks import positive_triples
+from repro.embeddings.base import (
+    build_pairs,
+    pair_shard_arrays,
+    sentences_to_ids,
+    shard_bounds,
+)
 from repro.embeddings.contextual import ContextualEmbeddings
 from repro.embeddings.fasttext import FastText, FastTextConfig
-from repro.embeddings.glove import GloVe, GloVeConfig
+from repro.embeddings.glove import (
+    GloVe,
+    GloVeConfig,
+    _joined_vocabulary,
+    cooccur_shard,
+    merge_cooccurrence,
+)
 from repro.embeddings.random import RandomEmbeddings
 from repro.embeddings.registry import STATIC_MODEL_NAMES
 from repro.embeddings.word2vec import Word2Vec, Word2VecConfig
@@ -74,24 +89,34 @@ from repro.ontology.synthesis import SynthesisConfig, synthesize_chebi_like
 from repro.pipeline import serialize
 from repro.pipeline.graph import StageGraph
 from repro.pipeline.stage import Stage
+from repro.pipeline.arrays import load_array, save_array
 from repro.text.corpus import (
     CorpusConfig,
     corpus_sentences,
     generate_chemistry_corpus,
     generate_generic_corpus,
 )
+from repro.text.vocab import build_vocabulary
 from repro.utils.persistence import (
     load_bert,
-    load_embeddings,
-    load_fasttext,
+    load_embeddings_entry,
+    load_fasttext_entry,
     save_bert,
-    save_embeddings,
-    save_fasttext,
+    save_embeddings_entry,
+    save_fasttext_entry,
 )
 
 #: The shared ``min_count`` of the embedding registry (a code constant, not
 #: a LabConfig knob); changes go through the stage version tags.
 EMBEDDING_MIN_COUNT = 2
+
+#: Fixed shard count for the embedding precompute sub-stages (co-occurrence
+#: tables and skip-gram pair streams).  A *code constant*, deliberately not
+#: a LabConfig knob: shard boundaries and shard-local RNG streams depend on
+#: the count, and keeping it fixed is what makes ``repro cache warm
+#: --jobs N`` byte-identical to a sequential warm — jobs only decide how
+#: many shards build concurrently, never what any shard contains.
+EMBEDDING_SHARDS = 4
 
 TASKS = (1, 2, 3)
 
@@ -119,19 +144,37 @@ def _load_payload(from_payload, expected_format):
 
 
 def _save_static_embedding(model, entry_dir: Path) -> None:
-    save_embeddings(model, entry_dir / "embedding.npz")
+    save_embeddings_entry(model, entry_dir)
 
 
 def _load_static_embedding(entry_dir: Path, inputs):
-    return load_embeddings(entry_dir / "embedding.npz")
+    return load_embeddings_entry(entry_dir)
 
 
 def _save_fasttext_embedding(model, entry_dir: Path) -> None:
-    save_fasttext(model, entry_dir / "embedding.npz")
+    save_fasttext_entry(model, entry_dir)
 
 
 def _load_fasttext_embedding(entry_dir: Path, inputs):
-    return load_fasttext(entry_dir / "embedding.npz")
+    return load_fasttext_entry(entry_dir)
+
+
+def _save_array_tuple(*names):
+    """Save hook for artifacts that are tuples of numpy arrays; each array
+    becomes a standalone (mmap-eligible) ``.npy`` file."""
+
+    def save(artifact, entry_dir: Path) -> None:
+        for name, array in zip(names, artifact):
+            save_array(entry_dir / f"{name}.npy", array)
+
+    return save
+
+
+def _load_array_tuple(*names):
+    def load(entry_dir: Path, inputs):
+        return tuple(load_array(entry_dir / f"{name}.npy") for name in names)
+
+    return load
 
 
 def _save_bert_model(model, entry_dir: Path) -> None:
@@ -254,43 +297,113 @@ def _build_random_embedding(lab, inputs):
     return RandomEmbeddings(dim=lab.config.embedding_dim, seed=lab.config.seed)
 
 
+def _glove_config(config) -> GloVeConfig:
+    """Shared by the GloVe/GloVe-Chem builders and their co-occurrence
+    shard sub-stages, so both sides agree on window and min_count."""
+    return GloVeConfig(
+        dim=config.embedding_dim,
+        epochs=config.glove_epochs,
+        min_count=EMBEDDING_MIN_COUNT,
+        seed=config.seed,
+    )
+
+
+def _w2v_config(config) -> Word2VecConfig:
+    """Shared by the W2V-Chem builder and its pair-stream sub-stages."""
+    return Word2VecConfig(
+        dim=config.embedding_dim,
+        epochs=config.embedding_epochs,
+        min_count=EMBEDDING_MIN_COUNT,
+        seed=config.seed,
+    )
+
+
+def _merged_cooccurrence(inputs, prefix: str, vocab_size: int):
+    """Merge shard artifacts ``{prefix}-{0..S}`` into COO arrays."""
+    codes, values = merge_cooccurrence(
+        [inputs[f"{prefix}-{shard}"] for shard in range(EMBEDDING_SHARDS)]
+    )
+    return codes // vocab_size, codes % vocab_size, values
+
+
+def _build_glove_cooccur_shard(shard: int, lab, inputs):
+    sentences = inputs["corpus-generic"]
+    config = _glove_config(lab.config)
+    vocabulary = build_vocabulary(sentences, min_count=config.min_count)
+    sentence_ids = sentences_to_ids(sentences, vocabulary)
+    start, stop = shard_bounds(len(sentence_ids), EMBEDDING_SHARDS)[shard]
+    return cooccur_shard(
+        sentence_ids[start:stop], config.window, len(vocabulary)
+    )
+
+
+def _build_glove_chem_cooccur_shard(shard: int, lab, inputs):
+    sentences = inputs["corpus-chemistry"]
+    config = _glove_config(lab.config)
+    vocabulary = _joined_vocabulary(
+        sentences, config.min_count, inputs["embedding-GloVe"]
+    )
+    sentence_ids = sentences_to_ids(sentences, vocabulary)
+    start, stop = shard_bounds(len(sentence_ids), EMBEDDING_SHARDS)[shard]
+    return cooccur_shard(
+        sentence_ids[start:stop], config.window, len(vocabulary)
+    )
+
+
+def _build_w2v_pairs_shard(shard: int, lab, inputs):
+    sentences = inputs["corpus-chemistry"]
+    config = _w2v_config(lab.config)
+    vocabulary = build_vocabulary(sentences, min_count=config.min_count)
+    sentence_ids = sentences_to_ids(sentences, vocabulary)
+    return pair_shard_arrays(
+        sentence_ids, config.window, config.seed, shard, EMBEDDING_SHARDS
+    )
+
+
 def _build_glove(lab, inputs):
+    sentences = inputs["corpus-generic"]
+    config = _glove_config(lab.config)
+    vocabulary = build_vocabulary(sentences, min_count=config.min_count)
     return GloVe.train(
-        inputs["corpus-generic"],
-        GloVeConfig(
-            dim=lab.config.embedding_dim,
-            epochs=lab.config.glove_epochs,
-            min_count=EMBEDDING_MIN_COUNT,
-            seed=lab.config.seed,
-        ),
+        sentences,
+        config,
         name="GloVe",
+        cooccurrence=_merged_cooccurrence(
+            inputs, "glove-cooccur", len(vocabulary)
+        ),
     )
 
 
 def _build_w2v_chem(lab, inputs):
+    config = _w2v_config(lab.config)
+    pairs = build_pairs(
+        [],
+        config.window,
+        config.seed,
+        n_shards=EMBEDDING_SHARDS,
+        precomputed=[
+            inputs[f"w2v-pairs-{shard}"] for shard in range(EMBEDDING_SHARDS)
+        ],
+    )
     return Word2Vec.train(
-        inputs["corpus-chemistry"],
-        Word2VecConfig(
-            dim=lab.config.embedding_dim,
-            epochs=lab.config.embedding_epochs,
-            min_count=EMBEDDING_MIN_COUNT,
-            seed=lab.config.seed,
-        ),
-        name="W2V-Chem",
+        inputs["corpus-chemistry"], config, name="W2V-Chem", pairs=pairs
     )
 
 
 def _build_glove_chem(lab, inputs):
+    sentences = inputs["corpus-chemistry"]
+    config = _glove_config(lab.config)
+    vocabulary = _joined_vocabulary(
+        sentences, config.min_count, inputs["embedding-GloVe"]
+    )
     return GloVe.train(
-        inputs["corpus-chemistry"],
-        GloVeConfig(
-            dim=lab.config.embedding_dim,
-            epochs=lab.config.glove_epochs,
-            min_count=EMBEDDING_MIN_COUNT,
-            seed=lab.config.seed,
-        ),
+        sentences,
+        config,
         name="GloVe-Chem",
         init_from=inputs["embedding-GloVe"],
+        cooccurrence=_merged_cooccurrence(
+            inputs, "glove-chem-cooccur", len(vocabulary)
+        ),
     )
 
 
@@ -304,6 +417,7 @@ def _build_biowordvec(lab, inputs):
             seed=lab.config.seed,
         ),
         name="BioWordVec",
+        shards=EMBEDDING_SHARDS,
     )
 
 
@@ -466,10 +580,57 @@ def build_lab_graph() -> StageGraph:
                 c.seed,
             ),
             deps=("corpus-chemistry", "wordpiece"),
+            # version 2: fused QKV attention + batched MLM path shift the
+            # trained parameters by float ulps (re-goldened).
+            version="2",
             save=_save_bert_model,
             load=_load_bert_model,
         )
     )
+
+    # Embedding precompute sub-stages: deterministic sentence-index shards
+    # of the GloVe co-occurrence tables and the word2vec pair stream.  All
+    # are persistable, so the process-pool scheduler fans them out and a
+    # warm store turns an embedding rebuild into shard loads + a merge.
+    shard_specs = {
+        # prefix: (builder, config_slice, deps)
+        "glove-cooccur": (
+            _build_glove_cooccur_shard,
+            lambda c: (),
+            ("corpus-generic",),
+        ),
+        "glove-chem-cooccur": (
+            _build_glove_chem_cooccur_shard,
+            lambda c: (c.embedding_dim, c.glove_epochs, c.seed),
+            ("corpus-chemistry", "embedding-GloVe"),
+        ),
+        "w2v-pairs": (
+            _build_w2v_pairs_shard,
+            lambda c: (c.seed,),
+            ("corpus-chemistry",),
+        ),
+    }
+    shard_files = {
+        "glove-cooccur": ("codes", "weights"),
+        "glove-chem-cooccur": ("codes", "weights"),
+        "w2v-pairs": ("centers", "contexts"),
+    }
+    for prefix, (builder, config_slice, deps) in shard_specs.items():
+        names = shard_files[prefix]
+        for shard in range(EMBEDDING_SHARDS):
+            graph.register(
+                Stage(
+                    name=f"{prefix}-{shard}",
+                    build=partial(builder, shard),
+                    config_slice=config_slice,
+                    deps=deps,
+                    save=_save_array_tuple(*names),
+                    load=_load_array_tuple(*names),
+                )
+            )
+
+    def _shard_deps(prefix: str):
+        return tuple(f"{prefix}-{shard}" for shard in range(EMBEDDING_SHARDS))
 
     embedding_specs = {
         # name: (builder, config_slice, deps, persistence)
@@ -482,19 +643,20 @@ def build_lab_graph() -> StageGraph:
         "GloVe": (
             _build_glove,
             lambda c: (c.embedding_dim, c.glove_epochs, c.seed),
-            ("corpus-generic",),
+            ("corpus-generic",) + _shard_deps("glove-cooccur"),
             "static",
         ),
         "W2V-Chem": (
             _build_w2v_chem,
             lambda c: (c.embedding_dim, c.embedding_epochs, c.seed),
-            ("corpus-chemistry",),
+            ("corpus-chemistry",) + _shard_deps("w2v-pairs"),
             "static",
         ),
         "GloVe-Chem": (
             _build_glove_chem,
             lambda c: (c.embedding_dim, c.glove_epochs, c.seed),
-            ("corpus-chemistry", "embedding-GloVe"),
+            ("corpus-chemistry", "embedding-GloVe")
+            + _shard_deps("glove-chem-cooccur"),
             "static",
         ),
         "BioWordVec": (
@@ -522,6 +684,10 @@ def build_lab_graph() -> StageGraph:
                 build=builder,
                 config_slice=config_slice,
                 deps=deps,
+                # version 2: sharded precompute + sorted-reduction scatter
+                # updates reordered float accumulation (re-goldened), and
+                # store entries moved to the mmap-backed .npy layout.
+                version="2" if persistence else "1",
                 save=save,
                 load=load,
             )
@@ -625,6 +791,7 @@ def substrate_stage_names(graph: StageGraph) -> List[str]:
 
 __all__ = [
     "EMBEDDING_MIN_COUNT",
+    "EMBEDDING_SHARDS",
     "TASKS",
     "build_lab_graph",
     "substrate_stage_names",

@@ -6,7 +6,8 @@ Four families, each its own module:
 * ``purity`` (PUR) — stage builders are pure functions of (lab, inputs);
 * ``concurrency`` (CONC) — lock coverage, atomic filesystem sequences;
 * ``contracts`` (RES/OBS) — failure accounting and span hygiene;
-* ``serving`` (SRV) — network transport stays quarantined in repro.serve.
+* ``serving`` (SRV) — network transport stays quarantined in repro.serve;
+* ``perf`` (PERF) — pipeline artifact reads state their memory story.
 
 ``SYN001`` (unparsable file) and ``CYC001`` (module import cycle) are
 engine-level checks, documented here so the catalog is complete.
@@ -21,6 +22,7 @@ from repro.statcheck.rules import (
     concurrency,
     contracts,
     determinism,
+    perf,
     purity,
     serving,
 )
@@ -33,6 +35,7 @@ RULE_CLASSES: Tuple[Type[Rule], ...] = (
     + concurrency.RULES
     + contracts.RULES
     + serving.RULES
+    + perf.RULES
 )
 
 #: Rule family name -> the rule ids it contains.
@@ -42,6 +45,7 @@ FAMILIES: Dict[str, Tuple[str, ...]] = {
     "concurrency": tuple(cls.id for cls in concurrency.RULES),
     "contracts": tuple(cls.id for cls in contracts.RULES),
     "serving": tuple(cls.id for cls in serving.RULES),
+    "perf": tuple(cls.id for cls in perf.RULES),
 }
 
 

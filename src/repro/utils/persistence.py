@@ -1,14 +1,19 @@
 """Model persistence: save/load trained embeddings and mini-BERT models.
 
-Static embeddings serialise to a single ``.npz`` (matrix + vocabulary +
-counts); mini-BERT serialises to a ``.npz`` holding every parameter tensor
-in construction order plus the architecture config and WordPiece pieces.
-Training the models takes minutes; reloading takes milliseconds, so a
-downstream pipeline can train once and reuse everywhere.
+Two layouts coexist:
 
-Saves are crash-safe: the archive is written to a temp file in the target
+* single-file ``.npz`` archives (matrix + vocabulary + counts, or every
+  BERT parameter tensor in construction order) — portable model exports;
+* *store entry* layouts for static/fastText embeddings: the big matrix as
+  a standalone uncompressed ``.npy`` (via :mod:`repro.pipeline.arrays`, so
+  large tables memory-map on load) next to an ``embedding.json`` carrying
+  the vocabulary and metadata.  Tokens are written in vocabulary-id order,
+  so reloading needs no row realignment and the mapped matrix is served
+  zero-copy.
+
+Saves are crash-safe: files are written to a temp name in the target
 directory and renamed into place, so a killed run never leaves a truncated
-``.npz`` behind.
+artifact behind.
 """
 
 from __future__ import annotations
@@ -23,6 +28,8 @@ from repro.bert.model import BertConfig, MiniBert
 from repro.bert.wordpiece import WordPieceTokenizer
 from repro.embeddings.base import StaticEmbeddings
 from repro.embeddings.fasttext import FastText, FastTextConfig
+from repro.pipeline import serialize
+from repro.pipeline.arrays import load_array, save_array
 from repro.text.vocab import Vocabulary
 from repro.utils.atomic import atomic_write
 
@@ -31,6 +38,34 @@ PathLike = Union[str, Path]
 _EMBEDDING_FORMAT = "repro-static-embeddings-v1"
 _BERT_FORMAT = "repro-minibert-v1"
 _FASTTEXT_FORMAT = "repro-fasttext-v1"
+_EMBEDDING_ENTRY_FORMAT = "repro-static-embeddings-entry-v1"
+_FASTTEXT_ENTRY_FORMAT = "repro-fasttext-entry-v1"
+
+
+def _vocabulary_payload(vocabulary: Vocabulary) -> dict:
+    tokens = list(vocabulary)  # iteration order == dense id order
+    return {
+        "tokens": tokens,
+        "counts": [vocabulary.count(t) for t in tokens],
+    }
+
+
+def _vocabulary_and_order(payload: dict, matrix_rows: int):
+    """Rebuild the vocabulary; returns ``(vocabulary, order_or_None)``.
+
+    ``order`` is ``None`` when file rows already sit in dense-id order (the
+    layout this module writes), letting callers keep a memory-mapped matrix
+    as-is instead of realigning (which would copy it into RAM).
+    """
+    tokens = [str(t) for t in payload["tokens"]]
+    counts = {t: int(c) for t, c in zip(tokens, payload["counts"])}
+    vocabulary = Vocabulary(counts)
+    if all(vocabulary.token_of(i) == tokens[i] for i in range(len(vocabulary))):
+        return vocabulary, None
+    row_of = {token: row for row, token in enumerate(tokens)}
+    return vocabulary, [
+        row_of[vocabulary.token_of(i)] for i in range(len(vocabulary))
+    ]
 
 
 def _npz_path(path: PathLike) -> Path:
@@ -65,19 +100,18 @@ def load_embeddings(path: PathLike) -> StaticEmbeddings:
                 f"{path} is not a {_EMBEDDING_FORMAT} file "
                 f"(found {data['format']!r})"
             )
-        tokens = [str(t) for t in data["tokens"]]
-        counts = {t: int(c) for t, c in zip(tokens, data["counts"])}
-        vocabulary = Vocabulary(counts)
+        payload = {"tokens": data["tokens"], "counts": data["counts"]}
         matrix = np.asarray(data["matrix"])
-        # Vocabulary re-sorts by (count, token); realign matrix rows in case
+        # Vocabulary re-sorts by (count, token); realign matrix rows only if
         # the file was written with a different ordering convention.
-        row_of = {token: row for row, token in enumerate(tokens)}
-        order = [row_of[vocabulary.token_of(i)] for i in range(len(vocabulary))]
+        vocabulary, order = _vocabulary_and_order(payload, matrix.shape[0])
+        if order is not None:
+            matrix = matrix[order]
         # oov_seed is absent from pre-pipeline archives; those were all
         # written with the default seed 0.
         oov_seed = int(data["oov_seed"]) if "oov_seed" in data.files else 0
         return StaticEmbeddings(
-            vocabulary, matrix[order], name=str(data["name"]), oov_seed=oov_seed
+            vocabulary, matrix, name=str(data["name"]), oov_seed=oov_seed
         )
 
 
@@ -127,17 +161,100 @@ def load_fasttext(path: PathLike) -> FastText:
                 f"{path} is not a {_FASTTEXT_FORMAT} file "
                 f"(found {data['format']!r})"
             )
-        tokens = [str(t) for t in data["tokens"]]
-        counts = {t: int(c) for t, c in zip(tokens, data["counts"])}
-        vocabulary = Vocabulary(counts)
+        payload = {"tokens": data["tokens"], "counts": data["counts"]}
         table = np.asarray(data["table"])
         config = FastTextConfig(**json.loads(str(data["config"])))
-        # Word rows are indexed by vocabulary id; realign them in case the
+        # Word rows are indexed by vocabulary id; realign them only if the
         # archive used a different ordering.  Bucket rows follow unchanged.
-        row_of = {token: row for row, token in enumerate(tokens)}
-        order = [row_of[vocabulary.token_of(i)] for i in range(len(vocabulary))]
-        realigned = np.concatenate([table[order], table[len(vocabulary):]])
-        return FastText(vocabulary, realigned, config, name=str(data["name"]))
+        vocabulary, order = _vocabulary_and_order(payload, table.shape[0])
+        if order is not None:
+            table = np.concatenate([table[order], table[len(vocabulary):]])
+        return FastText(vocabulary, table, config, name=str(data["name"]))
+
+
+# -- store entry layouts (mmap-backed) ---------------------------------------
+
+
+def save_embeddings_entry(model: StaticEmbeddings, entry_dir: PathLike) -> None:
+    """Store-entry layout: ``matrix.npy`` + ``embedding.json``.
+
+    The matrix is a standalone uncompressed ``.npy`` with rows in dense
+    vocabulary-id order, so loads can memory-map it and serve it without a
+    realignment copy.
+    """
+    entry_dir = Path(entry_dir)
+    save_array(entry_dir / "matrix.npy", model.matrix)
+    serialize.write_json(
+        entry_dir / "embedding.json",
+        {
+            "format": _EMBEDDING_ENTRY_FORMAT,
+            "name": model.name,
+            "oov_seed": int(getattr(model, "oov_seed", 0)),
+            **_vocabulary_payload(model.vocabulary),
+        },
+    )
+
+
+def load_embeddings_entry(entry_dir: PathLike) -> StaticEmbeddings:
+    """Load a :func:`save_embeddings_entry` layout (matrix mmap-eligible)."""
+    entry_dir = Path(entry_dir)
+    payload = serialize.read_json(
+        entry_dir / "embedding.json", _EMBEDDING_ENTRY_FORMAT
+    )
+    matrix = load_array(entry_dir / "matrix.npy")
+    vocabulary, order = _vocabulary_and_order(payload, matrix.shape[0])
+    if order is not None:  # foreign row order: realign (copies, drops mmap)
+        matrix = np.asarray(matrix)[order]
+    return StaticEmbeddings(
+        vocabulary,
+        matrix,
+        name=str(payload["name"]),
+        oov_seed=int(payload.get("oov_seed", 0)),
+    )
+
+
+def save_fasttext_entry(model: FastText, entry_dir: PathLike) -> None:
+    """Store-entry layout: ``table.npy`` + ``embedding.json`` (+ config)."""
+    entry_dir = Path(entry_dir)
+    config = model.config
+    save_array(entry_dir / "table.npy", model.table)
+    serialize.write_json(
+        entry_dir / "embedding.json",
+        {
+            "format": _FASTTEXT_ENTRY_FORMAT,
+            "name": model.name,
+            "config": {
+                "dim": config.dim,
+                "window": config.window,
+                "negative": config.negative,
+                "epochs": config.epochs,
+                "learning_rate": config.learning_rate,
+                "min_count": config.min_count,
+                "batch_size": config.batch_size,
+                "min_n": config.min_n,
+                "max_n": config.max_n,
+                "bucket": config.bucket,
+                "seed": config.seed,
+            },
+            **_vocabulary_payload(model.vocabulary),
+        },
+    )
+
+
+def load_fasttext_entry(entry_dir: PathLike) -> FastText:
+    """Load a :func:`save_fasttext_entry` layout (table mmap-eligible)."""
+    entry_dir = Path(entry_dir)
+    payload = serialize.read_json(
+        entry_dir / "embedding.json", _FASTTEXT_ENTRY_FORMAT
+    )
+    table = load_array(entry_dir / "table.npy")
+    config = FastTextConfig(**payload["config"])
+    vocabulary, order = _vocabulary_and_order(payload, table.shape[0])
+    if order is not None:  # foreign row order: realign (copies, drops mmap)
+        table = np.concatenate(
+            [np.asarray(table)[order], np.asarray(table)[len(vocabulary):]]
+        )
+    return FastText(vocabulary, table, config, name=str(payload["name"]))
 
 
 def save_bert(model: MiniBert, path: PathLike) -> None:
@@ -210,6 +327,10 @@ __all__ = [
     "load_embeddings",
     "save_fasttext",
     "load_fasttext",
+    "save_embeddings_entry",
+    "load_embeddings_entry",
+    "save_fasttext_entry",
+    "load_fasttext_entry",
     "save_bert",
     "load_bert",
 ]

@@ -722,3 +722,67 @@ class TestDirectClockRule:
             engine.read_text(encoding="utf-8"), str(engine)
         )
         assert "RES002" in [f.rule for f in report.findings]
+
+
+class TestPerfRules:
+    PIPELINE = "/fx/pipeline.py"
+
+    def test_perf001_flags_implicit_np_load_in_pipeline(self):
+        found = rules_found(
+            """
+            import numpy as np
+
+            def read_matrix(path):
+                return np.load(path)
+            """,
+            filename=self.PIPELINE,
+        )
+        assert "PERF001" in found
+
+    def test_perf001_clean_with_explicit_mmap_mode(self):
+        found = rules_found(
+            """
+            import numpy as np
+
+            def read_matrix(path, use_mmap):
+                return np.load(path, mmap_mode="r" if use_mmap else None)
+            """,
+            filename=self.PIPELINE,
+        )
+        assert "PERF001" not in found
+
+    def test_perf001_clean_with_explicit_copy_intent(self):
+        found = rules_found(
+            """
+            import numpy as np
+
+            def read_small(path):
+                return np.load(path, mmap_mode=None)
+            """,
+            filename=self.PIPELINE,
+        )
+        assert "PERF001" not in found
+
+    def test_perf001_ignores_modules_outside_pipeline(self):
+        found = rules_found(
+            """
+            import numpy as np
+
+            def read_matrix(path):
+                return np.load(path)
+            """,
+            filename="/fx/persistence.py",
+        )
+        assert "PERF001" not in found
+
+    def test_perf001_resolves_numpy_alias(self):
+        found = rules_found(
+            """
+            import numpy
+
+            def read_matrix(path):
+                return numpy.load(path)
+            """,
+            filename=self.PIPELINE,
+        )
+        assert "PERF001" in found

@@ -1,0 +1,267 @@
+"""Equivalence tests for the vectorised training hot paths.
+
+Every vectorised kernel introduced by the hot-path refactor is pinned
+against a scalar reference implementation (exact where the arithmetic is
+order-preserving, 1e-10 otherwise), and the sharded builds are pinned
+against their unsharded/merged counterparts — including a byte-level
+jobs=1 vs jobs=4 artifact-store comparison through the process executor.
+"""
+
+import dataclasses
+import hashlib
+from collections import Counter
+
+import numpy as np
+import pytest
+
+from repro.bert.model import pad_all
+from repro.core.experiment import Lab
+from repro.embeddings.base import (
+    DENSE_SCATTER_MAX,
+    build_pairs,
+    negative_table,
+    pair_shard,
+    scatter_add,
+    scatter_outer_add,
+    sentences_to_ids,
+    shard_bounds,
+)
+from repro.embeddings.fasttext import character_ngrams, ngram_bucket_rows
+from repro.embeddings.glove import cooccurrence_arrays, cooccurrence_counts
+from repro.embeddings.word2vec import Word2Vec, Word2VecConfig
+from repro.text.vocab import build_vocabulary
+from repro.utils.rng import derive_rng, stable_hash
+from tests.conftest import MICRO_LAB_CONFIG
+
+
+def _toy_corpus(n_sentences=80, vocab=60, max_len=14, seed=11):
+    rng = np.random.default_rng(seed)
+    words = [f"w{i}" for i in range(vocab)]
+    return [
+        [words[j] for j in rng.integers(0, vocab, rng.integers(2, max_len))]
+        for _ in range(n_sentences)
+    ]
+
+
+class TestPairStream:
+    def _reference_pairs(self, sentence_ids, window, spans):
+        """Per-token scalar loop over the historical dynamic-window rule."""
+        pairs = []
+        offset = 0
+        for ids in sentence_ids:
+            n = ids.size
+            for i in range(n):
+                span = spans[offset + i]
+                for d in range(1, span + 1):
+                    if i - d >= 0:
+                        pairs.append((int(ids[i]), int(ids[i - d])))
+                    if i + d < n:
+                        pairs.append((int(ids[i]), int(ids[i + d])))
+            offset += n
+        return Counter(pairs)
+
+    def test_pair_shard_matches_scalar_reference_multiset(self):
+        sentences = _toy_corpus()
+        vocabulary = build_vocabulary(sentences, min_count=1)
+        sentence_ids = sentences_to_ids(sentences, vocabulary)
+        usable = [ids for ids in sentence_ids if ids.size >= 2]
+        window = 5
+        spans = derive_rng(0, "spans").integers(
+            1, window + 1, size=sum(ids.size for ids in usable)
+        )
+        centers, contexts = pair_shard(
+            sentence_ids, window, derive_rng(0, "spans")
+        )
+        got = Counter(zip(centers.tolist(), contexts.tolist()))
+        assert got == self._reference_pairs(usable, window, spans)
+
+    def test_precomputed_shards_equal_direct_build(self):
+        sentences = _toy_corpus(seed=3)
+        vocabulary = build_vocabulary(sentences, min_count=1)
+        sentence_ids = sentences_to_ids(sentences, vocabulary)
+        direct = build_pairs(sentence_ids, 4, seed=7, n_shards=4)
+        shards = [
+            pair_shard(
+                sentence_ids[start:stop], 4, derive_rng(7, "sgns-pairs", i, 4)
+            )
+            for i, (start, stop) in enumerate(
+                shard_bounds(len(sentence_ids), 4)
+            )
+        ]
+        merged = build_pairs([], 4, seed=7, n_shards=4, precomputed=shards)
+        assert np.array_equal(direct[0], merged[0])
+        assert np.array_equal(direct[1], merged[1])
+
+
+class TestCooccurrence:
+    def _reference_counts(self, sentences, vocabulary, window):
+        counts = {}
+        for sentence in sentences:
+            ids = [
+                i
+                for i in (vocabulary.get_id(t) for t in sentence)
+                if i is not None
+            ]
+            for pos, a in enumerate(ids):
+                for d in range(1, window + 1):
+                    if pos + d >= len(ids):
+                        break
+                    b = ids[pos + d]
+                    counts[(a, b)] = counts.get((a, b), 0.0) + 1.0 / d
+                    counts[(b, a)] = counts.get((b, a), 0.0) + 1.0 / d
+        return counts
+
+    def test_matches_scalar_reference(self):
+        sentences = _toy_corpus(seed=5)
+        vocabulary = build_vocabulary(sentences, min_count=1)
+        got = cooccurrence_counts(sentences, vocabulary, 6)
+        ref = self._reference_counts(sentences, vocabulary, 6)
+        assert set(got) == set(ref)
+        assert max(abs(got[k] - ref[k]) for k in ref) < 1e-10
+
+    def test_sharded_build_matches_unsharded(self):
+        sentences = _toy_corpus(seed=9)
+        vocabulary = build_vocabulary(sentences, min_count=1)
+        one = cooccurrence_arrays(sentences, vocabulary, 6, n_shards=1)
+        four = cooccurrence_arrays(sentences, vocabulary, 6, n_shards=4)
+        assert np.array_equal(one[0], four[0])
+        assert np.array_equal(one[1], four[1])
+        np.testing.assert_allclose(one[2], four[2], atol=1e-10, rtol=0)
+
+
+class TestScatterKernels:
+    @pytest.mark.parametrize("rows,dim", [(100, 16), (2100, 130)])
+    def test_scatter_add_matches_add_at(self, rows, dim):
+        # (100, 16) exercises the dense bincount path, (2100, 130) the
+        # sort + reduceat path (table.size above DENSE_SCATTER_MAX).
+        assert (rows * dim <= DENSE_SCATTER_MAX) == (rows == 100)
+        rng = np.random.default_rng(rows)
+        got = rng.normal(size=(rows, dim))
+        want = got.copy()
+        ids = rng.integers(0, rows, 4000)
+        updates = rng.normal(size=(4000, dim))
+        scatter_add(got, ids, updates)
+        np.add.at(want, ids, updates)
+        np.testing.assert_allclose(got, want, atol=1e-10, rtol=0)
+
+    @pytest.mark.parametrize("rows,batch", [(90, 64), (9000, 64)])
+    def test_scatter_outer_add_matches_add_at(self, rows, batch):
+        # Small tables take the bincount + matmul path; large ones fall
+        # back to scattering the materialised outer product.
+        assert (rows * batch <= DENSE_SCATTER_MAX) == (rows == 90)
+        rng = np.random.default_rng(rows)
+        got = np.zeros((rows, 16))
+        want = np.zeros((rows, 16))
+        ids = rng.integers(0, rows, (batch, 6))
+        coeffs = rng.normal(size=(batch, 6))
+        vectors = rng.normal(size=(batch, 16))
+        scatter_outer_add(got, ids, coeffs, vectors, -0.05)
+        np.add.at(
+            want,
+            ids.reshape(-1),
+            (-0.05 * coeffs)[..., None].reshape(-1, 1)
+            * np.repeat(vectors, 6, axis=0),
+        )
+        np.testing.assert_allclose(got, want, atol=1e-10, rtol=0)
+
+    def test_scatter_add_empty_ids_is_noop(self):
+        table = np.ones((8, 4))
+        scatter_add(table, np.empty(0, dtype=np.int64), np.empty((0, 4)))
+        assert np.array_equal(table, np.ones((8, 4)))
+
+
+class TestSmallKernels:
+    def test_negative_table_matches_scalar_loop(self):
+        sentences = _toy_corpus(seed=2)
+        vocabulary = build_vocabulary(sentences, min_count=1)
+        weights = np.array(
+            [
+                float(vocabulary.count(vocabulary.token_of(i))) ** 0.75
+                for i in range(len(vocabulary))
+            ]
+        )
+        reference = np.cumsum(weights / weights.sum())
+        assert np.array_equal(negative_table(vocabulary), reference)
+
+    def test_ngram_rows_cached_equals_uncached_equals_hash(self):
+        grams = character_ngrams("acetylcholine", 3, 5)
+        cache = {}
+        cached = ngram_bucket_rows(grams, 500, 1000, cache=cache)
+        uncached = ngram_bucket_rows(grams, 500, 1000)
+        direct = np.array(
+            [500 + stable_hash("ngram", g) % 1000 for g in grams],
+            dtype=np.int64,
+        )
+        assert np.array_equal(cached, uncached)
+        assert np.array_equal(cached, direct)
+        # second cached call answers from the memo with identical rows
+        assert np.array_equal(
+            ngram_bucket_rows(grams, 500, 1000, cache=cache), direct
+        )
+
+    def test_pad_all_matches_per_sequence_reference(self):
+        sequences = [[5, 2, 9], [1], [4, 4, 4, 4, 4, 4], [7, 8]]
+        ids, mask, lengths = pad_all(sequences, pad_id=0, max_len=6)
+        assert ids.shape == mask.shape == (4, 6)
+        for row, seq in enumerate(sequences):
+            want = (seq + [0] * 6)[:6]
+            assert ids[row].tolist() == want
+            assert mask[row].tolist() == [1] * len(seq) + [0] * (6 - len(seq))
+            assert lengths[row] == len(seq)
+
+
+class TestShardedTraining:
+    def test_word2vec_precomputed_pairs_equal_direct(self):
+        sentences = _toy_corpus(seed=13)
+        config = Word2VecConfig(dim=8, min_count=1, epochs=1, window=3)
+        vocabulary = build_vocabulary(sentences, min_count=1)
+        pairs = build_pairs(
+            sentences_to_ids(sentences, vocabulary),
+            config.window,
+            config.seed,
+            n_shards=4,
+        )
+        direct = Word2Vec.train(sentences, config, shards=4)
+        from_pairs = Word2Vec.train(sentences, config, pairs=pairs)
+        assert np.array_equal(direct.matrix, from_pairs.matrix)
+
+
+def _store_digest(root):
+    """Digest of every artifact byte under ``root`` except meta.json
+    (which records wall-clock timestamps and the builder pid)."""
+    digest = hashlib.sha256()
+    for path in sorted(root.rglob("*")):
+        if not path.is_file() or path.name == "meta.json":
+            continue
+        digest.update(str(path.relative_to(root)).encode())
+        digest.update(path.read_bytes())
+    return digest.hexdigest()
+
+
+class TestJobsParity:
+    def test_parallel_embedding_warm_is_byte_identical(self, tmp_path):
+        """jobs=1 (thread) and jobs=4 (process pool) must produce
+        byte-identical embedding artifacts — the fixed-shard contract."""
+        targets = [
+            "embedding-GloVe",
+            "embedding-W2V-Chem",
+            "embedding-GloVe-Chem",
+            "embedding-BioWordVec",
+        ]
+        serial = Lab(
+            dataclasses.replace(
+                MICRO_LAB_CONFIG, artifact_dir=str(tmp_path / "serial")
+            )
+        )
+        serial_results = serial.warm(targets, jobs=1, executor="thread")
+        parallel = Lab(
+            dataclasses.replace(
+                MICRO_LAB_CONFIG, artifact_dir=str(tmp_path / "parallel")
+            )
+        )
+        parallel_results = parallel.warm(targets, jobs=4, executor="process")
+        assert all(r.status == "ok" for r in serial_results.values())
+        assert all(r.status == "ok" for r in parallel_results.values())
+        assert _store_digest(tmp_path / "serial") == _store_digest(
+            tmp_path / "parallel"
+        )
