@@ -751,14 +751,63 @@ def cmd_perf_report(args: argparse.Namespace) -> int:
     return 0
 
 
+def _lint_selection(args) -> tuple:
+    """Resolve --rules/--flow/--diff into (per-file rules, flow, stale).
+
+    ``--diff`` lints only files changed against a ref; whole-program flow
+    rules and stale detection are disabled there because both are only
+    sound over the full tree (a call graph over three files proves
+    nothing about seed provenance, and a suppression can only be declared
+    dead when every rule actually ran against its file's callers).
+    """
+    from repro import statcheck
+    from repro.statcheck.flow import select_flow_rules
+
+    ids = (
+        [token.strip() for token in args.rules.split(",") if token.strip()]
+        if args.rules
+        else None
+    )
+    if args.diff is not None:
+        if args.flow:
+            print(
+                "note: --flow is ignored with --diff (whole-program "
+                "analysis needs the whole program)",
+                file=sys.stderr,
+            )
+        return statcheck.select_rules(ids), False, False
+    if ids is None:
+        return None, (True if args.flow else None), None
+    flow_family = set(statcheck.FAMILIES["flow"])
+    flow_ids = [
+        token
+        for token in ids
+        if token.lower() == "flow" or token.upper() in flow_family
+    ]
+    rules = statcheck.select_rules(ids)
+    if flow_ids or args.flow:
+        return rules, select_flow_rules(flow_ids or None), False
+    return rules, False, False
+
+
 def cmd_lint(args: argparse.Namespace) -> int:
-    """Run the static analyzer; exit 0 clean / 1 findings / 2 crash."""
+    """Run the static analyzer.
+
+    Exit 0 clean / 1 findings / 2 crash / 3 stale suppressions only.
+    """
     import json
+    from pathlib import Path
 
     from repro import statcheck
 
     try:
         paths = args.paths or None
+        if args.diff is not None:
+            changed = statcheck.changed_files(args.diff)
+            if not changed:
+                print(f"statcheck: no python files changed vs {args.diff}")
+                return 0
+            paths = changed
         if args.quick:
             started = time.perf_counter()
             findings = statcheck.quick_check(paths)
@@ -768,20 +817,38 @@ def cmd_lint(args: argparse.Namespace) -> int:
                 duration_s=time.perf_counter() - started,
             )
         else:
-            rules = (
-                statcheck.select_rules(args.rules.split(","))
-                if args.rules
-                else None
+            rules, flow, stale = _lint_selection(args)
+            report = statcheck.run_lint(paths, rules=rules, flow=flow, stale=stale)
+        baseline_path = Path(args.baseline)
+        if args.update_baseline:
+            count = statcheck.write_baseline(baseline_path, report.findings)
+            print(
+                f"statcheck: baseline {baseline_path} updated "
+                f"({count} entr{'y' if count == 1 else 'ies'})"
             )
-            report = statcheck.run_lint(paths, rules=rules)
+            return 0
+        if baseline_path.is_file():
+            baseline = statcheck.load_baseline(baseline_path)
+            report.findings, report.baselined = statcheck.split_baselined(
+                report.findings, baseline
+            )
         statcheck.record_inventory(report)
         if args.output:
             with open(args.output, "w", encoding="utf-8") as handle:
                 statcheck.write_json(report, handle)
+        if args.sarif:
+            with open(args.sarif, "w", encoding="utf-8") as handle:
+                statcheck.write_sarif(report, handle)
         if args.format == "json":
             print(
                 json.dumps(
                     statcheck.render_json(report), indent=2, sort_keys=True
+                )
+            )
+        elif args.format == "sarif":
+            print(
+                json.dumps(
+                    statcheck.render_sarif(report), indent=2, sort_keys=True
                 )
             )
         else:
@@ -793,7 +860,11 @@ def cmd_lint(args: argparse.Namespace) -> int:
     except Exception as error:
         print(f"error: statcheck crashed: {error}", file=sys.stderr)
         return 2
-    return 0 if report.ok else 1
+    if report.findings:
+        return 1
+    if report.stale:
+        return 3
+    return 0
 
 
 def _serve_service(args: argparse.Namespace):
@@ -1307,7 +1378,9 @@ def build_parser() -> argparse.ArgumentParser:
         "paths", nargs="*",
         help="files/dirs to lint (default: the installed repro package)",
     )
-    lint.add_argument("--format", choices=("text", "json"), default="text")
+    lint.add_argument(
+        "--format", choices=("text", "json", "sarif"), default="text"
+    )
     lint.add_argument(
         "--quick", action="store_true",
         help="only the compile + import-cycle smoke check",
@@ -1315,7 +1388,32 @@ def build_parser() -> argparse.ArgumentParser:
     lint.add_argument(
         "--rules", default=None,
         help="comma-separated rule ids or families, "
-        "e.g. 'determinism,CONC001'",
+        "e.g. 'determinism,CONC001,flow'",
+    )
+    lint.add_argument(
+        "--flow", action="store_true",
+        help="run the whole-program flow rules (FLOW001-004/GRAPH001) "
+        "even when --rules narrows the per-file selection; flow rules "
+        "are part of the default run",
+    )
+    lint.add_argument(
+        "--diff", nargs="?", const="HEAD", default=None, metavar="REF",
+        help="lint only python files changed vs REF (default HEAD), "
+        "plus untracked ones; per-file rules only",
+    )
+    lint.add_argument(
+        "--baseline", default=".statcheck-baseline.json", metavar="PATH",
+        help="baseline file; when present, baselined findings are "
+        "reported but do not fail the run",
+    )
+    lint.add_argument(
+        "--update-baseline", action="store_true",
+        help="rewrite the baseline file from this run's findings and exit 0",
+    )
+    lint.add_argument(
+        "--sarif", default=None, metavar="PATH",
+        help="also write a SARIF 2.1.0 report to this path "
+        "(GitHub code scanning)",
     )
     lint.add_argument(
         "--output", default=None,
@@ -1323,7 +1421,7 @@ def build_parser() -> argparse.ArgumentParser:
     )
     lint.add_argument(
         "--verbose", action="store_true",
-        help="also list suppressed findings (text format)",
+        help="also list suppressed and baselined findings (text format)",
     )
     lint.set_defaults(func=cmd_lint)
 

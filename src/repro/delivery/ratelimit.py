@@ -50,7 +50,6 @@ class TokenBucket:
         if self.rate is None:
             return
         elapsed = max(0.0, now - self._updated)
-        # statcheck: ignore[CONC001] - every caller holds self._lock (the _locked suffix contract)
         self._tokens = min(self.burst, self._tokens + elapsed * self.rate)
         self._updated = now
 

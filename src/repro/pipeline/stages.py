@@ -432,25 +432,41 @@ def _build_dataset(task: int, lab, inputs):
 
 
 def _build_ml_split(task: int, lab, inputs):
-    from repro.core.experiment import subsample
+    from repro.core.experiment import (
+        ML_TEST_SPLIT_SEED,
+        ML_TRAIN_SPLIT_SEED,
+        subsample,
+    )
 
     split = train_test_split_9_1(inputs[f"dataset-{task}"], seed=lab.config.seed)
     return DatasetSplit(
-        train=subsample(split.train, lab.config.max_train, seed=1),
-        test=subsample(split.test, lab.config.max_test, seed=2),
+        train=subsample(
+            split.train, lab.config.max_train, seed=ML_TRAIN_SPLIT_SEED
+        ),
+        test=subsample(split.test, lab.config.max_test, seed=ML_TEST_SPLIT_SEED),
     )
 
 
 def _build_ft_split(task: int, lab, inputs):
-    from repro.core.experiment import subsample
+    from repro.core.experiment import (
+        FT_TEST_SPLIT_SEED,
+        FT_TRAIN_SPLIT_SEED,
+        FT_VALIDATION_SPLIT_SEED,
+        subsample,
+    )
 
     split = train_val_test_split_8_1_1(
         inputs[f"dataset-{task}"], seed=lab.config.seed
     )
     return DatasetSplit(
-        train=subsample(split.train, lab.config.max_train, seed=3),
-        test=subsample(split.test, lab.config.max_test, seed=4),
-        validation=subsample(split.validation, lab.config.max_test, seed=5),
+        train=subsample(
+            split.train, lab.config.max_train, seed=FT_TRAIN_SPLIT_SEED
+        ),
+        test=subsample(split.test, lab.config.max_test, seed=FT_TEST_SPLIT_SEED),
+        validation=subsample(
+            split.validation, lab.config.max_test,
+            seed=FT_VALIDATION_SPLIT_SEED,
+        ),
     )
 
 

@@ -164,7 +164,6 @@ class MicroBatcher:
             nxt = self._pending[0]
             if taken and budget + len(nxt.triples) > self.max_batch:
                 break
-            # statcheck: ignore[CONC001] - every caller holds self._lock (the _locked suffix contract)
             taken.append(self._pending.pop(0))
             budget += len(nxt.triples)
         return taken

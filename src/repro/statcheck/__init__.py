@@ -6,23 +6,43 @@ cannot know: all entropy flows through ``utils/rng.py``, stage builders
 are pure functions of their inputs, shared state is mutated under its
 owning lock, client failures are accounted for, spans always close.
 
+Two layers:
+
+* per-file rules (DET/PUR/CONC/RES/OBS/SRV/PERF) walk one parsed file;
+* whole-program *flow* rules (:mod:`repro.statcheck.flow`:
+  FLOW001-004/GRAPH001) build a module-qualified symbol index and a
+  conservative call graph over the full tree, then check seed
+  provenance, exception contracts, resource lifecycles, lock-transfer
+  call sites, and stage-graph conformance interprocedurally.
+
 Entry points:
 
 * :func:`run_lint` — lint files/directories (default: the installed
-  ``repro`` package), returns a :class:`LintReport`;
+  ``repro`` package, flow rules included), returns a :class:`LintReport`;
 * :func:`lint_source` — lint an in-memory snippet (fixture tests);
 * :func:`quick_check` — compile + import-cycle smoke check;
 * ``repro lint`` — the CLI front-end (exit 0 clean / 1 findings /
-  2 analyzer error).
+  2 analyzer error / 3 stale suppressions only).
 
 Findings are suppressed per line with ``# statcheck: ignore[RULE] -
-justification`` (same line or the comment line directly above).
+justification`` (same line or the comment line directly above); a
+suppression that matches nothing is itself reported (``SUP001``).
+Legacy findings can be ratcheted with a baseline file
+(:mod:`repro.statcheck.baseline`, ``repro lint --update-baseline``).
 """
 
+from repro.statcheck.baseline import (
+    BASELINE_FORMAT,
+    load_baseline,
+    split_baselined,
+    write_baseline,
+)
 from repro.statcheck.engine import (
+    STALE_RULE,
     SYNTAX_RULE,
     FileContext,
     LintReport,
+    changed_files,
     default_target,
     discover_files,
     lint_source,
@@ -32,10 +52,13 @@ from repro.statcheck.findings import Finding, StatcheckError
 from repro.statcheck.quick import CYCLE_RULE, quick_check
 from repro.statcheck.report import (
     REPORT_FORMAT,
+    SARIF_VERSION,
     record_inventory,
     render_json,
+    render_sarif,
     render_text,
     write_json,
+    write_sarif,
 )
 from repro.statcheck.rules import (
     FAMILIES,
@@ -46,6 +69,7 @@ from repro.statcheck.rules import (
 )
 
 __all__ = [
+    "BASELINE_FORMAT",
     "CYCLE_RULE",
     "FAMILIES",
     "FileContext",
@@ -53,18 +77,26 @@ __all__ = [
     "LintReport",
     "REPORT_FORMAT",
     "Rule",
+    "SARIF_VERSION",
+    "STALE_RULE",
     "StatcheckError",
     "SYNTAX_RULE",
     "catalog",
+    "changed_files",
     "default_rules",
     "default_target",
     "discover_files",
     "lint_source",
+    "load_baseline",
     "quick_check",
     "record_inventory",
     "render_json",
+    "render_sarif",
     "render_text",
     "run_lint",
     "select_rules",
+    "split_baselined",
+    "write_baseline",
     "write_json",
+    "write_sarif",
 ]

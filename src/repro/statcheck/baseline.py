@@ -1,0 +1,92 @@
+"""Finding baselines: ratchet new code without failing on legacy debt.
+
+A baseline file (``.statcheck-baseline.json`` by convention) records the
+set of findings that existed when it was written.  On later runs, findings
+whose *identity* appears in the baseline are reported separately and do
+not fail the run — only findings absent from the baseline do.  Tightening
+a rule therefore never blocks CI on pre-existing code: regenerate the
+baseline (``repro lint --update-baseline``), commit it, and burn entries
+down over time.
+
+Identity is ``(path, rule, message)`` — deliberately *not* the line
+number, so unrelated edits above a baselined finding do not resurrect it.
+The cost is that two identical findings in one file collapse into one
+entry; that is acceptable for a ratchet (either both are legacy or the
+file is being actively edited, at which point the baseline should shrink,
+not grow).
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import TYPE_CHECKING, List, Sequence, Set, Tuple
+
+from .findings import StatcheckError
+
+if TYPE_CHECKING:  # pragma: no cover - typing only
+    from .findings import Finding
+
+BASELINE_FORMAT = "repro-statcheck-baseline-v1"
+
+Identity = Tuple[str, str, str]
+
+
+def finding_identity(finding: "Finding") -> Identity:
+    return (finding.path, finding.rule, finding.message)
+
+
+def load_baseline(path: Path) -> Set[Identity]:
+    """Read a baseline file into a set of finding identities."""
+    try:
+        payload = json.loads(path.read_text(encoding="utf-8"))
+    except (OSError, json.JSONDecodeError) as exc:
+        raise StatcheckError(f"cannot read baseline {path}: {exc}") from exc
+    if not isinstance(payload, dict) or payload.get("format") != BASELINE_FORMAT:
+        raise StatcheckError(
+            f"{path} is not a {BASELINE_FORMAT} file"
+        )
+    entries: Set[Identity] = set()
+    for entry in payload.get("findings", ()):
+        try:
+            entries.add((entry["path"], entry["rule"], entry["message"]))
+        except (TypeError, KeyError) as exc:
+            raise StatcheckError(
+                f"malformed baseline entry in {path}: {entry!r}"
+            ) from exc
+    return entries
+
+
+def write_baseline(path: Path, findings: Sequence["Finding"]) -> int:
+    """Write ``findings`` as the new baseline; returns the entry count."""
+    identities = sorted({finding_identity(f) for f in findings})
+    payload = {
+        "format": BASELINE_FORMAT,
+        "findings": [
+            {"path": p, "rule": r, "message": m} for p, r, m in identities
+        ],
+    }
+    path.write_text(
+        json.dumps(payload, indent=2, sort_keys=True) + "\n", encoding="utf-8"
+    )
+    return len(identities)
+
+
+def split_baselined(
+    findings: Sequence["Finding"], baseline: Set[Identity]
+) -> Tuple[List["Finding"], List["Finding"]]:
+    """Partition into (new, baselined) against ``baseline``."""
+    new: List["Finding"] = []
+    old: List["Finding"] = []
+    for finding in findings:
+        (old if finding_identity(finding) in baseline else new).append(finding)
+    return new, old
+
+
+__all__ = [
+    "BASELINE_FORMAT",
+    "finding_identity",
+    "load_baseline",
+    "split_baselined",
+    "write_baseline",
+]

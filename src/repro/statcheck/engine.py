@@ -2,30 +2,38 @@
 
 Pure stdlib (``ast`` + ``symtable`` + ``tokenize``): each target file is
 read and parsed exactly once into a :class:`FileContext`; every selected
-rule then walks the shared tree.  Findings suppressed by
-``# statcheck: ignore[RULE]`` comments are counted separately so the
-report can show both sides of the ledger.  The whole ``src/repro`` tree
-(~90 files) lints in well under a second.
+per-file rule then walks the shared tree, and the whole-program *flow*
+rules (:mod:`repro.statcheck.flow`) run once over the full context set —
+call graph, seed provenance, exception contracts, stage-graph
+conformance.  Findings suppressed by ``# statcheck: ignore[RULE]``
+comments are counted separately so the report can show both sides of the
+ledger, and suppression comments that matched *nothing* are reported as
+stale (:data:`STALE_RULE`).  The whole ``src/repro`` tree (~130 files)
+lints — flow analysis included — in a couple of seconds.
 """
 
 from __future__ import annotations
 
 import ast
+import subprocess
 import time
 from dataclasses import dataclass, field
 from pathlib import Path
-from typing import Dict, List, Optional, Sequence, Union
+from typing import Dict, List, Optional, Sequence, Tuple, Union
 
 from repro.obs.trace import get_tracer, span
 from repro.statcheck.astutil import build_alias_map
 from repro.statcheck.findings import Finding, StatcheckError
 from repro.statcheck.rules import Rule, default_rules
-from repro.statcheck.suppress import is_suppressed, parse_suppressions
+from repro.statcheck.suppress import SuppressionComment, parse_suppression_comments
 
 PathLike = Union[str, Path]
 
 #: Engine-level rule id for files that do not parse.
 SYNTAX_RULE = "SYN001"
+
+#: Engine-level rule id for suppression comments that matched no finding.
+STALE_RULE = "SUP001"
 
 
 @dataclass
@@ -46,6 +54,11 @@ class LintReport:
 
     findings: List[Finding] = field(default_factory=list)
     suppressed: List[Finding] = field(default_factory=list)
+    #: Stale suppression comments (:data:`STALE_RULE`) — hygiene, not
+    #: correctness: they never fail a run on their own (exit code 3).
+    stale: List[Finding] = field(default_factory=list)
+    #: Findings matched by the baseline file: visible, but non-fatal.
+    baselined: List[Finding] = field(default_factory=list)
     n_files: int = 0
     duration_s: float = 0.0
 
@@ -106,6 +119,41 @@ def discover_files(paths: Optional[Sequence[PathLike]] = None) -> List[Path]:
     return sorted(set(files))
 
 
+def changed_files(ref: str = "HEAD", cwd: Optional[PathLike] = None) -> List[Path]:
+    """Python files changed relative to ``ref``, plus untracked ones.
+
+    Backs ``repro lint --diff``: lint only what a branch touches.  Raises
+    :class:`StatcheckError` when git is unavailable or ``ref`` is unknown —
+    a diff lint that silently checks nothing would defeat its purpose.
+    Deleted files are excluded (nothing on disk to lint).
+    """
+    git = ["git"] + (["-C", str(cwd)] if cwd is not None else [])
+
+    def run(args: List[str]) -> str:
+        try:
+            proc = subprocess.run(
+                git + args, capture_output=True, text=True, check=True
+            )
+        except OSError as exc:
+            raise StatcheckError(f"cannot run git: {exc}") from exc
+        except subprocess.CalledProcessError as exc:
+            detail = (exc.stderr or "").strip() or f"exit {exc.returncode}"
+            raise StatcheckError(f"git {' '.join(args[:2])} failed: {detail}") from exc
+        return proc.stdout
+
+    top = Path(run(["rev-parse", "--show-toplevel"]).strip())
+    names = run(["diff", "--name-only", "-z", ref, "--"]).split("\0")
+    names += run(
+        ["ls-files", "--others", "--exclude-standard", "-z", "--"]
+    ).split("\0")
+    files = {
+        top / name
+        for name in names
+        if name.endswith(".py") and (top / name).is_file()
+    }
+    return sorted(files)
+
+
 def make_context(path: Path, source: str, rel: Optional[str] = None) -> FileContext:
     """Parse ``source`` into a :class:`FileContext` (raises SyntaxError)."""
     tree = ast.parse(source, filename=str(path))
@@ -128,39 +176,62 @@ def _display_path(path: Path, root: Optional[Path]) -> str:
     return str(path)
 
 
-def lint_file(
-    path: Path,
+def _syntax_finding(rel: str, error: SyntaxError) -> Finding:
+    return Finding(
+        path=rel,
+        line=error.lineno or 1,
+        col=(error.offset or 0) + 1,
+        rule=SYNTAX_RULE,
+        message=f"file does not parse: {error.msg}",
+    )
+
+
+def _suppressed_by(
+    comments: Sequence[SuppressionComment], finding: Finding
+) -> bool:
+    """Whether a comment silences ``finding``; marks the comment used."""
+    hit = False
+    for comment in comments:
+        if comment.matches(finding.line, finding.rule):
+            comment.used = True
+            hit = True  # keep going: every matching comment counts as used
+    return hit
+
+
+def _check_context(
+    ctx: FileContext,
     rules: Sequence[Rule],
-    rel: Optional[str] = None,
-    source: Optional[str] = None,
-) -> tuple:
-    """Lint one file; returns ``(findings, suppressed)``."""
-    if source is None:
-        source = path.read_text(encoding="utf-8")
-    rel = rel or str(path)
-    try:
-        ctx = make_context(path, source, rel)
-    except SyntaxError as error:
-        finding = Finding(
-            path=rel,
-            line=error.lineno or 1,
-            col=(error.offset or 0) + 1,
-            rule=SYNTAX_RULE,
-            message=f"file does not parse: {error.msg}",
-        )
-        return [finding], []
-    suppressions = parse_suppressions(source)
+    comments: Sequence[SuppressionComment],
+) -> Tuple[List[Finding], List[Finding]]:
+    """Run per-file ``rules`` over one parsed context."""
     findings: List[Finding] = []
     suppressed: List[Finding] = []
     for rule in rules:
         if not rule.applies_to(ctx):
             continue
         for finding in rule.check(ctx):
-            if is_suppressed(suppressions, finding.line, finding.rule):
+            if _suppressed_by(comments, finding):
                 suppressed.append(finding)
             else:
                 findings.append(finding)
     return findings, suppressed
+
+
+def lint_file(
+    path: Path,
+    rules: Sequence[Rule],
+    rel: Optional[str] = None,
+    source: Optional[str] = None,
+) -> tuple:
+    """Lint one file with per-file rules; returns ``(findings, suppressed)``."""
+    if source is None:
+        source = path.read_text(encoding="utf-8")
+    rel = rel or str(path)
+    try:
+        ctx = make_context(path, source, rel)
+    except SyntaxError as error:
+        return [_syntax_finding(rel, error)], []
+    return _check_context(ctx, rules, parse_suppression_comments(source))
 
 
 def lint_source(
@@ -182,39 +253,109 @@ def lint_source(
     )
 
 
+def _resolve_flow(flow, rules) -> list:
+    """Normalise the ``flow`` argument of :func:`run_lint` to a rule list."""
+    if flow is None:
+        # Default rule selection ⇒ default flow rules; an explicit per-file
+        # subset ⇒ no whole-program pass unless asked for.
+        flow = rules is None
+    if flow is True:
+        from repro.statcheck.flow import default_flow_rules
+
+        return default_flow_rules()
+    if not flow:
+        return []
+    return list(flow)
+
+
 def run_lint(
     paths: Optional[Sequence[PathLike]] = None,
     rules: Optional[Sequence[Rule]] = None,
     root: Optional[PathLike] = None,
+    flow=None,
+    stale: Optional[bool] = None,
 ) -> LintReport:
     """Lint ``paths`` (default: the installed ``repro`` package).
 
     ``root`` shortens reported paths to be relative (defaults to the common
     parent of the default target, keeping CI output repo-relative).
+
+    ``flow`` selects the whole-program pass: ``None`` runs the default flow
+    rules exactly when ``rules`` is the default selection, ``True``/``False``
+    force it, and a sequence of :class:`~repro.statcheck.flow.FlowRule`
+    instances runs just those.  ``stale`` controls stale-suppression
+    detection (:data:`STALE_RULE`); by default it is on only for full runs
+    (all per-file rules *and* the flow pass), because a comment can only be
+    proven dead when every rule it names actually ran.
+
     Analyzer failures raise :class:`StatcheckError`; problems *found in the
     code* come back as findings.
     """
     started = time.perf_counter()
-    rules = list(rules) if rules is not None else default_rules()
+    per_file_rules = list(rules) if rules is not None else default_rules()
+    flow_rules = _resolve_flow(flow, rules)
+    if stale is None:
+        stale = rules is None and bool(flow_rules)
     files = discover_files(paths)
     root_path = Path(root) if root is not None else (
         default_target().parent if paths is None else None
     )
     report = LintReport()
+    contexts: List[FileContext] = []
+    comments_by_rel: Dict[str, List[SuppressionComment]] = {}
     with span("statcheck.lint", files=len(files)) as sp:
         for path in files:
             rel = _display_path(path, root_path)
             try:
-                findings, suppressed = lint_file(path, rules, rel=rel)
+                source = path.read_text(encoding="utf-8")
             except OSError as error:
                 raise StatcheckError(f"cannot read {path}: {error}") from error
+            comments = parse_suppression_comments(source)
+            comments_by_rel[rel] = comments
+            try:
+                ctx = make_context(path, source, rel)
+            except SyntaxError as error:
+                report.findings.append(_syntax_finding(rel, error))
+                continue
+            contexts.append(ctx)
+            findings, suppressed = _check_context(ctx, per_file_rules, comments)
             report.findings.extend(findings)
             report.suppressed.extend(suppressed)
+        if flow_rules and contexts:
+            from repro.statcheck.flow import build_program, run_flow_rules
+
+            program = build_program(contexts)
+            for finding in run_flow_rules(program, flow_rules):
+                comments = comments_by_rel.get(finding.path, ())
+                if _suppressed_by(comments, finding):
+                    report.suppressed.append(finding)
+                else:
+                    report.findings.append(finding)
+        if stale:
+            for rel, comments in sorted(comments_by_rel.items()):
+                for comment in comments:
+                    if comment.used:
+                        continue
+                    report.stale.append(
+                        Finding(
+                            path=rel,
+                            line=comment.line,
+                            col=1,
+                            rule=STALE_RULE,
+                            message=(
+                                "stale suppression "
+                                f"({', '.join(comment.rules)}): no finding "
+                                "matched this comment — remove it"
+                            ),
+                        )
+                    )
         report.n_files = len(files)
         report.findings.sort()
         report.suppressed.sort()
+        report.stale.sort()
         sp.incr("findings", len(report.findings))
         sp.incr("suppressed", len(report.suppressed))
+        sp.incr("stale", len(report.stale))
     for rule_id, count in report.counts_by_rule().items():
         get_tracer().count(f"lint.findings.{rule_id}", count)
     report.duration_s = time.perf_counter() - started
@@ -222,9 +363,11 @@ def run_lint(
 
 
 __all__ = [
+    "STALE_RULE",
     "SYNTAX_RULE",
     "FileContext",
     "LintReport",
+    "changed_files",
     "module_name",
     "default_target",
     "discover_files",

@@ -1,0 +1,295 @@
+"""Conservative call graph over the :class:`ProgramIndex`.
+
+Each call site is resolved to first-party targets by, in order:
+
+1. **direct** — the alias-resolved dotted name is an indexed function or
+   class (constructor -> ``__init__``);
+2. **method** — the receiver's class is inferred (``self``/``cls``,
+   annotated parameters and locals, ``Name = ClassName(...)``
+   assignments, and ``self.attr`` chains through the index's
+   attribute-type map) and the method found on it or a base;
+3. **unique-name** — exactly one indexed class defines a method with that
+   name.  One definer is evidence; many is dynamic dispatch and resolves
+   to nothing.
+
+Every site also records the **lock depth** (enclosing ``with <lock>:``
+blocks) and the **handled exception names** (enclosing ``try`` bodies'
+handler types) at the call, which is all the context FLOW002/FLOW004 need
+without re-walking functions.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
+
+from repro.statcheck.astutil import dotted_name, is_lock_context, resolve_name
+from repro.statcheck.flow.index import (
+    ClassInfo,
+    FunctionInfo,
+    ProgramIndex,
+    annotation_name,
+)
+from repro.statcheck.quick import strongly_connected_components
+
+#: Handler marker for a bare ``except:`` clause.
+CATCH_ALL = "*"
+
+
+def handler_names(handler: ast.ExceptHandler) -> Set[str]:
+    """Bare exception-class names an ``except`` clause catches."""
+    if handler.type is None:
+        return {CATCH_ALL}
+    nodes = (
+        handler.type.elts
+        if isinstance(handler.type, ast.Tuple)
+        else [handler.type]
+    )
+    names: Set[str] = set()
+    for node in nodes:
+        name = dotted_name(node)
+        if name:
+            names.add(name.rsplit(".", 1)[-1])
+    return names
+
+
+@dataclass
+class CallSite:
+    """One resolved (or unresolved) call inside a function body."""
+
+    caller: FunctionInfo
+    node: ast.Call
+    callees: Tuple[FunctionInfo, ...]
+    resolution: str  # "direct" | "method" | "unique-name" | "unresolved"
+    lock_depth: int
+    handled: FrozenSet[str]
+    #: Alias-resolved dotted name of the call target (may be third-party).
+    target_name: Optional[str]
+
+    def bind_args(self, callee: FunctionInfo) -> Dict[str, ast.AST]:
+        """Map ``callee`` parameter names to argument expressions here.
+
+        Accounts for the implicit receiver: a method reached through an
+        attribute (``obj.m(x)``) binds ``x`` to the first *explicit*
+        parameter.  Starred arguments stay unbound.
+        """
+        params = callee.params
+        if (
+            callee.is_method
+            and params
+            and params[0] in ("self", "cls")
+            and isinstance(self.node.func, ast.Attribute)
+        ):
+            params = params[1:]
+        bound: Dict[str, ast.AST] = {}
+        for param, arg in zip(params, self.node.args):
+            if isinstance(arg, ast.Starred):
+                break
+            bound[param] = arg
+        for keyword in self.node.keywords:
+            if keyword.arg is not None:
+                bound[keyword.arg] = keyword.value
+        return bound
+
+
+class CallGraph:
+    """Call sites, adjacency, and SCC ordering for a whole program."""
+
+    def __init__(self, index: ProgramIndex):
+        self.index = index
+        self.sites: List[CallSite] = []
+        self.sites_by_caller: Dict[str, List[CallSite]] = {}
+        self.sites_by_callee: Dict[str, List[CallSite]] = {}
+        self.edges: Dict[str, Set[str]] = {
+            key: set() for key in index.functions
+        }
+        for info in index.functions.values():
+            self._scan_function(info)
+
+    # -- traversal ----------------------------------------------------
+
+    def _scan_function(self, info: FunctionInfo) -> None:
+        self.sites_by_caller.setdefault(info.key, [])
+        self._scan_block(
+            info, list(ast.iter_child_nodes(info.node)), 0, frozenset()
+        )
+
+    def _scan_block(
+        self,
+        info: FunctionInfo,
+        nodes: Sequence[ast.AST],
+        lock_depth: int,
+        handled: FrozenSet[str],
+    ) -> None:
+        for node in nodes:
+            if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                continue  # nested defs are scanned as their own functions
+            if isinstance(node, ast.Lambda):
+                continue  # a lambda body runs at call time, not here
+            if isinstance(node, ast.Call):
+                self._record_site(info, node, lock_depth, handled)
+            if isinstance(node, (ast.With, ast.AsyncWith)):
+                depth = lock_depth + (
+                    1 if any(is_lock_context(i) for i in node.items) else 0
+                )
+                for item in node.items:
+                    self._scan_block(
+                        info, [item.context_expr], lock_depth, handled
+                    )
+                self._scan_block(info, node.body, depth, handled)
+                continue
+            if isinstance(node, ast.Try):
+                caught = frozenset().union(
+                    *(handler_names(h) for h in node.handlers)
+                ) if node.handlers else frozenset()
+                self._scan_block(info, node.body, lock_depth, handled | caught)
+                for handler in node.handlers:
+                    self._scan_block(info, handler.body, lock_depth, handled)
+                # `else:` runs after the try body; its exceptions are NOT
+                # caught by this try's handlers.
+                self._scan_block(info, node.orelse, lock_depth, handled)
+                self._scan_block(info, node.finalbody, lock_depth, handled)
+                continue
+            self._scan_block(
+                info, list(ast.iter_child_nodes(node)), lock_depth, handled
+            )
+
+    def _record_site(
+        self,
+        info: FunctionInfo,
+        node: ast.Call,
+        lock_depth: int,
+        handled: FrozenSet[str],
+    ) -> None:
+        callees, resolution, target = self.resolve_reference(info, node.func)
+        site = CallSite(
+            caller=info,
+            node=node,
+            callees=tuple(callees),
+            resolution=resolution,
+            lock_depth=lock_depth,
+            handled=handled,
+            target_name=target,
+        )
+        self.sites.append(site)
+        self.sites_by_caller.setdefault(info.key, []).append(site)
+        for callee in callees:
+            self.sites_by_callee.setdefault(callee.key, []).append(site)
+            self.edges.setdefault(info.key, set()).add(callee.key)
+
+    # -- resolution ---------------------------------------------------
+
+    def resolve_reference(
+        self, info: FunctionInfo, expr: ast.AST
+    ) -> Tuple[List[FunctionInfo], str, Optional[str]]:
+        """Resolve a callable reference (a call's ``func``, or a bare
+        function value like a ``Thread(target=...)`` argument)."""
+        target = resolve_name(expr, info.ctx.aliases)
+        # 1. Direct: absolute dotted name or same-module bare name.
+        found = self.index.resolve_dotted(target)
+        if found is None and isinstance(expr, ast.Name):
+            name = expr.id
+            found = (
+                self.index.module_functions.get((info.module, name))
+                or self.index.classes.get(f"{info.module}:{name}")
+                or self._enclosing_nested(info, name)
+            )
+        if isinstance(found, ClassInfo):
+            init = self.index.resolve_method(found, "__init__")
+            return ([init] if init else []), "direct", target
+        if isinstance(found, FunctionInfo):
+            return [found], "direct", target
+        if not isinstance(expr, ast.Attribute):
+            return [], "unresolved", target
+        # 2. Method on an inferred receiver class.
+        receiver_cls = self._infer_class(info, expr.value)
+        if receiver_cls is not None:
+            method = self.index.resolve_method(receiver_cls, expr.attr)
+            if method is not None:
+                return [method], "method", target
+            return [], "unresolved", target
+        # 3. Unique-name fallback.
+        candidates = self.index.methods_by_name.get(expr.attr, [])
+        if len(candidates) == 1:
+            return [candidates[0]], "unique-name", target
+        return [], "unresolved", target
+
+    def _enclosing_nested(
+        self, info: FunctionInfo, name: str
+    ) -> Optional[FunctionInfo]:
+        """A nested function visible from ``info`` by bare name."""
+        prefix = info.qualname
+        while prefix:
+            found = self.index.functions.get(f"{info.module}:{prefix}.{name}")
+            if found is not None:
+                return found
+            prefix = prefix.rpartition(".")[0]
+        return None
+
+    def _infer_class(
+        self, info: FunctionInfo, receiver: ast.AST
+    ) -> Optional[ClassInfo]:
+        """The receiver expression's class, when statically evident."""
+        if isinstance(receiver, ast.Name):
+            if receiver.id in ("self", "cls") and info.is_method:
+                return self.index.class_of(info)
+            annotated = self._param_annotation(info, receiver.id)
+            if annotated is not None:
+                return annotated
+            return self._local_assignment_class(info, receiver.id)
+        if isinstance(receiver, ast.Attribute):
+            base = self._infer_class(info, receiver.value)
+            if base is not None:
+                attr_key = base.attr_types.get(receiver.attr)
+                if attr_key is not None:
+                    klass = self.index.classes.get(attr_key)
+                    if klass is not None:
+                        return klass
+        if isinstance(receiver, ast.Call):
+            constructed = self.index.resolve_class(
+                dotted_name(receiver.func), info.ctx
+            )
+            if constructed is not None:
+                return constructed
+        return None
+
+    def _param_annotation(
+        self, info: FunctionInfo, name: str
+    ) -> Optional[ClassInfo]:
+        args = info.node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            if arg.arg == name:
+                return self.index.resolve_class(
+                    annotation_name(arg.annotation), info.ctx
+                )
+        return None
+
+    def _local_assignment_class(
+        self, info: FunctionInfo, name: str
+    ) -> Optional[ClassInfo]:
+        for node in ast.walk(info.node):
+            if isinstance(node, ast.Assign) and len(node.targets) == 1:
+                target, value = node.targets[0], node.value
+            elif isinstance(node, ast.AnnAssign) and node.value is not None:
+                target, value = node.target, node.value
+            else:
+                continue
+            if not (isinstance(target, ast.Name) and target.id == name):
+                continue
+            if isinstance(value, ast.Call):
+                constructed = self.index.resolve_class(
+                    dotted_name(value.func), info.ctx
+                )
+                if constructed is not None:
+                    return constructed
+        return None
+
+    # -- orderings ----------------------------------------------------
+
+    def sccs(self) -> List[List[str]]:
+        """Function SCCs in reverse topological order (callees first)."""
+        return strongly_connected_components(self.edges)
+
+
+__all__ = ["CATCH_ALL", "CallSite", "CallGraph", "handler_names"]

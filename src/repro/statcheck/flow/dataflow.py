@@ -1,0 +1,816 @@
+"""Interprocedural dataflow over the call graph.
+
+Three analyses, all *optimistic* (unresolvable facts contribute nothing,
+so findings only come from positively-established flows):
+
+* **may-raise** — which tracked exception classes can escape each
+  function, computed as a fixpoint over call-graph SCCs in reverse
+  topological order, subtracting the exceptions each call site's
+  enclosing ``try`` handlers catch;
+* **seed provenance** — whether the seed expression feeding an RNG
+  consumer traces back to config key material (an attribute/key named
+  ``seed``/``*_seed``) or bottoms out in a hard-coded literal, following
+  parameters backwards through every resolved caller;
+* **constant environments** — partial evaluation of builder bodies under
+  the constant bindings a ``functools.partial`` fixes at registration
+  time: f-string keys substitute, statically-decidable branches prune,
+  and ``range()`` loops unroll, so ``inputs[f"dataset-{task}"]`` becomes
+  the literal key the stage graph can be checked against.
+"""
+
+from __future__ import annotations
+
+import ast
+import re
+from dataclasses import dataclass
+from typing import (
+    Dict,
+    FrozenSet,
+    List,
+    Optional,
+    Sequence,
+    Set,
+    Tuple,
+    Union,
+)
+
+from repro.statcheck.astutil import dotted_name, last_segment, resolve_name
+from repro.statcheck.flow.callgraph import CATCH_ALL, CallGraph, handler_names
+from repro.statcheck.flow.index import FunctionInfo, ProgramIndex
+
+Scalar = Union[int, float, str, bool]
+#: A constant environment value: one scalar, or the set of scalars a
+#: loop variable ranges over.
+EnvValue = Union[Scalar, FrozenSet[Scalar]]
+
+#: Largest key fan-out a multi-valued binding may expand to.
+MAX_EXPANSION = 256
+
+
+# ---------------------------------------------------------------------------
+# may-raise
+
+
+def exception_catchers(index: ProgramIndex, name: str) -> Set[str]:
+    """Handler names that catch exception class ``name``: itself, its
+    indexed base chain, and the universal stdlib bases."""
+    catchers = {name, "Exception", "BaseException"}
+    queue = [name]
+    while queue:
+        current = queue.pop()
+        candidates = index.classes_by_name.get(current, [])
+        if len(candidates) != 1:
+            continue
+        for base in candidates[0].base_names:
+            bare = base.rsplit(".", 1)[-1]
+            if bare not in catchers:
+                catchers.add(bare)
+                queue.append(bare)
+    return catchers
+
+
+def _direct_raises(
+    info: FunctionInfo, tracked: Set[str], index: ProgramIndex
+) -> Dict[str, Tuple[str, int]]:
+    """Tracked exceptions ``info`` raises itself -> (rel path, line).
+
+    A bare ``raise`` inside ``except ShedError:`` re-raises ShedError; a
+    raise whose exception is caught by an *enclosing* try in the same
+    function never escapes and is not counted.
+    """
+    raises: Dict[str, Tuple[str, int]] = {}
+
+    def record(name: str, node: ast.AST, handled: FrozenSet[str]) -> None:
+        if name not in tracked:
+            return
+        if CATCH_ALL in handled or exception_catchers(index, name) & handled:
+            return
+        raises.setdefault(name, (info.ctx.rel, node.lineno))
+
+    def scan(
+        nodes: Sequence[ast.AST],
+        handled: FrozenSet[str],
+        current: FrozenSet[str],
+    ) -> None:
+        for node in nodes:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(node, ast.Raise):
+                if node.exc is None:
+                    for name in current & tracked:
+                        record(name, node, handled)
+                else:
+                    exc = node.exc
+                    if isinstance(exc, ast.Call):
+                        exc = exc.func
+                    record(last_segment(dotted_name(exc)), node, handled)
+                continue
+            if isinstance(node, ast.Try):
+                caught = frozenset().union(
+                    *(handler_names(h) for h in node.handlers)
+                ) if node.handlers else frozenset()
+                scan(node.body, handled | caught, current)
+                for handler in node.handlers:
+                    scan(
+                        handler.body, handled,
+                        frozenset(handler_names(handler)),
+                    )
+                scan(node.orelse, handled, current)
+                scan(node.finalbody, handled, current)
+                continue
+            scan(list(ast.iter_child_nodes(node)), handled, current)
+
+    scan(list(ast.iter_child_nodes(info.node)), frozenset(), frozenset())
+    return raises
+
+
+def compute_may_raise(
+    graph: CallGraph, tracked: Set[str]
+) -> Tuple[Dict[str, Set[str]], Dict[Tuple[str, str], Tuple[str, int]]]:
+    """Fixpoint may-raise sets for every function in the graph.
+
+    Returns ``(may_raise, origins)`` where ``origins[(fn_key, exc)]`` is
+    the ``(rel, line)`` of one raise site the exception propagates from.
+    """
+    index = graph.index
+    direct = {
+        key: _direct_raises(info, tracked, index)
+        for key, info in index.functions.items()
+    }
+    may: Dict[str, Set[str]] = {
+        key: set(direct[key]) for key in index.functions
+    }
+    origins: Dict[Tuple[str, str], Tuple[str, int]] = {
+        (key, name): where
+        for key, raised in direct.items()
+        for name, where in raised.items()
+    }
+    catcher_cache = {name: exception_catchers(index, name) for name in tracked}
+
+    def flow_into(caller: str) -> bool:
+        changed = False
+        for site in graph.sites_by_caller.get(caller, ()):
+            if CATCH_ALL in site.handled:
+                continue
+            for callee in site.callees:
+                for name in may.get(callee.key, ()):
+                    if catcher_cache[name] & site.handled:
+                        continue
+                    if name not in may[caller]:
+                        may[caller].add(name)
+                        origins.setdefault(
+                            (caller, name),
+                            origins.get(
+                                (callee.key, name),
+                                (callee.ctx.rel, callee.node.lineno),
+                            ),
+                        )
+                        changed = True
+        return changed
+
+    # Reverse topological SCC order: callees are final before callers,
+    # so each component needs only a local fixpoint.
+    for component in graph.sccs():
+        changed = True
+        while changed:
+            changed = False
+            for key in component:
+                if flow_into(key):
+                    changed = True
+    return may, origins
+
+
+# ---------------------------------------------------------------------------
+# seed provenance
+
+#: Attribute / key / parameter names that are sanctioned seed material.
+def is_seed_name(name: str) -> bool:
+    lowered = name.lower()
+    return lowered == "seed" or lowered.endswith("_seed")
+
+
+#: Functions that mix entropy deterministically — a seed is fine if it
+#: *passes through* one of these.
+_SEED_MIXERS = frozenset(
+    {"stable_hash", "stable_digest", "derive_rng", "ensure_rng",
+     "int", "abs", "hash"}
+)
+
+#: Classification statuses.
+SEED_OK = "ok"
+SEED_BAD = "bad"
+SEED_UNKNOWN = "unknown"
+
+
+@dataclass
+class SeedOrigin:
+    """Where a seed classification bottomed out."""
+
+    status: str
+    detail: str = ""
+    rel: str = ""
+    line: int = 0
+    chain: Tuple[str, ...] = ()
+    #: Further independent bad origins (other callers of the same
+    #: parameter) — each deserves its own finding.
+    extras: Tuple["SeedOrigin", ...] = ()
+
+
+def classify_seed(
+    expr: ast.AST,
+    fn: FunctionInfo,
+    graph: CallGraph,
+    depth: int = 6,
+    stack: FrozenSet[Tuple[str, str]] = frozenset(),
+) -> SeedOrigin:
+    """Trace ``expr`` (a seed argument inside ``fn``) to its origin."""
+    if depth <= 0:
+        return SeedOrigin(SEED_UNKNOWN)
+    if isinstance(expr, ast.Constant):
+        if expr.value is None:
+            return SeedOrigin(SEED_OK, "None (consumer derives its own)")
+        return SeedOrigin(
+            SEED_BAD,
+            f"hard-coded literal seed {expr.value!r}",
+            fn.ctx.rel,
+            expr.lineno,
+            (fn.key,),
+        )
+    if isinstance(expr, ast.Attribute):
+        if is_seed_name(expr.attr):
+            return SeedOrigin(SEED_OK, f"attribute .{expr.attr}")
+        return SeedOrigin(SEED_UNKNOWN)
+    if isinstance(expr, ast.Subscript):
+        key = expr.slice
+        if (
+            isinstance(key, ast.Constant)
+            and isinstance(key.value, str)
+            and is_seed_name(key.value)
+        ):
+            return SeedOrigin(SEED_OK, f"key {key.value!r}")
+        return SeedOrigin(SEED_UNKNOWN)
+    if isinstance(expr, ast.Call):
+        if last_segment(resolve_name(expr.func, fn.ctx.aliases)) in _SEED_MIXERS:
+            args = list(expr.args) + [kw.value for kw in expr.keywords]
+            results = [
+                classify_seed(arg, fn, graph, depth - 1, stack)
+                for arg in args
+                if not isinstance(arg, ast.Starred)
+            ]
+            if any(r.status == SEED_OK for r in results):
+                return SeedOrigin(SEED_OK, "derived via mixer")
+            if results and all(r.status == SEED_BAD for r in results):
+                return results[0]
+        return SeedOrigin(SEED_UNKNOWN)
+    if isinstance(expr, ast.BinOp):
+        sides = [
+            classify_seed(side, fn, graph, depth - 1, stack)
+            for side in (expr.left, expr.right)
+        ]
+        if any(r.status == SEED_OK for r in sides):
+            return SeedOrigin(SEED_OK, "arithmetic over seed material")
+        if all(r.status == SEED_BAD for r in sides):
+            return sides[0]
+        return SeedOrigin(SEED_UNKNOWN)
+    if isinstance(expr, ast.IfExp):
+        branches = [
+            classify_seed(side, fn, graph, depth - 1, stack)
+            for side in (expr.body, expr.orelse)
+        ]
+        for branch in branches:
+            if branch.status == SEED_BAD:
+                return branch
+        if all(r.status == SEED_OK for r in branches):
+            return branches[0]
+        return SeedOrigin(SEED_UNKNOWN)
+    if isinstance(expr, ast.Name):
+        return _classify_name(expr.id, fn, graph, depth, stack)
+    return SeedOrigin(SEED_UNKNOWN)
+
+
+def _classify_name(
+    name: str,
+    fn: FunctionInfo,
+    graph: CallGraph,
+    depth: int,
+    stack: FrozenSet[Tuple[str, str]],
+) -> SeedOrigin:
+    # Local assignment wins over the parameter of the same name (the
+    # `if seed is None: seed = ...` idiom rebinds before use).
+    assigned = [
+        node.value
+        for node in ast.walk(fn.node)
+        if isinstance(node, ast.Assign)
+        and len(node.targets) == 1
+        and isinstance(node.targets[0], ast.Name)
+        and node.targets[0].id == name
+    ]
+    local_results = [
+        classify_seed(value, fn, graph, depth - 1, stack)
+        for value in assigned
+    ]
+    for result in local_results:
+        if result.status == SEED_BAD:
+            return result
+    if local_results and all(r.status == SEED_OK for r in local_results):
+        return local_results[0]
+    if name in fn.params:
+        key = (fn.key, name)
+        if key in stack:
+            return SeedOrigin(SEED_UNKNOWN)
+        sites = graph.sites_by_callee.get(fn.key, ())
+        caller_results: List[SeedOrigin] = []
+        bad_results: List[SeedOrigin] = []
+        for site in sites:
+            bound = site.bind_args(fn)
+            arg = bound.get(name)
+            if arg is None:
+                continue  # defaulted — DET005's beat, not a flow fact
+            result = classify_seed(
+                arg, site.caller, graph, depth - 1, stack | {key}
+            )
+            if result.status == SEED_BAD:
+                bad_results.append(
+                    SeedOrigin(
+                        SEED_BAD, result.detail, result.rel, result.line,
+                        result.chain + (fn.key,), result.extras,
+                    )
+                )
+            caller_results.append(result)
+        if bad_results:
+            flattened: List[SeedOrigin] = []
+            for bad in bad_results:
+                flattened.append(bad)
+                flattened.extend(bad.extras)
+            first = flattened[0]
+            return SeedOrigin(
+                SEED_BAD, first.detail, first.rel, first.line,
+                first.chain, tuple(flattened[1:]),
+            )
+        if caller_results and all(
+            r.status == SEED_OK for r in caller_results
+        ):
+            return caller_results[0]
+        return SeedOrigin(SEED_UNKNOWN)
+    # Module-level constants: a `*_SEED` name is a deliberate, documented
+    # protocol pin (sanctioned key material); an int literal hiding under
+    # any other name is still a hard-coded seed.
+    for node in fn.ctx.tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and node.targets[0].id == name
+            and isinstance(node.value, ast.Constant)
+        ):
+            if is_seed_name(name):
+                return SeedOrigin(SEED_OK, f"protocol constant {name}")
+            if isinstance(node.value.value, (int, float)):
+                return SeedOrigin(
+                    SEED_BAD,
+                    f"module constant {name} = {node.value.value!r} "
+                    "(rename it *_SEED to mark a deliberate protocol pin)",
+                    fn.ctx.rel,
+                    node.lineno,
+                    (fn.key,),
+                )
+            return SeedOrigin(SEED_UNKNOWN)
+    imported = fn.ctx.aliases.get(name)
+    if imported is not None and is_seed_name(imported.rsplit(".", 1)[-1]):
+        return SeedOrigin(SEED_OK, f"imported protocol constant {name}")
+    return SeedOrigin(SEED_UNKNOWN)
+
+
+# ---------------------------------------------------------------------------
+# constant environments / input reads
+
+
+def module_constants(tree: ast.Module) -> Dict[str, Scalar]:
+    """Top-level ``NAME = <scalar literal>`` bindings of a module."""
+    consts: Dict[str, Scalar] = {}
+    for node in tree.body:
+        if (
+            isinstance(node, ast.Assign)
+            and len(node.targets) == 1
+            and isinstance(node.targets[0], ast.Name)
+            and isinstance(node.value, ast.Constant)
+            and isinstance(node.value.value, (int, float, str, bool))
+        ):
+            consts[node.targets[0].id] = node.value.value
+    return consts
+
+
+def eval_scalar(
+    node: ast.AST, env: Dict[str, EnvValue]
+) -> Tuple[bool, Optional[Scalar]]:
+    """Evaluate an expression to one scalar under ``env``, if possible."""
+    if isinstance(node, ast.Constant) and isinstance(
+        node.value, (int, float, str, bool)
+    ):
+        return True, node.value
+    if isinstance(node, ast.Name):
+        value = env.get(node.id)
+        if isinstance(value, (int, float, str, bool)):
+            return True, value
+        return False, None
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.USub):
+        ok, value = eval_scalar(node.operand, env)
+        if ok and isinstance(value, (int, float)):
+            return True, -value
+        return False, None
+    if isinstance(node, ast.BinOp) and isinstance(
+        node.op, (ast.Add, ast.Sub, ast.Mult)
+    ):
+        ok_l, left = eval_scalar(node.left, env)
+        ok_r, right = eval_scalar(node.right, env)
+        if ok_l and ok_r:
+            try:
+                if isinstance(node.op, ast.Add):
+                    return True, left + right
+                if isinstance(node.op, ast.Sub):
+                    return True, left - right
+                return True, left * right
+            except TypeError:
+                return False, None
+    return False, None
+
+
+def _always_exits(stmts: Sequence[ast.AST]) -> bool:
+    """Whether a statement block unconditionally leaves the function."""
+    if not stmts:
+        return False
+    last = stmts[-1]
+    if isinstance(last, (ast.Return, ast.Raise)):
+        return True
+    if isinstance(last, ast.If):
+        return bool(last.orelse) and _always_exits(last.body) and (
+            _always_exits(last.orelse)
+        )
+    return False
+
+
+def eval_test(node: ast.AST, env: Dict[str, EnvValue]) -> Optional[bool]:
+    """Truth value of a branch test under ``env``; ``None`` = unknown."""
+    if isinstance(node, ast.UnaryOp) and isinstance(node.op, ast.Not):
+        inner = eval_test(node.operand, env)
+        return None if inner is None else not inner
+    if isinstance(node, ast.BoolOp):
+        values = [eval_test(value, env) for value in node.values]
+        if isinstance(node.op, ast.And):
+            if any(value is False for value in values):
+                return False
+            if all(value is True for value in values):
+                return True
+            return None
+        if any(value is True for value in values):
+            return True
+        if all(value is False for value in values):
+            return False
+        return None
+    if isinstance(node, ast.Compare) and len(node.ops) == 1:
+        ok_l, left = eval_scalar(node.left, env)
+        if not ok_l:
+            return None
+        op = node.ops[0]
+        right_node = node.comparators[0]
+        if isinstance(op, (ast.Eq, ast.NotEq)):
+            ok_r, right = eval_scalar(right_node, env)
+            if not ok_r:
+                return None
+            return (left == right) if isinstance(op, ast.Eq) else (left != right)
+        if isinstance(op, (ast.In, ast.NotIn)) and isinstance(
+            right_node, (ast.Tuple, ast.List, ast.Set)
+        ):
+            values = []
+            for element in right_node.elts:
+                ok_e, value = eval_scalar(element, env)
+                if not ok_e:
+                    return None
+                values.append(value)
+            return (left in values) if isinstance(op, ast.In) else (
+                left not in values
+            )
+    ok, value = eval_test_scalar(node, env)
+    return value if ok else None
+
+
+def eval_test_scalar(
+    node: ast.AST, env: Dict[str, EnvValue]
+) -> Tuple[bool, Optional[bool]]:
+    ok, value = eval_scalar(node, env)
+    if ok:
+        return True, bool(value)
+    return False, None
+
+
+def _iter_values(
+    node: ast.AST, env: Dict[str, EnvValue]
+) -> Optional[List[Scalar]]:
+    """The (small, constant) value sequence a loop iterates, if static."""
+    if isinstance(node, ast.Call) and isinstance(node.func, ast.Name) and (
+        node.func.id == "range"
+    ):
+        bounds = []
+        for arg in node.args:
+            ok, value = eval_scalar(arg, env)
+            if not ok or not isinstance(value, int):
+                return None
+            bounds.append(value)
+        if not 1 <= len(bounds) <= 3:
+            return None
+        values = list(range(*bounds))
+        return values if len(values) <= 64 else None
+    if isinstance(node, (ast.Tuple, ast.List, ast.Set)):
+        values = []
+        for element in node.elts:
+            ok, value = eval_scalar(element, env)
+            if not ok:
+                return None
+            values.append(value)
+        return values if len(values) <= 64 else None
+    return None
+
+
+@dataclass
+class InputRead:
+    """One ``inputs[...]`` subscript, with its statically-resolved keys."""
+
+    node: ast.AST
+    rel: str
+    #: Fully-resolved key strings, when every part evaluated.
+    keys: Optional[FrozenSet[str]] = None
+    #: Anchored regex over stage names, when some part stayed dynamic.
+    pattern: Optional[str] = None
+
+
+def _format_keys(
+    node: ast.AST, env: Dict[str, EnvValue]
+) -> Tuple[Optional[FrozenSet[str]], Optional[str]]:
+    """Resolve a subscript key expression to keys or a regex pattern."""
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        return frozenset({node.value}), None
+    if isinstance(node, ast.Name):
+        value = env.get(node.id)
+        if isinstance(value, str):
+            return frozenset({value}), None
+        if isinstance(value, frozenset) and all(
+            isinstance(v, str) for v in value
+        ):
+            return value, None
+        return None, None  # unbound name: nothing provable, stay quiet
+    if not isinstance(node, ast.JoinedStr):
+        return None, None
+    # Each part contributes literal text, a set of scalar expansions, or
+    # a wildcard; the cartesian product (capped) gives the keys.
+    parts: List[List[str]] = [[""]]
+    exact = True
+
+    def extend(options: List[str]) -> None:
+        nonlocal parts
+        combined = [
+            prefix + option for prefix in parts[0] for option in options
+        ]
+        if len(combined) > MAX_EXPANSION:
+            raise OverflowError
+        parts[0] = combined
+
+    try:
+        for value in node.values:
+            if isinstance(value, ast.Constant):
+                extend([str(value.value)])
+                continue
+            if isinstance(value, ast.FormattedValue):
+                ok, scalar = eval_scalar(value.value, env)
+                if ok:
+                    extend([str(scalar)])
+                    continue
+                bound = (
+                    env.get(value.value.id)
+                    if isinstance(value.value, ast.Name)
+                    else None
+                )
+                if isinstance(bound, frozenset):
+                    extend(sorted(str(v) for v in bound))
+                    continue
+                exact = False
+                extend(["\0"])  # placeholder for one dynamic part
+                continue
+            return None, None
+    except OverflowError:
+        exact = False
+        parts[0] = parts[0][:1]
+    if exact:
+        return frozenset(parts[0]), None
+    pattern = "^" + ".+".join(
+        re.escape(piece) for piece in parts[0][0].split("\0")
+    ) + "$"
+    return None, pattern
+
+
+def collect_input_reads(
+    fn: FunctionInfo,
+    inputs_param: str,
+    env: Dict[str, EnvValue],
+    index: ProgramIndex,
+    depth: int = 4,
+    _seen: Optional[Set[Tuple[str, str]]] = None,
+) -> List[InputRead]:
+    """Every key ``fn`` reads off its ``inputs_param`` mapping, under the
+    constant environment ``env`` — following constant-decidable branches,
+    unrolling static loops, and descending into same-tree helpers that
+    receive the mapping."""
+    seen = _seen if _seen is not None else set()
+    marker = (fn.key, inputs_param)
+    if marker in seen or depth <= 0:
+        return []
+    seen.add(marker)
+    consts = module_constants(fn.ctx.tree)
+    scope: Dict[str, EnvValue] = {**consts, **env}
+    reads: List[InputRead] = []
+
+    def visit_expr(node: ast.AST, local: Dict[str, EnvValue]) -> None:
+        if isinstance(
+            node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+        ):
+            return
+        if (
+            isinstance(node, ast.Subscript)
+            and isinstance(node.value, ast.Name)
+            and node.value.id == inputs_param
+        ):
+            keys, pattern = _format_keys(node.slice, local)
+            if keys is not None or pattern is not None:
+                reads.append(InputRead(node, fn.ctx.rel, keys, pattern))
+            visit_expr(node.slice, local)
+            return
+        if isinstance(
+            node, (ast.ListComp, ast.SetComp, ast.GeneratorExp, ast.DictComp)
+        ):
+            comp_env = dict(local)
+            for generator in node.generators:
+                visit_expr(generator.iter, comp_env)
+                _bind_loop(generator.target, generator.iter, comp_env)
+                for condition in generator.ifs:
+                    visit_expr(condition, comp_env)
+            targets = (
+                [node.key, node.value]
+                if isinstance(node, ast.DictComp)
+                else [node.elt]
+            )
+            for target in targets:
+                visit_expr(target, comp_env)
+            return
+        if isinstance(node, ast.Call):
+            _descend_call(node, local)
+        for child in ast.iter_child_nodes(node):
+            visit_expr(child, local)
+
+    def _bind_loop(
+        target: ast.AST, iterable: ast.AST, local: Dict[str, EnvValue]
+    ) -> None:
+        if not isinstance(target, ast.Name):
+            return
+        values = _iter_values(iterable, local)
+        if values is not None:
+            local[target.id] = frozenset(values)
+        else:
+            local.pop(target.id, None)
+
+    def _descend_call(node: ast.Call, local: Dict[str, EnvValue]) -> None:
+        passes_inputs = any(
+            isinstance(arg, ast.Name) and arg.id == inputs_param
+            for arg in node.args
+        ) or any(
+            isinstance(kw.value, ast.Name) and kw.value.id == inputs_param
+            for kw in node.keywords
+        )
+        if not passes_inputs:
+            return
+        target = resolve_name(node.func, fn.ctx.aliases)
+        callee = index.resolve_dotted(target)
+        if callee is None and isinstance(node.func, ast.Name):
+            callee = index.module_functions.get((fn.module, node.func.id))
+        if not isinstance(callee, FunctionInfo):
+            return
+        callee_env: Dict[str, EnvValue] = {}
+        callee_inputs: Optional[str] = None
+        params = callee.params
+        for param, arg in zip(params, node.args):
+            if isinstance(arg, ast.Name) and arg.id == inputs_param:
+                callee_inputs = param
+                continue
+            ok, value = eval_scalar(arg, local)
+            if ok:
+                callee_env[param] = value
+            elif isinstance(arg, ast.Name) and isinstance(
+                local.get(arg.id), frozenset
+            ):
+                callee_env[param] = local[arg.id]
+        for keyword in node.keywords:
+            if keyword.arg is None:
+                continue
+            if (
+                isinstance(keyword.value, ast.Name)
+                and keyword.value.id == inputs_param
+            ):
+                callee_inputs = keyword.arg
+                continue
+            ok, value = eval_scalar(keyword.value, local)
+            if ok:
+                callee_env[keyword.arg] = value
+        if callee_inputs is None:
+            return
+        reads.extend(
+            collect_input_reads(
+                callee, callee_inputs, callee_env, index,
+                depth - 1, seen,
+            )
+        )
+
+    def visit_stmts(
+        nodes: Sequence[ast.AST], local: Dict[str, EnvValue]
+    ) -> None:
+        for node in nodes:
+            if isinstance(
+                node, (ast.FunctionDef, ast.AsyncFunctionDef, ast.Lambda)
+            ):
+                continue
+            if isinstance(node, ast.If):
+                visit_expr(node.test, local)
+                verdict = eval_test(node.test, local)
+                if verdict is True:
+                    visit_stmts(node.body, local)
+                    if _always_exits(node.body):
+                        return  # the taken branch returns: the rest is dead
+                elif verdict is False:
+                    visit_stmts(node.orelse, local)
+                    if node.orelse and _always_exits(node.orelse):
+                        return
+                else:
+                    visit_stmts(node.body, dict(local))
+                    visit_stmts(node.orelse, dict(local))
+                continue
+            if isinstance(node, (ast.Return, ast.Raise)):
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(child, ast.expr):
+                        visit_expr(child, local)
+                return  # statements after an unconditional exit are dead
+            if isinstance(node, (ast.For, ast.AsyncFor)):
+                visit_expr(node.iter, local)
+                loop_env = dict(local)
+                _bind_loop(node.target, node.iter, loop_env)
+                visit_stmts(node.body, loop_env)
+                visit_stmts(node.orelse, local)
+                continue
+            if isinstance(node, ast.Assign):
+                visit_expr(node.value, local)
+                ok, value = eval_scalar(node.value, local)
+                for target in node.targets:
+                    if isinstance(target, ast.Name):
+                        if ok:
+                            local[target.id] = value
+                        else:
+                            local.pop(target.id, None)
+                continue
+            if isinstance(node, (ast.While, ast.With, ast.AsyncWith, ast.Try)):
+                for child in ast.iter_child_nodes(node):
+                    if isinstance(child, ast.stmt):
+                        visit_stmts([child], local)
+                    elif isinstance(child, ast.ExceptHandler):
+                        visit_stmts(child.body, local)
+                    elif isinstance(child, ast.withitem):
+                        visit_expr(child.context_expr, local)
+                    elif isinstance(child, ast.expr):
+                        visit_expr(child, local)
+                continue
+            if isinstance(node, ast.expr):
+                visit_expr(node, local)
+                continue
+            for child in ast.iter_child_nodes(node):
+                if isinstance(child, ast.stmt):
+                    visit_stmts([child], local)
+                elif isinstance(child, ast.expr):
+                    visit_expr(child, local)
+
+    visit_stmts(list(fn.node.body), scope)
+    return reads
+
+
+__all__ = [
+    "EnvValue",
+    "InputRead",
+    "SEED_BAD",
+    "SEED_OK",
+    "SEED_UNKNOWN",
+    "SeedOrigin",
+    "classify_seed",
+    "collect_input_reads",
+    "compute_may_raise",
+    "eval_scalar",
+    "eval_test",
+    "exception_catchers",
+    "is_seed_name",
+    "module_constants",
+]

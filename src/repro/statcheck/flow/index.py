@@ -1,0 +1,288 @@
+"""Whole-program symbol index: every function, class, and attribute type.
+
+The per-file rules see one :class:`~repro.statcheck.engine.FileContext` at
+a time; the flow layer needs to answer *"which function is
+``repro.delivery.engine.DeliveryEngine._deliver_fresh``?"* across the
+whole tree.  :class:`ProgramIndex` is that answer, built in one pass over
+the already-parsed contexts:
+
+* functions keyed by ``module:qualname`` (``a.b:Class.method``);
+* classes with their direct methods, resolved base classes, and an
+  inferred attribute-type map (``self.service`` -> ``CurationService``)
+  from ``__init__`` assignments, annotated parameters, and class-body
+  annotations;
+* bare-name tables for the conservative fallbacks the call graph uses.
+
+Everything here is *optimistic*: unresolvable names resolve to nothing
+rather than to everything, so downstream rules stay quiet instead of
+crying wolf on dynamic dispatch.
+"""
+
+from __future__ import annotations
+
+import ast
+from dataclasses import dataclass, field
+from typing import Dict, List, Optional, Sequence, Set, Tuple, Union
+
+from repro.statcheck.astutil import dotted_name, resolve_name
+
+FunctionNode = Union[ast.FunctionDef, ast.AsyncFunctionDef]
+
+
+@dataclass
+class FunctionInfo:
+    """One function or method, with enough context to analyze its body."""
+
+    module: str
+    qualname: str
+    node: FunctionNode
+    ctx: object  # FileContext (duck-typed to avoid an engine import cycle)
+    class_name: Optional[str] = None
+
+    @property
+    def key(self) -> str:
+        return f"{self.module}:{self.qualname}"
+
+    @property
+    def name(self) -> str:
+        return self.node.name
+
+    @property
+    def params(self) -> List[str]:
+        a = self.node.args
+        return [p.arg for p in (a.posonlyargs + a.args + a.kwonlyargs)]
+
+    @property
+    def is_method(self) -> bool:
+        return self.class_name is not None
+
+
+@dataclass
+class ClassInfo:
+    """One class: methods, resolved bases, inferred attribute types."""
+
+    module: str
+    name: str
+    node: ast.ClassDef
+    ctx: object
+    methods: Dict[str, FunctionInfo] = field(default_factory=dict)
+    base_names: Tuple[str, ...] = ()
+    #: attribute name -> class *key* (``module:Class``) when inferable.
+    attr_types: Dict[str, str] = field(default_factory=dict)
+
+    @property
+    def key(self) -> str:
+        return f"{self.module}:{self.name}"
+
+
+def annotation_name(node: Optional[ast.AST]) -> Optional[str]:
+    """Dotted class name out of an annotation expression, if readable.
+
+    Handles ``Foo``, ``pkg.Foo``, ``"Foo"`` (string annotation), and
+    ``Optional[Foo]`` / ``List[Foo]`` by looking inside a one-argument
+    subscript.  Anything fancier resolves to ``None``.
+    """
+    if node is None:
+        return None
+    if isinstance(node, ast.Constant) and isinstance(node.value, str):
+        text = node.value.strip()
+        try:
+            return annotation_name(ast.parse(text, mode="eval").body)
+        except SyntaxError:
+            return None
+    name = dotted_name(node)
+    if name is not None:
+        return name
+    if isinstance(node, ast.Subscript):
+        return annotation_name(node.slice)
+    return None
+
+
+class ProgramIndex:
+    """Module-qualified symbol tables over a set of parsed file contexts."""
+
+    def __init__(self, contexts: Sequence[object]):
+        #: module name -> FileContext
+        self.contexts: Dict[str, object] = {ctx.module: ctx for ctx in contexts}
+        #: ``module:qualname`` -> FunctionInfo
+        self.functions: Dict[str, FunctionInfo] = {}
+        #: ``module:ClassName`` -> ClassInfo
+        self.classes: Dict[str, ClassInfo] = {}
+        #: bare class name -> every ClassInfo with that name
+        self.classes_by_name: Dict[str, List[ClassInfo]] = {}
+        #: bare method name -> every method FunctionInfo with that name
+        self.methods_by_name: Dict[str, List[FunctionInfo]] = {}
+        #: (module, bare name) -> top-level FunctionInfo
+        self.module_functions: Dict[Tuple[str, str], FunctionInfo] = {}
+        for ctx in contexts:
+            self._index_module(ctx)
+        for info in self.classes.values():
+            self._infer_attr_types(info)
+
+    # -- construction -------------------------------------------------
+
+    def _index_module(self, ctx) -> None:
+        stack: List[Tuple[ast.AST, str, Optional[str]]] = [
+            (ctx.tree, "", None)
+        ]
+        while stack:
+            scope, prefix, class_name = stack.pop()
+            for node in ast.iter_child_nodes(scope):
+                if isinstance(node, (ast.FunctionDef, ast.AsyncFunctionDef)):
+                    qual = f"{prefix}{node.name}"
+                    info = FunctionInfo(
+                        module=ctx.module, qualname=qual, node=node,
+                        ctx=ctx, class_name=class_name,
+                    )
+                    self.functions[info.key] = info
+                    if prefix == "":
+                        self.module_functions[(ctx.module, node.name)] = info
+                    if class_name is not None:
+                        self.methods_by_name.setdefault(node.name, []).append(info)
+                        cls = self.classes.get(f"{ctx.module}:{class_name}")
+                        if cls is not None and prefix == f"{class_name}.":
+                            cls.methods[node.name] = info
+                    # Nested defs are functions in their own right; the
+                    # class context does not extend into them.
+                    stack.append((node, f"{qual}.", None))
+                elif isinstance(node, ast.ClassDef):
+                    bases = tuple(
+                        name for name in (
+                            resolve_name(base, ctx.aliases)
+                            for base in node.bases
+                        ) if name
+                    )
+                    cls = ClassInfo(
+                        module=ctx.module, name=node.name, node=node,
+                        ctx=ctx, base_names=bases,
+                    )
+                    self.classes[cls.key] = cls
+                    self.classes_by_name.setdefault(node.name, []).append(cls)
+                    stack.append((node, f"{node.name}.", node.name))
+                elif isinstance(node, (ast.If, ast.Try)):
+                    # TYPE_CHECKING guards and import fallbacks still
+                    # define real symbols.
+                    stack.append((node, prefix, class_name))
+
+    def _infer_attr_types(self, cls: ClassInfo) -> None:
+        # Class-body annotations: ``server: "CurationHTTPServer"``.
+        for node in cls.node.body:
+            if isinstance(node, ast.AnnAssign) and isinstance(
+                node.target, ast.Name
+            ):
+                target = self.resolve_class(
+                    annotation_name(node.annotation), cls.ctx
+                )
+                if target is not None:
+                    cls.attr_types[node.target.id] = target.key
+        init = cls.methods.get("__init__")
+        if init is None:
+            return
+        # Parameter annotations give types to ``self.x = x`` assignments.
+        param_types: Dict[str, str] = {}
+        args = init.node.args
+        for arg in args.posonlyargs + args.args + args.kwonlyargs:
+            target = self.resolve_class(annotation_name(arg.annotation), cls.ctx)
+            if target is not None:
+                param_types[arg.arg] = target.key
+        for node in ast.walk(init.node):
+            if not isinstance(node, ast.Assign) or len(node.targets) != 1:
+                continue
+            target_node = node.targets[0]
+            if not (
+                isinstance(target_node, ast.Attribute)
+                and isinstance(target_node.value, ast.Name)
+                and target_node.value.id == "self"
+            ):
+                continue
+            attr = target_node.attr
+            value = node.value
+            if isinstance(value, ast.Name) and value.id in param_types:
+                cls.attr_types.setdefault(attr, param_types[value.id])
+            elif isinstance(value, ast.Call):
+                constructed = self.resolve_class(
+                    resolve_name(value.func, cls.ctx.aliases), cls.ctx
+                )
+                if constructed is not None:
+                    cls.attr_types.setdefault(attr, constructed.key)
+
+    # -- lookups ------------------------------------------------------
+
+    def resolve_dotted(
+        self, dotted: Optional[str]
+    ) -> Optional[Union[FunctionInfo, ClassInfo]]:
+        """A function or class for an absolute dotted name, if indexed.
+
+        Splits ``a.b.c.f`` at every point, longest module prefix first, so
+        ``repro.utils.rng.derive_rng`` finds module ``repro.utils.rng``'s
+        function ``derive_rng`` and ``pkg.mod.Cls.m`` finds the method.
+        """
+        if not dotted:
+            return None
+        parts = dotted.split(".")
+        for split in range(len(parts) - 1, 0, -1):
+            module = ".".join(parts[:split])
+            if module not in self.contexts:
+                continue
+            remainder = ".".join(parts[split:])
+            found = self.functions.get(f"{module}:{remainder}")
+            if found is not None:
+                return found
+            klass = self.classes.get(f"{module}:{remainder}")
+            if klass is not None:
+                return klass
+        return None
+
+    def resolve_class(
+        self, name: Optional[str], ctx
+    ) -> Optional[ClassInfo]:
+        """ClassInfo for a (possibly bare, possibly aliased) class name."""
+        if not name:
+            return None
+        root, _, rest = name.partition(".")
+        full = ctx.aliases.get(root, root) if ctx is not None else root
+        dotted = f"{full}.{rest}" if rest else full
+        found = self.resolve_dotted(dotted)
+        if isinstance(found, ClassInfo):
+            return found
+        if ctx is not None and "." not in name:
+            same_module = self.classes.get(f"{ctx.module}:{name}")
+            if same_module is not None:
+                return same_module
+        candidates = self.classes_by_name.get(name.rsplit(".", 1)[-1], [])
+        if len(candidates) == 1:
+            return candidates[0]
+        return None
+
+    def resolve_method(
+        self, cls: ClassInfo, name: str
+    ) -> Optional[FunctionInfo]:
+        """A method looked up on ``cls``, walking indexed base classes."""
+        seen: Set[str] = set()
+        queue = [cls]
+        while queue:
+            current = queue.pop(0)
+            if current.key in seen:
+                continue
+            seen.add(current.key)
+            method = current.methods.get(name)
+            if method is not None:
+                return method
+            for base_name in current.base_names:
+                base = self.resolve_dotted(base_name)
+                if isinstance(base, ClassInfo):
+                    queue.append(base)
+        return None
+
+    def class_of(self, info: FunctionInfo) -> Optional[ClassInfo]:
+        if info.class_name is None:
+            return None
+        return self.classes.get(f"{info.module}:{info.class_name}")
+
+
+__all__ = [
+    "FunctionInfo",
+    "ClassInfo",
+    "ProgramIndex",
+    "annotation_name",
+]

@@ -89,15 +89,22 @@ def _module_level_imports(
     return imports
 
 
-def _cycles(edges: Dict[str, Set[str]]) -> List[List[str]]:
-    """Strongly connected components with more than one node (or a self
-    edge), via iterative Tarjan — the cycles of the import graph."""
+def strongly_connected_components(
+    edges: Dict[str, Set[str]]
+) -> List[List[str]]:
+    """Every strongly connected component of ``edges``, via iterative
+    Tarjan, in reverse topological order (callees before callers).
+
+    Shared machinery: the import-cycle check uses the non-trivial
+    components, the flow layer's call graph uses the full reverse-topo
+    ordering for its may-raise fixpoint.
+    """
     index: Dict[str, int] = {}
     low: Dict[str, int] = {}
     on_stack: Set[str] = set()
     stack: List[str] = []
     counter = [0]
-    cycles: List[List[str]] = []
+    components: List[List[str]] = []
 
     def strongconnect(root: str) -> None:
         work = [(root, iter(sorted(edges.get(root, ()))))]
@@ -133,13 +140,22 @@ def _cycles(edges: Dict[str, Set[str]]) -> List[List[str]]:
                     component.append(member)
                     if member == node:
                         break
-                if len(component) > 1 or node in edges.get(node, ()):
-                    cycles.append(sorted(component))
+                components.append(sorted(component))
 
     for node in sorted(edges):
         if node not in index:
             strongconnect(node)
-    return cycles
+    return components
+
+
+def _cycles(edges: Dict[str, Set[str]]) -> List[List[str]]:
+    """Components with more than one node (or a self edge) — the cycles."""
+    return [
+        component
+        for component in strongly_connected_components(edges)
+        if len(component) > 1
+        or component[0] in edges.get(component[0], ())
+    ]
 
 
 def quick_check(paths: Optional[Sequence[PathLike]] = None) -> List[Finding]:
@@ -182,4 +198,4 @@ def quick_check(paths: Optional[Sequence[PathLike]] = None) -> List[Finding]:
     return sorted(findings)
 
 
-__all__ = ["CYCLE_RULE", "quick_check"]
+__all__ = ["CYCLE_RULE", "quick_check", "strongly_connected_components"]

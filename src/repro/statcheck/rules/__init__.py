@@ -9,8 +9,17 @@ Four families, each its own module:
 * ``serving`` (SRV) — network transport stays quarantined in repro.serve;
 * ``perf`` (PERF) — pipeline artifact reads state their memory story.
 
-``SYN001`` (unparsable file) and ``CYC001`` (module import cycle) are
-engine-level checks, documented here so the catalog is complete.
+A seventh family, ``flow`` (FLOW/GRAPH), lives in
+:mod:`repro.statcheck.flow`: those rules are *whole-program* — they need
+a call graph over every file, not one :class:`FileContext` — so they are
+registered here (``FAMILIES["flow"]``) but instantiated by the flow
+package.  :func:`select_rules` returns only the per-file portion of a
+selection; pass the same ids to
+:func:`repro.statcheck.flow.select_flow_rules` for the rest.
+
+``SYN001`` (unparsable file), ``CYC001`` (module import cycle) and
+``SUP001`` (stale suppression) are engine-level checks, documented here
+so the catalog is complete.
 """
 
 from __future__ import annotations
@@ -46,6 +55,11 @@ FAMILIES: Dict[str, Tuple[str, ...]] = {
     "contracts": tuple(cls.id for cls in contracts.RULES),
     "serving": tuple(cls.id for cls in serving.RULES),
     "perf": tuple(cls.id for cls in perf.RULES),
+    # Whole-program rules (repro.statcheck.flow).  Static tuple rather than
+    # an import: the flow package imports the engine, which imports this
+    # module — a literal here keeps the registry cycle-free.  A consistency
+    # test pins it against flow.FLOW_RULE_IDS.
+    "flow": ("FLOW001", "FLOW002", "FLOW003", "FLOW004", "GRAPH001"),
 }
 
 
@@ -55,34 +69,41 @@ def default_rules() -> List[Rule]:
 
 
 def select_rules(ids: Optional[Sequence[str]] = None) -> List[Rule]:
-    """Rules filtered to ``ids`` (rule ids or family names, any case).
+    """Per-file rules filtered to ``ids`` (rule ids or family names, any case).
 
-    Raises :class:`StatcheckError` for an unknown selector so a typo in CI
+    Flow-family selectors (``flow``, ``FLOW001`` …) are recognised but
+    contribute no per-file rules — hand the same ids to
+    :func:`repro.statcheck.flow.select_flow_rules` for those.  Raises
+    :class:`StatcheckError` for an unknown selector so a typo in CI
     configuration fails loudly instead of silently linting nothing.
     """
     if not ids:
         return default_rules()
     wanted = set()
     known = {cls.id for cls in RULE_CLASSES}
+    flow_ids = set(FAMILIES["flow"])
     for selector in ids:
         token = selector.strip()
         if not token:
             continue
         if token.lower() in FAMILIES:
             wanted.update(FAMILIES[token.lower()])
-        elif token.upper() in known:
+        elif token.upper() in known or token.upper() in flow_ids:
             wanted.add(token.upper())
         else:
             raise StatcheckError(
                 f"unknown rule or family {selector!r}; known families: "
-                f"{sorted(FAMILIES)}, rules: {sorted(known)}"
+                f"{sorted(FAMILIES)}, rules: {sorted(known | flow_ids)}"
             )
     return [cls() for cls in RULE_CLASSES if cls.id in wanted]
 
 
 def catalog() -> Tuple[dict, ...]:
-    """Documentation entries for every rule (id, title, rationale, example)."""
-    return rule_catalog(default_rules())
+    """Documentation entries for every rule (id, title, rationale, example),
+    flow rules included."""
+    from repro.statcheck.flow import flow_catalog
+
+    return rule_catalog(default_rules()) + tuple(flow_catalog())
 
 
 __all__ = [

@@ -86,7 +86,9 @@ class UnguardedSharedWriteRule(Rule):
         "If an attribute or module global is mutated under `with lock:` "
         "anywhere, every mutation of it must hold that lock — a single "
         "unguarded writer races all the guarded ones. __init__ and "
-        "module top level (single-threaded construction) are exempt."
+        "module top level (single-threaded construction) are exempt, as "
+        "are `*_locked`-suffixed helpers whose contract is caller-holds-"
+        "the-lock; FLOW004 verifies every call site of those instead."
     )
     example = "with self._lock: self._cache[k] = v   # elsewhere:\nself._cache.clear()"
 
@@ -103,6 +105,10 @@ class UnguardedSharedWriteRule(Rule):
     def _report(self, ctx, writes, kind: str) -> Iterator[Finding]:
         guarded = {name for name, _, depth, _ in writes if depth > 0}
         for name, node, depth, func_name in writes:
+            if func_name.endswith("_locked"):
+                # Lock-transfer contract: the caller holds the lock.  The
+                # interprocedural FLOW004 rule checks every call site.
+                continue
             if name in guarded and depth == 0 and func_name != "__init__":
                 yield self.finding(
                     ctx,

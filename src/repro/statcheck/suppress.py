@@ -15,6 +15,11 @@ deliberately *narrow*: one line, explicit rule ids, and — by convention,
 enforced in review — a one-line justification after the ``-``.  There is no
 file-level or wildcard form; a module that needs ten suppressions should be
 fixed instead.
+
+The engine additionally tracks which comments actually suppressed
+something: a comment whose rules matched no finding in the run is *stale*
+and reported under ``SUP001`` (exit code 3) — dead suppressions otherwise
+accumulate and silently blind future rule improvements.
 """
 
 from __future__ import annotations
@@ -22,10 +27,66 @@ from __future__ import annotations
 import io
 import re
 import tokenize
-from typing import Dict, Set
+from dataclasses import dataclass, field
+from typing import Dict, List, Set, Tuple
 
-#: ``# statcheck: ignore[DET001]`` / ``# statcheck: ignore[DET001, CONC002]``
-_PATTERN = re.compile(r"#\s*statcheck:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+#: ``# statcheck: ignore[DET001]`` / ``# statcheck: ignore[DET001, CONC002]``.
+#: Anchored at the comment start so prose *mentioning* the directive (docs,
+#: examples in docstrings' neighbouring comments) never registers one.
+_PATTERN = re.compile(r"\A#+\s*statcheck:\s*ignore\[([A-Za-z0-9_,\s]+)\]")
+
+
+@dataclass
+class SuppressionComment:
+    """One ``# statcheck: ignore[...]`` comment and the lines it covers."""
+
+    line: int
+    rules: Tuple[str, ...]
+    #: The finding lines this comment suppresses (its own line; plus the
+    #: next line when the comment stands alone).
+    covers: Tuple[int, ...]
+    text: str = ""
+    used: bool = field(default=False, compare=False)
+
+    def matches(self, line: int, rule: str) -> bool:
+        return line in self.covers and rule.upper() in self.rules
+
+
+def parse_suppression_comments(source: str) -> List[SuppressionComment]:
+    """Every suppression comment in ``source``, in line order."""
+    comments: List[SuppressionComment] = []
+    try:
+        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
+        for token in tokens:
+            if token.type != tokenize.COMMENT:
+                continue
+            match = _PATTERN.match(token.string)
+            if not match:
+                continue
+            rules = tuple(
+                sorted(
+                    {
+                        rule.strip().upper()
+                        for rule in match.group(1).split(",")
+                        if rule.strip()
+                    }
+                )
+            )
+            if not rules:
+                continue
+            line = token.start[0]
+            covers = (line, line + 1) if (
+                token.line.strip().startswith("#")  # standalone comment
+            ) else (line,)
+            comments.append(
+                SuppressionComment(
+                    line=line, rules=rules, covers=covers,
+                    text=token.string.strip(),
+                )
+            )
+    except tokenize.TokenError:
+        pass  # unparsable source is reported as SYN001 by the engine
+    return comments
 
 
 def parse_suppressions(source: str) -> Dict[int, Set[str]]:
@@ -36,25 +97,9 @@ def parse_suppressions(source: str) -> Dict[int, Set[str]]:
     line, covering multi-line statements whose first line has no room.
     """
     suppressed: Dict[int, Set[str]] = {}
-    try:
-        tokens = tokenize.generate_tokens(io.StringIO(source).readline)
-        for token in tokens:
-            if token.type != tokenize.COMMENT:
-                continue
-            match = _PATTERN.search(token.string)
-            if not match:
-                continue
-            rules = {
-                rule.strip().upper()
-                for rule in match.group(1).split(",")
-                if rule.strip()
-            }
-            line = token.start[0]
-            suppressed.setdefault(line, set()).update(rules)
-            if token.line.strip().startswith("#"):  # standalone comment
-                suppressed.setdefault(line + 1, set()).update(rules)
-    except tokenize.TokenError:
-        pass  # unparsable source is reported as SYN001 by the engine
+    for comment in parse_suppression_comments(source):
+        for line in comment.covers:
+            suppressed.setdefault(line, set()).update(comment.rules)
     return suppressed
 
 
@@ -65,4 +110,9 @@ def is_suppressed(
     return rule.upper() in suppressions.get(line, ())
 
 
-__all__ = ["parse_suppressions", "is_suppressed"]
+__all__ = [
+    "SuppressionComment",
+    "is_suppressed",
+    "parse_suppression_comments",
+    "parse_suppressions",
+]

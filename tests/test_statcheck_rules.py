@@ -349,6 +349,28 @@ class TestConcurrencyRules:
         )
         assert "CONC001" not in found
 
+    def test_conc001_exempts_locked_suffix_helpers(self):
+        # The `_locked` suffix transfers the lock obligation to callers;
+        # FLOW004 checks those call sites interprocedurally instead.
+        found = rules_found(
+            """
+            import threading
+
+            class Bucket:
+                def __init__(self):
+                    self._lock = threading.Lock()
+                    self._tokens = 0
+
+                def add(self):
+                    with self._lock:
+                        self._tokens += 1
+
+                def _refill_locked(self):
+                    self._tokens += 1
+            """
+        )
+        assert "CONC001" not in found
+
     def test_conc001_flags_unguarded_module_global(self):
         found = rules_found(
             """
